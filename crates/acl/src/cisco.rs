@@ -1,0 +1,486 @@
+//! Cisco IOS-style ACL ingestion and rendering.
+//!
+//! §7 lists "tricky data formats" among Jinjing's deployment challenges:
+//! production rules arrive in vendor syntax, not a clean IR. This module
+//! accepts the common extended-ACL subset and renders plans back out, so
+//! the library can sit directly on exported device configurations.
+//!
+//! Accepted forms (named and numbered):
+//!
+//! ```text
+//! ip access-list extended EDGE-IN
+//!  10 deny   ip any 10.1.1.0 0.0.0.255
+//!     permit tcp 192.168.0.0 0.0.255.255 any eq 443
+//!     deny   udp any any range 8000 8999
+//!     permit ip any any
+//!
+//! access-list 101 deny ip host 10.0.0.1 any
+//! access-list 101 permit ip any any
+//! ```
+//!
+//! Supported: protocols `ip`/`tcp`/`udp`/`icmp`/numeric; address forms
+//! `any`, `host A.B.C.D`, `A.B.C.D W.W.W.W` (contiguous wildcard masks
+//! only) and `A.B.C.D/len`; port operators `eq`/`range` (and `gt`/`lt`,
+//! normalized to ranges) on the source and/or destination. Unsupported
+//! constructs (non-contiguous wildcards, `established`, ICMP subtypes,
+//! `log`, time ranges) are rejected with a line-precise error rather than
+//! silently misread — the failure mode the paper's operators feared.
+
+use crate::acl::Acl;
+use crate::packet::{parse_ip, Proto};
+use crate::rule::{Action, IpPrefix, MatchSpec, PortRange, Rule};
+use std::fmt;
+
+/// A parse failure, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CiscoError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for CiscoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CiscoError {}
+
+fn err(line: usize, message: impl Into<String>) -> CiscoError {
+    CiscoError {
+        message: message.into(),
+        line,
+    }
+}
+
+/// One parsed access list with its name (or number).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CiscoAcl {
+    /// The list's name (`EDGE-IN`) or number (`101`).
+    pub name: String,
+    /// The translated ACL. Cisco lists end with an implicit deny, so the
+    /// default action is [`Action::Deny`].
+    pub acl: Acl,
+}
+
+/// Wildcard mask → prefix length, if contiguous. `0.0.0.255` ⇒ 24.
+fn wildcard_to_len(mask: u32) -> Option<u32> {
+    // A contiguous wildcard is a low-aligned run of ones: adding one must
+    // carry all the way out (mask & (mask+1) == 0).
+    if mask & mask.wrapping_add(1) == 0 {
+        Some(32 - mask.count_ones())
+    } else {
+        None
+    }
+}
+
+/// Parse one address clause, consuming tokens. Returns the prefix.
+fn parse_addr(
+    toks: &mut std::iter::Peekable<std::slice::Iter<'_, &str>>,
+    line: usize,
+) -> Result<IpPrefix, CiscoError> {
+    match toks.next() {
+        Some(&"any") => Ok(IpPrefix::any()),
+        Some(&"host") => {
+            let a = toks
+                .next()
+                .ok_or_else(|| err(line, "host needs an address"))?;
+            let ip = parse_ip(a).ok_or_else(|| err(line, format!("bad address {a:?}")))?;
+            Ok(IpPrefix::host(ip))
+        }
+        Some(&addr) if addr.contains('/') => {
+            crate::parse::parse_prefix(addr).map_err(|e| err(line, e.to_string()))
+        }
+        Some(&addr) => {
+            let ip =
+                parse_ip(addr).ok_or_else(|| err(line, format!("bad address {addr:?}")))?;
+            // Peek: a following token that parses as dotted-quad is the
+            // wildcard mask; otherwise treat as a host.
+            if let Some(&&next) = toks.peek() {
+                if let Some(mask) = parse_ip(next) {
+                    toks.next();
+                    let len = wildcard_to_len(mask).ok_or_else(|| {
+                        err(line, format!("non-contiguous wildcard mask {next}"))
+                    })?;
+                    return Ok(IpPrefix::new(ip, len));
+                }
+            }
+            Ok(IpPrefix::host(ip))
+        }
+        None => Err(err(line, "missing address")),
+    }
+}
+
+/// Parse an optional port operator (`eq N` / `range A B` / `gt N` / `lt N`).
+fn parse_ports(
+    toks: &mut std::iter::Peekable<std::slice::Iter<'_, &str>>,
+    line: usize,
+) -> Result<PortRange, CiscoError> {
+    let op = match toks.peek() {
+        Some(&&op @ ("eq" | "range" | "gt" | "lt")) => {
+            toks.next();
+            op
+        }
+        _ => return Ok(PortRange::any()),
+    };
+    let num = |toks: &mut std::iter::Peekable<std::slice::Iter<'_, &str>>| -> Result<u16, CiscoError> {
+        let t = toks.next().ok_or_else(|| err(line, format!("{op} needs a port")))?;
+        t.parse()
+            .map_err(|_| err(line, format!("bad port {t:?}")))
+    };
+    match op {
+        "eq" => {
+            let p = num(toks)?;
+            Ok(PortRange::single(p))
+        }
+        "range" => {
+            let lo = num(toks)?;
+            let hi = num(toks)?;
+            if lo > hi {
+                return Err(err(line, format!("inverted range {lo} {hi}")));
+            }
+            Ok(PortRange::new(lo, hi))
+        }
+        "gt" => {
+            let p = num(toks)?;
+            if p == u16::MAX {
+                return Err(err(line, "gt 65535 matches nothing"));
+            }
+            Ok(PortRange::new(p + 1, u16::MAX))
+        }
+        "lt" => {
+            let p = num(toks)?;
+            if p == 0 {
+                return Err(err(line, "lt 0 matches nothing"));
+            }
+            Ok(PortRange::new(0, p - 1))
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Parse one entry body (everything after `permit`/`deny`).
+fn parse_entry(tokens: &[&str], action: Action, line: usize) -> Result<Rule, CiscoError> {
+    let mut toks = tokens.iter().peekable();
+    let proto_tok = toks
+        .next()
+        .ok_or_else(|| err(line, "missing protocol"))?;
+    let proto = match *proto_tok {
+        "ip" => None,
+        "tcp" => Some(Proto::Tcp),
+        "udp" => Some(Proto::Udp),
+        "icmp" => Some(Proto::Icmp),
+        other => {
+            let n: u8 = other
+                .parse()
+                .map_err(|_| err(line, format!("unsupported protocol {other:?}")))?;
+            Some(Proto::from_number(n))
+        }
+    };
+    let src = parse_addr(&mut toks, line)?;
+    let sport = parse_ports(&mut toks, line)?;
+    let dst = parse_addr(&mut toks, line)?;
+    let dport = parse_ports(&mut toks, line)?;
+    if !sport.is_any() || !dport.is_any() {
+        // Port operators are only meaningful for TCP/UDP.
+        if !matches!(proto, Some(Proto::Tcp) | Some(Proto::Udp)) {
+            return Err(err(line, "port operators require tcp or udp"));
+        }
+    }
+    if let Some(&&extra) = toks.peek() {
+        return Err(err(line, format!("unsupported trailing token {extra:?}")));
+    }
+    Ok(Rule::new(
+        action,
+        MatchSpec {
+            src,
+            dst,
+            sport,
+            dport,
+            proto,
+        },
+    ))
+}
+
+/// Parse a configuration fragment containing named and/or numbered ACLs.
+/// Lines outside ACL definitions are ignored (like a real config dump);
+/// malformed *entries* are hard errors.
+///
+/// ```
+/// use jinjing_acl::cisco::parse_config;
+/// let lists = parse_config(
+///     "ip access-list extended EDGE\n deny ip any 10.1.1.0 0.0.0.255\n permit ip any any\n",
+/// ).unwrap();
+/// assert_eq!(lists[0].name, "EDGE");
+/// assert_eq!(lists[0].acl.len(), 2);
+/// ```
+pub fn parse_config(text: &str) -> Result<Vec<CiscoAcl>, CiscoError> {
+    let mut acls: Vec<(String, Vec<Rule>)> = Vec::new();
+    let mut current: Option<usize> = None; // index into acls (named mode)
+    let push_rule = |acls: &mut Vec<(String, Vec<Rule>)>, name: &str, rule: Rule| {
+        if let Some(entry) = acls.iter_mut().find(|(n, _)| n == name) {
+            entry.1.push(rule);
+        } else {
+            acls.push((name.to_string(), vec![rule]));
+        }
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('!').next().unwrap_or("").trim_end();
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = trimmed.split_whitespace().collect();
+        match toks.as_slice() {
+            ["ip", "access-list", "extended", name, rest @ ..] if rest.is_empty() => {
+                if acls.iter().any(|(n, _)| n == name) {
+                    current = acls.iter().position(|(n, _)| n == name);
+                } else {
+                    acls.push((name.to_string(), Vec::new()));
+                    current = Some(acls.len() - 1);
+                }
+            }
+            ["access-list", number, action @ ("permit" | "deny"), rest @ ..] => {
+                let act = if *action == "permit" {
+                    Action::Permit
+                } else {
+                    Action::Deny
+                };
+                let rule = parse_entry(rest, act, lineno)?;
+                push_rule(&mut acls, number, rule);
+                current = None;
+            }
+            // Entry inside a named list (optionally sequence-numbered).
+            [first, rest @ ..]
+                if current.is_some()
+                    && (matches!(*first, "permit" | "deny")
+                        || first.parse::<u32>().is_ok()) =>
+            {
+                let (act_tok, body) = if let Ok(_seq) = first.parse::<u32>() {
+                    match rest.split_first() {
+                        Some((a @ (&"permit" | &"deny"), b)) => (*a, b),
+                        _ => return Err(err(lineno, "expected permit/deny after sequence number")),
+                    }
+                } else {
+                    (*first, rest)
+                };
+                let act = if act_tok == "permit" {
+                    Action::Permit
+                } else {
+                    Action::Deny
+                };
+                let rule = parse_entry(body, act, lineno)?;
+                let idx = current.expect("guarded by matches! above");
+                acls[idx].1.push(rule);
+            }
+            // Any other configuration line ends the current ACL block.
+            _ => {
+                current = None;
+            }
+        }
+    }
+    Ok(acls
+        .into_iter()
+        .map(|(name, rules)| CiscoAcl {
+            name,
+            // Cisco semantics: implicit deny at the end of every list.
+            acl: Acl::new(rules, Action::Deny),
+        })
+        .collect())
+}
+
+/// Render a prefix in Cisco address/wildcard notation.
+fn render_addr(p: &IpPrefix) -> String {
+    if p.is_any() {
+        "any".to_string()
+    } else if p.len() == 32 {
+        format!("host {}", crate::packet::fmt_ip(p.addr()))
+    } else {
+        let mask = if p.len() == 0 { u32::MAX } else { !0u32 >> p.len() };
+        format!(
+            "{} {}",
+            crate::packet::fmt_ip(p.addr()),
+            crate::packet::fmt_ip(mask)
+        )
+    }
+}
+
+fn render_ports(r: &PortRange) -> String {
+    if r.is_any() {
+        String::new()
+    } else if r.lo() == r.hi() {
+        format!(" eq {}", r.lo())
+    } else {
+        format!(" range {} {}", r.lo(), r.hi())
+    }
+}
+
+/// Render an ACL as a named extended access list. A trailing explicit
+/// `permit ip any any` is appended when the ACL's default action is permit
+/// (Cisco's implicit default is deny).
+pub fn render_named(name: &str, acl: &Acl) -> String {
+    let mut out = format!("ip access-list extended {name}\n");
+    use std::fmt::Write;
+    for rule in acl.rules() {
+        let m = &rule.matches;
+        let proto = match m.proto {
+            None => "ip".to_string(),
+            Some(p) => p.to_string(),
+        };
+        let _ = writeln!(
+            out,
+            " {} {} {}{} {}{}",
+            rule.action,
+            proto,
+            render_addr(&m.src),
+            render_ports(&m.sport),
+            render_addr(&m.dst),
+            render_ports(&m.dport),
+        );
+    }
+    if acl.default_action() == Action::Permit {
+        let _ = writeln!(out, " permit ip any any");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+
+    const SAMPLE: &str = "\
+!
+ip access-list extended EDGE-IN
+ 10 deny   ip any 10.1.1.0 0.0.0.255
+    permit tcp 192.168.0.0 0.0.255.255 any eq 443
+    deny   udp any any range 8000 8999
+    permit ip any any
+!
+access-list 101 deny ip host 10.0.0.1 any
+access-list 101 permit ip any any
+";
+
+    #[test]
+    fn parses_named_and_numbered() {
+        let acls = parse_config(SAMPLE).unwrap();
+        assert_eq!(acls.len(), 2);
+        assert_eq!(acls[0].name, "EDGE-IN");
+        assert_eq!(acls[0].acl.len(), 4);
+        assert_eq!(acls[1].name, "101");
+        assert_eq!(acls[1].acl.len(), 2);
+        assert_eq!(acls[0].acl.default_action(), Action::Deny);
+    }
+
+    #[test]
+    fn semantics_match_cisco_reading() {
+        let acls = parse_config(SAMPLE).unwrap();
+        let edge = &acls[0].acl;
+        // deny ip any 10.1.1.0/24
+        assert!(!edge.permits(&Packet::new(0x0101_0101, 0x0a01_0105, 1, 2, 6)));
+        // permit tcp 192.168/16 any eq 443
+        assert!(edge.permits(&Packet::new(0xc0a8_0101, 0x0808_0808, 5555, 443, 6)));
+        // deny udp any any range 8000 8999
+        assert!(!edge.permits(&Packet::new(1, 2, 3, 8500, 17)));
+        // trailing permit ip any any
+        assert!(edge.permits(&Packet::new(1, 2, 3, 8500, 6)));
+        // numbered list: deny host 10.0.0.1
+        let n101 = &acls[1].acl;
+        assert!(!n101.permits(&Packet::new(0x0a00_0001, 9, 1, 2, 6)));
+        assert!(n101.permits(&Packet::new(0x0a00_0002, 9, 1, 2, 6)));
+    }
+
+    #[test]
+    fn implicit_deny_applies() {
+        let acls = parse_config("ip access-list extended X\n permit tcp any any eq 80\n").unwrap();
+        let x = &acls[0].acl;
+        assert!(x.permits(&Packet::new(1, 2, 3, 80, 6)));
+        assert!(!x.permits(&Packet::new(1, 2, 3, 81, 6)));
+    }
+
+    #[test]
+    fn gt_lt_normalize_to_ranges() {
+        let acls =
+            parse_config("ip access-list extended X\n deny tcp any any gt 1023\n permit udp any lt 1024 any\n")
+                .unwrap();
+        let rules = acls[0].acl.rules();
+        assert_eq!(rules[0].matches.dport, PortRange::new(1024, u16::MAX));
+        assert_eq!(rules[1].matches.sport, PortRange::new(0, 1023));
+    }
+
+    #[test]
+    fn wildcard_masks() {
+        assert_eq!(wildcard_to_len(0x0000_00ff), Some(24));
+        assert_eq!(wildcard_to_len(0x0000_ffff), Some(16));
+        assert_eq!(wildcard_to_len(0), Some(32));
+        assert_eq!(wildcard_to_len(u32::MAX), Some(0));
+        assert_eq!(wildcard_to_len(0x0000_ff00), None); // non-contiguous
+        assert_eq!(wildcard_to_len(0x0101_0101), None);
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        for bad in [
+            "ip access-list extended X\n permit tcp any any eq 80 established\n",
+            "ip access-list extended X\n deny ip any 10.0.0.0 0.0.255.0\n",
+            "ip access-list extended X\n permit icmp any any eq 80\n",
+            "ip access-list extended X\n permit tcp any any range 90 80\n",
+            "access-list 1 permit quic any any\n",
+        ] {
+            let e = parse_config(bad).unwrap_err();
+            assert!(e.line >= 1, "{bad:?} should fail with a line number");
+        }
+    }
+
+    #[test]
+    fn non_acl_lines_are_skipped_and_end_blocks() {
+        let cfg = "hostname core1\n\
+                   ip access-list extended X\n permit ip any any\n\
+                   interface Gi0/0\n\
+                   ip access-list extended Y\n deny ip any any\n";
+        let acls = parse_config(cfg).unwrap();
+        assert_eq!(acls.len(), 2);
+        assert_eq!(acls[0].acl.len(), 1);
+        assert_eq!(acls[1].acl.len(), 1);
+    }
+
+    #[test]
+    fn render_roundtrips_semantically() {
+        let acls = parse_config(SAMPLE).unwrap();
+        for c in &acls {
+            let rendered = render_named(&c.name, &c.acl);
+            let back = parse_config(&rendered).unwrap();
+            assert_eq!(back.len(), 1);
+            assert!(
+                back[0].acl.equivalent(&c.acl),
+                "{}:\n{rendered}",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn render_permit_default_appends_catch_all() {
+        let acl = crate::acl::AclBuilder::default_permit()
+            .deny_dst("6.0.0.0/8")
+            .build();
+        let text = render_named("OUT", &acl);
+        assert!(text.contains("deny ip any 6.0.0.0 0.255.255.255"));
+        assert!(text.trim_end().ends_with("permit ip any any"));
+        let back = parse_config(&text).unwrap();
+        assert!(back[0].acl.equivalent(&acl));
+    }
+
+    #[test]
+    fn slash_notation_accepted() {
+        let acls =
+            parse_config("ip access-list extended X\n deny ip any 10.1.0.0/16\n").unwrap();
+        assert_eq!(
+            acls[0].acl.rules()[0].matches.dst.to_string(),
+            "10.1.0.0/16"
+        );
+    }
+}

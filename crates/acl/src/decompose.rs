@@ -1,0 +1,180 @@
+//! Decomposing exact packet sets back into well-formed ACL rule tuples.
+//!
+//! The synthesis pipeline (§5.4) reasons over exact [`PacketSet`]s but must
+//! emit classic 5-tuple rules: IP fields as *prefixes*, ports as ranges,
+//! protocol as a single value or wildcard. An arbitrary interval of IP
+//! space decomposes into at most `2·32` aligned prefixes (the classic
+//! range-to-CIDR cover); a cube therefore expands into the cartesian
+//! product of its per-field decompositions.
+
+use crate::cube::Cube;
+use crate::packet::{Field, Proto};
+use crate::rule::{IpPrefix, MatchSpec, PortRange};
+use crate::set::PacketSet;
+
+/// Minimal set of aligned prefixes `(base, len)` covering `[lo, hi]` within
+/// a `width`-bit field.
+pub fn interval_to_prefixes(lo: u64, hi: u64, width: u32) -> Vec<(u64, u32)> {
+    assert!(lo <= hi, "empty interval");
+    assert!(width <= 63 && hi < (1u64 << width), "interval out of domain");
+    let mut out = Vec::new();
+    let mut cur = lo;
+    loop {
+        // Largest block aligned at `cur`…
+        let align = if cur == 0 { width } else { cur.trailing_zeros().min(width) };
+        // …that still fits below hi.
+        let span = hi - cur + 1;
+        let fit = 63 - span.leading_zeros(); // floor(log2(span))
+        let k = align.min(fit);
+        out.push((cur, width - k));
+        let step = 1u64 << k;
+        if hi - cur < step {
+            break;
+        }
+        cur += step;
+        if cur > hi {
+            break;
+        }
+    }
+    out
+}
+
+/// Decompose one cube into rule tuples covering exactly its packets.
+pub fn cube_to_matchspecs(cube: &Cube) -> Vec<MatchSpec> {
+    let src_iv = cube.get(Field::SrcIp);
+    let dst_iv = cube.get(Field::DstIp);
+    let sp = cube.get(Field::SrcPort);
+    let dp = cube.get(Field::DstPort);
+    let pr = cube.get(Field::Proto);
+
+    let srcs: Vec<IpPrefix> = interval_to_prefixes(src_iv.lo(), src_iv.hi(), 32)
+        .into_iter()
+        .map(|(b, l)| IpPrefix::new(b as u32, l))
+        .collect();
+    let dsts: Vec<IpPrefix> = interval_to_prefixes(dst_iv.lo(), dst_iv.hi(), 32)
+        .into_iter()
+        .map(|(b, l)| IpPrefix::new(b as u32, l))
+        .collect();
+    let sport = PortRange::new(sp.lo() as u16, sp.hi() as u16);
+    let dport = PortRange::new(dp.lo() as u16, dp.hi() as u16);
+    let protos: Vec<Option<Proto>> = if pr.is_full(Field::Proto) {
+        vec![None]
+    } else {
+        (pr.lo()..=pr.hi())
+            .map(|v| Some(Proto::from_number(v as u8)))
+            .collect()
+    };
+
+    let mut out = Vec::with_capacity(srcs.len() * dsts.len() * protos.len());
+    for &src in &srcs {
+        for &dst in &dsts {
+            for &proto in &protos {
+                out.push(MatchSpec {
+                    src,
+                    dst,
+                    sport,
+                    dport,
+                    proto,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Decompose a whole packet set into rule tuples (disjoint across the
+/// set's disjoint form; overlapping representation cubes may yield
+/// overlapping tuples, which is harmless for same-action rule batches).
+pub fn set_to_matchspecs(set: &PacketSet) -> Vec<MatchSpec> {
+    let mut out = Vec::new();
+    // Coalesce first (re-merging fragmentation from set operations), which
+    // also leaves the representation disjoint, so emitted tuples never
+    // double-cover with conflicting priorities.
+    let compact = set.coalesce();
+    for cube in compact.cubes() {
+        out.extend(cube_to_matchspecs(cube));
+    }
+    out
+}
+
+/// Reassemble: the exact set matched by a tuple list (for validation).
+pub fn matchspecs_to_set(specs: &[MatchSpec]) -> PacketSet {
+    PacketSet::from_cubes(specs.iter().map(|m| m.cube()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interval::Interval;
+    use super::*;
+
+    #[test]
+    fn aligned_interval_is_single_prefix() {
+        assert_eq!(interval_to_prefixes(0, u32::MAX as u64, 32), vec![(0, 0)]);
+        // 1.0.0.0/8
+        assert_eq!(
+            interval_to_prefixes(0x0100_0000, 0x01ff_ffff, 32),
+            vec![(0x0100_0000, 8)]
+        );
+        assert_eq!(interval_to_prefixes(7, 7, 32), vec![(7, 32)]);
+    }
+
+    #[test]
+    fn unaligned_interval_covers_exactly() {
+        for (lo, hi) in [(1u64, 6u64), (3, 17), (0, 9), (250, 255), (5, 255)] {
+            let prefixes = interval_to_prefixes(lo, hi, 8);
+            // Exact cover: every value in [lo,hi] in exactly one prefix.
+            for v in 0..=255u64 {
+                let count = prefixes
+                    .iter()
+                    .filter(|&&(b, l)| {
+                        let iv = Interval::from_prefix(b, l, 8);
+                        iv.contains(v)
+                    })
+                    .count();
+                assert_eq!(
+                    count,
+                    ((lo..=hi).contains(&v)) as usize,
+                    "v={v} in [{lo},{hi}]: {prefixes:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cube_decomposition_roundtrips() {
+        let cube = Cube::full()
+            .with(Field::DstIp, Interval::new(0x0100_0000, 0x02ff_ffff))
+            .with(Field::DstPort, Interval::new(80, 443))
+            .with(Field::Proto, Interval::new(6, 6));
+        let specs = cube_to_matchspecs(&cube);
+        let back = matchspecs_to_set(&specs);
+        assert!(back.same_set(&PacketSet::from_cube(cube)));
+    }
+
+    #[test]
+    fn ragged_ip_interval_roundtrips() {
+        // 1.2.3.7 .. 9.0.0.3 — maximally unaligned.
+        let cube = Cube::full().with(Field::DstIp, Interval::new(0x0102_0307, 0x0900_0003));
+        let specs = cube_to_matchspecs(&cube);
+        let back = matchspecs_to_set(&specs);
+        assert!(back.same_set(&PacketSet::from_cube(cube)));
+        assert!(specs.len() <= 64, "cover should be small: {}", specs.len());
+    }
+
+    #[test]
+    fn multi_cube_set_roundtrips() {
+        let a = Cube::full().with(Field::DstIp, Interval::new(100, 5000));
+        let b = Cube::full().with(Field::SrcPort, Interval::new(1000, 2000));
+        let set = PacketSet::from_cubes(vec![a, b]);
+        let specs = set_to_matchspecs(&set);
+        assert!(matchspecs_to_set(&specs).same_set(&set));
+    }
+
+    #[test]
+    fn proto_range_expands_to_singletons() {
+        let cube = Cube::full().with(Field::Proto, Interval::new(6, 8));
+        let specs = cube_to_matchspecs(&cube);
+        assert_eq!(specs.len(), 3);
+        assert!(matchspecs_to_set(&specs).same_set(&PacketSet::from_cube(cube)));
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # jinjing-acl
+//!
+//! ACL substrate for the Jinjing reproduction: the packet model, ACL rules
+//! with first-match semantics, an **exact packet-set algebra** (unions of
+//! per-field interval cubes over the 104-bit 5-tuple header space), textual
+//! parsing/printing of rules, the paper's *differential rule* machinery
+//! (Definitions 4.1 and 4.2, Theorem 4.1), decision-model-preserving ACL
+//! simplification, and the equivalence-class refinement engine used to derive
+//! FECs/AECs/DECs.
+//!
+//! Everything in this crate is deterministic and purely combinational: an ACL
+//! is a total function from packets to `permit`/`deny`, and the set algebra
+//! lets us reason about that function exactly (no sampling, no solver).
+//!
+//! ## Layout
+//!
+//! - [`packet`] — the concrete 5-tuple header and per-field domains.
+//! - [`interval`] — closed integer intervals, the building block of cubes.
+//! - [`cube`] — products of five intervals; one cube ≙ one "tuple" region.
+//! - [`set`] — [`set::PacketSet`]: finite unions of cubes with full boolean
+//!   algebra (union, intersection, difference, complement, subset, equality,
+//!   witness extraction, exact cardinality).
+//! - [`rule`] — matches ([`rule::MatchSpec`]), actions, prioritized rules.
+//! - [`acl`] — ordered rule lists with first-match evaluation and compilation
+//!   to permit-sets.
+//! - [`parse`] — the textual rule/ACL syntax used throughout the repo
+//!   (`"deny dst 1.0.0.0/8"`, `"permit src 10.0.0.0/24 dport 80-443"` …).
+//! - [`cisco`] — ingestion/rendering of Cisco IOS extended access lists
+//!   (the vendor-format reality of §7's deployment notes).
+//! - [`diff`] — longest-common-subsequence differential rules (Def. 4.1),
+//!   related rules (Def. 4.2) and the `H` packet-cover used by Theorem 4.1.
+//! - [`simplify`] — maximal redundant-rule elimination preserving the
+//!   decision model (§4.2 "Simplifying the final ACL").
+//! - [`atoms`] — predicate-refinement partitioning used for FEC/AEC/DEC
+//!   derivation (§4.1, §5.1, §5.3).
+//! - [`rtree`] — the §5.5 \"ACL search tree\": an interval tree answering
+//!   rule-overlap queries in O(log n + hits).
+
+pub mod acl;
+pub mod atoms;
+pub mod cisco;
+pub mod cube;
+pub mod decompose;
+pub mod diff;
+pub mod interval;
+pub mod packet;
+pub mod parse;
+pub mod rtree;
+pub mod rule;
+pub mod set;
+pub mod simplify;
+
+pub use crate::acl::{Acl, AclBuilder};
+pub use crate::cube::Cube;
+pub use crate::interval::Interval;
+pub use crate::packet::{Field, Packet, Proto};
+pub use crate::rule::{Action, IpPrefix, MatchSpec, PortRange, Rule};
+pub use crate::set::PacketSet;

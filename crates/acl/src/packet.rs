@@ -1,0 +1,277 @@
+//! The concrete packet model: a 5-tuple header `(sip, dip, sport, dport,
+//! proto)` totalling 104 bits, exactly as in §2.1 of the paper.
+
+use std::fmt;
+
+/// Well-known IP protocol numbers used by the textual rule syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// ICMP (protocol number 1).
+    Icmp,
+    /// TCP (protocol number 6).
+    Tcp,
+    /// UDP (protocol number 17).
+    Udp,
+    /// Any other protocol, by raw number.
+    Other(u8),
+}
+
+impl Proto {
+    /// The raw 8-bit protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            Proto::Icmp => 1,
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+            Proto::Other(n) => n,
+        }
+    }
+
+    /// Canonicalize a raw number back into a [`Proto`].
+    pub fn from_number(n: u8) -> Proto {
+        match n {
+            1 => Proto::Icmp,
+            6 => Proto::Tcp,
+            17 => Proto::Udp,
+            other => Proto::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for Proto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Proto::Icmp => write!(f, "icmp"),
+            Proto::Tcp => write!(f, "tcp"),
+            Proto::Udp => write!(f, "udp"),
+            Proto::Other(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// One of the five header fields. Field order is significant: cubes, rule
+/// encodings and the fix primitive's neighborhood expansion all iterate
+/// fields in this declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Field {
+    /// Source IPv4 address (32 bits).
+    SrcIp,
+    /// Destination IPv4 address (32 bits).
+    DstIp,
+    /// Source transport port (16 bits).
+    SrcPort,
+    /// Destination transport port (16 bits).
+    DstPort,
+    /// IP protocol number (8 bits).
+    Proto,
+}
+
+impl Field {
+    /// All fields, in canonical order.
+    pub const ALL: [Field; 5] = [
+        Field::SrcIp,
+        Field::DstIp,
+        Field::SrcPort,
+        Field::DstPort,
+        Field::Proto,
+    ];
+
+    /// Bit width of the field.
+    pub fn width(self) -> u32 {
+        match self {
+            Field::SrcIp | Field::DstIp => 32,
+            Field::SrcPort | Field::DstPort => 16,
+            Field::Proto => 8,
+        }
+    }
+
+    /// Largest value representable in the field.
+    pub fn max_value(self) -> u64 {
+        (1u64 << self.width()) - 1
+    }
+
+    /// Index of the field in [`Field::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Field::SrcIp => 0,
+            Field::DstIp => 1,
+            Field::SrcPort => 2,
+            Field::DstPort => 3,
+            Field::Proto => 4,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Field::SrcIp => "src",
+            Field::DstIp => "dst",
+            Field::SrcPort => "sport",
+            Field::DstPort => "dport",
+            Field::Proto => "proto",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A concrete packet header. This is the `h` of the paper: a 104-bit vector
+/// split into its five fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// Source IPv4 address.
+    pub sip: u32,
+    /// Destination IPv4 address.
+    pub dip: u32,
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// IP protocol number.
+    pub proto: u8,
+}
+
+impl Packet {
+    /// Construct a packet from raw field values.
+    pub fn new(sip: u32, dip: u32, sport: u16, dport: u16, proto: u8) -> Packet {
+        Packet {
+            sip,
+            dip,
+            sport,
+            dport,
+            proto,
+        }
+    }
+
+    /// A packet that only cares about its destination address; all other
+    /// fields are zero. Most of the paper's running examples are
+    /// destination-prefix based, so this constructor appears throughout the
+    /// tests.
+    pub fn to_dst(dip: u32) -> Packet {
+        Packet::new(0, dip, 0, 0, 0)
+    }
+
+    /// Read one field as a widened integer.
+    pub fn field(&self, f: Field) -> u64 {
+        match f {
+            Field::SrcIp => self.sip as u64,
+            Field::DstIp => self.dip as u64,
+            Field::SrcPort => self.sport as u64,
+            Field::DstPort => self.dport as u64,
+            Field::Proto => self.proto as u64,
+        }
+    }
+
+    /// Write one field from a widened integer. Values must fit the field.
+    pub fn set_field(&mut self, f: Field, v: u64) {
+        debug_assert!(v <= f.max_value(), "value {v} out of range for {f:?}");
+        match f {
+            Field::SrcIp => self.sip = v as u32,
+            Field::DstIp => self.dip = v as u32,
+            Field::SrcPort => self.sport = v as u16,
+            Field::DstPort => self.dport = v as u16,
+            Field::Proto => self.proto = v as u8,
+        }
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}:{} -> {}:{} proto {})",
+            fmt_ip(self.sip),
+            self.sport,
+            fmt_ip(self.dip),
+            self.dport,
+            self.proto
+        )
+    }
+}
+
+/// Render a 32-bit value in dotted-quad notation.
+pub fn fmt_ip(ip: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        (ip >> 24) & 0xff,
+        (ip >> 16) & 0xff,
+        (ip >> 8) & 0xff,
+        ip & 0xff
+    )
+}
+
+/// Parse a dotted-quad IPv4 address.
+pub fn parse_ip(s: &str) -> Option<u32> {
+    let mut parts = s.split('.');
+    let mut ip: u32 = 0;
+    for _ in 0..4 {
+        let part = parts.next()?;
+        let octet: u32 = part.parse().ok()?;
+        if octet > 255 {
+            return None;
+        }
+        ip = (ip << 8) | octet;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(ip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_widths_sum_to_104_bits() {
+        let total: u32 = Field::ALL.iter().map(|f| f.width()).sum();
+        assert_eq!(total, 104);
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        let mut p = Packet::new(1, 2, 3, 4, 5);
+        for f in Field::ALL {
+            let v = p.field(f);
+            p.set_field(f, v);
+            assert_eq!(p.field(f), v);
+        }
+    }
+
+    #[test]
+    fn set_field_changes_only_target() {
+        let mut p = Packet::new(10, 20, 30, 40, 50);
+        p.set_field(Field::DstPort, 443);
+        assert_eq!(p, Packet::new(10, 20, 30, 443, 50));
+    }
+
+    #[test]
+    fn ip_parse_and_format_roundtrip() {
+        for s in ["0.0.0.0", "255.255.255.255", "10.1.2.3", "192.168.0.1"] {
+            let ip = parse_ip(s).unwrap();
+            assert_eq!(fmt_ip(ip), s);
+        }
+    }
+
+    #[test]
+    fn ip_parse_rejects_garbage() {
+        for s in ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3"] {
+            assert_eq!(parse_ip(s), None, "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn proto_numbers() {
+        assert_eq!(Proto::Tcp.number(), 6);
+        assert_eq!(Proto::from_number(17), Proto::Udp);
+        assert_eq!(Proto::from_number(89), Proto::Other(89));
+        assert_eq!(Proto::from_number(1), Proto::Icmp);
+    }
+
+    #[test]
+    fn max_values() {
+        assert_eq!(Field::SrcIp.max_value(), u32::MAX as u64);
+        assert_eq!(Field::SrcPort.max_value(), u16::MAX as u64);
+        assert_eq!(Field::Proto.max_value(), u8::MAX as u64);
+    }
+}

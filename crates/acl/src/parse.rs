@@ -1,0 +1,315 @@
+//! Textual syntax for rules and ACLs.
+//!
+//! Grammar (one rule per line, `#` comments, blank lines ignored):
+//!
+//! ```text
+//! rule    := action ( "all" | clause+ )
+//! action  := "permit" | "deny"
+//! clause  := "src" prefix | "dst" prefix
+//!          | "sport" ports | "dport" ports
+//!          | "proto" proto
+//! prefix  := A.B.C.D [ "/" len ]          (bare address = /32)
+//! ports   := N | N "-" M
+//! proto   := "tcp" | "udp" | "icmp" | N
+//! acl     := rule* [ "default" action ]   (default defaults to permit)
+//! ```
+//!
+//! This mirrors the notation used throughout the paper's figures
+//! (`deny dst 1.0.0.0/8`, `permit all`, …).
+
+use crate::acl::Acl;
+use crate::packet::{parse_ip, Proto};
+use crate::rule::{Action, IpPrefix, MatchSpec, PortRange, Rule};
+use std::fmt;
+
+/// Error from rule/ACL parsing, with a human-readable message and, for
+/// multi-line input, the offending line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line number in multi-line input; 0 for single-rule parses.
+    pub line: usize,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: 0,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse `"a.b.c.d/len"` (or a bare host address as `/32`).
+pub fn parse_prefix(s: &str) -> Result<IpPrefix, ParseError> {
+    match s.split_once('/') {
+        Some((addr, len)) => {
+            let a = parse_ip(addr)
+                .ok_or_else(|| ParseError::new(format!("bad IPv4 address {addr:?}")))?;
+            let l: u32 = len
+                .parse()
+                .map_err(|_| ParseError::new(format!("bad prefix length {len:?}")))?;
+            if l > 32 {
+                return Err(ParseError::new(format!("prefix length {l} > 32")));
+            }
+            Ok(IpPrefix::new(a, l))
+        }
+        None => {
+            let a =
+                parse_ip(s).ok_or_else(|| ParseError::new(format!("bad IPv4 address {s:?}")))?;
+            Ok(IpPrefix::host(a))
+        }
+    }
+}
+
+/// Parse a port selector: `"80"` or `"80-443"`.
+pub fn parse_ports(s: &str) -> Result<PortRange, ParseError> {
+    match s.split_once('-') {
+        Some((lo, hi)) => {
+            let l: u16 = lo
+                .parse()
+                .map_err(|_| ParseError::new(format!("bad port {lo:?}")))?;
+            let h: u16 = hi
+                .parse()
+                .map_err(|_| ParseError::new(format!("bad port {hi:?}")))?;
+            if l > h {
+                return Err(ParseError::new(format!("inverted port range {l}-{h}")));
+            }
+            Ok(PortRange::new(l, h))
+        }
+        None => {
+            let p: u16 = s
+                .parse()
+                .map_err(|_| ParseError::new(format!("bad port {s:?}")))?;
+            Ok(PortRange::single(p))
+        }
+    }
+}
+
+/// Parse a protocol selector: a well-known name or a raw number.
+pub fn parse_proto(s: &str) -> Result<Proto, ParseError> {
+    match s {
+        "tcp" => Ok(Proto::Tcp),
+        "udp" => Ok(Proto::Udp),
+        "icmp" => Ok(Proto::Icmp),
+        other => {
+            let n: u8 = other
+                .parse()
+                .map_err(|_| ParseError::new(format!("unknown protocol {other:?}")))?;
+            Ok(Proto::from_number(n))
+        }
+    }
+}
+
+/// Parse a single rule line like `"deny dst 1.0.0.0/8"`.
+///
+/// ```
+/// use jinjing_acl::parse::parse_rule;
+/// let r = parse_rule("permit src 10.0.0.0/8 dport 80-443 proto tcp").unwrap();
+/// assert_eq!(r.to_string(), "permit src 10.0.0.0/8 dport 80-443 proto tcp");
+/// assert!(parse_rule("block everything").is_err());
+/// ```
+pub fn parse_rule(line: &str) -> Result<Rule, ParseError> {
+    let mut toks = line.split_whitespace();
+    let action = match toks.next() {
+        Some("permit") => Action::Permit,
+        Some("deny") => Action::Deny,
+        Some(other) => {
+            return Err(ParseError::new(format!(
+                "expected permit/deny, got {other:?}"
+            )))
+        }
+        None => return Err(ParseError::new("empty rule")),
+    };
+    let mut m = MatchSpec::any();
+    let mut any_clause = false;
+    let mut saw_all = false;
+    while let Some(tok) = toks.next() {
+        match tok {
+            "all" => {
+                if any_clause {
+                    return Err(ParseError::new("'all' cannot follow other clauses"));
+                }
+                saw_all = true;
+            }
+            "src" => {
+                let v = toks.next().ok_or_else(|| ParseError::new("src needs a prefix"))?;
+                m.src = parse_prefix(v)?;
+            }
+            "dst" => {
+                let v = toks.next().ok_or_else(|| ParseError::new("dst needs a prefix"))?;
+                m.dst = parse_prefix(v)?;
+            }
+            "sport" => {
+                let v = toks
+                    .next()
+                    .ok_or_else(|| ParseError::new("sport needs a port or range"))?;
+                m.sport = parse_ports(v)?;
+            }
+            "dport" => {
+                let v = toks
+                    .next()
+                    .ok_or_else(|| ParseError::new("dport needs a port or range"))?;
+                m.dport = parse_ports(v)?;
+            }
+            "proto" => {
+                let v = toks
+                    .next()
+                    .ok_or_else(|| ParseError::new("proto needs a name or number"))?;
+                m.proto = Some(parse_proto(v)?);
+            }
+            other => return Err(ParseError::new(format!("unknown clause {other:?}"))),
+        }
+        if tok != "all" {
+            any_clause = true;
+            if saw_all {
+                return Err(ParseError::new("clauses cannot follow 'all'"));
+            }
+        }
+    }
+    if !any_clause && !saw_all {
+        return Err(ParseError::new("rule needs 'all' or at least one clause"));
+    }
+    Ok(Rule::new(action, m))
+}
+
+/// Parse a whole ACL: one rule per line, optional trailing
+/// `default permit|deny` (defaults to permit, matching the paper's
+/// examples).
+pub fn parse_acl(text: &str) -> Result<Acl, ParseError> {
+    let mut rules = Vec::new();
+    let mut default_action = Action::Permit;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("default") {
+            default_action = match rest.trim() {
+                "permit" => Action::Permit,
+                "deny" => Action::Deny,
+                other => {
+                    return Err(ParseError {
+                        message: format!("bad default action {other:?}"),
+                        line: i + 1,
+                    })
+                }
+            };
+            continue;
+        }
+        let rule = parse_rule(line).map_err(|mut e| {
+            e.line = i + 1;
+            e
+        })?;
+        rules.push(rule);
+    }
+    Ok(Acl::new(rules, default_action))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+
+    #[test]
+    fn parse_simple_deny() {
+        let r = parse_rule("deny dst 1.0.0.0/8").unwrap();
+        assert_eq!(r.to_string(), "deny dst 1.0.0.0/8");
+        assert!(r.matches.matches(&Packet::to_dst(0x0101_0101)));
+        assert!(!r.matches.matches(&Packet::to_dst(0x0201_0101)));
+    }
+
+    #[test]
+    fn parse_permit_all() {
+        let r = parse_rule("permit all").unwrap();
+        assert!(r.matches.is_any());
+        assert_eq!(r.action, Action::Permit);
+    }
+
+    #[test]
+    fn parse_full_tuple() {
+        let r = parse_rule("permit src 10.0.0.0/8 dst 1.2.3.4 sport 1024-65535 dport 443 proto tcp")
+            .unwrap();
+        assert_eq!(r.matches.src.to_string(), "10.0.0.0/8");
+        assert_eq!(r.matches.dst.to_string(), "1.2.3.4/32");
+        assert_eq!(r.matches.sport, PortRange::new(1024, 65535));
+        assert_eq!(r.matches.dport, PortRange::single(443));
+        assert_eq!(r.matches.proto, Some(Proto::Tcp));
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        for s in [
+            "deny dst 6.0.0.0/8",
+            "permit all",
+            "permit src 10.0.0.0/24 dport 80-443 proto udp",
+            "deny sport 53 proto 89",
+        ] {
+            let r = parse_rule(s).unwrap();
+            let r2 = parse_rule(&r.to_string()).unwrap();
+            assert_eq!(r, r2, "roundtrip failed for {s:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "block dst 1.0.0.0/8",
+            "permit",
+            "deny dst",
+            "deny dst 1.0.0.0/40",
+            "deny dst 300.0.0.1/8",
+            "permit dport 99999",
+            "permit dport 100-50",
+            "permit proto quic",
+            "permit all dst 1.0.0.0/8",
+            "permit dst 1.0.0.0/8 all",
+            "permit frobnicate 3",
+        ] {
+            assert!(parse_rule(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_acl_with_comments_and_default() {
+        let acl = parse_acl(
+            "# Figure 1, D2\n\
+             deny dst 1.0.0.0/8\n\
+             deny dst 2.0.0.0/8   # tangled\n\
+             \n\
+             default permit\n",
+        )
+        .unwrap();
+        assert_eq!(acl.len(), 2);
+        assert_eq!(acl.default_action(), Action::Permit);
+        assert!(!acl.permits(&Packet::to_dst(0x0100_0001)));
+        assert!(acl.permits(&Packet::to_dst(0x0300_0001)));
+    }
+
+    #[test]
+    fn parse_acl_reports_line_numbers() {
+        let err = parse_acl("permit all\nbogus line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_acl("default maybe\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn bare_host_prefix() {
+        assert_eq!(parse_prefix("1.2.3.4").unwrap().to_string(), "1.2.3.4/32");
+    }
+}

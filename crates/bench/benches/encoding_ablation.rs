@@ -1,0 +1,42 @@
+//! §9 ablation: how the two solver-side optimizations change the CDCL
+//! engine's work on the check workload.
+//!
+//! - sequential vs balanced-tree decision-model encoding (search depth
+//!   O(n) → O(log n));
+//! - full vs differential-reduced ACLs (clause volume).
+//!
+//! Criterion measures wall-clock here; the `figures depth` subcommand
+//! prints the matching solver statistics (decisions, propagations, maximum
+//! decision depth, encoded rules) that §9 argues in terms of.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jinjing_bench::{checkfix_scenario, wan};
+use jinjing_core::check::{check, CheckConfig};
+use jinjing_core::Encoding;
+use jinjing_lai::Command;
+use jinjing_wan::NetSize;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding_ablation");
+    group.sample_size(10);
+    let net = wan(NetSize::Medium);
+    let sc = checkfix_scenario(&net, 0.03, Command::Check);
+    for (enc_label, encoding) in [("seq", Encoding::Sequential), ("tree", Encoding::Tree)] {
+        for (diff_label, differential) in [("full", false), ("diff", true)] {
+            let cfg = CheckConfig {
+                differential,
+                encoding,
+                ..CheckConfig::default()
+            };
+            let id = BenchmarkId::new("check", format!("{enc_label}+{diff_label}"));
+            group.bench_with_input(id, &sc.task, |b, task| {
+                b.iter(|| black_box(check(&net.net, task, &cfg).expect("check")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 4a: check turnaround time across network sizes and perturbation
+//! fractions, with and without the differential-rule optimization.
+//!
+//! Paper shape to reproduce: turnaround roughly flat in the perturbation
+//! fraction (check returns on the first violation), differential no slower
+//! (and much lighter on encoded rules — see the `figures fig4a` table for
+//! the rule-count column), everything well under a minute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jinjing_bench::{checkfix_scenario, wan, PERTURBATIONS};
+use jinjing_core::check::{check, CheckConfig};
+use jinjing_lai::Command;
+use jinjing_wan::NetSize;
+use std::hint::black_box;
+
+fn bench_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_check");
+    group.sample_size(10);
+    for size in [NetSize::Small, NetSize::Medium, NetSize::Large] {
+        let net = wan(size);
+        for fraction in PERTURBATIONS {
+            let sc = checkfix_scenario(&net, fraction, Command::Check);
+            for (label, differential) in [("basic", false), ("differential", true)] {
+                let cfg = CheckConfig {
+                    differential,
+                    ..CheckConfig::default()
+                };
+                let id = BenchmarkId::new(
+                    format!("{}/{label}", size.label()),
+                    format!("{}%", (fraction * 100.0) as u32),
+                );
+                group.bench_with_input(id, &sc.task, |b, task| {
+                    b.iter(|| black_box(check(&net.net, task, &cfg).expect("check")));
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_check);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 4b: fix turnaround time across perturbation fractions, with and
+//! without the minimal-change/simplification optimizations.
+//!
+//! Paper shape: fix time grows with the perturbation fraction (more
+//! neighborhoods to repair) and stays in the interactive range on the
+//! small/medium networks. The large network is measured once by the
+//! `figures fig4b` harness (a single large fix runs minutes there, exactly
+//! as the paper's ~10-minute ceiling describes) rather than sampled by
+//! Criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jinjing_bench::{checkfix_scenario, wan, PERTURBATIONS};
+use jinjing_core::fix::{fix, FixConfig, FixStrategy};
+use jinjing_lai::Command;
+use jinjing_wan::NetSize;
+use std::hint::black_box;
+
+fn bench_fix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b_fix");
+    group.sample_size(10);
+    for size in [NetSize::Small, NetSize::Medium] {
+        let net = wan(size);
+        for fraction in PERTURBATIONS {
+            let sc = checkfix_scenario(&net, fraction, Command::Fix);
+            for (label, strategy) in [
+                ("batch", FixStrategy::ExactBatch),
+                ("iterative", FixStrategy::IterativeCegis),
+            ] {
+                let cfg = FixConfig {
+                    strategy,
+                    ..FixConfig::default()
+                };
+                let id = BenchmarkId::new(
+                    format!("{}/{label}", size.label()),
+                    format!("{}%", (fraction * 100.0) as u32),
+                );
+                group.bench_with_input(id, &sc.task, |b, task| {
+                    b.iter(|| black_box(fix(&net.net, task, &cfg).expect("fix")));
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fix);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 4c: generate (ACL migration) turnaround, with and without the
+//! §5.5 optimizations.
+//!
+//! Paper shape: migration cost grows with network size; the optimizations
+//! cut both the run time and (dramatically) the generated ACL length — the
+//! `figures fig4c` table adds the phase split and rule counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jinjing_bench::{migration_task, wan};
+use jinjing_core::generate::{generate, GenerateConfig};
+use jinjing_wan::NetSize;
+use std::hint::black_box;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4c_generate");
+    group.sample_size(10);
+    for size in [NetSize::Small, NetSize::Medium] {
+        let net = wan(size);
+        let task = migration_task(&net);
+        for (label, optimize) in [("optimized", true), ("basic", false)] {
+            let cfg = GenerateConfig {
+                optimize,
+                ..GenerateConfig::default()
+            };
+            let id = BenchmarkId::new("migration", format!("{}/{label}", size.label()));
+            group.bench_with_input(id, &task, |b, task| {
+                b.iter(|| black_box(generate(&net.net, task, &cfg).expect("generate")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generate);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 4d: generate under `control … open` intents, varying the number
+//! of opened prefixes per edge device (the paper's 1/10/100, scaled to our
+//! per-edge prefix budget as 1/2/4).
+//!
+//! Paper shape: deriving AECs costs slightly more than plain migration
+//! (the control regions join the refinement), while the ACL-generation
+//! phase is comparatively cheap; cost grows mildly with the program size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jinjing_bench::{control_open_task, wan};
+use jinjing_core::generate::{generate, GenerateConfig};
+use jinjing_wan::NetSize;
+use std::hint::black_box;
+
+fn bench_control_open(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4d_control_open");
+    group.sample_size(10);
+    for size in [NetSize::Small, NetSize::Medium] {
+        let net = wan(size);
+        for k in [1usize, 2, 4] {
+            let task = control_open_task(&net, k);
+            let cfg = GenerateConfig::default();
+            let id = BenchmarkId::new(size.label(), format!("open{k}"));
+            group.bench_with_input(id, &task, |b, task| {
+                b.iter(|| black_box(generate(&net.net, task, &cfg).expect("generate")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_control_open);
+criterion_main!(benches);

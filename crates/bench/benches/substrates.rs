@@ -1,0 +1,118 @@
+//! Micro-benchmarks of the substrates the primitives stand on: the exact
+//! packet-set algebra, ACL compilation, the CDCL solver, FEC derivation and
+//! path enumeration. Useful for catching regressions in the layers the
+//! figure benches aggregate over.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jinjing_acl::atoms::RefineLimits;
+use jinjing_acl::{AclBuilder, PacketSet};
+use jinjing_bench::wan;
+use jinjing_net::derive_fecs;
+use jinjing_solver::cdcl::Solver;
+use jinjing_solver::lit::Lit;
+use jinjing_wan::NetSize;
+use std::hint::black_box;
+
+fn acl_with_rules(n: usize) -> jinjing_acl::Acl {
+    let mut b = AclBuilder::default_permit();
+    for i in 0..n {
+        b = b.deny_dst(&format!("10.{}.{}.0/24", i / 8, (i * 16) % 256));
+    }
+    b.build()
+}
+
+fn bench_set_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/set_algebra");
+    let a = acl_with_rules(64).permit_set();
+    let b = acl_with_rules(48).permit_set();
+    group.bench_function("intersect_64x48_rule_sets", |bch| {
+        bch.iter(|| black_box(a.intersect(&b)))
+    });
+    group.bench_function("subtract_64x48_rule_sets", |bch| {
+        bch.iter(|| black_box(a.subtract(&b)))
+    });
+    group.bench_function("same_set_64x48", |bch| {
+        bch.iter(|| black_box(a.same_set(&b)))
+    });
+    let frag = a.subtract(&b).union(&b.subtract(&a));
+    group.bench_function("coalesce_fragmented", |bch| {
+        bch.iter(|| black_box(frag.coalesce()))
+    });
+    group.finish();
+}
+
+fn bench_acl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/acl");
+    let acl = acl_with_rules(128);
+    group.bench_function("permit_set_128_rules", |bch| {
+        bch.iter(|| black_box(acl.permit_set()))
+    });
+    let other = acl_with_rules(127);
+    group.bench_function("diff_128_vs_127", |bch| {
+        bch.iter(|| black_box(jinjing_acl::diff::AclDiff::compute(&acl, &other)))
+    });
+    group.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/solver");
+    // Pigeonhole 7→6: a classically hard small UNSAT instance.
+    group.bench_function("pigeonhole_7_into_6", |bch| {
+        bch.iter(|| {
+            let mut s = Solver::new();
+            let n = 7;
+            let m = 6;
+            let vars: Vec<Vec<jinjing_solver::lit::Var>> = (0..n)
+                .map(|_| (0..m).map(|_| s.new_var()).collect())
+                .collect();
+            for row in &vars {
+                let lits: Vec<Lit> = row.iter().map(|v| v.lit()).collect();
+                s.add_clause(&lits);
+            }
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    for (x, y) in vars[a].iter().zip(&vars[b]) {
+                        s.add_clause(&[!x.lit(), !y.lit()]);
+                    }
+                }
+            }
+            black_box(s.solve())
+        })
+    });
+    group.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/network");
+    group.sample_size(10);
+    let net = wan(NetSize::Medium);
+    let scope = net.scope();
+    let universe: PacketSet = net
+        .edge_prefixes
+        .iter()
+        .flatten()
+        .fold(PacketSet::empty(), |acc, p| {
+            acc.union(&jinjing_net::fib::prefix_set(p))
+        });
+    group.bench_function("fec_derivation_medium", |bch| {
+        bch.iter(|| {
+            black_box(
+                derive_fecs(&net.net, &scope, &universe, RefineLimits::default())
+                    .expect("fecs"),
+            )
+        })
+    });
+    group.bench_function("path_enumeration_medium", |bch| {
+        bch.iter(|| black_box(net.net.all_paths_for_class(&scope, &universe)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_set_algebra,
+    bench_acl,
+    bench_solver,
+    bench_network
+);
+criterion_main!(benches);

@@ -1,0 +1,399 @@
+#![warn(missing_docs)]
+
+//! # jinjing-cli
+//!
+//! The `jinjing` command-line tool: the operator-facing front end of the
+//! reproduction. It binds a network specification (JSON), the current ACL
+//! configuration (JSON) and an LAI intent program (text) and runs the
+//! requested primitive, printing a human-readable report and, optionally,
+//! a machine-readable plan.
+//!
+//! ```text
+//! jinjing run --network net.json --acls acls.json --intent update.lai
+//! jinjing run ... --plan-out plan.json      # write the deployable plan
+//! jinjing show --network net.json           # topology summary
+//! jinjing simplify --acl-file acl.txt       # standalone ACL minimization
+//! ```
+//!
+//! The library half of the crate ([`run_command`] and friends) is what the
+//! binary calls; keeping it a library makes the whole flow unit-testable
+//! without spawning processes.
+
+use jinjing_core::check::CheckOutcome;
+use jinjing_core::engine::{render_plan, run, EngineConfig, Report};
+use jinjing_core::resolve::resolve;
+use jinjing_lai::{parse_program, validate};
+use jinjing_net::spec::{AclConfigSpec, NetworkSpec};
+use jinjing_net::{AclConfig, Network};
+use serde::Serialize;
+
+/// Everything that can go wrong on a CLI run, as a printable message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError(format!("io error: {e}"))
+    }
+}
+
+fn err(e: impl std::fmt::Display) -> CliError {
+    CliError(e.to_string())
+}
+
+/// Load a network from a JSON spec file.
+pub fn load_network(path: &str) -> Result<Network, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let spec: NetworkSpec =
+        serde_json::from_str(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+    spec.build().map_err(err)
+}
+
+/// Load an ACL configuration from a JSON spec file.
+pub fn load_acls(path: &str, net: &Network) -> Result<AclConfig, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let spec: AclConfigSpec =
+        serde_json::from_str(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+    spec.build(net).map_err(err)
+}
+
+/// One changed slot in the machine-readable plan.
+#[derive(Debug, Serialize)]
+pub struct PlanEntry {
+    /// `"device:interface"`.
+    pub interface: String,
+    /// `"in"` / `"out"`.
+    pub direction: String,
+    /// The new ACL, one rule per line plus a trailing `default …`.
+    pub acl: Vec<String>,
+}
+
+/// The machine-readable output of a run.
+#[derive(Debug, Serialize)]
+pub struct PlanDocument {
+    /// The command that produced the plan.
+    pub command: String,
+    /// One-line verdict.
+    pub verdict: String,
+    /// Changed slots (empty for a bare check).
+    pub changes: Vec<PlanEntry>,
+}
+
+/// Run an LAI program against a network + configuration; returns the
+/// human-readable report text and the machine-readable plan.
+pub fn run_command(
+    net: &Network,
+    config: &AclConfig,
+    intent_text: &str,
+) -> Result<(String, PlanDocument), CliError> {
+    let program = validate(parse_program(intent_text).map_err(err)?).map_err(err)?;
+    let command = program.command.expect("validated programs have a command");
+    let task = resolve(net, &program, config).map_err(err)?;
+    let report = run(net, &task, &EngineConfig::default()).map_err(err)?;
+
+    let mut text = String::new();
+    use std::fmt::Write;
+    let _ = writeln!(text, "command : {command}");
+    let _ = writeln!(text, "verdict : {}", report.verdict());
+    match &report {
+        Report::Check(r) => {
+            let _ = writeln!(
+                text,
+                "classes : {} examined, {} (class,path) pairs",
+                r.fec_count, r.paths_checked
+            );
+            if let CheckOutcome::Inconsistent(v) = &r.outcome {
+                let _ = writeln!(text, "witness : {}", v.packet);
+                let _ = writeln!(text, "path    : {}", v.path.display(net.topology()));
+                let _ = writeln!(
+                    text,
+                    "decision: desired {}, got {}",
+                    if v.desired { "permit" } else { "deny" },
+                    if v.actual { "permit" } else { "deny" }
+                );
+            }
+        }
+        Report::Fix(p) => {
+            for (slot, rule) in &p.added_rules {
+                let _ = writeln!(
+                    text,
+                    "add     : {}-{} ← {}",
+                    net.topology().iface_name(slot.iface),
+                    slot.dir,
+                    rule
+                );
+            }
+        }
+        Report::Generate(g) => {
+            let _ = writeln!(
+                text,
+                "classes : {} AECs ({} DEC-split into {}), {} rows",
+                g.aec_count, g.aecs_split, g.dec_count, g.rows
+            );
+        }
+    }
+
+    let changes = match report.deployable() {
+        None => Vec::new(),
+        Some(to) => render_plan(net, config, to)
+            .into_iter()
+            .map(|(slot, name, acl_text)| {
+                let (iface, dir) = name.rsplit_once('-').expect("name has -dir suffix");
+                let _ = slot;
+                PlanEntry {
+                    interface: iface.to_string(),
+                    direction: dir.to_string(),
+                    acl: acl_text
+                        .lines()
+                        .map(|l| l.trim().to_string())
+                        .map(|l| l.replace("(default ", "default ").replace(')', ""))
+                        .collect(),
+                }
+            })
+            .collect(),
+    };
+    let plan = PlanDocument {
+        command: command.to_string(),
+        verdict: report.verdict(),
+        changes,
+    };
+    Ok((text, plan))
+}
+
+/// Standalone ACL simplification (the §4.2 extension as a utility).
+pub fn simplify_acl_text(text: &str) -> Result<String, CliError> {
+    let acl = jinjing_acl::parse::parse_acl(text).map_err(err)?;
+    let (s, stats) = jinjing_acl::simplify::simplify(&acl);
+    let mut out = String::new();
+    use std::fmt::Write;
+    for r in s.rules() {
+        let _ = writeln!(out, "{r}");
+    }
+    let _ = writeln!(out, "default {}", s.default_action());
+    let _ = writeln!(
+        out,
+        "# {} rules -> {} rules in {} passes",
+        stats.before, stats.after, stats.passes
+    );
+    Ok(out)
+}
+
+/// The roll-back document for a produced plan: for every slot the plan
+/// changes, the *original* ACL to restore.
+pub fn rollback_document(
+    net: &Network,
+    original: &AclConfig,
+    plan: &PlanDocument,
+) -> PlanDocument {
+    let changes = plan
+        .changes
+        .iter()
+        .map(|entry| {
+            let iface = net
+                .topology()
+                .iface_by_name(
+                    entry.interface.split(':').next().unwrap_or(""),
+                    entry.interface.split(':').nth(1).unwrap_or(""),
+                )
+                .expect("plan entries name real interfaces");
+            let dir = if entry.direction == "out" {
+                jinjing_net::Dir::Out
+            } else {
+                jinjing_net::Dir::In
+            };
+            let slot = jinjing_net::Slot { iface, dir };
+            let acl = original
+                .get(slot)
+                .cloned()
+                .unwrap_or_else(jinjing_acl::Acl::permit_all);
+            let mut lines: Vec<String> = acl.rules().iter().map(|r| r.to_string()).collect();
+            lines.push(format!("default {}", acl.default_action()));
+            PlanEntry {
+                interface: entry.interface.clone(),
+                direction: entry.direction.clone(),
+                acl: lines,
+            }
+        })
+        .collect();
+    PlanDocument {
+        command: format!("rollback({})", plan.command),
+        verdict: "restores the pre-update configuration".to_string(),
+        changes,
+    }
+}
+
+/// Convert a Cisco IOS configuration fragment into an
+/// [`AclConfigSpec`] JSON document. `mappings` bind list names to slots:
+/// `("EDGE-IN", "A:1", "in")`.
+pub fn convert_cisco(
+    config_text: &str,
+    mappings: &[(String, String, String)],
+) -> Result<String, CliError> {
+    let lists = jinjing_acl::cisco::parse_config(config_text).map_err(err)?;
+    let mut slots = Vec::new();
+    for (list_name, iface, dir) in mappings {
+        let found = lists
+            .iter()
+            .find(|l| &l.name == list_name)
+            .ok_or_else(|| CliError(format!("no access list named {list_name:?} in the config")))?;
+        let mut lines: Vec<String> = found
+            .acl
+            .rules()
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        lines.push(format!("default {}", found.acl.default_action()));
+        slots.push(jinjing_net::spec::AclSlotSpec {
+            interface: iface.clone(),
+            direction: dir.clone(),
+            acl: lines,
+        });
+    }
+    let spec = AclConfigSpec { slots };
+    serde_json::to_string_pretty(&spec).map_err(|e| CliError(format!("serialize: {e}")))
+}
+
+/// Audit the input data (the §7 deployment tool): returns the rendered
+/// findings, one per line (empty = clean).
+pub fn audit_report(net: &Network, config: &AclConfig) -> String {
+    let findings = jinjing_net::audit::audit(net, config);
+    if findings.is_empty() {
+        return "no findings — data looks consistent\n".to_string();
+    }
+    let mut out = String::new();
+    use std::fmt::Write;
+    for f in &findings {
+        let _ = writeln!(out, "- {}", f.display(net));
+    }
+    let _ = writeln!(out, "{} finding(s)", findings.len());
+    out
+}
+
+/// Topology summary for `jinjing show`.
+pub fn show_network(net: &Network) -> String {
+    let mut out = format!("{}", net.topology());
+    use std::fmt::Write;
+    let _ = writeln!(out, "announcements:");
+    for (p, i) in net.announced() {
+        let _ = writeln!(out, "  {p} @ {}", net.topology().iface_name(*i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("jinjing-cli-test-{name}"));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(contents.as_bytes()).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const NET_JSON: &str = r#"{
+        "devices": [
+            {"name": "A", "interfaces": ["0", "1"]},
+            {"name": "B", "interfaces": ["0", "1"]}
+        ],
+        "links": [["A:1", "B:0"]],
+        "announcements": [{"prefix": "1.0.0.0/8", "interface": "B:1"}],
+        "entering": [{"interface": "A:0", "dst_prefixes": ["1.0.0.0/8"]}]
+    }"#;
+
+    const ACLS_JSON: &str = r#"{"slots": [
+        {"interface": "A:0", "acl": ["deny dst 1.2.0.0/16", "default permit"]}
+    ]}"#;
+
+    #[test]
+    fn end_to_end_check_flow() {
+        let net_path = write_temp("net.json", NET_JSON);
+        let acl_path = write_temp("acls.json", ACLS_JSON);
+        let net = load_network(&net_path).unwrap();
+        let config = load_acls(&acl_path, &net).unwrap();
+        // A consistent no-op modify.
+        let intent = "acl Same {\n deny dst 1.2.0.0/16\n permit all\n}\n\
+                      scope A:*, B:*\nallow A:*\nmodify A:0 to Same\ncheck\n";
+        let (text, plan) = run_command(&net, &config, intent).unwrap();
+        assert!(text.contains("consistent"), "{text}");
+        assert_eq!(plan.command, "check");
+        assert!(plan.changes.is_empty());
+    }
+
+    #[test]
+    fn end_to_end_fix_flow_produces_plan() {
+        let net = load_network(&write_temp("net2.json", NET_JSON)).unwrap();
+        let config = load_acls(&write_temp("acls2.json", ACLS_JSON), &net).unwrap();
+        // Dropping the deny breaks consistency; fix must restore it within
+        // the allowed slots.
+        let intent = "acl Open { permit all }\nscope A:*, B:*\nallow A:*, B:*\n\
+                      modify A:0 to Open\nfix\n";
+        let (_, plan) = run_command(&net, &config, intent).unwrap();
+        assert!(!plan.changes.is_empty());
+        // The plan document serializes.
+        let json = serde_json::to_string_pretty(&plan).unwrap();
+        assert!(json.contains("\"command\""));
+    }
+
+    #[test]
+    fn simplify_utility() {
+        let out = simplify_acl_text(
+            "permit dst 9.0.0.0/8\ndeny dst 6.0.0.0/8\ndefault permit\n",
+        )
+        .unwrap();
+        assert!(out.contains("deny dst 6.0.0.0/8"));
+        assert!(!out.contains("permit dst 9.0.0.0/8"), "{out}");
+        assert!(out.contains("2 rules -> 1 rules"));
+    }
+
+    #[test]
+    fn show_lists_announcements() {
+        let net = load_network(&write_temp("net3.json", NET_JSON)).unwrap();
+        let out = show_network(&net);
+        assert!(out.contains("1.0.0.0/8 @ B:1"));
+    }
+
+    #[test]
+    fn errors_are_messages_not_panics() {
+        assert!(load_network("/nonexistent/net.json").is_err());
+        let net = load_network(&write_temp("net4.json", NET_JSON)).unwrap();
+        let bad_intent = "scope Z:*\ncheck\n";
+        assert!(run_command(&net, &AclConfig::new(), bad_intent).is_err());
+    }
+}
+
+#[cfg(test)]
+mod convert_tests {
+    use super::*;
+
+    #[test]
+    fn cisco_conversion_binds_lists_to_slots() {
+        let cfg = "ip access-list extended EDGE-IN\n deny ip any 10.1.1.0 0.0.0.255\n permit ip any any\n";
+        let json = convert_cisco(
+            cfg,
+            &[("EDGE-IN".into(), "A:0".into(), "in".into())],
+        )
+        .unwrap();
+        let spec: jinjing_net::spec::AclConfigSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec.slots.len(), 1);
+        assert_eq!(spec.slots[0].interface, "A:0");
+        assert!(spec.slots[0].acl.iter().any(|l| l.contains("10.1.1.0/24")));
+        assert!(spec.slots[0].acl.last().unwrap().contains("default deny"));
+    }
+
+    #[test]
+    fn cisco_conversion_rejects_unknown_lists() {
+        let e = convert_cisco("access-list 1 permit ip any any\n", &[("X".into(), "A:0".into(), "in".into())])
+            .unwrap_err();
+        assert!(e.to_string().contains("no access list"));
+    }
+}

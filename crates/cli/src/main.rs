@@ -1,0 +1,153 @@
+//! The `jinjing` binary. Argument parsing is deliberately dependency-free
+//! (the offline crate budget goes to the algorithmic substrates); see the
+//! crate docs for the grammar.
+
+use jinjing_cli::{audit_report, load_acls, load_network, run_command, show_network, simplify_acl_text};
+
+const USAGE: &str = "\
+jinjing — safely and automatically update in-network ACL configurations
+
+USAGE:
+    jinjing run --network <net.json> --acls <acls.json> --intent <prog.lai>
+                [--plan-out <plan.json>] [--rollback-out <rollback.json>]
+    jinjing show --network <net.json>
+    jinjing audit --network <net.json> --acls <acls.json>
+    jinjing simplify --acl-file <acl.txt>
+    jinjing convert --cisco-config <conf.txt> --map <LIST=dev:iface[-dir]> ...
+                [--out <acls.json>]
+
+COMMANDS:
+    run        Parse the LAI intent and execute its command (check/fix/generate)
+    show       Print the topology and announcements of a network spec
+    audit      Report data-quality anomalies (unrouted prefixes, black holes,
+               unused ACLs, shadowed rules)
+    simplify   Minimize a standalone ACL (decision-preserving)
+    convert    Translate Cisco IOS extended access lists into an ACL spec,
+               binding each list to an interface slot via --map
+
+The plan JSON written by --plan-out lists every changed slot with its full
+replacement ACL, ready for a deployment pipeline to consume.";
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn require(args: &[String], name: &str) -> Result<String, String> {
+    arg_value(args, name).ok_or_else(|| format!("missing required flag {name}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match real_main(&args) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            if msg.contains("usage") || args.is_empty() {
+                eprintln!("\n{USAGE}");
+            }
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+fn real_main(args: &[String]) -> Result<(), String> {
+    let command = args.first().map(String::as_str).unwrap_or("");
+    match command {
+        "run" => {
+            let net_path = require(args, "--network")?;
+            let acl_path = require(args, "--acls")?;
+            let intent_path = require(args, "--intent")?;
+            let net = load_network(&net_path).map_err(|e| e.to_string())?;
+            let config = load_acls(&acl_path, &net).map_err(|e| e.to_string())?;
+            let intent = std::fs::read_to_string(&intent_path)
+                .map_err(|e| format!("{intent_path}: {e}"))?;
+            let (text, plan) =
+                run_command(&net, &config, &intent).map_err(|e| e.to_string())?;
+            print!("{text}");
+            if !plan.changes.is_empty() {
+                println!("changed slots: {}", plan.changes.len());
+            }
+            if let Some(out) = arg_value(args, "--rollback-out") {
+                let rollback = jinjing_cli::rollback_document(&net, &config, &plan);
+                let json = serde_json::to_string_pretty(&rollback)
+                    .map_err(|e| format!("rollback serialization: {e}"))?;
+                std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+                println!("rollback plan written to {out}");
+            }
+            if let Some(out) = arg_value(args, "--plan-out") {
+                let json = serde_json::to_string_pretty(&plan)
+                    .map_err(|e| format!("plan serialization: {e}"))?;
+                std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+                println!("plan written to {out}");
+            }
+            // Exit non-zero when a bare check fails, so pipelines can gate
+            // deployments on it.
+            if plan.command == "check" && plan.verdict.starts_with("inconsistent") {
+                std::process::exit(3);
+            }
+            Ok(())
+        }
+        "audit" => {
+            let net_path = require(args, "--network")?;
+            let acl_path = require(args, "--acls")?;
+            let net = load_network(&net_path).map_err(|e| e.to_string())?;
+            let config = load_acls(&acl_path, &net).map_err(|e| e.to_string())?;
+            print!("{}", audit_report(&net, &config));
+            Ok(())
+        }
+        "show" => {
+            let net_path = require(args, "--network")?;
+            let net = load_network(&net_path).map_err(|e| e.to_string())?;
+            print!("{}", show_network(&net));
+            Ok(())
+        }
+        "convert" => {
+            let cfg_path = require(args, "--cisco-config")?;
+            let text = std::fs::read_to_string(&cfg_path)
+                .map_err(|e| format!("{cfg_path}: {e}"))?;
+            let mut mappings = Vec::new();
+            let mut it = args.iter();
+            while let Some(a) = it.next() {
+                if a == "--map" {
+                    let m = it.next().ok_or("--map needs LIST=dev:iface[-dir]")?;
+                    let (list, slot) = m
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad --map {m:?}"))?;
+                    let (iface, dir) = match slot.rsplit_once('-') {
+                        Some((i, d @ ("in" | "out"))) => (i.to_string(), d.to_string()),
+                        _ => (slot.to_string(), "in".to_string()),
+                    };
+                    mappings.push((list.to_string(), iface, dir));
+                }
+            }
+            if mappings.is_empty() {
+                return Err("convert needs at least one --map".to_string());
+            }
+            let json = jinjing_cli::convert_cisco(&text, &mappings).map_err(|e| e.to_string())?;
+            match arg_value(args, "--out") {
+                Some(out) => {
+                    std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+                    println!("wrote {out}");
+                }
+                None => println!("{json}"),
+            }
+            Ok(())
+        }
+        "simplify" => {
+            let acl_path = require(args, "--acl-file")?;
+            let text = std::fs::read_to_string(&acl_path)
+                .map_err(|e| format!("{acl_path}: {e}"))?;
+            print!("{}", simplify_acl_text(&text).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        "" | "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (see `jinjing help`)")),
+    }
+}

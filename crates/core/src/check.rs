@@ -1,0 +1,744 @@
+//! The **check** primitive (§4.1, Algorithm 1).
+//!
+//! Verifies that an updated configuration `L'_Ω` achieves the desired
+//! reachability: for every forwarding equivalence class entering the scope
+//! and every path that class can take, the updated path decision must equal
+//! the desired one (the original decision, transformed by any `control`
+//! statements). The per-class query is Eq. 3, solved by the CDCL engine
+//! after circuit compilation.
+//!
+//! Optimizations (both on by default, both switchable for the Figure 4a
+//! ablation):
+//!
+//! - **Differential rules** (Definitions 4.1/4.2, Theorem 4.1): each ACL is
+//!   reduced to the rules related to the update's differential rules, and
+//!   the solver is additionally confined to the differential packet cover
+//!   `H` (packets outside `H` meet identical rule subsequences before and
+//!   after, so they cannot witness an inconsistency; `control`ed regions
+//!   join the cover per §6).
+//! - **Tree decision-model encoding** (§4.1 "ACL decision model
+//!   optimization"): balanced tournament-tree circuits instead of the
+//!   sequential first-match chain.
+//!
+//! [`check_exact`] is the set-algebra reference oracle: slower but purely
+//! exact, used to cross-validate the solver path in tests.
+
+use crate::control::{control_regions, desired_decision, desired_permit_set, ResolvedControl};
+use crate::task::Task;
+use jinjing_acl::atoms::{refine, ClassExplosion, RefineLimits};
+use jinjing_acl::diff::AclDiff;
+use jinjing_acl::{Acl, Packet, PacketSet};
+use jinjing_lai::ControlVerb;
+use jinjing_net::{AclConfig, Network, Path, Scope, Slot};
+use jinjing_solver::aclenc::{encode, Encoding};
+use jinjing_solver::cdcl::SolveResult;
+use jinjing_solver::lit::Lit;
+use jinjing_solver::{CircuitBuilder, HeaderVars, SolverStats};
+use std::collections::HashMap;
+
+/// Tunables for check.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Apply the differential-rule reduction (Theorem 4.1).
+    pub differential: bool,
+    /// Decision-model encoding for the solver circuits.
+    pub encoding: Encoding,
+    /// Equivalence-class caps.
+    pub refine_limits: RefineLimits,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig {
+            differential: true,
+            encoding: Encoding::Tree,
+            refine_limits: RefineLimits::default(),
+        }
+    }
+}
+
+/// One witnessed inconsistency.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// A packet whose decision changed.
+    pub packet: Packet,
+    /// A path on which it changed.
+    pub path: Path,
+    /// The desired decision on that path.
+    pub desired: bool,
+    /// The decision the updated configuration actually takes.
+    pub actual: bool,
+}
+
+/// The verdict.
+#[derive(Debug, Clone)]
+pub enum CheckOutcome {
+    /// Desired reachability holds for all classes and paths.
+    Consistent,
+    /// At least one packet/path pair changed decision.
+    Inconsistent(Violation),
+}
+
+impl CheckOutcome {
+    /// `true` for [`CheckOutcome::Consistent`].
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, CheckOutcome::Consistent)
+    }
+}
+
+/// The result of a check run, with workload metrics.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Verdict.
+    pub outcome: CheckOutcome,
+    /// Number of forwarding equivalence classes examined.
+    pub fec_count: usize,
+    /// Total (class, path) pairs encoded.
+    pub paths_checked: usize,
+    /// Aggregated solver statistics across all per-class queries.
+    pub solver_stats: SolverStats,
+    /// ACL rules fed to the encoder after (or without) reduction.
+    pub encoded_rules: usize,
+    /// ACL rules in the original configurations.
+    pub total_rules: usize,
+    /// Wall-clock split: differential preprocessing.
+    pub t_preprocess: std::time::Duration,
+    /// Wall-clock split: FEC derivation.
+    pub t_refine: std::time::Duration,
+    /// Wall-clock split: path enumeration.
+    pub t_paths: std::time::Duration,
+    /// Wall-clock split: circuit construction + solving.
+    pub t_solve: std::time::Duration,
+}
+
+fn add_stats(acc: &mut SolverStats, s: SolverStats) {
+    acc.decisions += s.decisions;
+    acc.propagations += s.propagations;
+    acc.conflicts += s.conflicts;
+    acc.restarts += s.restarts;
+    acc.learned += s.learned;
+    acc.max_depth = acc.max_depth.max(s.max_depth);
+}
+
+/// Per-slot preprocessed encoding inputs.
+pub(crate) struct SlotPair {
+    pub(crate) before: Acl,
+    pub(crate) after: Acl,
+}
+
+/// Preprocess the configurations: per-slot diffs are unioned into the
+/// *global* `Diff_Ω` (as §4.1 prescribes — "taking the union over all the
+/// differential rules gives us a set Diff_Ω"), every slot's before/after
+/// ACLs are reduced to the rules related to that global set, and the
+/// differential packet cover `H` is assembled.
+///
+/// Using the global set is what makes the reduction sound across *path
+/// conjunctions*: for any packet in `H`, every rule it can match anywhere
+/// in the scope overlaps a differential rule, so every slot's reduced
+/// decision equals its full decision on `H` — the encoded path models are
+/// exact precisely where counterexamples can live.
+///
+/// Per §6, `isolate`/`open` control regions join both the relatedness test
+/// and the cover (their packets can be inconsistent without any ACL edit).
+pub(crate) fn preprocess(
+    before: &AclConfig,
+    after: &AclConfig,
+    controls: &[ResolvedControl],
+    differential: bool,
+) -> (HashMap<Slot, SlotPair>, PacketSet, usize) {
+    let mut slots: Vec<Slot> = before.slots();
+    for s in after.slots() {
+        if !slots.contains(&s) {
+            slots.push(s);
+        }
+    }
+    let mut pairs = HashMap::new();
+    let mut encoded_rules = 0usize;
+    if !differential {
+        for slot in slots {
+            let b = before.get(slot).cloned().unwrap_or_else(Acl::permit_all);
+            let a = after.get(slot).cloned().unwrap_or_else(Acl::permit_all);
+            encoded_rules += b.len() + a.len();
+            pairs.insert(slot, SlotPair { before: b, after: a });
+        }
+        return (pairs, PacketSet::full(), encoded_rules);
+    }
+    // Pass 1: global differential rules and their packet cover.
+    let mut global_diff: Vec<jinjing_acl::Rule> = Vec::new();
+    let mut cover = PacketSet::empty();
+    for &slot in &slots {
+        let b = before.get(slot).cloned().unwrap_or_else(Acl::permit_all);
+        let a = after.get(slot).cloned().unwrap_or_else(Acl::permit_all);
+        let d = AclDiff::compute(&b, &a);
+        cover = cover.union(&d.cover);
+        for r in d.diff {
+            if !global_diff.contains(&r) {
+                global_diff.push(r);
+            }
+        }
+    }
+    // §6: isolate/open regions participate in relatedness and the cover.
+    let mut control_sets: Vec<PacketSet> = Vec::new();
+    for c in controls {
+        if matches!(c.verb, ControlVerb::Isolate | ControlVerb::Open) {
+            cover = cover.union(&c.region);
+            control_sets.push(c.region.clone());
+        }
+    }
+    // Pass 2: reduce every slot against the global set, via the §5.5
+    // search tree over the differential rules.
+    let diff_tree =
+        jinjing_acl::rtree::RuleTree::build(global_diff.iter().map(|r| r.matches).collect());
+    let keep = |rule: &jinjing_acl::Rule| -> bool {
+        diff_tree.overlaps_any(&rule.matches)
+            || control_sets
+                .iter()
+                .any(|s| s.intersects(&PacketSet::from_cube(rule.matches.cube())))
+    };
+    for slot in slots {
+        let b = before.get(slot).cloned().unwrap_or_else(Acl::permit_all);
+        let a = after.get(slot).cloned().unwrap_or_else(Acl::permit_all);
+        let rb: Vec<jinjing_acl::Rule> = b.rules().iter().filter(|r| keep(r)).copied().collect();
+        let ra: Vec<jinjing_acl::Rule> = a.rules().iter().filter(|r| keep(r)).copied().collect();
+        encoded_rules += rb.len() + ra.len();
+        pairs.insert(
+            slot,
+            SlotPair {
+                before: Acl::new(rb, b.default_action()),
+                after: Acl::new(ra, a.default_action()),
+            },
+        );
+    }
+    (pairs, cover, encoded_rules)
+}
+
+/// Run check on a resolved task.
+pub fn check(net: &Network, task: &Task, cfg: &CheckConfig) -> Result<CheckReport, ClassExplosion> {
+    check_configs(
+        net,
+        &task.scope,
+        &task.before,
+        &task.after,
+        &task.controls,
+        cfg,
+    )
+}
+
+/// Run check on explicit before/after configurations.
+pub fn check_configs(
+    net: &Network,
+    scope: &Scope,
+    before: &AclConfig,
+    after: &AclConfig,
+    controls: &[ResolvedControl],
+    cfg: &CheckConfig,
+) -> Result<CheckReport, ClassExplosion> {
+    let total_rules = before.total_rules() + after.total_rules();
+    let t0 = std::time::Instant::now();
+    let (pairs, cover, encoded_rules) =
+        preprocess(before, after, controls, cfg.differential);
+    let mut report = CheckReport {
+        outcome: CheckOutcome::Consistent,
+        fec_count: 0,
+        paths_checked: 0,
+        solver_stats: SolverStats::default(),
+        encoded_rules,
+        total_rules,
+        t_preprocess: t0.elapsed(),
+        t_refine: Default::default(),
+        t_paths: Default::default(),
+        t_solve: Default::default(),
+    };
+    // Fast path: nothing changed and nothing is controlled.
+    if cfg.differential && cover.is_empty() {
+        return Ok(report);
+    }
+
+    // Traffic universe entering the scope.
+    let mut universe = PacketSet::empty();
+    for (_, t) in net.entering_traffic(scope) {
+        universe = universe.union(&t);
+    }
+
+    // Forwarding equivalence classes (control regions join the refinement
+    // so classes are control-uniform).
+    let mut preds: Vec<PacketSet> = net
+        .scope_predicates(scope)
+        .into_iter()
+        .map(|(_, g)| g)
+        .collect();
+    preds.extend(control_regions(controls));
+    let preds = jinjing_acl::atoms::dedupe_predicates(preds);
+    let t_r = std::time::Instant::now();
+    let classes = refine(&universe, &preds, cfg.refine_limits)?;
+    report.t_refine = t_r.elapsed();
+    report.fec_count = classes.len();
+
+    for class in &classes {
+        // Theorem 4.1: a class disjoint from the differential cover meets
+        // identical rule subsequences before and after — skip it outright.
+        if cfg.differential && !class.set.intersects(&cover) {
+            continue;
+        }
+        let t_p = std::time::Instant::now();
+        let paths = net.all_paths_for_class(scope, &class.set);
+        report.t_paths += t_p.elapsed();
+        if paths.is_empty() {
+            continue;
+        }
+        report.paths_checked += paths.len();
+        let t_s = std::time::Instant::now();
+        let mut builder = CircuitBuilder::new();
+        let h = HeaderVars::new(&mut builder);
+        // Cache slot decision circuits.
+        let mut lits_before: HashMap<Slot, Lit> = HashMap::new();
+        let mut lits_after: HashMap<Slot, Lit> = HashMap::new();
+        let mut disagreements: Vec<Lit> = Vec::new();
+        let class_controls = crate::control::ClassControls::new(controls, &class.set);
+        for path in &paths {
+            let mut c_before: Vec<Lit> = Vec::new();
+            let mut c_after: Vec<Lit> = Vec::new();
+            for &slot in &path.slots {
+                if let Some(pair) = pairs.get(&slot) {
+                    let lb = *lits_before
+                        .entry(slot)
+                        .or_insert_with(|| encode(&mut builder, &h, &pair.before, cfg.encoding));
+                    let la = *lits_after
+                        .entry(slot)
+                        .or_insert_with(|| encode(&mut builder, &h, &pair.after, cfg.encoding));
+                    c_before.push(lb);
+                    c_after.push(la);
+                }
+            }
+            let cp = builder.and(&c_before);
+            let cp2 = builder.and(&c_after);
+            // Desired side: the first applicable control rewrites cp.
+            let desired = match class_controls.verb_for(path) {
+                Some(ControlVerb::Isolate) => builder.f(),
+                Some(ControlVerb::Open) => builder.t(),
+                Some(ControlVerb::Maintain) | None => cp,
+            };
+            let eq = builder.iff(desired, cp2);
+            disagreements.push(!eq);
+        }
+        let any = builder.or(&disagreements);
+        // Pin the witness inside the class — and, under the differential
+        // optimization, inside the cover `H` as well.
+        let in_class = h.in_set(&mut builder, &class.set);
+        builder.assert(any);
+        builder.assert(in_class);
+        if cfg.differential {
+            let in_cover = h.in_set(&mut builder, &cover);
+            builder.assert(in_cover);
+        }
+        let r = builder.solve();
+        report.t_solve += t_s.elapsed();
+        add_stats(&mut report.solver_stats, builder.solver().stats());
+        if r == SolveResult::Sat {
+            let packet = h.decode(&builder);
+            let violation = locate_violation(before, after, controls, &paths, &packet)
+                .expect("solver model must correspond to a concrete violation");
+            report.outcome = CheckOutcome::Inconsistent(violation);
+            return Ok(report);
+        }
+    }
+    Ok(report)
+}
+
+/// Evaluate a concrete packet against every path to find the violated one.
+fn locate_violation(
+    before: &AclConfig,
+    after: &AclConfig,
+    controls: &[ResolvedControl],
+    paths: &[Path],
+    packet: &Packet,
+) -> Option<Violation> {
+    for path in paths {
+        if !path.carried.contains(packet) {
+            continue;
+        }
+        let original = before.path_permits(path, packet);
+        let desired = desired_decision(
+            controls,
+            path,
+            &PacketSet::singleton(packet),
+            original,
+        );
+        let actual = after.path_permits(path, packet);
+        if desired != actual {
+            return Some(Violation {
+                packet: *packet,
+                path: path.clone(),
+                desired,
+                actual,
+            });
+        }
+    }
+    None
+}
+
+/// The §9 fallback: verify **per-ACL equivalence** instead of per-path
+/// reachability ("we can directly verify all traffic, i.e. 0.0.0.0/0, on
+/// each ACL individually, which is a sufficient condition (but much
+/// stronger) for the reachability consistency").
+///
+/// No forwarding classes, paths, routing or traffic data are consulted —
+/// this works when the traffic matrix / FECs are unknown. It never misses
+/// a real inconsistency, but it *can* report false positives: an update
+/// that moves a deny between two slots of the same path changes both ACLs
+/// while leaving every path decision intact. Control statements cannot be
+/// expressed at this granularity and are rejected.
+pub fn check_per_acl(
+    before: &AclConfig,
+    after: &AclConfig,
+    cfg: &CheckConfig,
+) -> CheckReport {
+    let total_rules = before.total_rules() + after.total_rules();
+    let t0 = std::time::Instant::now();
+    let (pairs, cover, encoded_rules) = preprocess(before, after, &[], cfg.differential);
+    let mut report = CheckReport {
+        outcome: CheckOutcome::Consistent,
+        fec_count: 0,
+        paths_checked: 0,
+        solver_stats: SolverStats::default(),
+        encoded_rules,
+        total_rules,
+        t_preprocess: t0.elapsed(),
+        t_refine: Default::default(),
+        t_paths: Default::default(),
+        t_solve: Default::default(),
+    };
+    if cfg.differential && cover.is_empty() {
+        return report;
+    }
+    let mut slots: Vec<Slot> = pairs.keys().copied().collect();
+    slots.sort();
+    for slot in slots {
+        let pair = &pairs[&slot];
+        let t_s = std::time::Instant::now();
+        let mut builder = CircuitBuilder::new();
+        let h = HeaderVars::new(&mut builder);
+        let b = encode(&mut builder, &h, &pair.before, cfg.encoding);
+        let a = encode(&mut builder, &h, &pair.after, cfg.encoding);
+        let eq = builder.iff(b, a);
+        builder.assert(!eq);
+        if cfg.differential {
+            let in_cover = h.in_set(&mut builder, &cover);
+            builder.assert(in_cover);
+        }
+        let r = builder.solve();
+        report.t_solve += t_s.elapsed();
+        add_stats(&mut report.solver_stats, builder.solver().stats());
+        report.paths_checked += 1;
+        if r == SolveResult::Sat {
+            let packet = h.decode(&builder);
+            let desired = pair.before.permits(&packet);
+            report.outcome = CheckOutcome::Inconsistent(Violation {
+                packet,
+                // A synthetic single-slot "path" naming the offending ACL.
+                path: Path {
+                    slots: vec![slot],
+                    carried: PacketSet::full(),
+                },
+                desired,
+                actual: !desired,
+            });
+            return report;
+        }
+    }
+    report
+}
+
+/// Exact reference checker: compares desired and updated permit sets path
+/// by path using the packet-set algebra only. Returns the first violation.
+pub fn check_exact(
+    net: &Network,
+    scope: &Scope,
+    before: &AclConfig,
+    after: &AclConfig,
+    controls: &[ResolvedControl],
+) -> CheckOutcome {
+    let mut universe = PacketSet::empty();
+    for (_, t) in net.entering_traffic(scope) {
+        universe = universe.union(&t);
+    }
+    let paths = net.all_paths_for_class(scope, &universe);
+    for path in &paths {
+        let relevant = path.carried.clone();
+        let original = before.path_permit_set(path);
+        let desired = desired_permit_set(controls, path, &original);
+        let actual = after.path_permit_set(path);
+        // Violations: packets carried by the path where desired ≠ actual.
+        let wrong = desired
+            .subtract(&actual)
+            .union(&actual.subtract(&desired))
+            .intersect(&relevant);
+        if let Some(packet) = wrong.sample() {
+            let desired_dec = desired.contains(&packet);
+            return CheckOutcome::Inconsistent(Violation {
+                packet,
+                path: path.clone(),
+                desired: desired_dec,
+                actual: !desired_dec,
+            });
+        }
+    }
+    CheckOutcome::Consistent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::Figure1;
+    use jinjing_lai::Command;
+
+    fn task_for(f: &Figure1, after: AclConfig) -> Task {
+        Task {
+            scope: f.scope(),
+            allow: Vec::new(),
+            before: f.config.clone(),
+            after,
+            modified: Vec::new(),
+            controls: Vec::new(),
+            command: Command::Check,
+        }
+    }
+
+    fn all_configs() -> Vec<CheckConfig> {
+        let mut out = Vec::new();
+        for differential in [false, true] {
+            for encoding in [Encoding::Sequential, Encoding::Tree] {
+                out.push(CheckConfig {
+                    differential,
+                    encoding,
+                    refine_limits: RefineLimits::default(),
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identical_configs_are_consistent() {
+        let f = Figure1::new();
+        let task = task_for(&f, f.config.clone());
+        for cfg in all_configs() {
+            let r = check(&f.net, &task, &cfg).unwrap();
+            assert!(r.outcome.is_consistent(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn running_example_update_is_inconsistent() {
+        let f = Figure1::new();
+        let task = task_for(&f, f.bad_update());
+        for cfg in all_configs() {
+            let r = check(&f.net, &task, &cfg).unwrap();
+            match &r.outcome {
+                CheckOutcome::Inconsistent(v) => {
+                    // The witness must be traffic 1 or 2 on the direct path
+                    // p0 (the only decisions that changed).
+                    let top = v.packet.dip >> 24;
+                    assert!(top == 1 || top == 2, "witness {0}", v.packet);
+                    assert_eq!(v.path.slots.len(), 4, "violation on p0");
+                    assert!(v.desired, "was permitted");
+                    assert!(!v.actual, "now denied");
+                }
+                CheckOutcome::Consistent => panic!("must be inconsistent ({cfg:?})"),
+            }
+        }
+    }
+
+    #[test]
+    fn solver_and_exact_checker_agree() {
+        let f = Figure1::new();
+        for after in [f.config.clone(), f.bad_update()] {
+            let task = task_for(&f, after.clone());
+            let solver_verdict = check(&f.net, &task, &CheckConfig::default())
+                .unwrap()
+                .outcome
+                .is_consistent();
+            let exact_verdict =
+                check_exact(&f.net, &f.scope(), &f.config, &after, &[]).is_consistent();
+            assert_eq!(solver_verdict, exact_verdict);
+        }
+    }
+
+    #[test]
+    fn equivalent_rewrite_is_consistent() {
+        // Replacing D2's ACL with a semantically equal one must pass.
+        let f = Figure1::new();
+        let mut after = f.config.clone();
+        after.set(
+            f.slot("D2"),
+            jinjing_acl::AclBuilder::default_permit()
+                .deny_dst("2.0.0.0/8") // reordered
+                .deny_dst("1.0.0.0/8")
+                .permit_dst("3.0.0.0/8") // redundant
+                .build(),
+        );
+        let task = task_for(&f, after);
+        for cfg in all_configs() {
+            let r = check(&f.net, &task, &cfg).unwrap();
+            assert!(r.outcome.is_consistent(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn differential_reduces_encoded_rules() {
+        let f = Figure1::new();
+        // Add a pile of irrelevant rules that the update never touches.
+        let mut before = f.config.clone();
+        let mut padded = jinjing_acl::AclBuilder::default_permit();
+        for i in 0..20 {
+            padded = padded.deny_dst(&format!("200.{i}.0.0/16"));
+        }
+        padded = padded.deny_dst("6.0.0.0/8");
+        before.set(f.slot("A1"), padded.build());
+        let mut after = before.clone();
+        after.set(f.slot("D2"), jinjing_acl::Acl::permit_all());
+
+        let base = CheckConfig {
+            differential: false,
+            ..CheckConfig::default()
+        };
+        let opt = CheckConfig::default();
+        let r_base = check_configs(&f.net, &f.scope(), &before, &after, &[], &base).unwrap();
+        let r_opt = check_configs(&f.net, &f.scope(), &before, &after, &[], &opt).unwrap();
+        assert_eq!(
+            r_base.outcome.is_consistent(),
+            r_opt.outcome.is_consistent()
+        );
+        assert!(
+            r_opt.encoded_rules * 4 < r_base.encoded_rules,
+            "reduction should drop most rules: {} vs {}",
+            r_opt.encoded_rules,
+            r_base.encoded_rules
+        );
+    }
+
+    #[test]
+    fn control_isolate_flags_unchanged_config() {
+        use std::collections::HashSet;
+        // Desired reachability changed (isolate traffic 3 on A1→D3), but the
+        // config did not: check must report inconsistency.
+        let f = Figure1::new();
+        let controls = vec![ResolvedControl {
+            from: HashSet::from([f.iface("A1")]),
+            to: HashSet::from([f.iface("D3")]),
+            verb: ControlVerb::Isolate,
+            region: f.traffic(3),
+        }];
+        let mut task = task_for(&f, f.config.clone());
+        task.controls = controls.clone();
+        for cfg in all_configs() {
+            let r = check(&f.net, &task, &cfg).unwrap();
+            match &r.outcome {
+                CheckOutcome::Inconsistent(v) => {
+                    assert_eq!(v.packet.dip >> 24, 3);
+                    assert!(!v.desired && v.actual);
+                }
+                CheckOutcome::Consistent => panic!("isolate unmet ({cfg:?})"),
+            }
+            let exact = check_exact(&f.net, &f.scope(), &f.config, &f.config, &controls);
+            assert!(!exact.is_consistent());
+        }
+    }
+
+    #[test]
+    fn control_open_satisfied_by_matching_update() {
+        use std::collections::HashSet;
+        // Open traffic 6 from A1 to D3; update A1 to permit 6/8 again.
+        let f = Figure1::new();
+        let controls = vec![ResolvedControl {
+            from: HashSet::from([f.iface("A1")]),
+            to: HashSet::from([f.iface("D3")]),
+            verb: ControlVerb::Open,
+            region: f.traffic(6),
+        }];
+        let mut after = f.config.clone();
+        after.set(f.slot("A1"), jinjing_acl::Acl::permit_all());
+        let mut task = task_for(&f, after);
+        task.controls = controls;
+        let r = check(&f.net, &task, &CheckConfig::default()).unwrap();
+        assert!(r.outcome.is_consistent(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn report_counts_are_populated() {
+        let f = Figure1::new();
+        let task = task_for(&f, f.bad_update());
+        let r = check(
+            &f.net,
+            &task,
+            &CheckConfig {
+                differential: false,
+                ..CheckConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(r.fec_count >= 1);
+        assert!(r.paths_checked >= 1);
+        assert!(r.total_rules > 0);
+    }
+}
+
+#[cfg(test)]
+mod per_acl_tests {
+    use super::*;
+    use crate::figure1::Figure1;
+
+    #[test]
+    fn per_acl_accepts_equivalent_rewrites() {
+        let f = Figure1::new();
+        let mut after = f.config.clone();
+        after.set(
+            f.slot("D2"),
+            jinjing_acl::AclBuilder::default_permit()
+                .deny_dst("2.0.0.0/8")
+                .deny_dst("1.0.0.0/8")
+                .build(),
+        );
+        let r = check_per_acl(&f.config, &after, &CheckConfig::default());
+        assert!(r.outcome.is_consistent());
+    }
+
+    #[test]
+    fn per_acl_catches_real_changes() {
+        let f = Figure1::new();
+        let r = check_per_acl(&f.config, &f.bad_update(), &CheckConfig::default());
+        assert!(!r.outcome.is_consistent());
+    }
+
+    #[test]
+    fn per_acl_is_stricter_than_per_path() {
+        // §9: moving a deny between two slots of the same path is a false
+        // positive for the per-ACL fallback. Traffic 7's only path crosses
+        // both A3-out and C1-in; moving the deny from C1 to A3 preserves
+        // reachability (per-path consistent) but changes both ACLs.
+        let f = Figure1::new();
+        let mut after = f.config.clone();
+        after.set(f.slot("C1"), jinjing_acl::Acl::permit_all());
+        after.set(
+            jinjing_net::Slot::egress(f.iface("A3")),
+            jinjing_acl::AclBuilder::default_permit()
+                .deny_dst("7.0.0.0/8")
+                .build(),
+        );
+        let per_path = check_exact(&f.net, &f.scope(), &f.config, &after, &[]);
+        assert!(per_path.is_consistent(), "{per_path:?}");
+        let per_acl = check_per_acl(&f.config, &after, &CheckConfig::default());
+        assert!(
+            !per_acl.outcome.is_consistent(),
+            "the fallback must (conservatively) flag this"
+        );
+    }
+
+    #[test]
+    fn per_acl_identical_configs_trivially_consistent() {
+        let f = Figure1::new();
+        let r = check_per_acl(&f.config, &f.config, &CheckConfig::default());
+        assert!(r.outcome.is_consistent());
+        assert_eq!(r.paths_checked, 0, "empty diff short-circuits");
+    }
+}

@@ -1,0 +1,275 @@
+//! Desired-reachability controls (§6).
+//!
+//! A `control` statement rewrites the *desired* decision of matching paths:
+//! `isolate` forces deny, `open` forces permit, and `maintain` pins the
+//! original decision (shielding traffic from later, lower-priority
+//! statements). Priority is specification order — the first matching
+//! statement wins.
+//!
+//! Controls never change how the *updated* configuration is modeled
+//! (`c'_p` is built normally); they transform the reference side `c_p`.
+
+use jinjing_lai::{ControlVerb, HeaderSel};
+use jinjing_net::fib::{prefix_set, src_prefix_set};
+use jinjing_net::{IfaceId, Path};
+use jinjing_acl::PacketSet;
+use std::collections::HashSet;
+
+/// A control statement bound to concrete border interfaces and an exact
+/// packet region.
+#[derive(Debug, Clone)]
+pub struct ResolvedControl {
+    /// Ingress endpoints the statement applies to.
+    pub from: HashSet<IfaceId>,
+    /// Egress endpoints.
+    pub to: HashSet<IfaceId>,
+    /// The verb.
+    pub verb: ControlVerb,
+    /// The traffic region (exact set form of the `h` selector).
+    pub region: PacketSet,
+}
+
+impl ResolvedControl {
+    /// Does this control apply to a path (by its endpoints)?
+    pub fn applies_to(&self, path: &Path) -> bool {
+        self.from.contains(&path.ingress()) && self.to.contains(&path.egress())
+    }
+}
+
+/// Convert a header selector into its exact packet region.
+pub fn header_region(sel: &HeaderSel) -> PacketSet {
+    match sel {
+        HeaderSel::Src(p) => src_prefix_set(p),
+        HeaderSel::Dst(p) => prefix_set(p),
+        HeaderSel::All => PacketSet::full(),
+    }
+}
+
+/// The desired decision of `path` on a *control-uniform* class (every
+/// control region either contains the class or is disjoint from it), given
+/// the original decision. Walks controls in priority order.
+pub fn desired_decision(
+    controls: &[ResolvedControl],
+    path: &Path,
+    class: &PacketSet,
+    original: bool,
+) -> bool {
+    for c in controls {
+        if !c.applies_to(path) {
+            continue;
+        }
+        if class.is_subset(&c.region) {
+            return match c.verb {
+                ControlVerb::Isolate => false,
+                ControlVerb::Open => true,
+                ControlVerb::Maintain => original,
+            };
+        }
+        debug_assert!(
+            !class.intersects(&c.region),
+            "class is not uniform w.r.t. a control region"
+        );
+    }
+    original
+}
+
+/// The desired permit-*set* of a path: the exact set transformation of the
+/// original permit set under the controls (used by the set-algebra
+/// reference checker). Applies controls lowest-priority-first so earlier
+/// statements overwrite later ones.
+pub fn desired_permit_set(
+    controls: &[ResolvedControl],
+    path: &Path,
+    original: &PacketSet,
+) -> PacketSet {
+    let mut desired = original.clone();
+    for c in controls.iter().rev() {
+        if !c.applies_to(path) {
+            continue;
+        }
+        desired = match c.verb {
+            ControlVerb::Isolate => desired.subtract(&c.region),
+            ControlVerb::Open => desired.union(&c.region),
+            ControlVerb::Maintain => {
+                // Inside the region, restore the original decision.
+                desired
+                    .subtract(&c.region)
+                    .union(&original.intersect(&c.region))
+            }
+        };
+    }
+    desired
+}
+
+/// Per-class view of the controls: the (class ⊆ region) containment tests
+/// are hoisted out of the per-path loops — with hundreds of classes, paths
+/// and controls, recomputing them per (class, path, control) dominates
+/// everything else.
+#[derive(Debug)]
+pub struct ClassControls<'a> {
+    controls: &'a [ResolvedControl],
+    contained: Vec<bool>,
+}
+
+impl<'a> ClassControls<'a> {
+    /// Evaluate containment of `class` in every control region once.
+    pub fn new(controls: &'a [ResolvedControl], class: &PacketSet) -> ClassControls<'a> {
+        let contained = controls
+            .iter()
+            .map(|c| {
+                let inside = class.is_subset(&c.region);
+                debug_assert!(
+                    inside || !class.intersects(&c.region),
+                    "class is not uniform w.r.t. a control region"
+                );
+                inside
+            })
+            .collect();
+        ClassControls {
+            controls,
+            contained,
+        }
+    }
+
+    /// The verb of the first control applying to this path and containing
+    /// the class, if any.
+    pub fn verb_for(&self, path: &Path) -> Option<ControlVerb> {
+        self.controls
+            .iter()
+            .zip(&self.contained)
+            .find(|(c, &inside)| inside && c.applies_to(path))
+            .map(|(c, _)| c.verb)
+    }
+
+    /// Desired decision of `path` on the class given the original decision.
+    pub fn desired(&self, path: &Path, original: bool) -> bool {
+        match self.verb_for(path) {
+            Some(ControlVerb::Isolate) => false,
+            Some(ControlVerb::Open) => true,
+            Some(ControlVerb::Maintain) | None => original,
+        }
+    }
+}
+
+/// The control regions relevant to a scope — these join the refinement
+/// predicates when deriving FECs/AECs under controls, guaranteeing
+/// class-uniformity for [`desired_decision`].
+pub fn control_regions(controls: &[ResolvedControl]) -> Vec<PacketSet> {
+    controls.iter().map(|c| c.region.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jinjing_net::{Dir, Slot};
+    use jinjing_acl::parse::parse_prefix;
+
+    fn path(ingress: u32, egress: u32) -> Path {
+        Path {
+            slots: vec![
+                Slot {
+                    iface: IfaceId(ingress),
+                    dir: Dir::In,
+                },
+                Slot {
+                    iface: IfaceId(egress),
+                    dir: Dir::Out,
+                },
+            ],
+            carried: PacketSet::full(),
+        }
+    }
+
+    fn ctrl(verb: ControlVerb, region: PacketSet, from: u32, to: u32) -> ResolvedControl {
+        ResolvedControl {
+            from: HashSet::from([IfaceId(from)]),
+            to: HashSet::from([IfaceId(to)]),
+            verb,
+            region,
+        }
+    }
+
+    fn dst8(n: u32) -> PacketSet {
+        prefix_set(&parse_prefix(&format!("{n}.0.0.0/8")).unwrap())
+    }
+
+    #[test]
+    fn no_controls_keeps_original() {
+        let p = path(0, 1);
+        assert!(desired_decision(&[], &p, &dst8(1), true));
+        assert!(!desired_decision(&[], &p, &dst8(1), false));
+    }
+
+    #[test]
+    fn isolate_and_open_override() {
+        let p = path(0, 1);
+        let cs = vec![
+            ctrl(ControlVerb::Isolate, dst8(1), 0, 1),
+            ctrl(ControlVerb::Open, dst8(2), 0, 1),
+        ];
+        assert!(!desired_decision(&cs, &p, &dst8(1), true));
+        assert!(desired_decision(&cs, &p, &dst8(2), false));
+        assert!(desired_decision(&cs, &p, &dst8(3), true)); // untouched
+    }
+
+    #[test]
+    fn endpoint_mismatch_ignores_control() {
+        let cs = vec![ctrl(ControlVerb::Isolate, PacketSet::full(), 0, 1)];
+        let other = path(0, 2);
+        assert!(desired_decision(&cs, &other, &dst8(1), true));
+        assert!(cs[0].applies_to(&path(0, 1)));
+        assert!(!cs[0].applies_to(&other));
+    }
+
+    #[test]
+    fn maintain_shields_from_later_isolate() {
+        // §6's example: maintain dst 7/8, then isolate all.
+        let p = path(0, 1);
+        let cs = vec![
+            ctrl(ControlVerb::Maintain, dst8(7), 0, 1),
+            ctrl(ControlVerb::Isolate, PacketSet::full(), 0, 1),
+        ];
+        // 7/8 keeps its original decision either way.
+        assert!(desired_decision(&cs, &p, &dst8(7), true));
+        assert!(!desired_decision(&cs, &p, &dst8(7), false));
+        // Everything else is isolated.
+        assert!(!desired_decision(&cs, &p, &dst8(3), true));
+    }
+
+    #[test]
+    fn desired_set_matches_decision_semantics() {
+        let p = path(0, 1);
+        let cs = vec![
+            ctrl(ControlVerb::Maintain, dst8(7), 0, 1),
+            ctrl(ControlVerb::Isolate, PacketSet::full(), 0, 1),
+        ];
+        // Original permit set: 3/8 ∪ 7/8.
+        let original = dst8(3).union(&dst8(7));
+        let desired = desired_permit_set(&cs, &p, &original);
+        // 7/8 maintained (permitted), 3/8 isolated.
+        assert!(desired.same_set(&dst8(7)));
+        // And per-class decisions agree with the set.
+        for (class, orig_in) in [(dst8(7), true), (dst8(3), true), (dst8(4), false)] {
+            let dec = desired_decision(&cs, &p, &class, orig_in);
+            assert_eq!(dec, class.is_subset(&desired), "class decision vs set");
+        }
+    }
+
+    #[test]
+    fn open_expands_set() {
+        let p = path(0, 1);
+        let cs = vec![ctrl(ControlVerb::Open, dst8(6), 0, 1)];
+        let original = dst8(3);
+        let desired = desired_permit_set(&cs, &p, &original);
+        assert!(desired.same_set(&dst8(3).union(&dst8(6))));
+    }
+
+    #[test]
+    fn header_region_forms() {
+        let src = header_region(&HeaderSel::Src(parse_prefix("10.0.0.0/8").unwrap()));
+        let dst = header_region(&HeaderSel::Dst(parse_prefix("10.0.0.0/8").unwrap()));
+        let all = header_region(&HeaderSel::All);
+        assert!(!src.same_set(&dst));
+        assert!(all.same_set(&PacketSet::full()));
+    }
+}

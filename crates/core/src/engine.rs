@@ -1,0 +1,313 @@
+//! The engine front door: run a resolved task end to end.
+//!
+//! `run` dispatches on the program's command and packages the primitive
+//! outputs as a [`Report`] — the "update plan" Jinjing hands back to the
+//! operator, including the concrete ACL texts to install.
+
+use crate::check::{check, CheckConfig, CheckOutcome, CheckReport};
+use crate::fix::{fix, FixConfig, FixError, FixPlan};
+use crate::generate::{generate, GenerateConfig, GenerateError, GenerateReport};
+use crate::task::Task;
+use jinjing_acl::atoms::ClassExplosion;
+use jinjing_lai::Command;
+use jinjing_net::{AclConfig, Network, Slot};
+use std::fmt;
+
+/// Engine-level configuration: per-primitive tunables.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Check tunables.
+    pub check: CheckConfig,
+    /// Fix tunables.
+    pub fix: FixConfig,
+    /// Generate tunables.
+    pub generate: GenerateConfig,
+}
+
+/// What the engine produced.
+#[derive(Debug)]
+pub enum Report {
+    /// `check` ran.
+    Check(CheckReport),
+    /// `fix` ran (check + repair).
+    Fix(FixPlan),
+    /// `generate` ran.
+    Generate(GenerateReport),
+}
+
+impl Report {
+    /// The configuration the operator should deploy, when one exists
+    /// (`fix`/`generate`; a consistent `check` means "deploy the update
+    /// as written", returned as `None`).
+    pub fn deployable(&self) -> Option<&AclConfig> {
+        match self {
+            Report::Check(_) => None,
+            Report::Fix(p) => Some(&p.fixed),
+            Report::Generate(g) => Some(&g.generated),
+        }
+    }
+
+    /// One-line verdict for logs.
+    pub fn verdict(&self) -> String {
+        match self {
+            Report::Check(r) => match &r.outcome {
+                CheckOutcome::Consistent => "consistent".to_string(),
+                CheckOutcome::Inconsistent(v) => {
+                    format!("inconsistent (witness {})", v.packet)
+                }
+            },
+            Report::Fix(p) => format!(
+                "fixed: {} rules added across {} neighborhoods",
+                p.added_rules.len(),
+                p.neighborhoods.len()
+            ),
+            Report::Generate(g) => format!(
+                "generated {} rules over {} classes ({} DEC-split)",
+                g.rules_final, g.aec_count, g.aecs_split
+            ),
+        }
+    }
+}
+
+/// Engine failures.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Equivalence-class explosion during check.
+    Classes(ClassExplosion),
+    /// Fix failed.
+    Fix(FixError),
+    /// Generate failed.
+    Generate(GenerateError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Classes(e) => write!(f, "{e}"),
+            EngineError::Fix(e) => write!(f, "{e}"),
+            EngineError::Generate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Execute a task.
+pub fn run(net: &Network, task: &Task, cfg: &EngineConfig) -> Result<Report, EngineError> {
+    match task.command {
+        Command::Check => check(net, task, &cfg.check)
+            .map(Report::Check)
+            .map_err(EngineError::Classes),
+        Command::Fix => fix(net, task, &cfg.fix)
+            .map(Report::Fix)
+            .map_err(EngineError::Fix),
+        Command::Generate => generate(net, task, &cfg.generate)
+            .map(Report::Generate)
+            .map_err(EngineError::Generate),
+    }
+}
+
+/// The roll-back plan for an applied update: the inverse rendering that
+/// restores `from` after `to` was deployed. §1 notes operators spend weeks
+/// preparing "migration and roll-back plans"; with declarative configs the
+/// roll-back is just the plan in the other direction.
+pub fn rollback_plan(
+    net: &Network,
+    from: &AclConfig,
+    to: &AclConfig,
+) -> Vec<(Slot, String, String)> {
+    render_plan(net, to, from)
+}
+
+/// Render the difference between two configurations as deployable ACL text
+/// (per changed slot), for operator review.
+pub fn render_plan(
+    net: &Network,
+    from: &AclConfig,
+    to: &AclConfig,
+) -> Vec<(Slot, String, String)> {
+    let mut slots: Vec<Slot> = from.slots();
+    for s in to.slots() {
+        if !slots.contains(&s) {
+            slots.push(s);
+        }
+    }
+    slots.sort();
+    let mut out = Vec::new();
+    for slot in slots {
+        let before = from
+            .get(slot)
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "(no acl)".to_string());
+        let after = to
+            .get(slot)
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "(no acl)".to_string());
+        if before != after {
+            let name = format!(
+                "{}-{}",
+                net.topology().iface_name(slot.iface),
+                slot.dir
+            );
+            out.push((slot, name, after));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::Figure1;
+    use crate::resolve::resolve;
+    use jinjing_lai::{parse_program, validate};
+
+    fn run_src(f: &Figure1, src: &str) -> Result<Report, EngineError> {
+        let prog = validate(parse_program(src).unwrap()).unwrap();
+        let task = resolve(&f.net, &prog, &f.config).unwrap();
+        run(&f.net, &task, &EngineConfig::default())
+    }
+
+    const RUNNING_EXAMPLE_BODY: &str = r#"
+acl PermitAll { permit all }
+acl A1' {
+    deny dst 1.0.0.0/8
+    deny dst 2.0.0.0/8
+    deny dst 6.0.0.0/8
+}
+acl A3' { deny dst 7.0.0.0/8 }
+scope A:*, B:*, C:*, D:*
+allow A:*, B:*
+modify D:2 to PermitAll
+modify C:1 to PermitAll
+modify A:1 to A1'
+modify A:3-out to A3'
+"#;
+
+    #[test]
+    fn end_to_end_check_then_fix() {
+        let f = Figure1::new();
+        // check reports inconsistent (as in Figure 3).
+        let report = run_src(&f, &format!("{RUNNING_EXAMPLE_BODY}check\n")).unwrap();
+        assert!(report.verdict().starts_with("inconsistent"), "{}", report.verdict());
+        assert!(report.deployable().is_none());
+        // fix produces a deployable, consistent plan.
+        let report = run_src(&f, &format!("{RUNNING_EXAMPLE_BODY}fix\n")).unwrap();
+        let fixed = report.deployable().expect("fix yields a config");
+        let verdict = crate::check::check_exact(&f.net, &f.scope(), &f.config, fixed, &[]);
+        assert!(verdict.is_consistent());
+    }
+
+    #[test]
+    fn end_to_end_generate_migration() {
+        let f = Figure1::new();
+        let src = r#"
+acl PermitAll { permit all }
+scope A:*, B:*, C:*, D:*
+allow C:1-in, C:2-in, D:1-in
+modify A:1 to PermitAll
+modify D:2 to PermitAll
+generate
+"#;
+        let report = run_src(&f, src).unwrap();
+        let generated = report.deployable().unwrap();
+        // Reachability preserved relative to the original config.
+        let verdict = crate::check::check_exact(&f.net, &f.scope(), &f.config, generated, &[]);
+        assert!(verdict.is_consistent(), "{verdict:?}");
+        assert!(report.verdict().starts_with("generated"));
+    }
+
+    #[test]
+    fn rollback_is_the_inverse_plan() {
+        let f = Figure1::new();
+        let mut to = f.config.clone();
+        to.set(f.slot("D2"), jinjing_acl::Acl::permit_all());
+        let forward = render_plan(&f.net, &f.config, &to);
+        let backward = rollback_plan(&f.net, &f.config, &to);
+        assert_eq!(forward.len(), 1);
+        assert_eq!(backward.len(), 1);
+        assert_eq!(forward[0].1, backward[0].1); // same slot
+        // Applying the rollback text restores the original rules.
+        assert!(backward[0].2.contains("deny dst 1.0.0.0/8"));
+        assert!(forward[0].2.contains("default permit"));
+    }
+
+    #[test]
+    fn render_plan_lists_changed_slots_only() {
+        let f = Figure1::new();
+        let mut to = f.config.clone();
+        to.set(f.slot("D2"), jinjing_acl::Acl::permit_all());
+        let plan = render_plan(&f.net, &f.config, &to);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].1, "D:2-in");
+    }
+}
+
+#[cfg(test)]
+mod error_path_tests {
+    use super::*;
+    use crate::figure1::Figure1;
+    use crate::Task;
+    use jinjing_lai::Command;
+
+    #[test]
+    fn engine_surfaces_unfixable() {
+        let f = Figure1::new();
+        let task = Task {
+            scope: f.scope(),
+            allow: Vec::new(), // nothing may change → unfixable
+            before: f.config.clone(),
+            after: f.bad_update(),
+            modified: Vec::new(),
+            controls: Vec::new(),
+            command: Command::Fix,
+        };
+        let err = run(&f.net, &task, &EngineConfig::default()).unwrap_err();
+        assert!(matches!(err, EngineError::Fix(_)), "{err}");
+        assert!(err.to_string().contains("no consistent placement"), "{err}");
+    }
+
+    #[test]
+    fn engine_surfaces_generate_no_solution() {
+        use crate::control::ResolvedControl;
+        use jinjing_lai::ControlVerb;
+        use std::collections::HashSet;
+        let f = Figure1::new();
+        let task = Task {
+            scope: f.scope(),
+            allow: vec![f.slot("C1")], // traffic 3 never crosses C1
+            before: f.config.clone(),
+            after: f.config.clone(),
+            modified: Vec::new(),
+            controls: vec![ResolvedControl {
+                from: HashSet::from([f.iface("A1")]),
+                to: HashSet::from([f.iface("D3")]),
+                verb: ControlVerb::Isolate,
+                region: f.traffic(3),
+            }],
+            command: Command::Generate,
+        };
+        let err = run(&f.net, &task, &EngineConfig::default()).unwrap_err();
+        assert!(matches!(err, EngineError::Generate(_)));
+        assert!(err.to_string().contains("no valid ACL placement"), "{err}");
+    }
+
+    #[test]
+    fn class_explosion_is_reported_not_panicked() {
+        use jinjing_acl::atoms::RefineLimits;
+        let f = Figure1::new();
+        let mut cfg = EngineConfig::default();
+        cfg.check.refine_limits = RefineLimits { max_classes: 1 };
+        let task = Task {
+            scope: f.scope(),
+            allow: Vec::new(),
+            before: f.config.clone(),
+            after: f.bad_update(),
+            modified: Vec::new(),
+            controls: Vec::new(),
+            command: Command::Check,
+        };
+        let err = run(&f.net, &task, &cfg).unwrap_err();
+        assert!(err.to_string().contains("explosion"), "{err}");
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # jinjing-core
+//!
+//! The Jinjing engine: the paper's three primitives over the substrates of
+//! `jinjing-acl` (exact packet-set algebra), `jinjing-solver` (CDCL SAT +
+//! circuit compilation) and `jinjing-net` (topology/routing/paths).
+//!
+//! - [`mod@check`] — packet/desired reachability consistency verification
+//!   (Algorithm 1), with the differential-rule reduction (Theorem 4.1) and
+//!   the tree decision-model encoding as switchable optimizations, plus an
+//!   exact set-algebra reference checker used for cross-validation.
+//! - [`mod@fix`] — counterexample enumeration, neighborhood expansion (Eq. 6),
+//!   per-neighborhood placement solving with `allow` constraints and the
+//!   minimal-change objective, fixing-rule emission and final
+//!   simplification (§4.2); two engines — the paper's iterative loop and a
+//!   batch exact-algebra variant ([`FixStrategy`]).
+//! - [`mod@generate`] — AEC derivation (§5.1), AEC-level solving (Eq. 10), DEC
+//!   splitting and re-solving (§5.3), the four-step ACL synthesis (§5.4)
+//!   and the §5.5 optimizations.
+//! - [`control`] — desired-reachability transformation of path decision
+//!   models for `isolate` / `open` / `maintain` intents (§6).
+//! - [`mod@resolve`] — binding a parsed LAI [`Program`](jinjing_lai::Program)
+//!   to a concrete [`Network`](jinjing_net::Network) + current
+//!   [`AclConfig`](jinjing_net::AclConfig), producing a [`task::Task`].
+//! - [`engine`] — the front door: run a resolved task, producing an
+//!   [`engine::Report`] (the "update plan" handed back to the operator).
+//! - [`figure1`] — the paper's running-example network (Figure 1), used by
+//!   the quickstart example and many tests.
+
+pub mod check;
+pub mod control;
+pub mod engine;
+pub mod figure1;
+pub mod fix;
+pub mod generate;
+pub mod resolve;
+pub mod task;
+
+pub use crate::check::{check, check_per_acl, CheckConfig, CheckOutcome, CheckReport, Violation};
+pub use crate::control::ResolvedControl;
+pub use crate::engine::{run, Report};
+pub use crate::fix::{fix, FixConfig, FixError, FixPlan, FixStrategy};
+pub use crate::generate::{generate, GenerateConfig, GenerateError, GenerateReport};
+pub use crate::resolve::{resolve, ResolveError};
+pub use crate::task::Task;
+pub use jinjing_solver::aclenc::Encoding;

@@ -1,0 +1,268 @@
+//! Binding an LAI program to a concrete network.
+//!
+//! Pattern semantics:
+//! - `scope` patterns select *devices* (interface parts are ignored for
+//!   scope membership, matching the paper's "A:*" usage).
+//! - `allow` patterns select ACL slots. Without a `-in`/`-out` suffix both
+//!   directions are allowed (the §4.2 fixing example places a deny on the
+//!   egress side of A2 under `allow A:*`).
+//! - `modify` targets select slots; without a suffix the *ingress* slot is
+//!   meant (ACLs in all the paper's figures are ingress ACLs).
+//! - `control` endpoints select interfaces (direction ignored); they are
+//!   matched against path ingress/egress border interfaces.
+
+use crate::control::{header_region, ResolvedControl};
+use crate::task::Task;
+use jinjing_lai::{Command, DirSpec, IfaceSel, Program, SlotPattern};
+use jinjing_net::{AclConfig, DeviceId, IfaceId, Network, Scope, Slot};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A resolution failure (unknown device/interface, empty matches, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolveError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ResolveError {
+    fn new(message: impl Into<String>) -> ResolveError {
+        ResolveError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+fn resolve_device(net: &Network, name: &str) -> Result<DeviceId, ResolveError> {
+    net.topology()
+        .device_by_name(name)
+        .ok_or_else(|| ResolveError::new(format!("unknown device {name:?}")))
+}
+
+fn resolve_ifaces(net: &Network, pat: &SlotPattern) -> Result<Vec<IfaceId>, ResolveError> {
+    let dev = resolve_device(net, &pat.device)?;
+    match &pat.iface {
+        IfaceSel::Star => Ok(net.topology().device_ifaces(dev).to_vec()),
+        IfaceSel::Named(name) => net
+            .topology()
+            .iface_by_name(&pat.device, name)
+            .map(|i| vec![i])
+            .ok_or_else(|| {
+                ResolveError::new(format!("unknown interface {}:{}", pat.device, name))
+            }),
+    }
+}
+
+/// Resolve a slot pattern. `default_both` controls what a missing direction
+/// suffix means: both directions (allow) or ingress only (modify).
+fn resolve_slots(
+    net: &Network,
+    pat: &SlotPattern,
+    default_both: bool,
+) -> Result<Vec<Slot>, ResolveError> {
+    let ifaces = resolve_ifaces(net, pat)?;
+    let mut out = Vec::new();
+    for i in ifaces {
+        match pat.dir {
+            Some(DirSpec::In) => out.push(Slot::ingress(i)),
+            Some(DirSpec::Out) => out.push(Slot::egress(i)),
+            None => {
+                out.push(Slot::ingress(i));
+                if default_both {
+                    out.push(Slot::egress(i));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Resolve a validated program against a network and its current ACL
+/// configuration.
+pub fn resolve(
+    net: &Network,
+    program: &Program,
+    current: &AclConfig,
+) -> Result<Task, ResolveError> {
+    let command: Command = program
+        .command
+        .ok_or_else(|| ResolveError::new("program has no command"))?;
+    // Scope: devices named by the scope patterns.
+    let mut devices: HashSet<DeviceId> = HashSet::new();
+    for pat in &program.scope {
+        devices.insert(resolve_device(net, &pat.device)?);
+    }
+    let scope = Scope::of(devices);
+
+    // Allow: slots (both directions by default).
+    let mut allow: Vec<Slot> = Vec::new();
+    for pat in &program.allow {
+        for s in resolve_slots(net, pat, true)? {
+            if !allow.contains(&s) {
+                allow.push(s);
+            }
+        }
+    }
+    allow.sort();
+
+    // Modifies: apply to a copy of the current configuration.
+    let before = current.clone();
+    let mut after = current.clone();
+    let mut modified = Vec::new();
+    for m in &program.modifies {
+        let acl = program
+            .acl_def(&m.acl)
+            .ok_or_else(|| ResolveError::new(format!("undefined acl {:?}", m.acl)))?;
+        for slot in resolve_slots(net, &m.target, false)? {
+            after.set(slot, acl.clone());
+            if !modified.contains(&slot) {
+                modified.push(slot);
+            }
+        }
+    }
+
+    // Controls: endpoints become interface sets.
+    let mut controls = Vec::new();
+    for c in &program.controls {
+        let mut from = HashSet::new();
+        for pat in &c.from {
+            from.extend(resolve_ifaces(net, pat)?);
+        }
+        let mut to = HashSet::new();
+        for pat in &c.to {
+            to.extend(resolve_ifaces(net, pat)?);
+        }
+        controls.push(ResolvedControl {
+            from,
+            to,
+            verb: c.verb,
+            region: header_region(&c.header),
+        });
+    }
+
+    Ok(Task {
+        scope,
+        allow,
+        before,
+        after,
+        modified,
+        controls,
+        command,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::Figure1;
+    use jinjing_lai::{parse_program, validate};
+
+    fn resolve_src(f: &Figure1, src: &str) -> Result<Task, ResolveError> {
+        let prog = validate(parse_program(src).unwrap()).unwrap();
+        resolve(&f.net, &prog, &f.config)
+    }
+
+    #[test]
+    fn running_example_resolves() {
+        let f = Figure1::new();
+        let src = r#"
+acl PermitAll { permit all }
+acl A1' {
+    deny dst 1.0.0.0/8
+    deny dst 2.0.0.0/8
+    deny dst 6.0.0.0/8
+}
+acl A3' { deny dst 7.0.0.0/8 }
+scope A:*, B:*, C:*, D:*
+allow A:*, B:*
+modify D:2 to PermitAll
+modify C:1 to PermitAll
+modify A:1 to A1'
+modify A:3-out to A3'
+check
+"#;
+        let task = resolve_src(&f, src).unwrap();
+        assert_eq!(task.command, Command::Check);
+        assert_eq!(task.scope.len(), 4);
+        // A has 4 ifaces, B has 2 → 6 ifaces × 2 dirs.
+        assert_eq!(task.allow.len(), 12);
+        assert_eq!(task.modified.len(), 4);
+        // The after config matches bad_update semantically.
+        let expected = f.bad_update();
+        let slots = [
+            f.slot("A1"),
+            jinjing_net::Slot::egress(f.iface("A3")),
+            f.slot("C1"),
+            f.slot("D2"),
+        ];
+        for slot in slots {
+            assert!(task
+                .after
+                .get(slot)
+                .unwrap()
+                .equivalent(expected.get(slot).unwrap()));
+        }
+        // before untouched.
+        assert_eq!(task.before.get(f.slot("D2")), f.config.get(f.slot("D2")));
+    }
+
+    #[test]
+    fn modify_without_dir_targets_ingress() {
+        let f = Figure1::new();
+        let task = resolve_src(
+            &f,
+            "acl P { permit all }\nscope D:*\nallow D:*\nmodify D:2 to P\ncheck\n",
+        )
+        .unwrap();
+        assert_eq!(task.modified, vec![f.slot("D2")]);
+    }
+
+    #[test]
+    fn allow_with_dir_suffix_restricts() {
+        let f = Figure1::new();
+        let task = resolve_src(
+            &f,
+            "acl P { permit all }\nscope B:*\nallow B:*-in\nmodify B:1 to P\ncheck\n",
+        )
+        .unwrap();
+        assert_eq!(task.allow.len(), 2); // B1-in, B2-in only
+        assert!(task.allow.iter().all(|s| s.dir == jinjing_net::Dir::In));
+    }
+
+    #[test]
+    fn controls_resolve_endpoints() {
+        let f = Figure1::new();
+        let task = resolve_src(
+            &f,
+            "scope A:*, C:*, D:*\nallow D:*\ncontrol A:1 -> C:3, D:3 isolate dst 1.2.0.0/16\ngenerate\n",
+        )
+        .unwrap();
+        assert_eq!(task.controls.len(), 1);
+        let c = &task.controls[0];
+        assert!(c.from.contains(&f.iface("A1")));
+        assert!(c.to.contains(&f.iface("C3")));
+        assert!(c.to.contains(&f.iface("D3")));
+        assert_eq!(c.to.len(), 2);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let f = Figure1::new();
+        for src in [
+            "scope Z:*\nallow Z:*\ngenerate\n",
+            "scope A:*\nallow A:9\ngenerate\n",
+        ] {
+            let prog = validate(parse_program(src).unwrap()).unwrap();
+            let err = resolve(&f.net, &prog, &f.config).unwrap_err();
+            assert!(err.message.contains("unknown"), "{err}");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! A resolved update task: everything the primitives need, bound to a
+//! concrete network.
+
+use crate::control::ResolvedControl;
+use jinjing_lai::Command;
+use jinjing_net::{AclConfig, Scope, Slot};
+
+/// A fully resolved LAI task (the output of [`crate::resolve::resolve`]).
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// The management scope Ω.
+    pub scope: Scope,
+    /// Slots whose ACLs the primitives may change.
+    pub allow: Vec<Slot>,
+    /// Current (pre-update) ACL configuration — `L_Ω`.
+    pub before: AclConfig,
+    /// Proposed (post-update) configuration — `L'_Ω`: `before` with the
+    /// program's `modify` statements applied.
+    pub after: AclConfig,
+    /// The slots `modify` touched (the migration sources for `generate`).
+    pub modified: Vec<Slot>,
+    /// Desired-reachability controls, in priority order.
+    pub controls: Vec<ResolvedControl>,
+    /// The command to execute.
+    pub command: Command,
+}
+
+impl Task {
+    /// `true` when no `control` statement was given, i.e. the desired
+    /// reachability is the original reachability (packet reachability
+    /// consistency, §3.3).
+    pub fn preserves_original(&self) -> bool {
+        self.controls.is_empty()
+    }
+
+    /// Is this slot allowed to change?
+    pub fn is_allowed(&self, slot: Slot) -> bool {
+        self.allow.contains(&slot)
+    }
+}

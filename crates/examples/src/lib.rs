@@ -1,0 +1,14 @@
+//! Umbrella package whose `examples/` (at the repository root) demonstrate
+//! the Jinjing public API end to end:
+//!
+//! - `quickstart` — the paper's §3.2 running example: express an ACL
+//!   clean-up in LAI, `check` it, watch it fail, `fix` it.
+//! - `migration` — the §5 ACL migration worked example (Tables 3/4) plus a
+//!   synthetic-WAN migration at any of the §8 sizes.
+//! - `isolate_service` — §7 Scenario 1: isolating a service prefix with
+//!   `control … isolate` + `generate`.
+//! - `ingress_egress` — §7 Scenario 2: moving a cell's ACLs from ingress to
+//!   egress interfaces, catching the breakage with `check`, repairing with
+//!   `fix`.
+//!
+//! Run with `cargo run --release -p jinjing-examples --example quickstart`.

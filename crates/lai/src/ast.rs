@@ -1,0 +1,239 @@
+//! Abstract syntax of LAI programs (Figure 2 of the paper).
+
+use jinjing_acl::{Acl, IpPrefix};
+use std::fmt;
+
+/// Interface selector within a device: a specific interface or all of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IfaceSel {
+    /// `device:*` — every interface of the device.
+    Star,
+    /// `device:name` — one interface.
+    Named(String),
+}
+
+/// Optional direction suffix on a pattern (`-in` / `-out`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirSpec {
+    /// Ingress slots.
+    In,
+    /// Egress slots.
+    Out,
+}
+
+/// A (possibly wildcard) reference to interfaces / ACL slots:
+/// `A:1`, `R1:*`, `R3:*-out`, …
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotPattern {
+    /// Device name.
+    pub device: String,
+    /// Interface selector.
+    pub iface: IfaceSel,
+    /// Direction restriction; `None` means "unspecified" (scope patterns
+    /// ignore direction; allow/modify default to ingress at resolution).
+    pub dir: Option<DirSpec>,
+}
+
+impl SlotPattern {
+    /// `device:*` with no direction.
+    pub fn star(device: &str) -> SlotPattern {
+        SlotPattern {
+            device: device.to_string(),
+            iface: IfaceSel::Star,
+            dir: None,
+        }
+    }
+
+    /// `device:iface` with no direction.
+    pub fn named(device: &str, iface: &str) -> SlotPattern {
+        SlotPattern {
+            device: device.to_string(),
+            iface: IfaceSel::Named(iface.to_string()),
+            dir: None,
+        }
+    }
+
+    /// Attach a direction suffix.
+    pub fn with_dir(mut self, dir: DirSpec) -> SlotPattern {
+        self.dir = Some(dir);
+        self
+    }
+}
+
+impl fmt::Display for SlotPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:", self.device)?;
+        match &self.iface {
+            IfaceSel::Star => write!(f, "*")?,
+            IfaceSel::Named(n) => write!(f, "{n}")?,
+        }
+        match self.dir {
+            Some(DirSpec::In) => write!(f, "-in"),
+            Some(DirSpec::Out) => write!(f, "-out"),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A named ACL definition block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AclDef {
+    /// The name other statements refer to.
+    pub name: String,
+    /// The parsed ACL.
+    pub acl: Acl,
+}
+
+/// `modify <slot> to <acl-name>` — one updated slot (Figure 2's
+/// `modify l⟨n⟩ to l⟨n'⟩`, flattened to one statement per slot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Modify {
+    /// The slot whose ACL the update replaces.
+    pub target: SlotPattern,
+    /// Name of the replacement ACL (an [`AclDef`]).
+    pub acl: String,
+}
+
+/// The reachability-update verb of a `control` statement (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlVerb {
+    /// The specified traffic must be blocked between the endpoints.
+    Isolate,
+    /// The specified traffic must be permitted between the endpoints.
+    Open,
+    /// The specified traffic keeps its original reachability (a shield
+    /// against later, lower-priority intents).
+    Maintain,
+}
+
+impl fmt::Display for ControlVerb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlVerb::Isolate => write!(f, "isolate"),
+            ControlVerb::Open => write!(f, "open"),
+            ControlVerb::Maintain => write!(f, "maintain"),
+        }
+    }
+}
+
+/// The traffic selector `h` of a control statement: a source or destination
+/// prefix (or everything).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderSel {
+    /// `src <prefix>` (also spelled `from <prefix>`).
+    Src(IpPrefix),
+    /// `dst <prefix>` (also spelled `to <prefix>`).
+    Dst(IpPrefix),
+    /// `all`.
+    All,
+}
+
+impl fmt::Display for HeaderSel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeaderSel::Src(p) => write!(f, "src {p}"),
+            HeaderSel::Dst(p) => write!(f, "dst {p}"),
+            HeaderSel::All => write!(f, "all"),
+        }
+    }
+}
+
+/// `control <from> -> <to> <verb> <headers>`. Priority among overlapping
+/// controls is specification order: earlier statements win (§6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlStmt {
+    /// Source endpoints (border interfaces after resolution).
+    pub from: Vec<SlotPattern>,
+    /// Destination endpoints.
+    pub to: Vec<SlotPattern>,
+    /// What should happen.
+    pub verb: ControlVerb,
+    /// To which traffic.
+    pub header: HeaderSel,
+}
+
+/// The operation to perform (Figure 2 `cmd`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Verify the update achieves the desired reachability.
+    Check,
+    /// Generate a fixing plan on top of the update.
+    Fix,
+    /// Synthesize new ACLs from scratch.
+    Generate,
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Check => write!(f, "check"),
+            Command::Fix => write!(f, "fix"),
+            Command::Generate => write!(f, "generate"),
+        }
+    }
+}
+
+/// A complete LAI program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Named ACL definitions.
+    pub acl_defs: Vec<AclDef>,
+    /// The management scope Ω (direction-less patterns).
+    pub scope: Vec<SlotPattern>,
+    /// Slots allowed to change.
+    pub allow: Vec<SlotPattern>,
+    /// ACL updates under examination.
+    pub modifies: Vec<Modify>,
+    /// Desired reachability changes, in priority order.
+    pub controls: Vec<ControlStmt>,
+    /// The command; `None` only during construction.
+    pub command: Option<Command>,
+}
+
+impl Program {
+    /// Look up a named ACL definition.
+    pub fn acl_def(&self, name: &str) -> Option<&Acl> {
+        self.acl_defs
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| &d.acl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_display() {
+        assert_eq!(SlotPattern::star("R1").to_string(), "R1:*");
+        assert_eq!(SlotPattern::named("A", "1").to_string(), "A:1");
+        assert_eq!(
+            SlotPattern::star("R3").with_dir(DirSpec::Out).to_string(),
+            "R3:*-out"
+        );
+        assert_eq!(
+            SlotPattern::named("R1", "2").with_dir(DirSpec::In).to_string(),
+            "R1:2-in"
+        );
+    }
+
+    #[test]
+    fn acl_def_lookup() {
+        let mut p = Program::default();
+        p.acl_defs.push(AclDef {
+            name: "X".into(),
+            acl: Acl::permit_all(),
+        });
+        assert!(p.acl_def("X").is_some());
+        assert!(p.acl_def("Y").is_none());
+    }
+
+    #[test]
+    fn verb_and_command_display() {
+        assert_eq!(ControlVerb::Isolate.to_string(), "isolate");
+        assert_eq!(Command::Generate.to_string(), "generate");
+        let h = HeaderSel::Dst(jinjing_acl::parse::parse_prefix("1.0.0.0/8").unwrap());
+        assert_eq!(h.to_string(), "dst 1.0.0.0/8");
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # jinjing-lai
+//!
+//! LAI — the *Language for ACL Intents* of the paper (Figure 2) — as a
+//! concrete, parseable DSL.
+//!
+//! An LAI program has three parts:
+//!
+//! - **region**: `scope` (the management scope Ω) and `allow` (the slots
+//!   whose ACLs may be modified),
+//! - **requirement**: `modify` statements naming updated ACLs and/or
+//!   `control` statements describing desired reachability changes,
+//! - **command**: exactly one of `check`, `fix`, `generate`.
+//!
+//! To make programs self-contained (the paper ships updated ACLs alongside
+//! the intent), we add `acl NAME { … }` definition blocks whose bodies use
+//! the rule syntax of [`jinjing_acl::parse`]. Example (the running example
+//! of §3.2):
+//!
+//! ```text
+//! acl A1' {
+//!     deny dst 1.0.0.0/8
+//!     deny dst 2.0.0.0/8
+//!     deny dst 6.0.0.0/8
+//!     permit all
+//! }
+//! acl PermitAll { permit all }
+//!
+//! scope A:*, B:*, C:*, D:*
+//! allow A:*, B:*
+//! modify D:2 to PermitAll
+//! modify A:1 to A1'
+//! check
+//! ```
+//!
+//! Interface patterns are `device:iface`, `device:*`, with an optional
+//! direction suffix `-in` / `-out` (default ingress), matching the usage in
+//! §7's scenarios (`allow R1:*-in`). Control statements follow §6/§7:
+//!
+//! ```text
+//! control R1:*, R2:* -> R3:* isolate src 1.2.0.0/16
+//! control A:1 -> C:3 open dst 6.0.0.0/8
+//! control A:1 -> C:3 maintain dst 7.0.0.0/8
+//! ```
+//!
+//! (`from`/`to` are accepted as synonyms for `src`/`dst`.)
+//!
+//! The crate provides the [`ast`], the [`parse`]r, semantic [`mod@validate`]
+//! checks, and a pretty-printer ([`printer`]) used by the workload
+//! generator to emit the programs counted in Table 5.
+
+pub mod ast;
+pub mod parse;
+pub mod printer;
+pub mod validate;
+
+pub use crate::ast::{
+    AclDef, Command, ControlStmt, ControlVerb, DirSpec, HeaderSel, IfaceSel, Modify, Program,
+    SlotPattern,
+};
+pub use crate::parse::{parse_program, LaiError};
+pub use crate::printer::print_program;
+pub use crate::validate::validate;

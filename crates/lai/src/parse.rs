@@ -1,0 +1,380 @@
+//! Line-oriented parser for LAI programs.
+//!
+//! LAI is statement-per-line (as in all the paper's figures); `#` starts a
+//! comment; blank lines are ignored. `acl NAME {` opens a rule block closed
+//! by a line containing `}`; rule lines use [`jinjing_acl::parse`]. A
+//! single-line form `acl NAME { permit all }` is also accepted.
+
+use crate::ast::*;
+use jinjing_acl::parse::{parse_acl, parse_prefix};
+use std::fmt;
+
+/// A parse or validation error, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaiError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line number (0 when not line-specific).
+    pub line: usize,
+}
+
+impl LaiError {
+    pub(crate) fn at(line: usize, message: impl Into<String>) -> LaiError {
+        LaiError {
+            message: message.into(),
+            line,
+        }
+    }
+}
+
+impl fmt::Display for LaiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for LaiError {}
+
+/// Parse one interface/slot pattern like `A:1`, `R1:*`, `R3:2-out`.
+pub fn parse_pattern(s: &str) -> Result<SlotPattern, String> {
+    let (dev, rest) = s
+        .split_once(':')
+        .ok_or_else(|| format!("pattern {s:?} needs device:iface"))?;
+    if dev.is_empty() {
+        return Err(format!("pattern {s:?} has an empty device name"));
+    }
+    let (iface_part, dir) = if let Some(stripped) = rest.strip_suffix("-in") {
+        (stripped, Some(DirSpec::In))
+    } else if let Some(stripped) = rest.strip_suffix("-out") {
+        (stripped, Some(DirSpec::Out))
+    } else {
+        (rest, None)
+    };
+    let iface = match iface_part {
+        "*" => IfaceSel::Star,
+        "" => return Err(format!("pattern {s:?} has an empty interface name")),
+        name => IfaceSel::Named(name.to_string()),
+    };
+    Ok(SlotPattern {
+        device: dev.to_string(),
+        iface,
+        dir,
+    })
+}
+
+/// Parse a comma/`and`-separated pattern list.
+fn parse_pattern_list(s: &str) -> Result<Vec<SlotPattern>, String> {
+    let normalized = s.replace(" and ", ",");
+    let mut out = Vec::new();
+    for part in normalized.split(',') {
+        let part = part.trim();
+        if part.is_empty() || part == "nil" {
+            continue;
+        }
+        out.push(parse_pattern(part)?);
+    }
+    if out.is_empty() {
+        return Err("empty interface list".to_string());
+    }
+    Ok(out)
+}
+
+fn parse_header_sel(tokens: &[&str]) -> Result<HeaderSel, String> {
+    match tokens {
+        ["all"] => Ok(HeaderSel::All),
+        ["src" | "from", p] => Ok(HeaderSel::Src(
+            parse_prefix(p).map_err(|e| e.to_string())?,
+        )),
+        ["dst" | "to", p] => Ok(HeaderSel::Dst(
+            parse_prefix(p).map_err(|e| e.to_string())?,
+        )),
+        other => Err(format!("bad traffic selector {other:?}")),
+    }
+}
+
+/// Parse a complete LAI program.
+pub fn parse_program(text: &str) -> Result<Program, LaiError> {
+    let mut prog = Program::default();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let lineno = i + 1;
+        let raw = lines[i];
+        i += 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (keyword, rest) = match line.split_once(char::is_whitespace) {
+            Some((k, r)) => (k, r.trim()),
+            None => (line, ""),
+        };
+        match keyword {
+            "acl" => {
+                let (name, brace_rest) = rest
+                    .split_once('{')
+                    .ok_or_else(|| LaiError::at(lineno, "acl definition needs '{'"))?;
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(LaiError::at(lineno, "acl definition needs a name"));
+                }
+                let mut body = String::new();
+                let inline = brace_rest.trim();
+                if let Some(single) = inline.strip_suffix('}') {
+                    // Single-line form: acl N { permit all }
+                    body.push_str(single.trim());
+                    body.push('\n');
+                } else {
+                    if !inline.is_empty() {
+                        body.push_str(inline);
+                        body.push('\n');
+                    }
+                    let mut closed = false;
+                    while i < lines.len() {
+                        let inner_no = i + 1;
+                        let inner = lines[i].split('#').next().unwrap_or("").trim();
+                        i += 1;
+                        if inner == "}" {
+                            closed = true;
+                            break;
+                        }
+                        if inner.contains('}') {
+                            return Err(LaiError::at(
+                                inner_no,
+                                "'}' must close the acl block on its own line",
+                            ));
+                        }
+                        if !inner.is_empty() {
+                            body.push_str(inner);
+                            body.push('\n');
+                        }
+                    }
+                    if !closed {
+                        return Err(LaiError::at(lineno, "unterminated acl block"));
+                    }
+                }
+                let acl = parse_acl(&body)
+                    .map_err(|e| LaiError::at(lineno, format!("in acl {name:?}: {e}")))?;
+                if prog.acl_defs.iter().any(|d| d.name == name) {
+                    return Err(LaiError::at(lineno, format!("duplicate acl name {name:?}")));
+                }
+                prog.acl_defs.push(AclDef {
+                    name: name.to_string(),
+                    acl,
+                });
+            }
+            "scope" => {
+                let pats = parse_pattern_list(rest).map_err(|e| LaiError::at(lineno, e))?;
+                prog.scope.extend(pats);
+            }
+            "allow" => {
+                let pats = parse_pattern_list(rest).map_err(|e| LaiError::at(lineno, e))?;
+                prog.allow.extend(pats);
+            }
+            "modify" => {
+                let (target, acl) = rest
+                    .split_once(" to ")
+                    .ok_or_else(|| LaiError::at(lineno, "modify needs '<slot> to <acl-name>'"))?;
+                let pats =
+                    parse_pattern_list(target.trim()).map_err(|e| LaiError::at(lineno, e))?;
+                let acl = acl.trim();
+                if acl.is_empty() || acl.contains(char::is_whitespace) {
+                    return Err(LaiError::at(lineno, "modify needs a single acl name"));
+                }
+                for target in pats {
+                    prog.modifies.push(Modify {
+                        target,
+                        acl: acl.to_string(),
+                    });
+                }
+            }
+            "control" => {
+                let (endpoints, action) = rest.split_once("->").ok_or_else(|| {
+                    LaiError::at(lineno, "control needs '<from> -> <to> <verb> <traffic>'")
+                })?;
+                let from =
+                    parse_pattern_list(endpoints.trim()).map_err(|e| LaiError::at(lineno, e))?;
+                // The action side starts with the `to` pattern list and ends
+                // with "<verb> <selector...>". Find the verb token.
+                let tokens: Vec<&str> = action.split_whitespace().collect();
+                let verb_pos = tokens
+                    .iter()
+                    .position(|t| matches!(*t, "isolate" | "open" | "maintain"))
+                    .ok_or_else(|| {
+                        LaiError::at(lineno, "control needs a verb (isolate/open/maintain)")
+                    })?;
+                let to_str = tokens[..verb_pos].join(" ");
+                let to = parse_pattern_list(&to_str).map_err(|e| LaiError::at(lineno, e))?;
+                let verb = match tokens[verb_pos] {
+                    "isolate" => ControlVerb::Isolate,
+                    "open" => ControlVerb::Open,
+                    "maintain" => ControlVerb::Maintain,
+                    _ => unreachable!(),
+                };
+                let header =
+                    parse_header_sel(&tokens[verb_pos + 1..]).map_err(|e| LaiError::at(lineno, e))?;
+                prog.controls.push(ControlStmt {
+                    from,
+                    to,
+                    verb,
+                    header,
+                });
+            }
+            "check" | "fix" | "generate" => {
+                if !rest.is_empty() {
+                    return Err(LaiError::at(lineno, format!("unexpected text after {keyword}")));
+                }
+                if prog.command.is_some() {
+                    return Err(LaiError::at(lineno, "duplicate command"));
+                }
+                prog.command = Some(match keyword {
+                    "check" => Command::Check,
+                    "fix" => Command::Fix,
+                    _ => Command::Generate,
+                });
+            }
+            other => {
+                return Err(LaiError::at(lineno, format!("unknown statement {other:?}")));
+            }
+        }
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of §3.2 / Figure 3.
+    const RUNNING_EXAMPLE: &str = r#"
+# Figure 3: clean up C and D
+acl PermitAll { permit all }
+acl A1' {
+    deny dst 1.0.0.0/8
+    deny dst 2.0.0.0/8
+    deny dst 6.0.0.0/8
+    permit all
+}
+acl A3' {
+    deny dst 7.0.0.0/8
+    permit all
+}
+
+scope A:*, B:*, C:*, D:*
+allow A:*, B:*
+modify D:2 to PermitAll
+modify C:1 to PermitAll
+modify A:1 to A1'
+modify A:3 to A3'
+check
+"#;
+
+    #[test]
+    fn parses_running_example() {
+        let p = parse_program(RUNNING_EXAMPLE).unwrap();
+        assert_eq!(p.acl_defs.len(), 3);
+        assert_eq!(p.scope.len(), 4);
+        assert_eq!(p.allow.len(), 2);
+        assert_eq!(p.modifies.len(), 4);
+        assert_eq!(p.command, Some(Command::Check));
+        assert_eq!(p.acl_def("A1'").unwrap().len(), 4);
+        assert_eq!(p.acl_def("PermitAll").unwrap().len(), 1);
+        assert_eq!(p.modifies[0].target, SlotPattern::named("D", "2"));
+        assert_eq!(p.modifies[0].acl, "PermitAll");
+    }
+
+    #[test]
+    fn parses_scenario1_controls() {
+        // §7 Scenario 1 (with explicit prefix directions).
+        let src = r#"
+scope R1:*, R2:*, R3:*
+allow R1:*-in, R2:*-in, R3:*-in
+control R1:*, R2:* -> R3:* isolate src 1.2.0.0/16
+control R3:* -> R1:*, R2:* isolate dst 1.2.0.0/16
+generate
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.controls.len(), 2);
+        assert_eq!(p.controls[0].verb, ControlVerb::Isolate);
+        assert_eq!(
+            p.controls[0].header,
+            HeaderSel::Src(parse_prefix("1.2.0.0/16").unwrap())
+        );
+        assert_eq!(p.controls[0].from.len(), 2);
+        assert_eq!(p.controls[1].to.len(), 2);
+        assert_eq!(p.command, Some(Command::Generate));
+        assert_eq!(p.allow[0].dir, Some(DirSpec::In));
+    }
+
+    #[test]
+    fn from_to_synonyms() {
+        let p = parse_program(
+            "scope R1:*\nallow R1:*\ncontrol R1:* -> R1:* isolate from 1.2.0.0/16\ngenerate\n",
+        )
+        .unwrap();
+        assert!(matches!(p.controls[0].header, HeaderSel::Src(_)));
+        let p = parse_program(
+            "scope R1:*\nallow R1:*\ncontrol R1:* -> R1:* open to 1.2.0.0/16\ngenerate\n",
+        )
+        .unwrap();
+        assert!(matches!(p.controls[0].header, HeaderSel::Dst(_)));
+    }
+
+    #[test]
+    fn and_separated_lists() {
+        let p = parse_program("scope A:1 and B:2 and C:*\ncheck\n").unwrap();
+        assert_eq!(p.scope.len(), 3);
+    }
+
+    #[test]
+    fn maintain_priority_example() {
+        // §6: maintain shields traffic from a later isolate-all.
+        let src = "scope A:*\nallow A:*\n\
+                   control A:1 -> C:3 maintain dst 7.0.0.0/8\n\
+                   control A:1 -> C:3 isolate all\ngenerate\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.controls[0].verb, ControlVerb::Maintain);
+        assert_eq!(p.controls[1].verb, ControlVerb::Isolate);
+        assert_eq!(p.controls[1].header, HeaderSel::All);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_program("scope A:*\nbogus thing\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_program("scope\ncheck\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_program("acl X {\npermit all\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        let err = parse_program("check now\n").unwrap_err();
+        assert!(err.message.contains("unexpected text"));
+        let err = parse_program("check\nfix\n").unwrap_err();
+        assert!(err.message.contains("duplicate command"));
+        let err = parse_program("acl X { permit all }\nacl X { permit all }\ncheck\n").unwrap_err();
+        assert!(err.message.contains("duplicate acl name"));
+    }
+
+    #[test]
+    fn bad_patterns_rejected() {
+        for bad in ["scope A\ncheck\n", "scope :1\ncheck\n", "scope A:\ncheck\n"] {
+            assert!(parse_program(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn bad_rule_inside_acl_block_reports_block() {
+        let err = parse_program("acl X {\nfrobnicate\n}\ncheck\n").unwrap_err();
+        assert!(err.message.contains("in acl \"X\""), "{err}");
+    }
+
+    #[test]
+    fn modify_with_list_target_expands() {
+        let p =
+            parse_program("acl P { permit all }\nmodify A:1, A:2 to P\ncheck\n").unwrap();
+        assert_eq!(p.modifies.len(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Semantic validation of parsed LAI programs.
+//!
+//! Catches the intent-level mistakes that are well-defined *before* the
+//! program is resolved against a concrete network (unknown ACL names,
+//! missing command, allow outside scope, …). Network-level resolution
+//! errors (unknown devices/interfaces) are reported by the engine in
+//! `jinjing-core`.
+
+use crate::ast::{Command, Program};
+use crate::parse::LaiError;
+use std::collections::HashSet;
+
+/// Validate a program. Returns the (unchanged) program on success so calls
+/// chain nicely with `parse_program`.
+pub fn validate(prog: Program) -> Result<Program, LaiError> {
+    let command = prog
+        .command
+        .ok_or_else(|| LaiError::at(0, "program needs a command (check / fix / generate)"))?;
+    if prog.scope.is_empty() {
+        return Err(LaiError::at(0, "program needs a non-empty scope"));
+    }
+    // Every modify must reference a defined ACL.
+    for m in &prog.modifies {
+        if prog.acl_def(&m.acl).is_none() {
+            return Err(LaiError::at(
+                0,
+                format!("modify references undefined acl {:?}", m.acl),
+            ));
+        }
+    }
+    // Unreferenced ACL definitions are suspicious but legal; duplicate
+    // names were already rejected by the parser.
+    // allow-listed devices must be inside the scope (the paper's region
+    // semantics: updates happen within Ω).
+    let scope_devices: HashSet<&str> = prog.scope.iter().map(|p| p.device.as_str()).collect();
+    for a in &prog.allow {
+        if !scope_devices.contains(a.device.as_str()) {
+            return Err(LaiError::at(
+                0,
+                format!("allow pattern {a} names a device outside the scope"),
+            ));
+        }
+    }
+    match command {
+        Command::Check | Command::Fix => {
+            if prog.modifies.is_empty() && prog.controls.is_empty() {
+                return Err(LaiError::at(
+                    0,
+                    format!("{command} needs at least one modify or control requirement"),
+                ));
+            }
+        }
+        Command::Generate => {
+            if prog.allow.is_empty() {
+                return Err(LaiError::at(
+                    0,
+                    "generate needs an allow list (where to place new ACLs)",
+                ));
+            }
+        }
+    }
+    if command == Command::Fix && prog.allow.is_empty() {
+        return Err(LaiError::at(0, "fix needs an allow list"));
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    fn check(src: &str) -> Result<Program, LaiError> {
+        validate(parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let p = check(
+            "acl P { permit all }\nscope A:*\nallow A:*\nmodify A:1 to P\ncheck\n",
+        );
+        assert!(p.is_ok());
+    }
+
+    #[test]
+    fn missing_command_rejected() {
+        let e = check("scope A:*\n").unwrap_err();
+        assert!(e.message.contains("command"));
+    }
+
+    #[test]
+    fn missing_scope_rejected() {
+        let e = check("acl P { permit all }\nallow A:*\nmodify A:1 to P\ncheck\n");
+        // allow outside scope triggers first or scope-empty; either way an error.
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn undefined_acl_rejected() {
+        let e = check("scope A:*\nallow A:*\nmodify A:1 to Nope\ncheck\n").unwrap_err();
+        assert!(e.message.contains("undefined acl"));
+    }
+
+    #[test]
+    fn allow_outside_scope_rejected() {
+        let e = check("acl P { permit all }\nscope A:*\nallow B:*\nmodify A:1 to P\ncheck\n")
+            .unwrap_err();
+        assert!(e.message.contains("outside the scope"));
+    }
+
+    #[test]
+    fn check_without_requirements_rejected() {
+        let e = check("scope A:*\nallow A:*\ncheck\n").unwrap_err();
+        assert!(e.message.contains("requirement"));
+    }
+
+    #[test]
+    fn generate_without_allow_rejected() {
+        let e = check("scope A:*\ngenerate\n").unwrap_err();
+        assert!(e.message.contains("allow"));
+    }
+
+    #[test]
+    fn generate_with_controls_only_is_fine() {
+        let p = check(
+            "scope A:*\nallow A:*\ncontrol A:1 -> A:2 isolate dst 1.0.0.0/8\ngenerate\n",
+        );
+        assert!(p.is_ok());
+    }
+}

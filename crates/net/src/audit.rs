@@ -1,0 +1,298 @@
+//! Input-data auditing — the §7 deployment lesson as a library feature.
+//!
+//! The paper's main deployment challenge was data quality: "routing
+//! information and parsed configuration format are incomplete or
+//! inaccurate in practice … we develop an internal auditing tool to timely
+//! monitor and manually repair the quality of the data Jinjing relies
+//! on." This module is that tool for the reproduction's data model: it
+//! inspects a [`Network`] + [`AclConfig`] pair and reports the anomalies
+//! that would silently degrade check/fix/generate results.
+
+use crate::config::AclConfig;
+use crate::ids::{DeviceId, IfaceId, Slot};
+use crate::network::{Network, Scope};
+use jinjing_acl::PacketSet;
+use std::collections::HashSet;
+use std::fmt;
+
+/// One data-quality finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditFinding {
+    /// A device has no route for an announced prefix (disconnected
+    /// topology or missing FIB data).
+    UnroutedPrefix {
+        /// The device lacking the route.
+        device: DeviceId,
+        /// The announced prefix (display form).
+        prefix: String,
+    },
+    /// Traffic admitted by the matrix at an interface that can never leave
+    /// the network (black hole): no path carries part of it.
+    BlackholedTraffic {
+        /// The ingress interface.
+        iface: IfaceId,
+        /// A witness packet of the stranded traffic.
+        witness: jinjing_acl::Packet,
+    },
+    /// An ACL is configured on a slot no enumerated path traverses — it
+    /// can never filter anything under the current routing + traffic data.
+    UnusedAcl {
+        /// The idle slot.
+        slot: Slot,
+    },
+    /// A rule is fully shadowed by earlier rules (dead configuration —
+    /// often a symptom of stale data or botched merges).
+    ShadowedRule {
+        /// The slot holding the ACL.
+        slot: Slot,
+        /// Index of the dead rule.
+        rule_index: usize,
+    },
+    /// The traffic matrix admits traffic at an interface that is not a
+    /// border of the whole network (it has an internal peer), which the
+    /// path enumeration will ignore.
+    EnteringAtInternalIface {
+        /// The suspicious interface.
+        iface: IfaceId,
+    },
+}
+
+impl AuditFinding {
+    /// Human-readable rendering against a network (for reports/CLI).
+    pub fn display(&self, net: &Network) -> String {
+        let topo = net.topology();
+        match self {
+            AuditFinding::UnroutedPrefix { device, prefix } => format!(
+                "unrouted prefix: {} has no route for {prefix}",
+                topo.device(*device).name
+            ),
+            AuditFinding::BlackholedTraffic { iface, witness } => format!(
+                "black hole: traffic entering {} (e.g. {witness}) reaches no egress",
+                topo.iface_name(*iface)
+            ),
+            AuditFinding::UnusedAcl { slot } => format!(
+                "unused ACL: {}-{} lies on no path of the admitted traffic",
+                topo.iface_name(slot.iface),
+                slot.dir
+            ),
+            AuditFinding::ShadowedRule { slot, rule_index } => format!(
+                "shadowed rule: {}-{} rule #{} can never match",
+                topo.iface_name(slot.iface),
+                slot.dir,
+                rule_index
+            ),
+            AuditFinding::EnteringAtInternalIface { iface } => format!(
+                "traffic matrix entry at internal interface {}",
+                topo.iface_name(*iface)
+            ),
+        }
+    }
+}
+
+impl fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Audit a network + configuration. Findings are advisory: the primitives
+/// stay sound on anomalous data, but their *coverage* silently shrinks
+/// (e.g. black-holed traffic is never verified) — exactly what the paper's
+/// operators needed to monitor.
+pub fn audit(net: &Network, config: &AclConfig) -> Vec<AuditFinding> {
+    let mut findings = Vec::new();
+    let topo = net.topology();
+    let scope = Scope::whole(topo);
+
+    // 1. Every device should route every announced prefix.
+    for (prefix, _) in net.announced() {
+        let sample = jinjing_acl::Packet::to_dst(prefix.addr() | 1);
+        for d in topo.devices() {
+            if net.fib(d).lookup(&sample).is_empty() {
+                findings.push(AuditFinding::UnroutedPrefix {
+                    device: d,
+                    prefix: prefix.to_string(),
+                });
+            }
+        }
+    }
+
+    // 5. Matrix entries on internal interfaces (the scope-level
+    // entering_traffic silently drops them, so inspect the raw entries).
+    let border: HashSet<IfaceId> = net.border_ifaces(&scope).into_iter().collect();
+    for (iface, set) in net.entering_entries() {
+        if !set.is_empty() && !border.contains(iface) {
+            findings.push(AuditFinding::EnteringAtInternalIface { iface: *iface });
+        }
+    }
+
+    // 2. Black holes, and collect path-covered slots for (3).
+    let mut covered_slots: HashSet<Slot> = HashSet::new();
+    for (iface, admitted) in net.entering_traffic(&scope) {
+        let paths = net.paths_for_class(&scope, iface, &admitted);
+        let mut carried = PacketSet::empty();
+        for p in &paths {
+            for &s in &p.slots {
+                covered_slots.insert(s);
+            }
+            carried = carried.union(&p.carried);
+        }
+        let stranded = admitted.subtract(&carried);
+        if let Some(witness) = stranded.sample() {
+            findings.push(AuditFinding::BlackholedTraffic { iface, witness });
+        }
+    }
+
+    // 3. ACLs on slots never traversed.
+    for slot in config.slots() {
+        if !covered_slots.contains(&slot) {
+            findings.push(AuditFinding::UnusedAcl { slot });
+        }
+    }
+
+    // 4. Fully shadowed rules.
+    for slot in config.slots() {
+        let acl = config.get(slot).expect("listed slot");
+        let mut seen = PacketSet::empty();
+        for (i, rule) in acl.rules().iter().enumerate() {
+            let m = PacketSet::from_cube(rule.matches.cube());
+            if m.is_subset(&seen) {
+                findings.push(AuditFinding::ShadowedRule {
+                    slot,
+                    rule_index: i,
+                });
+            }
+            seen = seen.union(&m);
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fib::{pfx, prefix_set};
+    use crate::topology::TopologyBuilder;
+    use jinjing_acl::AclBuilder;
+
+    /// A ─ B chain plus a disconnected island C.
+    fn setup() -> (Network, AclConfig, Vec<IfaceId>) {
+        let mut tb = TopologyBuilder::new();
+        let a = tb.device("A");
+        let b = tb.device("B");
+        let c = tb.device("C"); // island
+        let a0 = tb.iface(a, "0");
+        let a1 = tb.iface(a, "1");
+        let b0 = tb.iface(b, "0");
+        let b1 = tb.iface(b, "1");
+        let c0 = tb.iface(c, "0");
+        tb.link(a1, b0);
+        let mut net = Network::new(tb.build());
+        net.announce(pfx("1.0.0.0/8"), b1);
+        net.compute_routes();
+        net.set_entering(a0, prefix_set(&pfx("1.0.0.0/8")));
+        (net, AclConfig::new(), vec![a0, a1, b0, b1, c0])
+    }
+
+    #[test]
+    fn clean_data_produces_no_findings() {
+        let (net, config, _) = setup();
+        let findings: Vec<_> = audit(&net, &config)
+            .into_iter()
+            // The island C legitimately cannot route 1/8.
+            .filter(|f| !matches!(f, AuditFinding::UnroutedPrefix { .. }))
+            .collect();
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn island_devices_are_flagged_unrouted() {
+        let (net, config, _) = setup();
+        let findings = audit(&net, &config);
+        assert!(findings.iter().any(|f| matches!(
+            f,
+            AuditFinding::UnroutedPrefix { device, .. }
+                if net.topology().device(*device).name == "C"
+        )));
+    }
+
+    #[test]
+    fn blackholed_traffic_is_flagged() {
+        let (mut net, config, ifs) = setup();
+        // Admit traffic for an unannounced prefix at A:0 — nothing routes it.
+        net.set_entering(
+            ifs[0],
+            prefix_set(&pfx("1.0.0.0/8")).union(&prefix_set(&pfx("9.0.0.0/8"))),
+        );
+        let findings = audit(&net, &config);
+        assert!(findings.iter().any(|f| matches!(
+            f,
+            AuditFinding::BlackholedTraffic { witness, .. } if witness.dip >> 24 == 9
+        )));
+    }
+
+    #[test]
+    fn unused_acl_is_flagged() {
+        let (net, mut config, ifs) = setup();
+        // An ACL on the island's interface can never filter anything.
+        config.set(
+            Slot::ingress(ifs[4]),
+            AclBuilder::default_permit().deny_dst("1.0.0.0/8").build(),
+        );
+        let findings = audit(&net, &config);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, AuditFinding::UnusedAcl { .. })));
+        // And an ACL on the used path is not flagged.
+        let mut config2 = AclConfig::new();
+        config2.set(
+            Slot::ingress(ifs[0]),
+            AclBuilder::default_permit().deny_dst("1.2.0.0/16").build(),
+        );
+        let findings2 = audit(&net, &config2);
+        assert!(!findings2
+            .iter()
+            .any(|f| matches!(f, AuditFinding::UnusedAcl { .. })));
+    }
+
+    #[test]
+    fn shadowed_rules_are_flagged_with_index() {
+        let (net, mut config, ifs) = setup();
+        config.set(
+            Slot::ingress(ifs[0]),
+            AclBuilder::default_permit()
+                .deny_dst("1.0.0.0/8")
+                .permit_dst("1.2.0.0/16") // shadowed by the /8 above
+                .build(),
+        );
+        let findings = audit(&net, &config);
+        assert!(findings.iter().any(|f| matches!(
+            f,
+            AuditFinding::ShadowedRule { rule_index: 1, .. }
+        )));
+    }
+
+    #[test]
+    fn entering_at_internal_iface_is_flagged() {
+        let (mut net, config, ifs) = setup();
+        net.set_entering(ifs[1], prefix_set(&pfx("1.0.0.0/8"))); // A:1 is linked
+        let findings = audit(&net, &config);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, AuditFinding::EnteringAtInternalIface { .. })));
+    }
+
+    #[test]
+    fn display_renders_names() {
+        let (net, mut config, ifs) = setup();
+        config.set(
+            Slot::ingress(ifs[4]),
+            AclBuilder::default_permit().deny_dst("1.0.0.0/8").build(),
+        );
+        for f in audit(&net, &config) {
+            let text = f.display(&net);
+            assert!(!text.is_empty());
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! ACL configuration state: the mapping from interface slots to ACLs.
+//!
+//! An [`AclConfig`] is the `L_Ω` of the paper (restricted to whatever slots
+//! actually carry ACLs — every other slot behaves as `permit all`). It
+//! evaluates path decision models both concretely (`c_p(h)`, Eq. 1) and in
+//! exact set form (the set of packets a path permits), and produces the
+//! before/after pairs that check/fix/generate consume.
+
+use crate::ids::Slot;
+use crate::network::Path;
+use jinjing_acl::{Acl, Packet, PacketSet};
+use std::collections::HashMap;
+
+/// Assignment of ACLs to slots.
+#[derive(Debug, Clone, Default)]
+pub struct AclConfig {
+    acls: HashMap<Slot, Acl>,
+}
+
+impl AclConfig {
+    /// Empty configuration: everything permits.
+    pub fn new() -> AclConfig {
+        AclConfig::default()
+    }
+
+    /// Attach an ACL to a slot, replacing any previous one.
+    pub fn set(&mut self, slot: Slot, acl: Acl) {
+        self.acls.insert(slot, acl);
+    }
+
+    /// Remove the ACL from a slot (reverting it to `permit all`).
+    pub fn clear(&mut self, slot: Slot) -> Option<Acl> {
+        self.acls.remove(&slot)
+    }
+
+    /// The ACL at a slot, if one is configured.
+    pub fn get(&self, slot: Slot) -> Option<&Acl> {
+        self.acls.get(&slot)
+    }
+
+    /// All configured slots (sorted, for determinism).
+    pub fn slots(&self) -> Vec<Slot> {
+        let mut v: Vec<Slot> = self.acls.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of configured slots.
+    pub fn len(&self) -> usize {
+        self.acls.len()
+    }
+
+    /// `true` when no slot carries an ACL.
+    pub fn is_empty(&self) -> bool {
+        self.acls.is_empty()
+    }
+
+    /// The decision of a slot on a packet: `f_ξ(h)`. Slots without ACLs
+    /// permit everything.
+    pub fn slot_permits(&self, slot: Slot, p: &Packet) -> bool {
+        self.acls.get(&slot).map_or(true, |a| a.permits(p))
+    }
+
+    /// The permit-set of a slot (full header space when unconfigured).
+    pub fn slot_permit_set(&self, slot: Slot) -> PacketSet {
+        self.acls
+            .get(&slot)
+            .map_or_else(PacketSet::full, |a| a.permit_set())
+    }
+
+    /// Concrete path decision model `c_p(h)` (Eq. 1): conjunction of every
+    /// slot decision along the path.
+    pub fn path_permits(&self, path: &Path, p: &Packet) -> bool {
+        path.slots.iter().all(|&s| self.slot_permits(s, p))
+    }
+
+    /// Exact path permit-set: the packets the whole path lets through.
+    pub fn path_permit_set(&self, path: &Path) -> PacketSet {
+        let mut set = PacketSet::full();
+        for &s in &path.slots {
+            if let Some(a) = self.acls.get(&s) {
+                set = set.intersect(&a.permit_set());
+                if set.is_empty() {
+                    break;
+                }
+            }
+        }
+        set
+    }
+
+    /// The slots along a path that actually carry ACLs.
+    pub fn configured_slots_on(&self, path: &Path) -> Vec<Slot> {
+        path.slots
+            .iter()
+            .copied()
+            .filter(|s| self.acls.contains_key(s))
+            .collect()
+    }
+
+    /// Total rule count across all slots (a size metric for reports).
+    pub fn total_rules(&self) -> usize {
+        self.acls.values().map(|a| a.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Dir, IfaceId};
+    use jinjing_acl::AclBuilder;
+
+    fn slot(i: u32) -> Slot {
+        Slot {
+            iface: IfaceId(i),
+            dir: Dir::In,
+        }
+    }
+
+    fn path(slots: &[Slot]) -> Path {
+        Path {
+            slots: slots.to_vec(),
+            carried: PacketSet::full(),
+        }
+    }
+
+    #[test]
+    fn unconfigured_slots_permit() {
+        let cfg = AclConfig::new();
+        let p = Packet::to_dst(1);
+        assert!(cfg.slot_permits(slot(0), &p));
+        assert!(cfg.slot_permit_set(slot(0)).same_set(&PacketSet::full()));
+    }
+
+    #[test]
+    fn path_conjunction_semantics() {
+        let mut cfg = AclConfig::new();
+        cfg.set(
+            slot(0),
+            AclBuilder::default_permit().deny_dst("6.0.0.0/8").build(),
+        );
+        cfg.set(
+            slot(1),
+            AclBuilder::default_permit().deny_dst("7.0.0.0/8").build(),
+        );
+        let pa = path(&[slot(0), slot(1), slot(2)]);
+        assert!(!cfg.path_permits(&pa, &Packet::to_dst(0x0600_0001)));
+        assert!(!cfg.path_permits(&pa, &Packet::to_dst(0x0700_0001)));
+        assert!(cfg.path_permits(&pa, &Packet::to_dst(0x0800_0001)));
+        let set = cfg.path_permit_set(&pa);
+        assert!(!set.contains(&Packet::to_dst(0x0600_0001)));
+        assert!(!set.contains(&Packet::to_dst(0x0700_0001)));
+        assert!(set.contains(&Packet::to_dst(0x0800_0001)));
+    }
+
+    #[test]
+    fn set_and_clear_roundtrip() {
+        let mut cfg = AclConfig::new();
+        let acl = AclBuilder::default_permit().deny_dst("1.0.0.0/8").build();
+        cfg.set(slot(3), acl.clone());
+        assert_eq!(cfg.get(slot(3)), Some(&acl));
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.total_rules(), 1);
+        let removed = cfg.clear(slot(3));
+        assert_eq!(removed, Some(acl));
+        assert!(cfg.is_empty());
+    }
+
+    #[test]
+    fn configured_slots_on_path_filters() {
+        let mut cfg = AclConfig::new();
+        cfg.set(slot(1), Acl::deny_all());
+        let pa = path(&[slot(0), slot(1), slot(2)]);
+        assert_eq!(cfg.configured_slots_on(&pa), vec![slot(1)]);
+    }
+
+    #[test]
+    fn slots_listing_is_sorted() {
+        let mut cfg = AclConfig::new();
+        cfg.set(slot(5), Acl::permit_all());
+        cfg.set(slot(1), Acl::permit_all());
+        cfg.set(Slot::egress(IfaceId(1)), Acl::permit_all());
+        let slots = cfg.slots();
+        assert_eq!(slots.len(), 3);
+        assert!(slots.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,103 @@
+//! Forwarding equivalence classes (§4.1, Eq. 2).
+//!
+//! Two packets belong to the same FEC when every forwarding predicate
+//! `g ∈ G_Ω` agrees on them. We compute the FEC partition of the traffic
+//! entering a scope by predicate refinement over the scope's forwarding
+//! family — the exact-set analogue of the paper's symbolic definition.
+
+use crate::network::{Network, Scope};
+use jinjing_acl::atoms::{refine, ClassExplosion, RefineLimits};
+use jinjing_acl::PacketSet;
+
+/// One forwarding equivalence class `[h]_FEC`.
+#[derive(Debug, Clone)]
+pub struct Fec {
+    /// The packets of the class.
+    pub set: PacketSet,
+}
+
+/// Derive the FECs of `traffic` within `scope`.
+///
+/// Guarantees (inherited from [`refine`]): classes are non-empty, pairwise
+/// disjoint, cover `traffic`, and every forwarding predicate in the scope is
+/// constant on each class.
+pub fn derive_fecs(
+    net: &Network,
+    scope: &Scope,
+    traffic: &PacketSet,
+    limits: RefineLimits,
+) -> Result<Vec<Fec>, ClassExplosion> {
+    let preds: Vec<PacketSet> = net
+        .scope_predicates(scope)
+        .into_iter()
+        .map(|(_, g)| g)
+        .collect();
+    let preds = jinjing_acl::atoms::dedupe_predicates(preds);
+    let classes = refine(traffic, &preds, limits)?;
+    Ok(classes.into_iter().map(|c| Fec { set: c.set }).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fib::{pfx, prefix_set};
+    use crate::topology::TopologyBuilder;
+    use jinjing_acl::Packet;
+
+    /// One router fanning three prefixes out of two interfaces.
+    fn fan() -> (Network, Scope) {
+        let mut tb = TopologyBuilder::new();
+        let a = tb.device("A");
+        let _in = tb.iface(a, "in");
+        let left = tb.iface(a, "left");
+        let right = tb.iface(a, "right");
+        let mut net = Network::new(tb.build());
+        net.announce(pfx("1.0.0.0/8"), left);
+        net.announce(pfx("2.0.0.0/8"), right);
+        net.announce(pfx("3.0.0.0/8"), right);
+        net.compute_routes();
+        let scope = Scope::whole(net.topology());
+        (net, scope)
+    }
+
+    #[test]
+    fn fecs_group_same_forwarding() {
+        let (net, scope) = fan();
+        let traffic = prefix_set(&pfx("1.0.0.0/8"))
+            .union(&prefix_set(&pfx("2.0.0.0/8")))
+            .union(&prefix_set(&pfx("3.0.0.0/8")));
+        let fecs = derive_fecs(&net, &scope, &traffic, RefineLimits::default()).unwrap();
+        // 1/8 goes left; 2/8 and 3/8 both go right → exactly 2 FECs.
+        assert_eq!(fecs.len(), 2);
+        let two = Packet::to_dst(0x0200_0001);
+        let three = Packet::to_dst(0x0300_0001);
+        let one = Packet::to_dst(0x0100_0001);
+        let class_of = |p: &Packet| fecs.iter().position(|f| f.set.contains(p)).unwrap();
+        assert_eq!(class_of(&two), class_of(&three));
+        assert_ne!(class_of(&one), class_of(&two));
+    }
+
+    #[test]
+    fn fec_partition_covers_traffic() {
+        let (net, scope) = fan();
+        let traffic = prefix_set(&pfx("1.0.0.0/8")).union(&prefix_set(&pfx("2.0.0.0/8")));
+        let fecs = derive_fecs(&net, &scope, &traffic, RefineLimits::default()).unwrap();
+        let mut cover = PacketSet::empty();
+        for (i, f) in fecs.iter().enumerate() {
+            assert!(!f.set.is_empty());
+            for g in &fecs[i + 1..] {
+                assert!(!f.set.intersects(&g.set));
+            }
+            cover = cover.union(&f.set);
+        }
+        assert!(cover.same_set(&traffic));
+    }
+
+    #[test]
+    fn empty_traffic_no_fecs() {
+        let (net, scope) = fan();
+        let fecs =
+            derive_fecs(&net, &scope, &PacketSet::empty(), RefineLimits::default()).unwrap();
+        assert!(fecs.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Identifiers for devices, interfaces and ACL attachment points.
+
+use std::fmt;
+
+/// A device (router), by dense index into the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interface, by dense *global* index into the topology (not per-device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IfaceId(pub u32);
+
+impl IfaceId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Direction of an ACL attached to an interface: filtering traffic entering
+/// the device through the interface (`In`) or leaving through it (`Out`).
+/// §2.1: "ACLs can be applied to both ingress and egress interfaces of a
+/// router."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    /// Ingress ACL (applied to traffic entering the device here).
+    In,
+    /// Egress ACL (applied to traffic leaving the device here).
+    Out,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::In => Dir::Out,
+            Dir::Out => Dir::In,
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dir::In => write!(f, "in"),
+            Dir::Out => write!(f, "out"),
+        }
+    }
+}
+
+/// An ACL attachment point: one interface in one direction. This is the `ξ`
+/// of the paper wherever an ACL or a decision variable `D(ξ)` is involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Slot {
+    /// The interface.
+    pub iface: IfaceId,
+    /// The filtering direction.
+    pub dir: Dir,
+}
+
+impl Slot {
+    /// Ingress slot of an interface.
+    pub fn ingress(iface: IfaceId) -> Slot {
+        Slot {
+            iface,
+            dir: Dir::In,
+        }
+    }
+
+    /// Egress slot of an interface.
+    pub fn egress(iface: IfaceId) -> Slot {
+        Slot {
+            iface,
+            dir: Dir::Out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_flip() {
+        assert_eq!(Dir::In.flip(), Dir::Out);
+        assert_eq!(Dir::Out.flip(), Dir::In);
+    }
+
+    #[test]
+    fn slot_constructors() {
+        let i = IfaceId(3);
+        assert_eq!(Slot::ingress(i), Slot { iface: i, dir: Dir::In });
+        assert_eq!(Slot::egress(i), Slot { iface: i, dir: Dir::Out });
+        assert_ne!(Slot::ingress(i), Slot::egress(i));
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Slot::ingress(IfaceId(1)));
+        s.insert(Slot::ingress(IfaceId(1)));
+        assert_eq!(s.len(), 1);
+        assert!(DeviceId(1) < DeviceId(2));
+    }
+}

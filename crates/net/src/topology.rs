@@ -1,0 +1,271 @@
+//! Devices, interfaces and links.
+//!
+//! A topology is a set of named devices, each with named interfaces, plus
+//! bidirectional links pairing interfaces of different devices. Interfaces
+//! without a link peer face the *external* world (the backbone outside the
+//! managed WAN); inside a scope they are border interfaces by construction.
+
+use crate::ids::{DeviceId, IfaceId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A device record.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Human-readable name ("A", "core-3", …).
+    pub name: String,
+    /// The device's interfaces (global IDs).
+    pub ifaces: Vec<IfaceId>,
+}
+
+/// An interface record.
+#[derive(Debug, Clone)]
+pub struct Iface {
+    /// Name local to the device ("1", "eth0", …).
+    pub name: String,
+    /// Owning device.
+    pub device: DeviceId,
+    /// The interface at the other end of the link, if any. `None` means the
+    /// interface faces outside the modeled network.
+    pub peer: Option<IfaceId>,
+}
+
+/// An immutable topology. Build with [`TopologyBuilder`].
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    devices: Vec<Device>,
+    ifaces: Vec<Iface>,
+    device_by_name: HashMap<String, DeviceId>,
+}
+
+impl Topology {
+    /// All devices.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.devices.len()).map(|i| DeviceId(i as u32))
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of interfaces.
+    pub fn iface_count(&self) -> usize {
+        self.ifaces.len()
+    }
+
+    /// Device record.
+    pub fn device(&self, d: DeviceId) -> &Device {
+        &self.devices[d.index()]
+    }
+
+    /// Interface record.
+    pub fn iface(&self, i: IfaceId) -> &Iface {
+        &self.ifaces[i.index()]
+    }
+
+    /// Look up a device by name.
+    pub fn device_by_name(&self, name: &str) -> Option<DeviceId> {
+        self.device_by_name.get(name).copied()
+    }
+
+    /// Look up an interface by `device` + local name.
+    pub fn iface_by_name(&self, device: &str, iface: &str) -> Option<IfaceId> {
+        let d = self.device_by_name(device)?;
+        self.devices[d.index()]
+            .ifaces
+            .iter()
+            .copied()
+            .find(|&i| self.ifaces[i.index()].name == iface)
+    }
+
+    /// Display name `"device:iface"` for an interface.
+    pub fn iface_name(&self, i: IfaceId) -> String {
+        let rec = self.iface(i);
+        format!("{}:{}", self.device(rec.device).name, rec.name)
+    }
+
+    /// The device owning an interface.
+    pub fn owner(&self, i: IfaceId) -> DeviceId {
+        self.iface(i).device
+    }
+
+    /// The link peer, if any.
+    pub fn peer(&self, i: IfaceId) -> Option<IfaceId> {
+        self.iface(i).peer
+    }
+
+    /// All interfaces of a device.
+    pub fn device_ifaces(&self, d: DeviceId) -> &[IfaceId] {
+        &self.devices[d.index()].ifaces
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "topology: {} devices, {} interfaces",
+            self.devices.len(),
+            self.ifaces.len()
+        )?;
+        for d in self.devices() {
+            let dev = self.device(d);
+            write!(f, "  {}:", dev.name)?;
+            for &i in &dev.ifaces {
+                match self.peer(i) {
+                    Some(p) => write!(f, " {}<->{}", self.iface(i).name, self.iface_name(p))?,
+                    None => write!(f, " {}(ext)", self.iface(i).name)?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental topology construction.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    topo: Topology,
+}
+
+impl TopologyBuilder {
+    /// Fresh, empty builder.
+    pub fn new() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Add a device; names must be unique.
+    pub fn device(&mut self, name: &str) -> DeviceId {
+        assert!(
+            !self.topo.device_by_name.contains_key(name),
+            "duplicate device name {name:?}"
+        );
+        let id = DeviceId(self.topo.devices.len() as u32);
+        self.topo.devices.push(Device {
+            name: name.to_string(),
+            ifaces: Vec::new(),
+        });
+        self.topo.device_by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Add an interface to a device; names must be unique per device.
+    pub fn iface(&mut self, device: DeviceId, name: &str) -> IfaceId {
+        let dup = self.topo.devices[device.index()]
+            .ifaces
+            .iter()
+            .any(|&i| self.topo.ifaces[i.index()].name == name);
+        assert!(!dup, "duplicate interface name {name:?} on device");
+        let id = IfaceId(self.topo.ifaces.len() as u32);
+        self.topo.ifaces.push(Iface {
+            name: name.to_string(),
+            device,
+            peer: None,
+        });
+        self.topo.devices[device.index()].ifaces.push(id);
+        id
+    }
+
+    /// Link two (unlinked) interfaces of different devices.
+    pub fn link(&mut self, a: IfaceId, b: IfaceId) {
+        assert_ne!(a, b, "cannot link an interface to itself");
+        assert_ne!(
+            self.topo.ifaces[a.index()].device,
+            self.topo.ifaces[b.index()].device,
+            "cannot link two interfaces of the same device"
+        );
+        assert!(
+            self.topo.ifaces[a.index()].peer.is_none(),
+            "interface already linked"
+        );
+        assert!(
+            self.topo.ifaces[b.index()].peer.is_none(),
+            "interface already linked"
+        );
+        self.topo.ifaces[a.index()].peer = Some(b);
+        self.topo.ifaces[b.index()].peer = Some(a);
+    }
+
+    /// Finish.
+    pub fn build(self) -> Topology {
+        self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_routers() -> (Topology, IfaceId, IfaceId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.device("A");
+        let c = b.device("C");
+        let a1 = b.iface(a, "1");
+        let c1 = b.iface(c, "1");
+        b.link(a1, c1);
+        (b.build(), a1, c1)
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let (t, a1, c1) = two_routers();
+        assert_eq!(t.device_count(), 2);
+        assert_eq!(t.iface_count(), 2);
+        assert_eq!(t.device_by_name("A"), Some(DeviceId(0)));
+        assert_eq!(t.device_by_name("Z"), None);
+        assert_eq!(t.iface_by_name("A", "1"), Some(a1));
+        assert_eq!(t.iface_by_name("A", "9"), None);
+        assert_eq!(t.iface_name(c1), "C:1");
+        assert_eq!(t.owner(a1), DeviceId(0));
+    }
+
+    #[test]
+    fn links_are_symmetric() {
+        let (t, a1, c1) = two_routers();
+        assert_eq!(t.peer(a1), Some(c1));
+        assert_eq!(t.peer(c1), Some(a1));
+    }
+
+    #[test]
+    fn unlinked_interface_is_external() {
+        let mut b = TopologyBuilder::new();
+        let a = b.device("A");
+        let a1 = b.iface(a, "1");
+        let t = b.build();
+        assert_eq!(t.peer(a1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate device name")]
+    fn duplicate_device_rejected() {
+        let mut b = TopologyBuilder::new();
+        b.device("A");
+        b.device("A");
+    }
+
+    #[test]
+    #[should_panic(expected = "already linked")]
+    fn double_link_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.device("A");
+        let c = b.device("C");
+        let d = b.device("D");
+        let a1 = b.iface(a, "1");
+        let c1 = b.iface(c, "1");
+        let d1 = b.iface(d, "1");
+        b.link(a1, c1);
+        b.link(a1, d1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same device")]
+    fn self_device_link_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.device("A");
+        let a1 = b.iface(a, "1");
+        let a2 = b.iface(a, "2");
+        b.link(a1, a2);
+    }
+}

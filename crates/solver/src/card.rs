@@ -1,0 +1,149 @@
+//! Cardinality circuits: sequential-counter "at least k" outputs.
+//!
+//! [`counter_outputs`] builds the Sinz sequential counter over a list of
+//! literals and returns `out[j] ⇔ at least j+1 inputs are true`. The fix
+//! primitive's "optimization for minimal changes" (§4.2) uses this: the
+//! inputs are per-interface *change indicators*, and assuming `¬out[k]`
+//! enforces "at most k interfaces change". Linear search on `k` under
+//! assumptions then yields the minimum-change plan without rebuilding the
+//! formula.
+
+use crate::circuit::CircuitBuilder;
+use crate::lit::Lit;
+
+/// Build sequential-counter outputs for `inputs`.
+///
+/// Returns a vector `out` of length `inputs.len()` where `out[j]` is a
+/// literal equivalent to "at least `j+1` of the inputs are true". For an
+/// empty input list the result is empty.
+pub fn counter_outputs(c: &mut CircuitBuilder, inputs: &[Lit]) -> Vec<Lit> {
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // row[j] = at least j+1 of the inputs processed so far are true.
+    let mut row: Vec<Lit> = vec![c.f(); n];
+    row[0] = inputs[0];
+    for (i, &x) in inputs.iter().enumerate().skip(1) {
+        // Process counts high-to-low so each step reads the previous row.
+        let prev = row.clone();
+        for j in (0..=i).rev() {
+            let carry = if j == 0 { c.t() } else { prev[j - 1] };
+            let add = c.and(&[x, carry]);
+            row[j] = c.or(&[prev[j], add]);
+        }
+    }
+    row
+}
+
+/// Convenience: assert "at most `k` of `inputs` are true" permanently.
+pub fn assert_at_most(c: &mut CircuitBuilder, inputs: &[Lit], k: usize) {
+    let outs = counter_outputs(c, inputs);
+    if k < outs.len() {
+        let l = outs[k];
+        c.assert(!l);
+    }
+}
+
+/// The assumption literal enforcing "at most `k`" given counter outputs
+/// (from [`counter_outputs`]); `None` when the bound is vacuous.
+pub fn at_most_assumption(outputs: &[Lit], k: usize) -> Option<Lit> {
+    outputs.get(k).map(|&l| !l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdcl::SolveResult;
+
+    /// Exhaustively validate counter outputs for n inputs.
+    fn check_counter(n: usize) {
+        for bits in 0u32..(1 << n) {
+            let mut c = CircuitBuilder::new();
+            let inputs: Vec<Lit> = (0..n).map(|_| c.input()).collect();
+            let outs = counter_outputs(&mut c, &inputs);
+            assert_eq!(outs.len(), n);
+            for (i, &l) in inputs.iter().enumerate() {
+                let v = (bits >> i) & 1 == 1;
+                c.assert(if v { l } else { !l });
+            }
+            assert_eq!(c.solve(), SolveResult::Sat);
+            let true_count = bits.count_ones() as usize;
+            for (j, &o) in outs.iter().enumerate() {
+                assert_eq!(
+                    c.model_value(o),
+                    true_count > j,
+                    "n={n} bits={bits:b} out[{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counter_exhaustive_small() {
+        for n in 1..=5 {
+            check_counter(n);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut c = CircuitBuilder::new();
+        let outs = counter_outputs(&mut c, &[]);
+        assert!(outs.is_empty());
+        assert_eq!(at_most_assumption(&outs, 0), None);
+    }
+
+    #[test]
+    fn at_most_assumption_bounds_models() {
+        let mut c = CircuitBuilder::new();
+        let inputs: Vec<Lit> = (0..6).map(|_| c.input()).collect();
+        let outs = counter_outputs(&mut c, &inputs);
+        // Force at least 3 true via direct constraint.
+        let l3 = outs[2];
+        c.assert(l3);
+        // at most 2 contradicts at least 3.
+        let a = at_most_assumption(&outs, 2).unwrap();
+        assert_eq!(c.solve_with(&[a]), SolveResult::Unsat);
+        // at most 3 is fine, and the model has exactly 3.
+        let a = at_most_assumption(&outs, 3).unwrap();
+        assert_eq!(c.solve_with(&[a]), SolveResult::Sat);
+        let count = inputs.iter().filter(|&&l| c.model_value(l)).count();
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn assert_at_most_zero_forces_all_false() {
+        let mut c = CircuitBuilder::new();
+        let inputs: Vec<Lit> = (0..4).map(|_| c.input()).collect();
+        assert_at_most(&mut c, &inputs, 0);
+        assert_eq!(c.solve(), SolveResult::Sat);
+        for &l in &inputs {
+            assert!(!c.model_value(l));
+        }
+        // Forcing one true is now unsat.
+        c.assert(inputs[2]);
+        assert_eq!(c.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn minimal_k_linear_search_pattern() {
+        // The fix primitive's usage: find the smallest k admitting a model.
+        let mut c = CircuitBuilder::new();
+        let inputs: Vec<Lit> = (0..5).map(|_| c.input()).collect();
+        let outs = counter_outputs(&mut c, &inputs);
+        // Constraint: input0 ∨ input1, and input3 ∧ input4.
+        c.assert_clause(&[inputs[0], inputs[1]]);
+        c.assert(inputs[3]);
+        c.assert(inputs[4]);
+        let mut best = None;
+        for k in 0..=inputs.len() {
+            let assumption: Vec<Lit> = at_most_assumption(&outs, k).into_iter().collect();
+            if c.solve_with(&assumption) == SolveResult::Sat {
+                best = Some(k);
+                break;
+            }
+        }
+        assert_eq!(best, Some(3)); // 3,4 forced plus one of 0/1
+    }
+}

@@ -1,0 +1,795 @@
+//! A conflict-driven clause-learning SAT solver.
+//!
+//! Feature set: two-watched-literal unit propagation, first-UIP conflict
+//! analysis with clause learning and non-chronological backjumping,
+//! VSIDS-style exponential variable activities with an indexed max-heap,
+//! phase saving, Luby-sequence restarts, incremental clause addition
+//! between solves, and solving under assumptions.
+//!
+//! The solver exposes [`SolverStats`] — decisions, propagations, conflicts
+//! and the maximum decision depth reached — because the paper's §9 argues
+//! its optimizations in exactly these terms ("all optimizations in Jinjing
+//! aim at reducing the recursive calls" of a DPLL-family solver). The
+//! `encoding_ablation` bench reads these counters to reproduce that
+//! discussion.
+
+use crate::lit::{Lit, Var};
+
+/// Sentinel for "no reason clause".
+const NO_REASON: u32 = u32::MAX;
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment exists (read it via [`Solver::model_value`]).
+    Sat,
+    /// No satisfying assignment (under the given assumptions).
+    Unsat,
+}
+
+/// Cumulative search statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decision literals picked.
+    pub decisions: u64,
+    /// Number of literals enqueued by unit propagation.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Learned clauses added.
+    pub learned: u64,
+    /// Maximum decision level ever reached — the "search depth" of §9.
+    pub max_depth: u64,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// Indexed max-heap over variable activities (MiniSat's `VarOrder`).
+#[derive(Debug, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    /// var index -> position in `heap`, or usize::MAX when absent.
+    pos: Vec<usize>,
+}
+
+impl VarHeap {
+    fn grow(&mut self, n: usize) {
+        self.pos.resize(n, usize::MAX);
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] != usize::MAX
+    }
+
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().unwrap();
+        self.pos[top.index()] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn bumped(&mut self, v: Var, act: &[f64]) {
+        let p = self.pos[v.index()];
+        if p != usize::MAX {
+            self.sift_up(p, act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].index()] = a;
+        self.pos[self.heap[b].index()] = b;
+    }
+}
+
+/// The CDCL solver.
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// `watches[lit.code()]` = clause indices currently watching `lit`.
+    watches: Vec<Vec<u32>>,
+    /// Tri-state assignment per var: 0 = unassigned, 1 = true, -1 = false.
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    phase: Vec<bool>,
+    order: VarHeap,
+    /// False once an unconditional contradiction has been derived.
+    ok: bool,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+    /// Assignment snapshot from the last `Sat` answer.
+    model: Vec<i8>,
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Fresh, empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            phase: Vec::new(),
+            order: VarHeap::default(),
+            ok: true,
+            seen: Vec::new(),
+            model: Vec::new(),
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(0);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow(self.assign.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Current value of a literal under the partial assignment.
+    fn lit_value(&self, l: Lit) -> i8 {
+        let v = self.assign[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Add a clause. Returns `false` if the formula is now trivially
+    /// unsatisfiable. Must be called with the solver at decision level 0
+    /// (i.e. between `solve` calls), which is enforced.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert_eq!(
+            self.trail_lim.len(),
+            0,
+            "clauses may only be added at decision level 0"
+        );
+        if !self.ok {
+            return false;
+        }
+        // Normalize: sort/dedup, drop root-false literals, detect
+        // tautologies and root-satisfied clauses.
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort();
+        ls.dedup();
+        let mut filtered = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return true; // tautology: contains l and ¬l
+            }
+            match self.lit_value(l) {
+                1 => return true, // already satisfied at root
+                -1 => {}          // root-false: drop
+                _ => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(filtered[0], NO_REASON);
+                // Propagate immediately so later adds see implied values.
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(filtered);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>) -> u32 {
+        let idx = self.clauses.len() as u32;
+        self.watches[lits[0].code()].push(idx);
+        self.watches[lits[1].code()].push(idx);
+        self.clauses.push(Clause { lits });
+        idx
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.lit_value(l), 0);
+        let v = l.var();
+        self.assign[v.index()] = if l.is_positive() { 1 } else { -1 };
+        self.level[v.index()] = self.trail_lim.len() as u32;
+        self.reason[v.index()] = reason;
+        self.phase[v.index()] = l.is_positive();
+        self.trail.push(l);
+        self.stats.propagations += 1;
+    }
+
+    /// Unit propagation; returns the conflicting clause index on conflict.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            // Take the watch list for the literal that just became false.
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                let (w0, w1) = {
+                    let c = &mut self.clauses[ci as usize];
+                    // Ensure the false literal sits at position 1.
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    (c.lits[0], c.lits[1])
+                };
+                debug_assert_eq!(w1, false_lit);
+                if self.lit_value(w0) == 1 {
+                    i += 1; // clause satisfied; keep watching
+                    continue;
+                }
+                // Look for a replacement watch.
+                let replacement = {
+                    let c = &self.clauses[ci as usize];
+                    c.lits[2..]
+                        .iter()
+                        .position(|&l| self.lit_value(l) != -1)
+                        .map(|off| off + 2)
+                };
+                if let Some(k) = replacement {
+                    let new_watch = {
+                        let c = &mut self.clauses[ci as usize];
+                        c.lits.swap(1, k);
+                        c.lits[1]
+                    };
+                    self.watches[new_watch.code()].push(ci);
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(w0) == -1 {
+                    // Conflict: restore remaining watches and report.
+                    self.watches[false_lit.code()].append(&mut ws);
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+                self.enqueue(w0, ci);
+                i += 1;
+            }
+            self.watches[false_lit.code()] = ws;
+        }
+        None
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+        self.stats.max_depth = self.stats.max_depth.max(self.trail_lim.len() as u64);
+    }
+
+    /// Undo assignments above `target` decision level.
+    fn backtrack_to(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target as usize];
+        for &l in &self.trail[bound..] {
+            let v = l.var();
+            self.assign[v.index()] = 0;
+            self.reason[v.index()] = NO_REASON;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = bound;
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backjump level)
+    /// with the asserting literal at index 0.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::positive(Var(0))]; // placeholder slot 0
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut clause = confl;
+        let mut index = self.trail.len();
+        let cur_level = self.decision_level();
+        loop {
+            let start = if p.is_none() { 0 } else { 1 };
+            // Walk the literals of the reason clause (skipping the
+            // propagated literal itself at slot 0 when applicable).
+            let lits: Vec<Lit> = self.clauses[clause as usize].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if self.seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                self.seen[v.index()] = true;
+                self.bump_var(v);
+                if self.level[v.index()] == cur_level {
+                    counter += 1;
+                } else {
+                    learnt.push(q);
+                }
+            }
+            // Select the next trail literal (at the current level) to expand.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let uip = self.trail[index];
+            self.seen[uip.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !uip;
+                break;
+            }
+            p = Some(uip);
+            clause = self.reason[uip.var().index()];
+            debug_assert_ne!(clause, NO_REASON);
+        }
+        // Clear `seen` for the kept literals.
+        for &l in &learnt[1..] {
+            self.seen[l.var().index()] = false;
+        }
+        // Backjump level = highest level among non-asserting literals.
+        let mut bt = 0u32;
+        let mut max_i = 1usize;
+        for (i, &l) in learnt.iter().enumerate().skip(1) {
+            let lv = self.level[l.var().index()];
+            if lv > bt {
+                bt = lv;
+                max_i = i;
+            }
+        }
+        if learnt.len() > 1 {
+            learnt.swap(1, max_i); // watch a highest-level literal
+        }
+        (learnt, bt)
+    }
+
+    /// Pick the next branching variable (highest activity, saved phase).
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assign[v.index()] == 0 {
+                return Some(Lit::new(v, self.phase[v.index()]));
+            }
+        }
+        None
+    }
+
+    /// Solve the current formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solve under assumptions. On `Sat`, the model is available via
+    /// [`Solver::model_value`]; afterwards the solver backtracks to level 0
+    /// and can accept more clauses or another `solve` call.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_budget = luby(self.stats.restarts) * 64;
+        let result = 'search: loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    break 'search SolveResult::Unsat;
+                }
+                // A conflict while assumption decisions are still on the
+                // trail: analyze normally; if the backjump would strip an
+                // assumption we simply re-assume on the way back down.
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack_to(bt);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    self.enqueue(asserting, NO_REASON);
+                } else {
+                    let ci = self.attach_clause(learnt);
+                    self.enqueue(asserting, ci);
+                }
+                self.stats.learned += 1;
+                self.var_inc /= 0.95;
+                continue;
+            }
+            if conflicts_since_restart >= restart_budget && self.decision_level() as usize > assumptions.len() {
+                self.stats.restarts += 1;
+                conflicts_since_restart = 0;
+                restart_budget = luby(self.stats.restarts) * 64;
+                self.backtrack_to(assumptions.len() as u32);
+                continue;
+            }
+            // Establish pending assumptions first.
+            if (self.decision_level() as usize) < assumptions.len() {
+                let a = assumptions[self.decision_level() as usize];
+                match self.lit_value(a) {
+                    1 => {
+                        // Already implied: open an (empty) level for it so
+                        // the indexing stays aligned.
+                        self.new_decision_level();
+                    }
+                    -1 => break 'search SolveResult::Unsat,
+                    _ => {
+                        self.new_decision_level();
+                        self.stats.decisions += 1;
+                        self.enqueue(a, NO_REASON);
+                    }
+                }
+                continue;
+            }
+            match self.pick_branch() {
+                None => break 'search SolveResult::Sat,
+                Some(l) => {
+                    self.new_decision_level();
+                    self.stats.decisions += 1;
+                    self.enqueue(l, NO_REASON);
+                }
+            }
+        };
+        if result == SolveResult::Sat {
+            self.snapshot_model();
+        }
+        self.backtrack_to(0);
+        result
+    }
+
+    fn snapshot_model(&mut self) {
+        self.model = self.assign.clone();
+    }
+
+    /// Value of a literal in the model of the last `Sat` answer.
+    /// Unconstrained variables read as `false`.
+    pub fn model_value(&self, l: Lit) -> bool {
+        let v = self.model.get(l.var().index()).copied().unwrap_or(0);
+        if l.is_positive() {
+            v == 1
+        } else {
+            v != 1
+        }
+    }
+}
+
+/// Luby restart sequence (0-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+fn luby(x: u64) -> u64 {
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = x;
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver_vars: &[Var], spec: &[i32]) -> Vec<Lit> {
+        spec.iter()
+            .map(|&s| {
+                let v = solver_vars[(s.unsigned_abs() - 1) as usize];
+                Lit::new(v, s > 0)
+            })
+            .collect()
+    }
+
+    /// Brute-force SAT check over all 2^n assignments (n small).
+    fn brute_force(n: usize, clauses: &[Vec<i32>]) -> bool {
+        'outer: for bits in 0u64..(1 << n) {
+            for c in clauses {
+                let ok = c.iter().any(|&s| {
+                    let val = (bits >> (s.unsigned_abs() - 1)) & 1 == 1;
+                    if s > 0 {
+                        val
+                    } else {
+                        !val
+                    }
+                });
+                if !ok {
+                    continue 'outer;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    fn solve_spec(n: usize, clauses: &[Vec<i32>]) -> SolveResult {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        for c in clauses {
+            s.add_clause(&lits(&vars, c));
+        }
+        let r = s.solve();
+        if r == SolveResult::Sat {
+            // Model must satisfy every clause.
+            for c in clauses {
+                assert!(
+                    c.iter().any(|&spec| {
+                        let l = lits(&vars, &[spec])[0];
+                        s.model_value(l)
+                    }),
+                    "model violates clause {c:?}"
+                );
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        assert_eq!(solve_spec(1, &[vec![1]]), SolveResult::Sat);
+        assert_eq!(solve_spec(1, &[vec![1], vec![-1]]), SolveResult::Unsat);
+        assert_eq!(solve_spec(0, &[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // x1, x1→x2, x2→x3, x3→¬x1 is unsat.
+        let cls = vec![vec![1], vec![-1, 2], vec![-2, 3], vec![-3, -1]];
+        assert_eq!(solve_spec(3, &cls), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j. vars 1..6 = (i,j) for i in 0..3, j in 0..2.
+        let v = |i: i32, j: i32| i * 2 + j + 1;
+        let mut cls = Vec::new();
+        for i in 0..3 {
+            cls.push(vec![v(i, 0), v(i, 1)]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    cls.push(vec![-v(a, j), -v(b, j)]);
+                }
+            }
+        }
+        assert_eq!(solve_spec(6, &cls), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        // Deterministic xorshift so the test is reproducible.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..60 {
+            let n = 4 + (next() % 6) as usize; // 4..9 vars
+            let m = n * 4; // near the hard ratio
+            let mut clauses = Vec::with_capacity(m);
+            for _ in 0..m {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let var = (next() % n as u64) as i32 + 1;
+                    let sign = if next() % 2 == 0 { 1 } else { -1 };
+                    c.push(var * sign);
+                }
+                clauses.push(c);
+            }
+            let expected = brute_force(n, &clauses);
+            let got = solve_spec(n, &clauses) == SolveResult::Sat;
+            assert_eq!(got, expected, "round {round}: n={n} clauses={clauses:?}");
+        }
+    }
+
+    #[test]
+    fn assumptions_restrict_and_release() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.lit(), b.lit()]); // a ∨ b
+        assert_eq!(s.solve_with(&[!a.lit(), !b.lit()]), SolveResult::Unsat);
+        // Assumptions do not persist.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve_with(&[!a.lit()]), SolveResult::Sat);
+        assert!(s.model_value(b.lit()));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(&lits(&vars, &[1, 2]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&lits(&vars, &[-1]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(vars[1].lit()));
+        s.add_clause(&lits(&vars, &[-2]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // Once root-level unsat, it stays unsat.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn blocking_clause_enumeration() {
+        // Enumerate all 4 models of (a ∨ b) ∧ (¬a ∨ ¬b) ... actually 2.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.lit(), b.lit()]);
+        s.add_clause(&[!a.lit(), !b.lit()]);
+        let mut models = Vec::new();
+        while s.solve() == SolveResult::Sat {
+            let ma = s.model_value(a.lit());
+            let mb = s.model_value(b.lit());
+            models.push((ma, mb));
+            s.add_clause(&[Lit::new(a, !ma), Lit::new(b, !mb)]);
+        }
+        models.sort();
+        assert_eq!(models, vec![(false, true), (true, false)]);
+    }
+
+    #[test]
+    fn tautology_and_duplicate_literals_are_handled() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_clause(&[a.lit(), !a.lit()])); // tautology: ignored
+        assert!(s.add_clause(&[b.lit(), b.lit(), b.lit()])); // dedup to unit
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(b.lit()));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+        for i in 0..7 {
+            s.add_clause(&[!vars[i].lit(), vars[i + 1].lit()]);
+        }
+        s.add_clause(&[vars[0].lit()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let st = s.stats();
+        assert!(st.propagations >= 8, "chain should propagate, got {st:?}");
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn xor_chain_unsat() {
+        // x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 ⊕ x3 = 1 is unsat (parity).
+        let xor1 = |a: i32, b: i32| vec![vec![a, b], vec![-a, -b]];
+        let mut cls = Vec::new();
+        cls.extend(xor1(1, 2));
+        cls.extend(xor1(2, 3));
+        cls.extend(xor1(1, 3));
+        assert_eq!(solve_spec(3, &cls), SolveResult::Unsat);
+    }
+}

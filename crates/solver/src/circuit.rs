@@ -1,0 +1,298 @@
+//! Tseitin circuit construction on top of the CDCL solver.
+//!
+//! A [`CircuitBuilder`] owns a [`Solver`] and hands out gate outputs as
+//! [`Lit`]s. Gates are encoded with the standard Tseitin clauses; constants
+//! are represented by one dedicated always-true variable so that constant
+//! folding stays purely syntactic (`and([])` is `TRUE`, `or` over a `TRUE`
+//! input is `TRUE`, and so on).
+//!
+//! The Jinjing formulas (Eq. 3, Eq. 6, Eq. 7, Eq. 10) are all built through
+//! this interface: ACL decision models become circuits over header bits,
+//! path decision models conjoin them, and the consistency checks compare
+//! before/after circuits with `iff`.
+
+use crate::cdcl::{SolveResult, Solver};
+use crate::lit::Lit;
+
+/// Gate builder over an embedded solver.
+#[derive(Debug)]
+pub struct CircuitBuilder {
+    solver: Solver,
+    true_lit: Lit,
+}
+
+impl Default for CircuitBuilder {
+    fn default() -> CircuitBuilder {
+        CircuitBuilder::new()
+    }
+}
+
+impl CircuitBuilder {
+    /// Fresh builder with the constant-`true` variable pre-asserted.
+    pub fn new() -> CircuitBuilder {
+        let mut solver = Solver::new();
+        let t = solver.new_var().lit();
+        solver.add_clause(&[t]);
+        CircuitBuilder {
+            solver,
+            true_lit: t,
+        }
+    }
+
+    /// The constant `true`.
+    pub fn t(&self) -> Lit {
+        self.true_lit
+    }
+
+    /// The constant `false`.
+    pub fn f(&self) -> Lit {
+        !self.true_lit
+    }
+
+    /// A fresh unconstrained input variable.
+    pub fn input(&mut self) -> Lit {
+        self.solver.new_var().lit()
+    }
+
+    /// `true` if the literal is the constant true/false.
+    fn is_const(&self, l: Lit, value: bool) -> bool {
+        l == if value { self.true_lit } else { !self.true_lit }
+    }
+
+    /// Conjunction of any number of literals.
+    pub fn and(&mut self, inputs: &[Lit]) -> Lit {
+        let mut xs: Vec<Lit> = Vec::with_capacity(inputs.len());
+        for &l in inputs {
+            if self.is_const(l, true) {
+                continue;
+            }
+            if self.is_const(l, false) {
+                return self.f();
+            }
+            if xs.contains(&!l) {
+                return self.f();
+            }
+            if !xs.contains(&l) {
+                xs.push(l);
+            }
+        }
+        match xs.len() {
+            0 => self.t(),
+            1 => xs[0],
+            _ => {
+                let g = self.input();
+                // g → xi for each i; (∧xi) → g.
+                let mut long = Vec::with_capacity(xs.len() + 1);
+                for &x in &xs {
+                    self.solver.add_clause(&[!g, x]);
+                    long.push(!x);
+                }
+                long.push(g);
+                self.solver.add_clause(&long);
+                g
+            }
+        }
+    }
+
+    /// Disjunction of any number of literals.
+    pub fn or(&mut self, inputs: &[Lit]) -> Lit {
+        let negs: Vec<Lit> = inputs.iter().map(|&l| !l).collect();
+        let a = self.and(&negs);
+        !a
+    }
+
+    /// If-then-else: `c ? t : e`.
+    pub fn ite(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
+        if self.is_const(c, true) {
+            return t;
+        }
+        if self.is_const(c, false) {
+            return e;
+        }
+        if t == e {
+            return t;
+        }
+        // Common constant cases fold into single gates.
+        if self.is_const(t, true) {
+            return self.or(&[c, e]); // c ∨ e
+        }
+        if self.is_const(t, false) {
+            let nc = !c;
+            return self.and(&[nc, e]); // ¬c ∧ e
+        }
+        if self.is_const(e, true) {
+            let nc = !c;
+            return self.or(&[nc, t]); // ¬c ∨ t
+        }
+        if self.is_const(e, false) {
+            return self.and(&[c, t]); // c ∧ t
+        }
+        let g = self.input();
+        self.solver.add_clause(&[!g, !c, t]);
+        self.solver.add_clause(&[!g, c, e]);
+        self.solver.add_clause(&[g, !c, !t]);
+        self.solver.add_clause(&[g, c, !e]);
+        // Redundant but propagation-strengthening clauses.
+        self.solver.add_clause(&[!g, t, e]);
+        self.solver.add_clause(&[g, !t, !e]);
+        g
+    }
+
+    /// Biconditional `a ⇔ b`.
+    pub fn iff(&mut self, a: Lit, b: Lit) -> Lit {
+        self.ite(a, b, !b)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.iff(a, b)
+    }
+
+    /// Assert that a literal holds (top-level constraint).
+    pub fn assert(&mut self, l: Lit) {
+        self.solver.add_clause(&[l]);
+    }
+
+    /// Assert a raw clause (disjunction of literals).
+    pub fn assert_clause(&mut self, lits: &[Lit]) {
+        self.solver.add_clause(lits);
+    }
+
+    /// Solve the asserted constraints.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solver.solve()
+    }
+
+    /// Solve under assumptions.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solver.solve_with(assumptions)
+    }
+
+    /// Model value of a literal after a `Sat` answer.
+    pub fn model_value(&self, l: Lit) -> bool {
+        self.solver.model_value(l)
+    }
+
+    /// Borrow the underlying solver (stats, clause counts).
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively verify a 2-input gate against a reference function.
+    fn check_gate2(build: impl Fn(&mut CircuitBuilder, Lit, Lit) -> Lit, reference: fn(bool, bool) -> bool) {
+        for va in [false, true] {
+            for vb in [false, true] {
+                let mut c = CircuitBuilder::new();
+                let a = c.input();
+                let b = c.input();
+                let g = build(&mut c, a, b);
+                c.assert(Lit::new(a.var(), va));
+                c.assert(Lit::new(b.var(), vb));
+                assert_eq!(c.solve(), SolveResult::Sat);
+                assert_eq!(c.model_value(g), reference(va, vb), "inputs {va} {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn and_gate_truth_table() {
+        check_gate2(|c, a, b| c.and(&[a, b]), |x, y| x && y);
+    }
+
+    #[test]
+    fn or_gate_truth_table() {
+        check_gate2(|c, a, b| c.or(&[a, b]), |x, y| x || y);
+    }
+
+    #[test]
+    fn xor_and_iff_truth_tables() {
+        check_gate2(|c, a, b| c.xor(a, b), |x, y| x != y);
+        check_gate2(|c, a, b| c.iff(a, b), |x, y| x == y);
+    }
+
+    #[test]
+    fn ite_truth_table() {
+        for vc in [false, true] {
+            for vt in [false, true] {
+                for ve in [false, true] {
+                    let mut cb = CircuitBuilder::new();
+                    let c = cb.input();
+                    let t = cb.input();
+                    let e = cb.input();
+                    let g = cb.ite(c, t, e);
+                    cb.assert(Lit::new(c.var(), vc));
+                    cb.assert(Lit::new(t.var(), vt));
+                    cb.assert(Lit::new(e.var(), ve));
+                    assert_eq!(cb.solve(), SolveResult::Sat);
+                    assert_eq!(cb.model_value(g), if vc { vt } else { ve });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut c = CircuitBuilder::new();
+        let a = c.input();
+        let t = c.t();
+        let f = c.f();
+        assert_eq!(c.and(&[]), t);
+        assert_eq!(c.and(&[t, t]), t);
+        assert_eq!(c.and(&[a, t]), a);
+        assert_eq!(c.and(&[a, f]), f);
+        assert_eq!(c.and(&[a, !a]), f);
+        assert_eq!(c.and(&[a, a]), a);
+        assert_eq!(c.or(&[]), f);
+        assert_eq!(c.or(&[a, t]), t);
+        assert_eq!(c.or(&[a, f]), a);
+        let x = c.ite(t, a, f);
+        assert_eq!(x, a);
+        let y = c.ite(a, t, f);
+        assert_eq!(y, a); // c?true:false == c after folding through or/and
+    }
+
+    #[test]
+    fn wide_and_requires_all_inputs() {
+        let mut c = CircuitBuilder::new();
+        let inputs: Vec<Lit> = (0..16).map(|_| c.input()).collect();
+        let g = c.and(&inputs);
+        c.assert(g);
+        assert_eq!(c.solve(), SolveResult::Sat);
+        for &i in &inputs {
+            assert!(c.model_value(i));
+        }
+        // Forcing one input low makes g unsat.
+        c.assert(!inputs[7]);
+        assert_eq!(c.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assert_clause_works() {
+        let mut c = CircuitBuilder::new();
+        let a = c.input();
+        let b = c.input();
+        c.assert_clause(&[a, b]);
+        c.assert(!a);
+        assert_eq!(c.solve(), SolveResult::Sat);
+        assert!(c.model_value(b));
+    }
+
+    #[test]
+    fn equivalence_checking_pattern() {
+        // (a ∧ b) ⇔ ¬(¬a ∨ ¬b) is a tautology: its negation is unsat.
+        let mut c = CircuitBuilder::new();
+        let a = c.input();
+        let b = c.input();
+        let lhs = c.and(&[a, b]);
+        let rhs_inner = c.or(&[!a, !b]);
+        let rhs = !rhs_inner;
+        let eq = c.iff(lhs, rhs);
+        c.assert(!eq);
+        assert_eq!(c.solve(), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,114 @@
+//! Boolean variables and literals with the usual packed encoding.
+
+use std::fmt;
+
+/// A boolean variable, identified by a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Dense index, usable for direct array addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn lit(self) -> Lit {
+        Lit::positive(self)
+    }
+}
+
+/// A literal: a variable or its negation, packed as `var << 1 | negated`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal `v`.
+    pub fn positive(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal `¬v`.
+    pub fn negative(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Build from a variable and a sign (`true` = positive).
+    pub fn new(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::positive(v)
+        } else {
+            Lit::negative(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` for a positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Packed code, usable for direct array addressing (`2·var + sign`).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild from a packed code.
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.var().0)
+        } else {
+            write!(f, "¬x{}", self.var().0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_is_involutive() {
+        let l = Lit::positive(Var(7));
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).var(), l.var());
+        assert!(l.is_positive());
+        assert!(!(!l).is_positive());
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for v in [0u32, 1, 100, 1_000_000] {
+            for pos in [true, false] {
+                let l = Lit::new(Var(v), pos);
+                assert_eq!(Lit::from_code(l.code()), l);
+                assert_eq!(l.var(), Var(v));
+                assert_eq!(l.is_positive(), pos);
+            }
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Lit::positive(Var(3)).to_string(), "x3");
+        assert_eq!(Lit::negative(Var(3)).to_string(), "¬x3");
+    }
+}

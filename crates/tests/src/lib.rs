@@ -1,0 +1,5 @@
+//! Umbrella package for the cross-crate integration tests living in the
+//! repository-level `tests/` directory. See that directory for the suites:
+//! paper worked examples (`running_example`), synthetic-WAN end-to-end runs
+//! (`wan_integration`), and property-based suites over the set algebra, ACL
+//! semantics, the SAT solver, the LAI language and the three primitives.

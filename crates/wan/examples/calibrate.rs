@@ -1,0 +1,79 @@
+//! Developer timing probe for the §8 presets: run any subset of the
+//! primitives against the three network sizes and print wall-clock
+//! breakdowns. Used while tuning the workload generator; the polished
+//! equivalent for reproducing the paper's tables is the `figures` binary
+//! in `jinjing-bench`.
+//!
+//! ```sh
+//! cargo run --release -p jinjing-wan --example calibrate -- check,fix,batch,gen,open
+//! ```
+use jinjing_core::check::{check, CheckConfig};
+use jinjing_core::fix::{fix, FixConfig};
+use jinjing_core::generate::{generate, GenerateConfig};
+use jinjing_lai::Command;
+use jinjing_wan::scenarios;
+use jinjing_wan::{build_wan, NetSize, WanParams};
+use jinjing_core::Encoding;
+use std::time::Instant;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    for size in [NetSize::Small, NetSize::Medium, NetSize::Large] {
+        let wan = build_wan(&WanParams::preset(size));
+        // Pre-warm the forwarding-predicate cache (routing data is static).
+        for d in wan.net.topology().devices() { let _ = wan.net.forwarding_predicates(d); }
+        if arg.contains("check") {
+            let sc = scenarios::checkfix(&wan, 0.03, 1, Command::Check);
+            for (label, cfg) in [
+                ("diff+tree", CheckConfig::default()),
+                ("basic+seq", CheckConfig { differential: false, encoding: Encoding::Sequential, ..CheckConfig::default() }),
+            ] {
+                let t = Instant::now();
+                let r = check(&wan.net, &sc.task, &cfg).unwrap();
+                println!("{} check[{label}]: {:?} fecs={} paths={} pre={:?} refine={:?} pathen={:?} solve={:?}", size.label(), t.elapsed(), r.fec_count, r.paths_checked, r.t_preprocess, r.t_refine, r.t_paths, r.t_solve);
+            }
+        }
+        if arg.contains("fix") {
+            let sc = scenarios::checkfix(&wan, 0.03, 1, Command::Fix);
+            let t = Instant::now();
+            let plan = fix(&wan.net, &sc.task, &FixConfig::default()).unwrap();
+            println!("{} fix: {:?} neighborhoods={} rules={}", size.label(), t.elapsed(), plan.neighborhoods.len(), plan.added_rules.len());
+        }
+        if arg.contains("batch") {
+            use jinjing_core::fix::FixStrategy;
+            let sc = scenarios::checkfix(&wan, 0.03, 1, Command::Fix);
+            let cfg = FixConfig { strategy: FixStrategy::ExactBatch, ..FixConfig::default() };
+            let t = Instant::now();
+            let plan = fix(&wan.net, &sc.task, &cfg).unwrap();
+            println!("{} fix[batch]: {:?} neighborhoods={} rules={}", size.label(), t.elapsed(), plan.neighborhoods.len(), plan.added_rules.len());
+        }
+        if arg.contains("gen") {
+            let sc = scenarios::migration(&wan);
+            let t = Instant::now();
+            let r = generate(&wan.net, &sc.task, &GenerateConfig::default()).unwrap();
+            println!("{} generate: {:?} aecs={} split={} rows={} rules={} phases: derive={:?} solve={:?} synth={:?}",
+                size.label(), t.elapsed(), r.aec_count, r.aecs_split, r.rows, r.rules_final,
+                r.phases.derive_aec, r.phases.solve, r.phases.synthesize);
+        }
+        if arg.contains("noopt") {
+            let sc = scenarios::migration(&wan);
+            let t = Instant::now();
+            let r = generate(&wan.net, &sc.task, &GenerateConfig { optimize: false, ..GenerateConfig::default() }).unwrap();
+            println!("{} generate[noopt]: {:?} rows={} rules={}", size.label(), t.elapsed(), r.rows, r.rules_final);
+        }
+        if arg.contains("exact") {
+            use jinjing_core::check::check_exact;
+            let sc = scenarios::migration(&wan);
+            let r = generate(&wan.net, &sc.task, &GenerateConfig::default()).unwrap();
+            let t = Instant::now();
+            let v = check_exact(&wan.net, &sc.task.scope, &sc.task.before, &r.generated, &[]);
+            println!("{} exact-verify: {:?} consistent={}", size.label(), t.elapsed(), v.is_consistent());
+        }
+        if arg.contains("open") {
+            let sc = scenarios::control_open(&wan, 2, 1);
+            let t = Instant::now();
+            let r = generate(&wan.net, &sc.task, &GenerateConfig::default()).unwrap();
+            println!("{} open2: {:?} aecs={} rules={}", size.label(), t.elapsed(), r.aec_count, r.rules_final);
+        }
+    }
+}

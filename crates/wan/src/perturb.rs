@@ -1,0 +1,167 @@
+//! Update-plan perturbation — the §8 check/fix workload.
+//!
+//! "We generate ACL update plans by randomly perturbing 1%, 3%, and 5% of
+//! the rules in each router": [`perturb`] mutates the requested fraction of
+//! installed rules (delete / flip action / widen prefix / insert fresh
+//! rule) and returns the updated configuration plus the touched slots.
+
+use jinjing_acl::{Acl, IpPrefix, MatchSpec, Rule};
+use jinjing_net::{AclConfig, Slot};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One applied mutation, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// A rule was deleted.
+    Delete,
+    /// A rule's action was inverted.
+    FlipAction,
+    /// A destination prefix was widened by one bit.
+    WidenPrefix,
+    /// A fresh deny rule was inserted at a random position.
+    Insert,
+}
+
+/// Perturb `fraction` (0.0–1.0) of the rules across all configured slots.
+/// Returns the mutated configuration, the slots touched, and the mutation
+/// kinds applied. Deterministic for a given seed.
+pub fn perturb(
+    config: &AclConfig,
+    fraction: f64,
+    seed: u64,
+) -> (AclConfig, Vec<Slot>, Vec<Perturbation>) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let slots = config.slots();
+    let total: usize = config.total_rules();
+    let budget = ((total as f64) * fraction).round().max(if fraction > 0.0 { 1.0 } else { 0.0 }) as usize;
+    let mut out = config.clone();
+    let mut touched: Vec<Slot> = Vec::new();
+    let mut kinds: Vec<Perturbation> = Vec::new();
+    for _ in 0..budget {
+        // Pick a random non-empty slot.
+        let candidates: Vec<Slot> = slots
+            .iter()
+            .copied()
+            .filter(|s| out.get(*s).is_some_and(|a| !a.is_empty()))
+            .collect();
+        let Some(&slot) = pick(&mut rng, &candidates) else { break };
+        let acl = out.get(slot).expect("candidate slot has an ACL").clone();
+        let mut rules: Vec<Rule> = acl.rules().to_vec();
+        // Bias the mutation toward deny rules: under a permit-all default
+        // those are the rules that carry semantics, which is what a botched
+        // operator edit would touch (deleting/flipping an idle permit is a
+        // no-op that check would rightly wave through).
+        let deny_idxs: Vec<usize> = rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.action == jinjing_acl::Action::Deny)
+            .map(|(i, _)| i)
+            .collect();
+        let idx = if deny_idxs.is_empty() {
+            rng.random_range(0..rules.len())
+        } else {
+            deny_idxs[rng.random_range(0..deny_idxs.len())]
+        };
+        let kind = match rng.random_range(0..4) {
+            0 => {
+                rules.remove(idx);
+                Perturbation::Delete
+            }
+            1 => {
+                rules[idx].action = rules[idx].action.flip();
+                Perturbation::FlipAction
+            }
+            2 => {
+                let m = rules[idx].matches;
+                if let Some(parent) = m.dst.parent() {
+                    rules[idx].matches = MatchSpec { dst: parent, ..m };
+                    Perturbation::WidenPrefix
+                } else {
+                    rules[idx].action = rules[idx].action.flip();
+                    Perturbation::FlipAction
+                }
+            }
+            _ => {
+                // Insert a fresh deny for a nearby /26 of an existing rule's
+                // destination.
+                let base = rules[idx].matches.dst;
+                let fresh = IpPrefix::new(base.addr(), base.len().clamp(8, 24) + 2);
+                let pos = rng.random_range(0..=rules.len());
+                rules.insert(
+                    pos,
+                    Rule::new(jinjing_acl::Action::Deny, MatchSpec::dst(fresh)),
+                );
+                Perturbation::Insert
+            }
+        };
+        out.set(slot, Acl::new(rules, acl.default_action()));
+        if !touched.contains(&slot) {
+            touched.push(slot);
+        }
+        kinds.push(kind);
+    }
+    touched.sort();
+    (out, touched, kinds)
+}
+
+fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> Option<&'a T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.random_range(0..xs.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_wan;
+    use crate::params::{NetSize, WanParams};
+
+    #[test]
+    fn perturbation_budget_respected() {
+        let wan = build_wan(&WanParams::preset(NetSize::Small));
+        let total = wan.installed_rules();
+        for fraction in [0.01, 0.03, 0.05] {
+            let (_, _, kinds) = perturb(&wan.config, fraction, 7);
+            let expected = ((total as f64) * fraction).round() as usize;
+            assert_eq!(kinds.len(), expected.max(1));
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let wan = build_wan(&WanParams::preset(NetSize::Small));
+        let (after, touched, kinds) = perturb(&wan.config, 0.0, 7);
+        assert!(touched.is_empty());
+        assert!(kinds.is_empty());
+        for slot in wan.config.slots() {
+            assert_eq!(after.get(slot), wan.config.get(slot));
+        }
+    }
+
+    #[test]
+    fn perturbation_changes_something() {
+        let wan = build_wan(&WanParams::preset(NetSize::Small));
+        let (after, touched, _) = perturb(&wan.config, 0.05, 7);
+        assert!(!touched.is_empty());
+        let changed = touched
+            .iter()
+            .any(|s| after.get(*s) != wan.config.get(*s));
+        assert!(changed, "at least one touched slot differs syntactically");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let wan = build_wan(&WanParams::preset(NetSize::Small));
+        let (a, ta, ka) = perturb(&wan.config, 0.03, 42);
+        let (b, tb, kb) = perturb(&wan.config, 0.03, 42);
+        assert_eq!(ta, tb);
+        assert_eq!(ka, kb);
+        for slot in a.slots() {
+            assert_eq!(a.get(slot), b.get(slot));
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The §8 experiment scenarios as resolved tasks + LAI programs.
+//!
+//! Each scenario constructs the [`jinjing_core::Task`] the benches
+//! drive directly, *and* the equivalent LAI [`Program`] (whose statement
+//! count reproduces Table 5). An integration test asserts the program
+//! resolves to the same task.
+
+use crate::build::Wan;
+use jinjing_acl::{Acl, IpPrefix, PacketSet};
+use jinjing_core::control::ResolvedControl;
+use jinjing_core::Task;
+use jinjing_lai::{
+    AclDef, Command, ControlStmt, ControlVerb, DirSpec, HeaderSel, IfaceSel, Modify, Program,
+    SlotPattern,
+};
+use jinjing_net::fib::prefix_set;
+use jinjing_net::{IfaceId, Slot};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// A scenario: the executable task and its LAI program.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Task to hand to the engine.
+    pub task: Task,
+    /// Equivalent LAI program.
+    pub program: Program,
+}
+
+fn pattern_for_iface(wan: &Wan, iface: IfaceId, dir: Option<DirSpec>) -> SlotPattern {
+    let topo = wan.net.topology();
+    let name = topo.iface_name(iface);
+    let (dev, ifname) = name.split_once(':').expect("iface_name is dev:iface");
+    SlotPattern {
+        device: dev.to_string(),
+        iface: IfaceSel::Named(ifname.to_string()),
+        dir,
+    }
+}
+
+fn scope_patterns(wan: &Wan) -> Vec<SlotPattern> {
+    wan.net
+        .topology()
+        .devices()
+        .map(|d| SlotPattern::star(&wan.net.topology().device(d).name))
+        .collect()
+}
+
+fn slot_pattern(wan: &Wan, slot: Slot) -> SlotPattern {
+    let dir = match slot.dir {
+        jinjing_net::Dir::In => DirSpec::In,
+        jinjing_net::Dir::Out => DirSpec::Out,
+    };
+    pattern_for_iface(wan, slot.iface, Some(dir))
+}
+
+/// The check/fix scenario (Figure 4a/4b): perturb `fraction` of the rules,
+/// then check (or fix) that the perturbed plan preserves reachability.
+/// `allow` covers the whole ACL layer, so fix always has a repair.
+pub fn checkfix(wan: &Wan, fraction: f64, seed: u64, command: Command) -> Scenario {
+    let (after, touched, _) = crate::perturb::perturb(&wan.config, fraction, seed);
+    let allow = wan.all_acl_slots();
+    let task = Task {
+        scope: wan.scope(),
+        allow: allow.clone(),
+        before: wan.config.clone(),
+        after: after.clone(),
+        modified: touched.clone(),
+        controls: Vec::new(),
+        command,
+    };
+    // LAI program: one named ACL per touched slot.
+    let mut program = Program {
+        scope: scope_patterns(wan),
+        command: Some(command),
+        ..Program::default()
+    };
+    for (i, &slot) in touched.iter().enumerate() {
+        let name = format!("U{i}");
+        program.acl_defs.push(AclDef {
+            name: name.clone(),
+            acl: after.get(slot).cloned().unwrap_or_else(Acl::permit_all),
+        });
+        program.modifies.push(Modify {
+            target: slot_pattern(wan, slot),
+            acl: name,
+        });
+    }
+    for &slot in &allow {
+        program.allow.push(slot_pattern(wan, slot));
+    }
+    Scenario { task, program }
+}
+
+/// The migration scenario (Figure 4c / §7 Scenario 3): drain every
+/// aggregation-layer ACL and regenerate equivalent filtering at the edge
+/// layer.
+pub fn migration(wan: &Wan) -> Scenario {
+    let sources = wan.all_acl_slots();
+    let mut after = wan.config.clone();
+    for &s in &sources {
+        after.set(s, Acl::permit_all());
+    }
+    let task = Task {
+        scope: wan.scope(),
+        allow: wan.edge_slots.clone(),
+        before: wan.config.clone(),
+        after,
+        modified: sources.clone(),
+        controls: Vec::new(),
+        command: Command::Generate,
+    };
+    let mut program = Program {
+        scope: scope_patterns(wan),
+        command: Some(Command::Generate),
+        ..Program::default()
+    };
+    program.acl_defs.push(AclDef {
+        name: "PermitAll".to_string(),
+        acl: Acl::permit_all(),
+    });
+    for &slot in &sources {
+        program.modifies.push(Modify {
+            target: slot_pattern(wan, slot),
+            acl: "PermitAll".to_string(),
+        });
+    }
+    for &slot in &wan.edge_slots {
+        program.allow.push(slot_pattern(wan, slot));
+    }
+    Scenario { task, program }
+}
+
+/// The reachability-control scenario (Figure 4d): `control … open` a set of
+/// `k` prefixes per edge device, regenerating the aggregation ACLs so the
+/// opened traffic flows while everything else keeps its reachability.
+pub fn control_open(wan: &Wan, prefixes_per_device: usize, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let uplinks: HashSet<IfaceId> = wan.uplinks.iter().copied().collect();
+    let mut controls: Vec<ResolvedControl> = Vec::new();
+    let mut stmts: Vec<ControlStmt> = Vec::new();
+    let from_pats: Vec<SlotPattern> = wan
+        .uplinks
+        .iter()
+        .map(|&u| pattern_for_iface(wan, u, None))
+        .collect();
+    for (ei, prefixes) in wan.edge_prefixes.iter().enumerate() {
+        let k = prefixes_per_device.min(prefixes.len());
+        let mut chosen: Vec<IpPrefix> = Vec::new();
+        while chosen.len() < k {
+            let p = prefixes[rng.random_range(0..prefixes.len())];
+            if !chosen.contains(&p) {
+                chosen.push(p);
+            }
+        }
+        for p in chosen {
+            controls.push(ResolvedControl {
+                from: uplinks.clone(),
+                to: HashSet::from([wan.downlinks[ei]]),
+                verb: ControlVerb::Open,
+                region: prefix_set(&p),
+            });
+            stmts.push(ControlStmt {
+                from: from_pats.clone(),
+                to: vec![pattern_for_iface(wan, wan.downlinks[ei], None)],
+                verb: ControlVerb::Open,
+                header: HeaderSel::Dst(p),
+            });
+        }
+    }
+    let targets = wan.all_acl_slots();
+    let task = Task {
+        scope: wan.scope(),
+        allow: targets.clone(),
+        before: wan.config.clone(),
+        after: wan.config.clone(),
+        modified: Vec::new(),
+        controls,
+        command: Command::Generate,
+    };
+    let mut program = Program {
+        scope: scope_patterns(wan),
+        controls: stmts,
+        command: Some(Command::Generate),
+        ..Program::default()
+    };
+    for &slot in &targets {
+        program.allow.push(slot_pattern(wan, slot));
+    }
+    Scenario { task, program }
+}
+
+/// The southbound traffic universe (what the §8 experiments verify).
+pub fn southbound_universe(wan: &Wan) -> PacketSet {
+    wan.edge_prefixes
+        .iter()
+        .flatten()
+        .fold(PacketSet::empty(), |a, p| a.union(&prefix_set(p)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_wan;
+    use crate::params::{NetSize, WanParams};
+    use jinjing_core::resolve::resolve;
+    use jinjing_lai::{print_program, validate};
+
+    fn small() -> Wan {
+        build_wan(&WanParams::preset(NetSize::Small))
+    }
+
+    #[test]
+    fn checkfix_program_resolves_to_equivalent_task() {
+        let wan = small();
+        let sc = checkfix(&wan, 0.03, 11, Command::Check);
+        let printed = print_program(&sc.program);
+        let reparsed = validate(jinjing_lai::parse_program(&printed).unwrap()).unwrap();
+        let task = resolve(&wan.net, &reparsed, &wan.config).unwrap();
+        assert_eq!(task.command, Command::Check);
+        assert_eq!(task.scope.len(), sc.task.scope.len());
+        assert_eq!(task.modified.len(), sc.task.modified.len());
+        // After-configs agree semantically on every modified slot.
+        for &slot in &sc.task.modified {
+            assert!(task
+                .after
+                .get(slot)
+                .unwrap()
+                .equivalent(sc.task.after.get(slot).unwrap()));
+        }
+    }
+
+    #[test]
+    fn migration_program_resolves() {
+        let wan = small();
+        let sc = migration(&wan);
+        let printed = print_program(&sc.program);
+        let reparsed = validate(jinjing_lai::parse_program(&printed).unwrap()).unwrap();
+        let task = resolve(&wan.net, &reparsed, &wan.config).unwrap();
+        assert_eq!(task.command, Command::Generate);
+        assert_eq!(task.allow, sc.task.allow);
+        for &slot in &sc.task.modified {
+            assert!(task.after.get(slot).unwrap().is_permit_all());
+        }
+    }
+
+    #[test]
+    fn control_open_program_resolves() {
+        let wan = small();
+        let sc = control_open(&wan, 2, 5);
+        let printed = print_program(&sc.program);
+        let reparsed = validate(jinjing_lai::parse_program(&printed).unwrap()).unwrap();
+        let task = resolve(&wan.net, &reparsed, &wan.config).unwrap();
+        assert_eq!(task.controls.len(), sc.task.controls.len());
+        // Controls carry the same regions.
+        for (a, b) in task.controls.iter().zip(&sc.task.controls) {
+            assert!(a.region.same_set(&b.region));
+            assert_eq!(a.verb, b.verb);
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.to, b.to);
+        }
+    }
+
+    #[test]
+    fn table5_statement_counts_scale_as_expected() {
+        use jinjing_lai::printer::statement_count;
+        let wan = small();
+        let check = checkfix(&wan, 0.01, 3, Command::Check);
+        let mig = migration(&wan);
+        let open1 = control_open(&wan, 1, 3);
+        let open3 = control_open(&wan, 3, 3);
+        // check/fix and migration stay compact; open grows with k.
+        assert!(statement_count(&check.program) < 40);
+        assert!(statement_count(&mig.program) < 40);
+        let edges = wan.all_edges().len();
+        assert_eq!(
+            statement_count(&open3.program) - statement_count(&open1.program),
+            2 * edges
+        );
+    }
+
+    #[test]
+    fn unperturbed_checkfix_is_consistent() {
+        use jinjing_core::check::{check, CheckConfig};
+        let wan = small();
+        let sc = checkfix(&wan, 0.0, 3, Command::Check);
+        let r = check(&wan.net, &sc.task, &CheckConfig::default()).unwrap();
+        assert!(r.outcome.is_consistent());
+    }
+}

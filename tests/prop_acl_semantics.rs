@@ -1,0 +1,171 @@
+//! Property tests over ACL semantics: parsing, evaluation vs compiled
+//! permit-sets, simplification, the differential-rule machinery (Theorem
+//! 4.1), and both solver encodings against concrete evaluation.
+
+use jinjing_acl::diff::AclDiff;
+use jinjing_acl::parse::{parse_acl, parse_rule};
+use jinjing_acl::simplify::simplify;
+use jinjing_acl::{Acl, Action, IpPrefix, MatchSpec, Packet, PortRange, Proto, Rule};
+use jinjing_solver::aclenc::{encode, Encoding};
+use jinjing_solver::cdcl::SolveResult;
+use jinjing_solver::{CircuitBuilder, HeaderVars};
+use proptest::prelude::*;
+
+#[allow(dead_code)]
+fn prefix() -> impl Strategy<Value = IpPrefix> {
+    (any::<u32>(), 0u32..=32).prop_map(|(a, l)| IpPrefix::new(a, l))
+}
+
+/// Prefixes clustered in a small space so rules overlap (like real ACLs).
+fn clustered_prefix() -> impl Strategy<Value = IpPrefix> {
+    (0u32..16, 8u32..=24).prop_map(|(n, l)| IpPrefix::new(n << 24 | 0x0001_0000, l))
+}
+
+fn match_spec() -> impl Strategy<Value = MatchSpec> {
+    (
+        prop_oneof![3 => Just(IpPrefix::any()), 1 => clustered_prefix()],
+        prop_oneof![1 => Just(IpPrefix::any()), 3 => clustered_prefix()],
+        prop_oneof![3 => Just(PortRange::any()), 1 => (0u16..100).prop_map(|l| PortRange::new(l, l + 900))],
+        prop_oneof![3 => Just(PortRange::any()), 1 => (0u16..1000).prop_map(|l| PortRange::new(l, l + 23))],
+        prop_oneof![4 => Just(None), 1 => Just(Some(Proto::Tcp)), 1 => Just(Some(Proto::Udp))],
+    )
+        .prop_map(|(src, dst, sport, dport, proto)| MatchSpec {
+            src,
+            dst,
+            sport,
+            dport,
+            proto,
+        })
+}
+
+fn rule() -> impl Strategy<Value = Rule> {
+    (any::<bool>(), match_spec()).prop_map(|(permit, m)| Rule::new(Action::from_bool(permit), m))
+}
+
+fn acl() -> impl Strategy<Value = Acl> {
+    (prop::collection::vec(rule(), 0..8), any::<bool>())
+        .prop_map(|(rules, dp)| Acl::new(rules, Action::from_bool(dp)))
+}
+
+/// Packets biased into the clustered space so they actually hit rules.
+fn packet() -> impl Strategy<Value = Packet> {
+    (
+        prop_oneof![1 => any::<u32>(), 2 => (0u32..16, any::<u16>()).prop_map(|(n, x)| n << 24 | 0x0001_0000 | x as u32)],
+        prop_oneof![1 => any::<u32>(), 2 => (0u32..16, any::<u16>()).prop_map(|(n, x)| n << 24 | 0x0001_0000 | x as u32)],
+        any::<u16>(),
+        0u16..1100,
+        prop_oneof![Just(6u8), Just(17u8), any::<u8>()],
+    )
+        .prop_map(|(s, d, sp, dp, pr)| Packet::new(s, d, sp, dp, pr))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Display → parse is the identity for rules.
+    #[test]
+    fn rule_roundtrip(r in rule()) {
+        let printed = r.to_string();
+        let back = parse_rule(&printed).expect("printed rule parses");
+        prop_assert_eq!(back, r, "{}", printed);
+    }
+
+    /// Display → parse is the identity for whole ACLs.
+    #[test]
+    fn acl_roundtrip(a in acl()) {
+        let printed = a.to_string().replace("(default ", "default ").replace(')', "");
+        let back = parse_acl(&printed).expect("printed acl parses");
+        prop_assert_eq!(back.rules(), a.rules());
+        prop_assert_eq!(back.default_action(), a.default_action());
+    }
+
+    /// The compiled permit-set agrees with first-match evaluation.
+    #[test]
+    fn permit_set_matches_eval(a in acl(), p in packet()) {
+        prop_assert_eq!(a.permit_set().contains(&p), a.permits(&p));
+    }
+
+    /// Simplification preserves the decision model and never grows.
+    #[test]
+    fn simplify_preserves_semantics(a in acl(), p in packet()) {
+        let (s, stats) = simplify(&a);
+        prop_assert!(s.len() <= a.len());
+        prop_assert_eq!(stats.after, s.len());
+        prop_assert_eq!(s.eval(&p), a.eval(&p));
+        prop_assert!(s.equivalent(&a));
+    }
+
+    /// Simplification is idempotent.
+    #[test]
+    fn simplify_idempotent(a in acl()) {
+        let (s1, _) = simplify(&a);
+        let (s2, _) = simplify(&s1);
+        prop_assert_eq!(s1.rules(), s2.rules());
+    }
+
+    /// Theorem 4.1, concretely: wherever the full pair disagrees, the
+    /// packet lies in the differential cover, and the reduced pair
+    /// reproduces the disagreement pattern on the cover.
+    #[test]
+    fn theorem_4_1(a in acl(), b in acl(), p in packet()) {
+        let d = AclDiff::compute(&a, &b);
+        let full_agree = a.permits(&p) == b.permits(&p);
+        if !full_agree {
+            prop_assert!(d.cover.contains(&p), "disagreement outside cover");
+        }
+        if d.cover.contains(&p) {
+            // Inside the cover, reduced decisions equal full decisions.
+            prop_assert_eq!(d.reduced_before.permits(&p), a.permits(&p));
+            prop_assert_eq!(d.reduced_after.permits(&p), b.permits(&p));
+        } else {
+            // Outside, the reduced pair agrees with itself.
+            prop_assert_eq!(
+                d.reduced_before.permits(&p),
+                d.reduced_after.permits(&p)
+            );
+        }
+    }
+
+    /// An ACL diffed with itself is unchanged.
+    #[test]
+    fn self_diff_is_empty(a in acl()) {
+        let d = AclDiff::compute(&a, &a.clone());
+        prop_assert!(d.is_unchanged());
+        prop_assert!(d.cover.is_empty());
+    }
+
+    /// Both circuit encodings agree with concrete evaluation.
+    #[test]
+    fn encodings_match_eval(a in acl(), p in packet()) {
+        for enc in [Encoding::Sequential, Encoding::Tree] {
+            let mut c = CircuitBuilder::new();
+            let h = HeaderVars::new(&mut c);
+            let g = encode(&mut c, &h, &a, enc);
+            h.assert_packet(&mut c, &p);
+            prop_assert_eq!(c.solve(), SolveResult::Sat);
+            prop_assert_eq!(c.model_value(g), a.permits(&p), "{:?} on {}", enc, p);
+        }
+    }
+
+    /// The two encodings are equisatisfiable (solver-proved equivalence).
+    #[test]
+    fn encodings_equivalent(a in acl()) {
+        let mut c = CircuitBuilder::new();
+        let h = HeaderVars::new(&mut c);
+        let s = jinjing_solver::aclenc::encode_sequential(&mut c, &h, &a);
+        let t = jinjing_solver::aclenc::encode_tree(&mut c, &h, &a);
+        let eq = c.iff(s, t);
+        c.assert(!eq);
+        prop_assert_eq!(c.solve(), SolveResult::Unsat);
+    }
+
+    /// `hit_rules` returns exactly the first-match rules of the members.
+    #[test]
+    fn hit_rules_sound(a in acl(), p in packet()) {
+        let hits = a.hit_rules(&jinjing_acl::PacketSet::singleton(&p));
+        match a.first_match(&p) {
+            Some(i) => prop_assert_eq!(hits, vec![i]),
+            None => prop_assert!(hits.is_empty()),
+        }
+    }
+}

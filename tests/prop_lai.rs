@@ -1,0 +1,248 @@
+//! Property tests for the LAI language: printing a random program and
+//! parsing it back is the identity, and the Table 5 statement count is
+//! stable under the roundtrip.
+
+use jinjing_acl::{Acl, Action, IpPrefix, Rule};
+use jinjing_lai::printer::{line_count, statement_count};
+use jinjing_lai::{
+    parse_program, print_program, AclDef, Command, ControlStmt, ControlVerb, DirSpec, HeaderSel,
+    IfaceSel, Modify, Program, SlotPattern,
+};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,6}".prop_map(|s| s)
+}
+
+fn pattern() -> impl Strategy<Value = SlotPattern> {
+    (
+        ident(),
+        prop_oneof![Just(IfaceSel::Star), ident().prop_map(IfaceSel::Named)],
+        prop_oneof![Just(None), Just(Some(DirSpec::In)), Just(Some(DirSpec::Out))],
+    )
+        .prop_map(|(device, iface, dir)| SlotPattern { device, iface, dir })
+}
+
+fn prefix() -> impl Strategy<Value = IpPrefix> {
+    (any::<u32>(), 0u32..=32).prop_map(|(a, l)| IpPrefix::new(a, l))
+}
+
+fn acl_def(idx: usize) -> impl Strategy<Value = AclDef> {
+    (prop::collection::vec(prefix(), 0..4), any::<bool>()).prop_map(move |(ps, dp)| AclDef {
+        name: format!("Acl{idx}"),
+        acl: Acl::new(
+            ps.into_iter()
+                .map(|p| Rule::on_dst(Action::Deny, p))
+                .collect(),
+            Action::from_bool(dp),
+        ),
+    })
+}
+
+fn header_sel() -> impl Strategy<Value = HeaderSel> {
+    prop_oneof![
+        Just(HeaderSel::All),
+        prefix().prop_map(HeaderSel::Src),
+        prefix().prop_map(HeaderSel::Dst),
+    ]
+}
+
+fn control() -> impl Strategy<Value = ControlStmt> {
+    (
+        prop::collection::vec(pattern(), 1..3),
+        prop::collection::vec(pattern(), 1..3),
+        prop_oneof![
+            Just(ControlVerb::Isolate),
+            Just(ControlVerb::Open),
+            Just(ControlVerb::Maintain)
+        ],
+        header_sel(),
+    )
+        .prop_map(|(from, to, verb, header)| ControlStmt {
+            from,
+            to,
+            verb,
+            header,
+        })
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(Just(()), 0..3),
+        prop::collection::vec(pattern(), 1..4),
+        prop::collection::vec(pattern(), 0..4),
+        prop::collection::vec(control(), 0..4),
+        prop_oneof![
+            Just(Command::Check),
+            Just(Command::Fix),
+            Just(Command::Generate)
+        ],
+    )
+        .prop_flat_map(|(defs, scope, allow, controls, command)| {
+            let n = defs.len();
+            let defs_strategy: Vec<_> = (0..n).map(acl_def).collect();
+            (defs_strategy, prop::collection::vec(0..n.max(1), 0..=n.min(3)))
+                .prop_map(move |(acl_defs, modify_refs)| {
+                    let modifies: Vec<Modify> = modify_refs
+                        .iter()
+                        .filter(|&&i| i < acl_defs.len())
+                        .map(|&i| Modify {
+                            target: SlotPattern::named("Dev", "1"),
+                            acl: acl_defs[i].name.clone(),
+                        })
+                        .collect();
+                    Program {
+                        acl_defs: acl_defs.clone(),
+                        scope: scope.clone(),
+                        allow: allow.clone(),
+                        modifies,
+                        controls: controls.clone(),
+                        command: Some(command),
+                    }
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print → parse is the identity on the AST.
+    #[test]
+    fn print_parse_roundtrip(p in program()) {
+        let printed = print_program(&p);
+        let back = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{printed}"));
+        prop_assert_eq!(back, p, "printed:\n{}", printed);
+    }
+
+    /// Statement counts are roundtrip-stable and bounded by line counts.
+    #[test]
+    fn statement_count_stable(p in program()) {
+        let printed = print_program(&p);
+        let back = parse_program(&printed).expect("reparse");
+        prop_assert_eq!(statement_count(&back), statement_count(&p));
+        prop_assert!(statement_count(&p) <= line_count(&p));
+    }
+}
+
+/// Spec round-trips: a network exported to its JSON spec and rebuilt keeps
+/// its topology, announcements and traffic matrix semantics.
+#[cfg(test)]
+mod spec_roundtrip {
+    use jinjing_net::spec::{AclConfigSpec, NetworkSpec};
+    use proptest::prelude::*;
+
+    /// Random small chain/star networks.
+    fn arbitrary_network() -> impl Strategy<Value = NetworkSpec> {
+        (2usize..5, 1usize..4).prop_map(|(n, prefixes)| {
+            let mut spec = NetworkSpec::default();
+            for i in 0..n {
+                spec.devices.push(jinjing_net::spec::DeviceSpec {
+                    name: format!("R{i}"),
+                    interfaces: vec!["l".into(), "r".into(), "x".into()],
+                });
+            }
+            for i in 0..n - 1 {
+                spec.links.push((format!("R{i}:r"), format!("R{}:l", i + 1)));
+            }
+            for k in 0..prefixes {
+                spec.announcements.push(jinjing_net::spec::AnnouncementSpec {
+                    prefix: format!("{}.0.0.0/8", k + 1),
+                    interface: format!("R{}:x", k % n),
+                });
+            }
+            spec
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn network_spec_roundtrip(spec in arbitrary_network()) {
+            let net = spec.build().expect("buildable");
+            let exported = NetworkSpec::from_network(&net);
+            let rebuilt = exported.build().expect("rebuildable");
+            prop_assert_eq!(
+                rebuilt.topology().device_count(),
+                net.topology().device_count()
+            );
+            prop_assert_eq!(rebuilt.announced().len(), net.announced().len());
+            // Forwarding agrees on a sample of each announced prefix.
+            for (p, _) in net.announced() {
+                let pkt = jinjing_acl::Packet::to_dst(p.addr() | 1);
+                for d in net.topology().devices() {
+                    let mut a = net.fib(d).lookup(&pkt);
+                    let mut b = rebuilt.fib(d).lookup(&pkt);
+                    a.sort();
+                    b.sort();
+                    prop_assert_eq!(a, b);
+                }
+            }
+            // JSON round-trip is the identity on the document.
+            let json = serde_json::to_string(&exported).unwrap();
+            let back: NetworkSpec = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(back, exported);
+        }
+
+        #[test]
+        fn acl_spec_roundtrip(spec in arbitrary_network(), deny_count in 0usize..5) {
+            let net = spec.build().expect("buildable");
+            // Configure a random-ish ACL on the first device's ingress.
+            let iface = net.topology().iface_by_name("R0", "l").unwrap();
+            let mut acl = jinjing_acl::AclBuilder::default_permit();
+            for i in 0..deny_count {
+                acl = acl.deny_dst(&format!("{}.1.0.0/16", i + 1));
+            }
+            let mut config = jinjing_net::AclConfig::new();
+            config.set(jinjing_net::Slot::ingress(iface), acl.build());
+            let exported = AclConfigSpec::from_config(&net, &config);
+            let rebuilt = exported.build(&net).expect("rebuildable");
+            for slot in config.slots() {
+                prop_assert!(rebuilt
+                    .get(slot)
+                    .unwrap()
+                    .equivalent(config.get(slot).unwrap()));
+            }
+        }
+    }
+}
+
+/// Robustness: the parsers are total — arbitrary input yields `Err`, never
+/// a panic.
+#[cfg(test)]
+mod no_panic {
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn lai_parser_never_panics(input in "\\PC{0,200}") {
+            let _ = jinjing_lai::parse_program(&input);
+        }
+
+        #[test]
+        fn lai_parser_never_panics_on_structured(
+            head in "(scope|allow|modify|control|acl|check|fix|generate)",
+            body in "[ A-Za-z0-9:*,.>/{}-]{0,80}",
+        ) {
+            let _ = jinjing_lai::parse_program(&format!("{head} {body}\n"));
+        }
+
+        #[test]
+        fn rule_parser_never_panics(input in "\\PC{0,120}") {
+            let _ = jinjing_acl::parse::parse_rule(&input);
+        }
+
+        #[test]
+        fn acl_parser_never_panics(input in "\\PC{0,200}") {
+            let _ = jinjing_acl::parse::parse_acl(&input);
+        }
+
+        #[test]
+        fn prefix_parser_never_panics(input in "[0-9./]{0,24}") {
+            let _ = jinjing_acl::parse::parse_prefix(&input);
+        }
+    }
+}

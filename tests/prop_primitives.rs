@@ -1,0 +1,230 @@
+//! Property tests for the three primitives, run over the Figure 1
+//! substrate with randomized ACL configurations and intents:
+//!
+//! - **check** (all four optimization variants) always agrees with the
+//!   exact set-algebra oracle;
+//! - **fix** either produces a plan that the oracle certifies, or reports
+//!   the task unfixable;
+//! - **generate** (optimized and not) preserves the desired reachability
+//!   whenever it returns a plan.
+
+use jinjing_acl::{Acl, Action, IpPrefix, Rule};
+use jinjing_core::check::{check_configs, check_exact, CheckConfig};
+use jinjing_core::control::ResolvedControl;
+use jinjing_core::figure1::Figure1;
+use jinjing_core::fix::{fix, FixConfig, FixError};
+use jinjing_core::generate::{generate, GenerateConfig};
+use jinjing_core::{Encoding, Task};
+use jinjing_lai::{Command, ControlVerb};
+use jinjing_net::fib::prefix_set;
+use jinjing_net::{AclConfig, Slot};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A rule over the example's traffic space: dst n.0.0.0/8 or a /16 subset.
+fn fig_rule() -> impl Strategy<Value = Rule> {
+    (1u32..=8, any::<bool>(), any::<bool>(), 0u32..4).prop_map(|(n, permit, narrow, sub)| {
+        let prefix = if narrow {
+            IpPrefix::new(n << 24 | sub << 16, 16)
+        } else {
+            IpPrefix::new(n << 24, 8)
+        };
+        Rule::on_dst(Action::from_bool(permit), prefix)
+    })
+}
+
+fn fig_acl() -> impl Strategy<Value = Acl> {
+    prop::collection::vec(fig_rule(), 0..5).prop_map(|rules| Acl::new(rules, Action::Permit))
+}
+
+/// Raw configuration material: one optional ACL per filtering slot of the
+/// example (A1-in, C1-in, D2-in, B1-in, A3-out).
+fn fig_config_raw() -> impl Strategy<Value = Vec<Option<Acl>>> {
+    prop::collection::vec(prop::option::of(fig_acl()), 5)
+}
+
+/// Bind raw material to the example's slots.
+fn bind_config(fig: &Figure1, acls: &[Option<Acl>]) -> AclConfig {
+    let slots: Vec<Slot> = vec![
+        fig.slot("A1"),
+        fig.slot("C1"),
+        fig.slot("D2"),
+        fig.slot("B1"),
+        Slot::egress(fig.iface("A3")),
+    ];
+    let mut cfg = AclConfig::new();
+    for (slot, acl) in slots.iter().zip(acls) {
+        if let Some(a) = acl {
+            cfg.set(*slot, a.clone());
+        }
+    }
+    cfg
+}
+
+fn all_check_configs() -> Vec<CheckConfig> {
+    let mut out = Vec::new();
+    for differential in [false, true] {
+        for encoding in [Encoding::Sequential, Encoding::Tree] {
+            out.push(CheckConfig {
+                differential,
+                encoding,
+                ..CheckConfig::default()
+            });
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All four check variants agree with the exact oracle on arbitrary
+    /// configuration pairs.
+    #[test]
+    fn check_agrees_with_oracle(b in fig_config_raw(), a in fig_config_raw()) {
+        let fig = Figure1::new();
+        let before = bind_config(&fig, &b);
+        let after = bind_config(&fig, &a);
+        let oracle = check_exact(&fig.net, &fig.scope(), &before, &after, &[])
+            .is_consistent();
+        for cfg in all_check_configs() {
+            let got = check_configs(&fig.net, &fig.scope(), &before, &after, &[], &cfg)
+                .expect("check")
+                .outcome
+                .is_consistent();
+            prop_assert_eq!(got, oracle, "{:?}", cfg);
+        }
+    }
+
+    /// Fix either repairs (oracle-certified) or declares unfixability.
+    #[test]
+    fn fix_repairs_or_reports(b in fig_config_raw(), a in fig_config_raw()) {
+        let fig = Figure1::new();
+        let before = bind_config(&fig, &b);
+        let after = bind_config(&fig, &a);
+        let mut allow = Vec::new();
+        for name in ["A1", "A2", "A3", "A4", "B1", "B2", "C1", "D2"] {
+            allow.push(Slot::ingress(fig.iface(name)));
+            allow.push(Slot::egress(fig.iface(name)));
+        }
+        let task = Task {
+            scope: fig.scope(),
+            allow,
+            before: before.clone(),
+            after,
+            modified: Vec::new(),
+            controls: Vec::new(),
+            command: Command::Fix,
+        };
+        match fix(&fig.net, &task, &FixConfig::default()) {
+            Ok(plan) => {
+                let verdict =
+                    check_exact(&fig.net, &fig.scope(), &before, &plan.fixed, &[]);
+                prop_assert!(verdict.is_consistent(), "plan not consistent");
+                // Added rules stay within the allow list.
+                for (slot, _) in &plan.added_rules {
+                    prop_assert!(task.allow.contains(slot));
+                }
+                // Neighborhoods pairwise disjoint.
+                for (i, a) in plan.neighborhoods.iter().enumerate() {
+                    for b in &plan.neighborhoods[i + 1..] {
+                        prop_assert!(!a.overlaps(b));
+                    }
+                }
+            }
+            Err(FixError::Unfixable { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        }
+    }
+
+    /// Generate preserves reachability in both optimization modes, and the
+    /// two modes produce semantically equivalent plans.
+    #[test]
+    fn generate_preserves_reachability(b in fig_config_raw()) {
+        let fig = Figure1::new();
+        let before = bind_config(&fig, &b);
+        // Migrate everything off the configured slots onto C/D ingress.
+        let mut after = before.clone();
+        for slot in before.slots() {
+            after.set(slot, Acl::permit_all());
+        }
+        let task = Task {
+            scope: fig.scope(),
+            allow: vec![fig.slot("C1"), fig.slot("C2"), fig.slot("C4"), fig.slot("D1")],
+            before: before.clone(),
+            after,
+            modified: before.slots(),
+            controls: Vec::new(),
+            command: Command::Generate,
+        };
+        let mut results = Vec::new();
+        for optimize in [true, false] {
+            let cfg = GenerateConfig {
+                optimize,
+                ..GenerateConfig::default()
+            };
+            match generate(&fig.net, &task, &cfg) {
+                Ok(report) => {
+                    let verdict = check_exact(
+                        &fig.net,
+                        &fig.scope(),
+                        &before,
+                        &report.generated,
+                        &[],
+                    );
+                    prop_assert!(
+                        verdict.is_consistent(),
+                        "optimize={optimize}: {verdict:?}"
+                    );
+                    results.push(Some(report));
+                }
+                Err(_) => results.push(None),
+            }
+        }
+        // Both modes agree on feasibility.
+        prop_assert_eq!(results[0].is_some(), results[1].is_some());
+    }
+
+    /// Generate under random isolate/open controls achieves the desired
+    /// reachability whenever it succeeds.
+    #[test]
+    fn generate_achieves_controls(
+        n in 1u32..=8,
+        isolate in any::<bool>(),
+        to_c3 in any::<bool>(),
+    ) {
+        let fig = Figure1::new();
+        let to = if to_c3 { fig.iface("C3") } else { fig.iface("D3") };
+        let controls = vec![ResolvedControl {
+            from: HashSet::from([fig.iface("A1")]),
+            to: HashSet::from([to]),
+            verb: if isolate { ControlVerb::Isolate } else { ControlVerb::Open },
+            region: prefix_set(&IpPrefix::new(n << 24, 8)),
+        }];
+        // Allow every ingress slot inside the scope (maximal freedom).
+        let mut allow = Vec::new();
+        for name in ["A1", "A2", "A3", "A4", "B1", "B2", "C1", "C2", "C4", "D1", "D2"] {
+            allow.push(Slot::ingress(fig.iface(name)));
+            allow.push(Slot::egress(fig.iface(name)));
+        }
+        let task = Task {
+            scope: fig.scope(),
+            allow,
+            before: fig.config.clone(),
+            after: fig.config.clone(),
+            modified: Vec::new(),
+            controls: controls.clone(),
+            command: Command::Generate,
+        };
+        if let Ok(report) = generate(&fig.net, &task, &GenerateConfig::default()) {
+            let verdict = check_exact(
+                &fig.net,
+                &fig.scope(),
+                &fig.config,
+                &report.generated,
+                &controls,
+            );
+            prop_assert!(verdict.is_consistent(), "{verdict:?}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the CDCL solver and circuit layer: the solver agrees
+//! with brute-force enumeration on random small formulas, models always
+//! satisfy the formula, and the arithmetic circuits (comparators,
+//! cardinality counters) agree with concrete arithmetic.
+
+use jinjing_solver::card::counter_outputs;
+use jinjing_solver::cdcl::{SolveResult, Solver};
+use jinjing_solver::lit::{Lit, Var};
+use jinjing_solver::{CircuitBuilder, HeaderVars};
+use jinjing_acl::packet::{Field, Packet};
+use proptest::prelude::*;
+
+/// A random clause over `n` variables as non-zero DIMACS-style ints.
+fn clause(n: usize) -> impl Strategy<Value = Vec<i32>> {
+    prop::collection::vec((1..=n as i32, any::<bool>()), 1..4)
+        .prop_map(|lits| lits.into_iter().map(|(v, s)| if s { v } else { -v }).collect())
+}
+
+fn formula() -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
+    (2usize..9).prop_flat_map(|n| {
+        prop::collection::vec(clause(n), 0..30).prop_map(move |cs| (n, cs))
+    })
+}
+
+fn brute_force(n: usize, clauses: &[Vec<i32>]) -> Option<u64> {
+    'outer: for bits in 0u64..(1 << n) {
+        for c in clauses {
+            let sat = c.iter().any(|&s| {
+                let v = (bits >> (s.unsigned_abs() - 1)) & 1 == 1;
+                if s > 0 { v } else { !v }
+            });
+            if !sat {
+                continue 'outer;
+            }
+        }
+        return Some(bits);
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The CDCL verdict equals brute force, and SAT models check out.
+    #[test]
+    fn cdcl_agrees_with_brute_force((n, clauses) in formula()) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        for c in &clauses {
+            let lits: Vec<Lit> = c
+                .iter()
+                .map(|&i| Lit::new(vars[(i.unsigned_abs() - 1) as usize], i > 0))
+                .collect();
+            s.add_clause(&lits);
+        }
+        let expected = brute_force(n, &clauses);
+        let verdict = s.solve();
+        prop_assert_eq!(verdict == SolveResult::Sat, expected.is_some());
+        if verdict == SolveResult::Sat {
+            for c in &clauses {
+                let ok = c.iter().any(|&i| {
+                    let l = Lit::new(vars[(i.unsigned_abs() - 1) as usize], i > 0);
+                    s.model_value(l)
+                });
+                prop_assert!(ok, "model violates {:?}", c);
+            }
+        }
+    }
+
+    /// Solving under unit assumptions equals solving with the units added.
+    #[test]
+    fn assumptions_equal_added_units((n, clauses) in formula(), picks in prop::collection::vec((0usize..8, any::<bool>()), 0..3)) {
+        let build = |extra: &[(usize, bool)]| {
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+            for c in &clauses {
+                let lits: Vec<Lit> = c
+                    .iter()
+                    .map(|&i| Lit::new(vars[(i.unsigned_abs() - 1) as usize], i > 0))
+                    .collect();
+                s.add_clause(&lits);
+            }
+            for &(v, pos) in extra {
+                let l = Lit::new(vars[v % n], pos);
+                s.add_clause(&[l]);
+            }
+            (s, vars)
+        };
+        let (mut with_clauses, _) = build(&picks.iter().map(|&(v, p)| (v, p)).collect::<Vec<_>>());
+        let (mut with_assumptions, vars) = build(&[]);
+        let assumptions: Vec<Lit> = picks.iter().map(|&(v, p)| Lit::new(vars[v % n], p)).collect();
+        prop_assert_eq!(
+            with_clauses.solve(),
+            with_assumptions.solve_with(&assumptions)
+        );
+    }
+
+    /// Counter outputs equal the true count for random input forcings.
+    #[test]
+    fn counter_matches_popcount(values in prop::collection::vec(any::<bool>(), 1..10)) {
+        let mut c = CircuitBuilder::new();
+        let inputs: Vec<Lit> = values.iter().map(|_| c.input()).collect();
+        let outs = counter_outputs(&mut c, &inputs);
+        for (l, &v) in inputs.iter().zip(&values) {
+            let lit = if v { *l } else { !*l };
+            c.assert(lit);
+        }
+        prop_assert_eq!(c.solve(), SolveResult::Sat);
+        let count = values.iter().filter(|&&v| v).count();
+        for (j, &o) in outs.iter().enumerate() {
+            prop_assert_eq!(c.model_value(o), count > j);
+        }
+    }
+
+    /// Range comparator circuits agree with integer comparison on every
+    /// field.
+    #[test]
+    fn range_circuits_match_arithmetic(
+        p in (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>()),
+        lo in any::<u16>(),
+        span in any::<u16>(),
+    ) {
+        let packet = Packet::new(p.0, p.1, p.2, p.3, p.4);
+        let field = Field::DstPort;
+        let lo = lo as u64;
+        let hi = (lo + span as u64).min(field.max_value());
+        let mut c = CircuitBuilder::new();
+        let h = HeaderVars::new(&mut c);
+        let g = h.field_range(&mut c, field, lo, hi);
+        h.assert_packet(&mut c, &packet);
+        prop_assert_eq!(c.solve(), SolveResult::Sat);
+        let v = packet.field(field);
+        prop_assert_eq!(c.model_value(g), lo <= v && v <= hi);
+    }
+
+    /// Prefix circuits agree with prefix membership.
+    #[test]
+    fn prefix_circuits_match(addr in any::<u32>(), len in 0u32..=32, dip in any::<u32>()) {
+        let prefix = jinjing_acl::IpPrefix::new(addr, len);
+        let packet = Packet::to_dst(dip);
+        let mut c = CircuitBuilder::new();
+        let h = HeaderVars::new(&mut c);
+        let g = h.field_prefix(&mut c, Field::DstIp, prefix.addr() as u64, prefix.len());
+        h.assert_packet(&mut c, &packet);
+        prop_assert_eq!(c.solve(), SolveResult::Sat);
+        prop_assert_eq!(c.model_value(g), prefix.contains(dip));
+    }
+
+    /// Model decoding inverts packet assertion.
+    #[test]
+    fn decode_inverts_assert(p in (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>())) {
+        let packet = Packet::new(p.0, p.1, p.2, p.3, p.4);
+        let mut c = CircuitBuilder::new();
+        let h = HeaderVars::new(&mut c);
+        h.assert_packet(&mut c, &packet);
+        prop_assert_eq!(c.solve(), SolveResult::Sat);
+        prop_assert_eq!(h.decode(&c), packet);
+    }
+}

@@ -1,0 +1,176 @@
+//! End-to-end reproduction of every worked example in the paper, driven
+//! through the public API exactly as an operator would use it (LAI text →
+//! parse → validate → resolve → run).
+
+use jinjing_core::check::{check_exact, CheckOutcome};
+use jinjing_core::engine::{run, EngineConfig, Report};
+use jinjing_core::figure1::Figure1;
+use jinjing_core::resolve::resolve;
+use jinjing_lai::{parse_program, validate};
+
+const RUNNING_EXAMPLE_BODY: &str = r#"
+acl PermitAll { permit all }
+acl A1' {
+    deny dst 1.0.0.0/8
+    deny dst 2.0.0.0/8
+    deny dst 6.0.0.0/8
+    permit all
+}
+acl A3' {
+    deny dst 7.0.0.0/8
+    permit all
+}
+scope A:*, B:*, C:*, D:*
+allow A:*, B:*
+modify D:2 to PermitAll
+modify C:1 to PermitAll
+modify A:1 to A1'
+modify A:3-out to A3'
+"#;
+
+fn run_lai(fig: &Figure1, src: &str) -> Report {
+    let program = validate(parse_program(src).expect("parse")).expect("validate");
+    let task = resolve(&fig.net, &program, &fig.config).expect("resolve");
+    run(&fig.net, &task, &EngineConfig::default()).expect("engine")
+}
+
+/// §3.2 / Figure 3: the system outputs "inconsistent" after checking.
+#[test]
+fn figure3_check_reports_inconsistent() {
+    let fig = Figure1::new();
+    let report = run_lai(&fig, &format!("{RUNNING_EXAMPLE_BODY}check\n"));
+    let Report::Check(r) = report else { panic!("expected check") };
+    match r.outcome {
+        CheckOutcome::Inconsistent(v) => {
+            let top = v.packet.dip >> 24;
+            assert!(top == 1 || top == 2, "witness is traffic 1 or 2, got {top}");
+        }
+        CheckOutcome::Consistent => panic!("the paper's update must fail check"),
+    }
+}
+
+/// §3.2 / §4.2: fix adds permits for traffic 1 and 2 and the final plan is
+/// consistent; §4.2's simplification leaves no redundant stack on A1.
+#[test]
+fn figure3_fix_produces_consistent_plan() {
+    let fig = Figure1::new();
+    let report = run_lai(&fig, &format!("{RUNNING_EXAMPLE_BODY}fix\n"));
+    let Report::Fix(plan) = report else { panic!("expected fix") };
+    // The two neighborhoods are exactly Traffic 1 and Traffic 2 (§4.2).
+    let mut tops: Vec<u32> = plan
+        .neighborhoods
+        .iter()
+        .map(|n| n.dst.addr() >> 24)
+        .collect();
+    tops.sort();
+    assert_eq!(tops, vec![1, 2]);
+    // The repaired configuration is exactly-verified consistent.
+    let verdict = check_exact(&fig.net, &fig.scope(), &fig.config, &plan.fixed, &[]);
+    assert!(verdict.is_consistent(), "{verdict:?}");
+    // A1 keeps "deny dst 6.0.0.0/8" + the fix permits, with the §4.2
+    // simplification applied: at most 3 rules survive on A1.
+    let a1 = plan.fixed.get(fig.slot("A1")).expect("A1 has an ACL");
+    assert!(a1.len() <= 3, "A1 over-stacked: {a1}");
+    assert!(!a1.permits(&jinjing_acl::Packet::to_dst(6 << 24)));
+    assert!(a1.permits(&jinjing_acl::Packet::to_dst(1 << 24)));
+    assert!(a1.permits(&jinjing_acl::Packet::to_dst(2 << 24)));
+}
+
+/// §5 / Tables 3-4: migration via LAI generate, with the DEC split.
+#[test]
+fn section5_migration_via_lai() {
+    let fig = Figure1::new();
+    let src = r#"
+acl PermitAll { permit all }
+scope A:*, B:*, C:*, D:*
+allow C:1-in, C:2-in, D:1-in
+modify A:1 to PermitAll
+modify D:2 to PermitAll
+generate
+"#;
+    let report = run_lai(&fig, src);
+    let Report::Generate(g) = report else { panic!("expected generate") };
+    assert_eq!(g.aec_count, 4, "Table 3");
+    assert_eq!(g.aecs_split, 1, "§5.3: [1]AEC splits");
+    assert_eq!(g.dec_count, 2, "[1]DEC and [2]DEC");
+    let verdict = check_exact(&fig.net, &fig.scope(), &fig.config, &g.generated, &[]);
+    assert!(verdict.is_consistent());
+    // Table 4b spot checks.
+    let pkt = |n: u32| jinjing_acl::Packet::to_dst(n << 24 | 7);
+    let c1 = g.generated.get(fig.slot("C1")).unwrap();
+    let c2 = g.generated.get(fig.slot("C2")).unwrap();
+    let d1 = g.generated.get(fig.slot("D1")).unwrap();
+    assert!(!c1.permits(&pkt(6)) && !c1.permits(&pkt(7)));
+    assert!(c1.permits(&pkt(1)) && c1.permits(&pkt(2)));
+    assert!(!c2.permits(&pkt(2)), "the [2]DEC insertion");
+    assert!(c2.permits(&pkt(1)));
+    assert!(!d1.permits(&pkt(6)));
+    assert!(d1.permits(&pkt(7)));
+}
+
+/// §6's priority example: maintain shields traffic from a later isolate.
+#[test]
+fn section6_maintain_priority_end_to_end() {
+    let fig = Figure1::new();
+    // Keep traffic 4's reachability from A1 to C3, isolate everything else
+    // on that pair; generate on C (the only device on the A1→C3 paths we
+    // allow to change besides... C3's path is A1,A3,C1,C3).
+    let src = r#"
+scope A:*, B:*, C:*, D:*
+allow C:*
+control A:1 -> C:3 maintain dst 4.0.0.0/8
+control A:1 -> C:3 isolate all
+generate
+"#;
+    let report = run_lai(&fig, src);
+    let Report::Generate(g) = report else { panic!("expected generate") };
+    let program = validate(parse_program(src).unwrap()).unwrap();
+    let task = resolve(&fig.net, &program, &fig.config).unwrap();
+    let verdict = check_exact(
+        &fig.net,
+        &fig.scope(),
+        &fig.config,
+        &g.generated,
+        &task.controls,
+    );
+    assert!(verdict.is_consistent(), "{verdict:?}");
+    // Traffic 4 still flows A1→C3; traffic 7 (originally denied) stays
+    // denied; any other traffic on that pair is now isolated.
+    let scope = fig.scope();
+    let paths4 = fig.net.paths_for_class(&scope, fig.iface("A1"), &fig.traffic(4));
+    assert!(!paths4.is_empty());
+    let p4 = jinjing_acl::Packet::to_dst(4 << 24 | 1);
+    for p in &paths4 {
+        assert!(g.generated.path_permits(p, &p4), "maintain kept traffic 4");
+    }
+    let paths7 = fig.net.paths_for_class(&scope, fig.iface("A1"), &fig.traffic(7));
+    let p7 = jinjing_acl::Packet::to_dst(7 << 24 | 1);
+    for p in &paths7 {
+        assert!(!g.generated.path_permits(p, &p7), "isolate-all caught 7");
+    }
+}
+
+/// The engine runs all four check-configuration variants to the same
+/// verdict on the running example (the Figure 4a ablation, correctness
+/// side).
+#[test]
+fn check_variants_agree_on_running_example() {
+    use jinjing_core::check::{check_configs, CheckConfig};
+    use jinjing_core::Encoding;
+    let fig = Figure1::new();
+    let after = fig.bad_update();
+    let mut verdicts = Vec::new();
+    for differential in [false, true] {
+        for encoding in [Encoding::Sequential, Encoding::Tree] {
+            let cfg = CheckConfig {
+                differential,
+                encoding,
+                ..CheckConfig::default()
+            };
+            let r = check_configs(&fig.net, &fig.scope(), &fig.config, &after, &[], &cfg)
+                .expect("check");
+            verdicts.push(r.outcome.is_consistent());
+        }
+    }
+    assert!(verdicts.iter().all(|&v| !v), "all four variants: inconsistent");
+}
