@@ -324,8 +324,9 @@ mod tests {
             .deny_dst("1.0.0.0/8")
             .deny_dst("2.0.0.0/8")
             .build();
-        let class = PacketSet::from_cube(MatchSpec::dst(pfx("1.0.0.0/8")).cube())
-            .union(&PacketSet::from_cube(MatchSpec::dst(pfx("2.0.0.0/8")).cube()));
+        let class = PacketSet::from_cube(MatchSpec::dst(pfx("1.0.0.0/8")).cube()).union(
+            &PacketSet::from_cube(MatchSpec::dst(pfx("2.0.0.0/8")).cube()),
+        );
         assert_eq!(acl.hit_rules(&class), vec![0, 1]);
         let one_only = PacketSet::from_cube(MatchSpec::dst(pfx("1.0.0.0/8")).cube());
         assert_eq!(acl.hit_rules(&one_only), vec![0]);
@@ -333,9 +334,7 @@ mod tests {
 
     #[test]
     fn is_permit_all_sees_through_rules() {
-        let acl = AclBuilder::default_permit()
-            .permit_dst("1.0.0.0/8")
-            .build();
+        let acl = AclBuilder::default_permit().permit_dst("1.0.0.0/8").build();
         assert!(acl.is_permit_all());
         assert!(!a1().is_permit_all());
     }

@@ -253,8 +253,7 @@ mod tests {
                 let cubes: Vec<Cube> = (0..(1u64 << k))
                     .map(|upper| {
                         let addr = (upper << (32 - k)) | (1u64 << (31 - k));
-                        Cube::full()
-                            .with(Field::DstIp, Interval::from_prefix(addr, k + 1, 32))
+                        Cube::full().with(Field::DstIp, Interval::from_prefix(addr, k + 1, 32))
                     })
                     .collect();
                 PacketSet::from_cubes(cubes)

@@ -94,16 +94,14 @@ fn parse_addr(
             crate::parse::parse_prefix(addr).map_err(|e| err(line, e.to_string()))
         }
         Some(&addr) => {
-            let ip =
-                parse_ip(addr).ok_or_else(|| err(line, format!("bad address {addr:?}")))?;
+            let ip = parse_ip(addr).ok_or_else(|| err(line, format!("bad address {addr:?}")))?;
             // Peek: a following token that parses as dotted-quad is the
             // wildcard mask; otherwise treat as a host.
             if let Some(&&next) = toks.peek() {
                 if let Some(mask) = parse_ip(next) {
                     toks.next();
-                    let len = wildcard_to_len(mask).ok_or_else(|| {
-                        err(line, format!("non-contiguous wildcard mask {next}"))
-                    })?;
+                    let len = wildcard_to_len(mask)
+                        .ok_or_else(|| err(line, format!("non-contiguous wildcard mask {next}")))?;
                     return Ok(IpPrefix::new(ip, len));
                 }
             }
@@ -125,11 +123,13 @@ fn parse_ports(
         }
         _ => return Ok(PortRange::any()),
     };
-    let num = |toks: &mut std::iter::Peekable<std::slice::Iter<'_, &str>>| -> Result<u16, CiscoError> {
-        let t = toks.next().ok_or_else(|| err(line, format!("{op} needs a port")))?;
-        t.parse()
-            .map_err(|_| err(line, format!("bad port {t:?}")))
-    };
+    let num =
+        |toks: &mut std::iter::Peekable<std::slice::Iter<'_, &str>>| -> Result<u16, CiscoError> {
+            let t = toks
+                .next()
+                .ok_or_else(|| err(line, format!("{op} needs a port")))?;
+            t.parse().map_err(|_| err(line, format!("bad port {t:?}")))
+        };
     match op {
         "eq" => {
             let p = num(toks)?;
@@ -164,9 +164,7 @@ fn parse_ports(
 /// Parse one entry body (everything after `permit`/`deny`).
 fn parse_entry(tokens: &[&str], action: Action, line: usize) -> Result<Rule, CiscoError> {
     let mut toks = tokens.iter().peekable();
-    let proto_tok = toks
-        .next()
-        .ok_or_else(|| err(line, "missing protocol"))?;
+    let proto_tok = toks.next().ok_or_else(|| err(line, "missing protocol"))?;
     let proto = match *proto_tok {
         "ip" => None,
         "tcp" => Some(Proto::Tcp),
@@ -235,7 +233,7 @@ pub fn parse_config(text: &str) -> Result<Vec<CiscoAcl>, CiscoError> {
         }
         let toks: Vec<&str> = trimmed.split_whitespace().collect();
         match toks.as_slice() {
-            ["ip", "access-list", "extended", name, rest @ ..] if rest.is_empty() => {
+            ["ip", "access-list", "extended", name] => {
                 if acls.iter().any(|(n, _)| n == name) {
                     current = acls.iter().position(|(n, _)| n == name);
                 } else {
@@ -256,8 +254,7 @@ pub fn parse_config(text: &str) -> Result<Vec<CiscoAcl>, CiscoError> {
             // Entry inside a named list (optionally sequence-numbered).
             [first, rest @ ..]
                 if current.is_some()
-                    && (matches!(*first, "permit" | "deny")
-                        || first.parse::<u32>().is_ok()) =>
+                    && (matches!(*first, "permit" | "deny") || first.parse::<u32>().is_ok()) =>
             {
                 let (act_tok, body) = if let Ok(_seq) = first.parse::<u32>() {
                     match rest.split_first() {
@@ -299,7 +296,11 @@ fn render_addr(p: &IpPrefix) -> String {
     } else if p.len() == 32 {
         format!("host {}", crate::packet::fmt_ip(p.addr()))
     } else {
-        let mask = if p.len() == 0 { u32::MAX } else { !0u32 >> p.len() };
+        let mask = if p.len() == 0 {
+            u32::MAX
+        } else {
+            !0u32 >> p.len()
+        };
         format!(
             "{} {}",
             crate::packet::fmt_ip(p.addr()),
@@ -403,9 +404,10 @@ access-list 101 permit ip any any
 
     #[test]
     fn gt_lt_normalize_to_ranges() {
-        let acls =
-            parse_config("ip access-list extended X\n deny tcp any any gt 1023\n permit udp any lt 1024 any\n")
-                .unwrap();
+        let acls = parse_config(
+            "ip access-list extended X\n deny tcp any any gt 1023\n permit udp any lt 1024 any\n",
+        )
+        .unwrap();
         let rules = acls[0].acl.rules();
         assert_eq!(rules[0].matches.dport, PortRange::new(1024, u16::MAX));
         assert_eq!(rules[1].matches.sport, PortRange::new(0, 1023));
@@ -454,11 +456,7 @@ access-list 101 permit ip any any
             let rendered = render_named(&c.name, &c.acl);
             let back = parse_config(&rendered).unwrap();
             assert_eq!(back.len(), 1);
-            assert!(
-                back[0].acl.equivalent(&c.acl),
-                "{}:\n{rendered}",
-                c.name
-            );
+            assert!(back[0].acl.equivalent(&c.acl), "{}:\n{rendered}", c.name);
         }
     }
 
@@ -476,8 +474,7 @@ access-list 101 permit ip any any
 
     #[test]
     fn slash_notation_accepted() {
-        let acls =
-            parse_config("ip access-list extended X\n deny ip any 10.1.0.0/16\n").unwrap();
+        let acls = parse_config("ip access-list extended X\n deny ip any 10.1.0.0/16\n").unwrap();
         assert_eq!(
             acls[0].acl.rules()[0].matches.dst.to_string(),
             "10.1.0.0/16"

@@ -160,7 +160,13 @@ mod tests {
     fn full_cube_contains_everything() {
         let c = Cube::full();
         assert!(c.contains(&Packet::new(0, 0, 0, 0, 0)));
-        assert!(c.contains(&Packet::new(u32::MAX, u32::MAX, u16::MAX, u16::MAX, u8::MAX)));
+        assert!(c.contains(&Packet::new(
+            u32::MAX,
+            u32::MAX,
+            u16::MAX,
+            u16::MAX,
+            u8::MAX
+        )));
         assert_eq!(c.count(), 1u128 << 104);
     }
 

@@ -16,12 +16,19 @@ use crate::set::PacketSet;
 /// a `width`-bit field.
 pub fn interval_to_prefixes(lo: u64, hi: u64, width: u32) -> Vec<(u64, u32)> {
     assert!(lo <= hi, "empty interval");
-    assert!(width <= 63 && hi < (1u64 << width), "interval out of domain");
+    assert!(
+        width <= 63 && hi < (1u64 << width),
+        "interval out of domain"
+    );
     let mut out = Vec::new();
     let mut cur = lo;
     loop {
         // Largest block aligned at `cur`…
-        let align = if cur == 0 { width } else { cur.trailing_zeros().min(width) };
+        let align = if cur == 0 {
+            width
+        } else {
+            cur.trailing_zeros().min(width)
+        };
         // …that still fits below hi.
         let span = hi - cur + 1;
         let fit = 63 - span.leading_zeros(); // floor(log2(span))
@@ -104,8 +111,8 @@ pub fn matchspecs_to_set(specs: &[MatchSpec]) -> PacketSet {
 
 #[cfg(test)]
 mod tests {
-    use crate::interval::Interval;
     use super::*;
+    use crate::interval::Interval;
 
     #[test]
     fn aligned_interval_is_single_prefix() {

@@ -180,7 +180,9 @@ mod tests {
             Interval::new(200, 255).complement(Field::Proto),
             vec![Interval::new(0, 199)]
         );
-        assert!(Interval::full(Field::Proto).complement(Field::Proto).is_empty());
+        assert!(Interval::full(Field::Proto)
+            .complement(Field::Proto)
+            .is_empty());
     }
 
     #[test]

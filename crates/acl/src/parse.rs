@@ -146,11 +146,15 @@ pub fn parse_rule(line: &str) -> Result<Rule, ParseError> {
                 saw_all = true;
             }
             "src" => {
-                let v = toks.next().ok_or_else(|| ParseError::new("src needs a prefix"))?;
+                let v = toks
+                    .next()
+                    .ok_or_else(|| ParseError::new("src needs a prefix"))?;
                 m.src = parse_prefix(v)?;
             }
             "dst" => {
-                let v = toks.next().ok_or_else(|| ParseError::new("dst needs a prefix"))?;
+                let v = toks
+                    .next()
+                    .ok_or_else(|| ParseError::new("dst needs a prefix"))?;
                 m.dst = parse_prefix(v)?;
             }
             "sport" => {
@@ -241,8 +245,9 @@ mod tests {
 
     #[test]
     fn parse_full_tuple() {
-        let r = parse_rule("permit src 10.0.0.0/8 dst 1.2.3.4 sport 1024-65535 dport 443 proto tcp")
-            .unwrap();
+        let r =
+            parse_rule("permit src 10.0.0.0/8 dst 1.2.3.4 sport 1024-65535 dport 443 proto tcp")
+                .unwrap();
         assert_eq!(r.matches.src.to_string(), "10.0.0.0/8");
         assert_eq!(r.matches.dst.to_string(), "1.2.3.4/32");
         assert_eq!(r.matches.sport, PortRange::new(1024, 65535));

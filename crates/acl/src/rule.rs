@@ -115,7 +115,10 @@ impl PortRange {
 
     /// All ports.
     pub fn any() -> PortRange {
-        PortRange { lo: 0, hi: u16::MAX }
+        PortRange {
+            lo: 0,
+            hi: u16::MAX,
+        }
     }
 
     /// One port.
@@ -446,8 +449,14 @@ mod tests {
             100,
             6,
         );
-        let outside_port = Packet { dport: 444, ..inside };
-        let outside_proto = Packet { proto: 17, ..inside };
+        let outside_port = Packet {
+            dport: 444,
+            ..inside
+        };
+        let outside_proto = Packet {
+            proto: 17,
+            ..inside
+        };
         for p in [inside, outside_port, outside_proto] {
             assert_eq!(m.matches(&p), m.cube().contains(&p), "{p}");
         }

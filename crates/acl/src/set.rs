@@ -204,9 +204,7 @@ impl PacketSet {
                     let mut merged: Vec<Interval> = Vec::with_capacity(ivs.len());
                     for iv in ivs {
                         match merged.last_mut() {
-                            Some(last)
-                                if iv.lo() <= last.hi().saturating_add(1) =>
-                            {
+                            Some(last) if iv.lo() <= last.hi().saturating_add(1) => {
                                 if iv.hi() > last.hi() {
                                     *last = Interval::new(last.lo(), iv.hi());
                                 }
@@ -431,9 +429,7 @@ mod coalesce_tests {
     fn multi_field_fragmentation_remerges() {
         // Carve a hole and fill it back: coalesce should recover one cube.
         let base = PacketSet::from_cube(dst(0, 999));
-        let hole = PacketSet::from_cube(
-            dst(100, 199).with(Field::Proto, Interval::new(6, 6)),
-        );
+        let hole = PacketSet::from_cube(dst(100, 199).with(Field::Proto, Interval::new(6, 6)));
         let carved = base.subtract(&hole);
         let refilled = carved.union(&hole);
         let c = refilled.coalesce();

@@ -84,7 +84,10 @@ pub fn simplify(acl: &Acl) -> (Acl, SimplifyStats) {
         }
     }
     stats.after = current.len();
-    debug_assert!(current.equivalent(acl), "simplify changed the decision model");
+    debug_assert!(
+        current.equivalent(acl),
+        "simplify changed the decision model"
+    );
     (current, stats)
 }
 

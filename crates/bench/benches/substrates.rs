@@ -97,8 +97,7 @@ fn bench_network(c: &mut Criterion) {
     group.bench_function("fec_derivation_medium", |bch| {
         bch.iter(|| {
             black_box(
-                derive_fecs(&net.net, &scope, &universe, RefineLimits::default())
-                    .expect("fecs"),
+                derive_fecs(&net.net, &scope, &universe, RefineLimits::default()).expect("fecs"),
             )
         })
     });

@@ -6,12 +6,14 @@
 //! cargo run --release -p jinjing-bench --bin figures -- fig4b --large
 //! ```
 //!
-//! Subcommands: `fig4a` `fig4b` `fig4c` `fig4d` `table5` `depth` `all`.
+//! Subcommands: `fig4a` `fig4b` `fig4c` `fig4d` `table5` `depth` `spans`
+//! `all`.
 //! `--large` additionally runs the large-network fix (minutes, matching the
 //! paper's ~10-minute ceiling for check+fix).
 
 use jinjing_bench::{checkfix_scenario, control_open_task, migration_task, wan, PERTURBATIONS};
 use jinjing_core::check::{check, CheckConfig};
+use jinjing_core::engine::{run as engine_run, EngineConfig};
 use jinjing_core::fix::{fix, FixConfig};
 use jinjing_core::generate::{generate, GenerateConfig};
 use jinjing_core::Encoding;
@@ -72,7 +74,11 @@ fn fig4a() {
                 rb.encoded_rules,
                 ms(td),
                 rd.encoded_rules,
-                if rd.outcome.is_consistent() { "consistent" } else { "inconsistent" },
+                if rd.outcome.is_consistent() {
+                    "consistent"
+                } else {
+                    "inconsistent"
+                },
             );
         }
     }
@@ -102,7 +108,8 @@ fn fig4b(include_large: bool) {
             let iterative = if size == NetSize::Large {
                 "minutes".to_string()
             } else {
-                let (ti, _) = timed(|| fix(&net.net, &sc.task, &FixConfig::default()).expect("fix"));
+                let (ti, _) =
+                    timed(|| fix(&net.net, &sc.task, &FixConfig::default()).expect("fix"));
                 ms(ti)
             };
             println!(
@@ -186,7 +193,9 @@ fn table5() {
         let mig = scenarios::migration(&net);
         let opens: Vec<usize> = [1usize, 2, 4]
             .iter()
-            .map(|&k| statement_count(&scenarios::control_open(&net, k, jinjing_bench::SEED).program))
+            .map(|&k| {
+                statement_count(&scenarios::control_open(&net, k, jinjing_bench::SEED).program)
+            })
             .collect();
         println!(
             "| {} | {:>9} | {:>9} | {:>6} | {:>6} | {:>6} |",
@@ -206,7 +215,10 @@ fn depth() {
     println!("|----------|-------|---------------|-----------|--------------|-----------|-----------|----|");
     let net = wan(NetSize::Medium);
     let sc = checkfix_scenario(&net, 0.03, Command::Check);
-    for (enc_label, encoding) in [("sequential", Encoding::Sequential), ("tree", Encoding::Tree)] {
+    for (enc_label, encoding) in [
+        ("sequential", Encoding::Sequential),
+        ("tree", Encoding::Tree),
+    ] {
         for (diff_label, differential) in [("full", false), ("diff", true)] {
             let cfg = CheckConfig {
                 differential,
@@ -229,14 +241,72 @@ fn depth() {
     }
 }
 
+/// Render one node of the span tree, Figures-9-to-11 style: indented
+/// phase labels with entry counts and summed wall-clock.
+fn render_span(node: &jinjing_obs::SpanSnapshot, depth: usize, parent_ns: u64) {
+    if depth > 0 {
+        let pct = if parent_ns > 0 {
+            format!("{:>5.1}%", 100.0 * node.total_ns as f64 / parent_ns as f64)
+        } else {
+            // The synthetic root records no time of its own.
+            "     —".to_string()
+        };
+        println!(
+            "{:indent$}{:<28} {:>6}x {:>10.3} ms  {pct}",
+            "",
+            node.name,
+            node.count,
+            node.total_ns as f64 / 1e6,
+            indent = (depth - 1) * 2,
+        );
+    }
+    let base = if depth == 0 { 0 } else { node.total_ns };
+    for c in &node.children {
+        render_span(c, depth + 1, base);
+    }
+}
+
+/// Per-phase breakdown of check + fix + generate on the medium workload,
+/// sourced from the observability span tree (the same spans that populate
+/// `CheckReport::t_*`, `FixPlan::phases` and `--metrics-out`).
+fn spans() {
+    println!("\n## Span breakdown — medium workload (one engine run per primitive)\n");
+    let net = wan(NetSize::Medium);
+    let runs: Vec<(&str, jinjing_core::Task)> = vec![
+        ("check", checkfix_scenario(&net, 0.03, Command::Check).task),
+        ("fix", checkfix_scenario(&net, 0.03, Command::Fix).task),
+        ("generate", migration_task(&net)),
+    ];
+    for (label, task) in runs {
+        let cfg = EngineConfig::default();
+        let report = engine_run(&net.net, &task, &cfg).expect(label);
+        println!("### {label}\n");
+        println!(
+            "{:<30} {:>7} {:>13}  {:>6}",
+            "span", "count", "total", "of parent"
+        );
+        render_span(&report.obs.spans, 0, 0);
+        let snap = &report.obs;
+        if let Some(h) = snap.histogram("solver.decisions") {
+            println!(
+                "\nsolver: {} queries; decisions p50/p90/p99 = {}/{}/{}, conflicts total = {}",
+                snap.counter("solver.queries"),
+                h.p50,
+                h.p90,
+                h.p99,
+                snap.histogram("solver.conflicts").map_or(0, |h| h.sum),
+            );
+        }
+        println!();
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let include_large = args.iter().any(|a| a == "--large");
-    let wants = |name: &str| {
-        args.iter().any(|a| a == name) || args.iter().any(|a| a == "all")
-    };
+    let wants = |name: &str| args.iter().any(|a| a == name) || args.iter().any(|a| a == "all");
     if args.is_empty() {
-        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [all] [--large]");
+        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [all] [--large]");
         std::process::exit(2);
     }
     println!("# Jinjing evaluation — regenerated tables");
@@ -257,5 +327,8 @@ fn main() {
     }
     if wants("depth") {
         depth();
+    }
+    if wants("spans") {
+        spans();
     }
 }

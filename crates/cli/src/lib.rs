@@ -11,6 +11,8 @@
 //! ```text
 //! jinjing run --network net.json --acls acls.json --intent update.lai
 //! jinjing run ... --plan-out plan.json      # write the deployable plan
+//! jinjing run ... --metrics-out m.json      # write the observability snapshot
+//! jinjing run ... --trace                   # stream events to stderr
 //! jinjing show --network net.json           # topology summary
 //! jinjing simplify --acl-file acl.txt       # standalone ACL minimization
 //! ```
@@ -20,7 +22,7 @@
 //! without spawning processes.
 
 use jinjing_core::check::CheckOutcome;
-use jinjing_core::engine::{render_plan, run, EngineConfig, Report};
+use jinjing_core::engine::{render_plan, run, EngineConfig, ReportKind};
 use jinjing_core::resolve::resolve;
 use jinjing_lai::{parse_program, validate};
 use jinjing_net::spec::{AclConfigSpec, NetworkSpec};
@@ -87,24 +89,64 @@ pub struct PlanDocument {
     pub changes: Vec<PlanEntry>,
 }
 
+/// Observability knobs for a CLI run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Stream events to stderr as they happen (the `--trace` flag). The
+    /// `JINJING_TRACE` environment variable enables this too, even when the
+    /// flag is absent.
+    pub trace: bool,
+}
+
+/// Everything a CLI run produces.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Human-readable report text.
+    pub text: String,
+    /// Machine-readable plan.
+    pub plan: PlanDocument,
+    /// The run's observability snapshot (spans, metrics, events);
+    /// serialize with [`jinjing_obs::Snapshot::to_json`] for
+    /// `--metrics-out`.
+    pub obs: jinjing_obs::Snapshot,
+}
+
 /// Run an LAI program against a network + configuration; returns the
 /// human-readable report text and the machine-readable plan.
+///
+/// Thin compatibility wrapper over [`run_command_with`] with default
+/// options, discarding the observability snapshot.
 pub fn run_command(
     net: &Network,
     config: &AclConfig,
     intent_text: &str,
 ) -> Result<(String, PlanDocument), CliError> {
+    run_command_with(net, config, intent_text, &RunOptions::default())
+        .map(|out| (out.text, out.plan))
+}
+
+/// Run an LAI program with explicit observability options.
+pub fn run_command_with(
+    net: &Network,
+    config: &AclConfig,
+    intent_text: &str,
+    opts: &RunOptions,
+) -> Result<RunOutput, CliError> {
     let program = validate(parse_program(intent_text).map_err(err)?).map_err(err)?;
     let command = program.command.expect("validated programs have a command");
     let task = resolve(net, &program, config).map_err(err)?;
-    let report = run(net, &task, &EngineConfig::default()).map_err(err)?;
+    let mut cfg = EngineConfig::default();
+    if opts.trace {
+        cfg.obs = jinjing_obs::Collector::with_trace(true);
+    }
+    let report = run(net, &task, &cfg).map_err(err)?;
 
     let mut text = String::new();
     use std::fmt::Write;
     let _ = writeln!(text, "command : {command}");
     let _ = writeln!(text, "verdict : {}", report.verdict());
-    match &report {
-        Report::Check(r) => {
+    match &report.kind {
+        ReportKind::Check(r) => {
             let _ = writeln!(
                 text,
                 "classes : {} examined, {} (class,path) pairs",
@@ -121,7 +163,7 @@ pub fn run_command(
                 );
             }
         }
-        Report::Fix(p) => {
+        ReportKind::Fix(p) => {
             for (slot, rule) in &p.added_rules {
                 let _ = writeln!(
                     text,
@@ -132,7 +174,7 @@ pub fn run_command(
                 );
             }
         }
-        Report::Generate(g) => {
+        ReportKind::Generate(g) => {
             let _ = writeln!(
                 text,
                 "classes : {} AECs ({} DEC-split into {}), {} rows",
@@ -165,7 +207,11 @@ pub fn run_command(
         verdict: report.verdict(),
         changes,
     };
-    Ok((text, plan))
+    Ok(RunOutput {
+        text,
+        plan,
+        obs: report.obs,
+    })
 }
 
 /// Standalone ACL simplification (the §4.2 extension as a utility).
@@ -188,11 +234,7 @@ pub fn simplify_acl_text(text: &str) -> Result<String, CliError> {
 
 /// The roll-back document for a produced plan: for every slot the plan
 /// changes, the *original* ACL to restore.
-pub fn rollback_document(
-    net: &Network,
-    original: &AclConfig,
-    plan: &PlanDocument,
-) -> PlanDocument {
+pub fn rollback_document(net: &Network, original: &AclConfig, plan: &PlanDocument) -> PlanDocument {
     let changes = plan
         .changes
         .iter()
@@ -244,12 +286,7 @@ pub fn convert_cisco(
             .iter()
             .find(|l| &l.name == list_name)
             .ok_or_else(|| CliError(format!("no access list named {list_name:?} in the config")))?;
-        let mut lines: Vec<String> = found
-            .acl
-            .rules()
-            .iter()
-            .map(|r| r.to_string())
-            .collect();
+        let mut lines: Vec<String> = found.acl.rules().iter().map(|r| r.to_string()).collect();
         lines.push(format!("default {}", found.acl.default_action()));
         slots.push(jinjing_net::spec::AclSlotSpec {
             interface: iface.clone(),
@@ -346,10 +383,8 @@ mod tests {
 
     #[test]
     fn simplify_utility() {
-        let out = simplify_acl_text(
-            "permit dst 9.0.0.0/8\ndeny dst 6.0.0.0/8\ndefault permit\n",
-        )
-        .unwrap();
+        let out = simplify_acl_text("permit dst 9.0.0.0/8\ndeny dst 6.0.0.0/8\ndefault permit\n")
+            .unwrap();
         assert!(out.contains("deny dst 6.0.0.0/8"));
         assert!(!out.contains("permit dst 9.0.0.0/8"), "{out}");
         assert!(out.contains("2 rules -> 1 rules"));
@@ -378,11 +413,7 @@ mod convert_tests {
     #[test]
     fn cisco_conversion_binds_lists_to_slots() {
         let cfg = "ip access-list extended EDGE-IN\n deny ip any 10.1.1.0 0.0.0.255\n permit ip any any\n";
-        let json = convert_cisco(
-            cfg,
-            &[("EDGE-IN".into(), "A:0".into(), "in".into())],
-        )
-        .unwrap();
+        let json = convert_cisco(cfg, &[("EDGE-IN".into(), "A:0".into(), "in".into())]).unwrap();
         let spec: jinjing_net::spec::AclConfigSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(spec.slots.len(), 1);
         assert_eq!(spec.slots[0].interface, "A:0");
@@ -392,8 +423,11 @@ mod convert_tests {
 
     #[test]
     fn cisco_conversion_rejects_unknown_lists() {
-        let e = convert_cisco("access-list 1 permit ip any any\n", &[("X".into(), "A:0".into(), "in".into())])
-            .unwrap_err();
+        let e = convert_cisco(
+            "access-list 1 permit ip any any\n",
+            &[("X".into(), "A:0".into(), "in".into())],
+        )
+        .unwrap_err();
         assert!(e.to_string().contains("no access list"));
     }
 }

@@ -2,7 +2,10 @@
 //! (the offline crate budget goes to the algorithmic substrates); see the
 //! crate docs for the grammar.
 
-use jinjing_cli::{audit_report, load_acls, load_network, run_command, show_network, simplify_acl_text};
+use jinjing_cli::{
+    audit_report, load_acls, load_network, run_command_with, show_network, simplify_acl_text,
+    RunOptions,
+};
 
 const USAGE: &str = "\
 jinjing — safely and automatically update in-network ACL configurations
@@ -10,6 +13,7 @@ jinjing — safely and automatically update in-network ACL configurations
 USAGE:
     jinjing run --network <net.json> --acls <acls.json> --intent <prog.lai>
                 [--plan-out <plan.json>] [--rollback-out <rollback.json>]
+                [--metrics-out <metrics.json>] [--trace]
     jinjing show --network <net.json>
     jinjing audit --network <net.json> --acls <acls.json>
     jinjing simplify --acl-file <acl.txt>
@@ -26,7 +30,11 @@ COMMANDS:
                binding each list to an interface slot via --map
 
 The plan JSON written by --plan-out lists every changed slot with its full
-replacement ACL, ready for a deployment pipeline to consume.";
+replacement ACL, ready for a deployment pipeline to consume.
+
+--metrics-out writes the run's observability snapshot (per-phase span tree,
+solver histograms, counters, events) as JSON. --trace (or the JINJING_TRACE
+environment variable) streams events to stderr as they happen.";
 
 fn arg_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -63,11 +71,18 @@ fn real_main(args: &[String]) -> Result<(), String> {
             let intent_path = require(args, "--intent")?;
             let net = load_network(&net_path).map_err(|e| e.to_string())?;
             let config = load_acls(&acl_path, &net).map_err(|e| e.to_string())?;
-            let intent = std::fs::read_to_string(&intent_path)
-                .map_err(|e| format!("{intent_path}: {e}"))?;
-            let (text, plan) =
-                run_command(&net, &config, &intent).map_err(|e| e.to_string())?;
+            let intent =
+                std::fs::read_to_string(&intent_path).map_err(|e| format!("{intent_path}: {e}"))?;
+            let opts = RunOptions {
+                trace: args.iter().any(|a| a == "--trace"),
+            };
+            let out = run_command_with(&net, &config, &intent, &opts).map_err(|e| e.to_string())?;
+            let (text, plan) = (out.text, out.plan);
             print!("{text}");
+            if let Some(path) = arg_value(args, "--metrics-out") {
+                std::fs::write(&path, out.obs.to_json()).map_err(|e| format!("{path}: {e}"))?;
+                println!("metrics written to {path}");
+            }
             if !plan.changes.is_empty() {
                 println!("changed slots: {}", plan.changes.len());
             }
@@ -107,8 +122,8 @@ fn real_main(args: &[String]) -> Result<(), String> {
         }
         "convert" => {
             let cfg_path = require(args, "--cisco-config")?;
-            let text = std::fs::read_to_string(&cfg_path)
-                .map_err(|e| format!("{cfg_path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(&cfg_path).map_err(|e| format!("{cfg_path}: {e}"))?;
             let mut mappings = Vec::new();
             let mut it = args.iter();
             while let Some(a) = it.next() {
@@ -139,8 +154,8 @@ fn real_main(args: &[String]) -> Result<(), String> {
         }
         "simplify" => {
             let acl_path = require(args, "--acl-file")?;
-            let text = std::fs::read_to_string(&acl_path)
-                .map_err(|e| format!("{acl_path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(&acl_path).map_err(|e| format!("{acl_path}: {e}"))?;
             print!("{}", simplify_acl_text(&text).map_err(|e| e.to_string())?);
             Ok(())
         }

@@ -45,6 +45,9 @@ pub struct CheckConfig {
     pub encoding: Encoding,
     /// Equivalence-class caps.
     pub refine_limits: RefineLimits,
+    /// Observability sink: phase spans, solver histograms, events. A fresh
+    /// (private) collector by default; the engine shares one per run.
+    pub obs: jinjing_obs::Collector,
 }
 
 impl Default for CheckConfig {
@@ -53,6 +56,7 @@ impl Default for CheckConfig {
             differential: true,
             encoding: Encoding::Tree,
             refine_limits: RefineLimits::default(),
+            obs: jinjing_obs::Collector::new(),
         }
     }
 }
@@ -111,15 +115,6 @@ pub struct CheckReport {
     pub t_solve: std::time::Duration,
 }
 
-fn add_stats(acc: &mut SolverStats, s: SolverStats) {
-    acc.decisions += s.decisions;
-    acc.propagations += s.propagations;
-    acc.conflicts += s.conflicts;
-    acc.restarts += s.restarts;
-    acc.learned += s.learned;
-    acc.max_depth = acc.max_depth.max(s.max_depth);
-}
-
 /// Per-slot preprocessed encoding inputs.
 pub(crate) struct SlotPair {
     pub(crate) before: Acl,
@@ -159,7 +154,13 @@ pub(crate) fn preprocess(
             let b = before.get(slot).cloned().unwrap_or_else(Acl::permit_all);
             let a = after.get(slot).cloned().unwrap_or_else(Acl::permit_all);
             encoded_rules += b.len() + a.len();
-            pairs.insert(slot, SlotPair { before: b, after: a });
+            pairs.insert(
+                slot,
+                SlotPair {
+                    before: b,
+                    after: a,
+                },
+            );
         }
         return (pairs, PacketSet::full(), encoded_rules);
     }
@@ -234,9 +235,13 @@ pub fn check_configs(
     cfg: &CheckConfig,
 ) -> Result<CheckReport, ClassExplosion> {
     let total_rules = before.total_rules() + after.total_rules();
-    let t0 = std::time::Instant::now();
-    let (pairs, cover, encoded_rules) =
-        preprocess(before, after, controls, cfg.differential);
+    let _check_span = cfg.obs.span("check");
+    let sp = cfg.obs.span("check.preprocess");
+    let (pairs, cover, encoded_rules) = preprocess(before, after, controls, cfg.differential);
+    let t_preprocess = sp.finish();
+    cfg.obs.counter_add("check.runs", 1);
+    cfg.obs
+        .histogram_record("check.encoded_rules", encoded_rules as u64);
     let mut report = CheckReport {
         outcome: CheckOutcome::Consistent,
         fec_count: 0,
@@ -244,13 +249,18 @@ pub fn check_configs(
         solver_stats: SolverStats::default(),
         encoded_rules,
         total_rules,
-        t_preprocess: t0.elapsed(),
+        t_preprocess,
         t_refine: Default::default(),
         t_paths: Default::default(),
         t_solve: Default::default(),
     };
     // Fast path: nothing changed and nothing is controlled.
     if cfg.differential && cover.is_empty() {
+        cfg.obs.event(
+            jinjing_obs::Level::Debug,
+            "check.fastpath",
+            "empty differential cover; trivially consistent",
+        );
         return Ok(report);
     }
 
@@ -269,10 +279,12 @@ pub fn check_configs(
         .collect();
     preds.extend(control_regions(controls));
     let preds = jinjing_acl::atoms::dedupe_predicates(preds);
-    let t_r = std::time::Instant::now();
+    let sp = cfg.obs.span("check.refine");
     let classes = refine(&universe, &preds, cfg.refine_limits)?;
-    report.t_refine = t_r.elapsed();
+    report.t_refine = sp.finish();
     report.fec_count = classes.len();
+    cfg.obs
+        .histogram_record("check.fec_count", classes.len() as u64);
 
     for class in &classes {
         // Theorem 4.1: a class disjoint from the differential cover meets
@@ -280,15 +292,16 @@ pub fn check_configs(
         if cfg.differential && !class.set.intersects(&cover) {
             continue;
         }
-        let t_p = std::time::Instant::now();
+        let sp = cfg.obs.span("check.paths");
         let paths = net.all_paths_for_class(scope, &class.set);
-        report.t_paths += t_p.elapsed();
+        report.t_paths += sp.finish();
         if paths.is_empty() {
             continue;
         }
         report.paths_checked += paths.len();
-        let t_s = std::time::Instant::now();
+        let sp = cfg.obs.span("check.solve");
         let mut builder = CircuitBuilder::new();
+        builder.set_obs(cfg.obs.clone());
         let h = HeaderVars::new(&mut builder);
         // Cache slot decision circuits.
         let mut lits_before: HashMap<Slot, Lit> = HashMap::new();
@@ -332,16 +345,23 @@ pub fn check_configs(
             builder.assert(in_cover);
         }
         let r = builder.solve();
-        report.t_solve += t_s.elapsed();
-        add_stats(&mut report.solver_stats, builder.solver().stats());
+        report.t_solve += sp.finish();
+        report.solver_stats.merge(&builder.solver().stats());
         if r == SolveResult::Sat {
             let packet = h.decode(&builder);
             let violation = locate_violation(before, after, controls, &paths, &packet)
                 .expect("solver model must correspond to a concrete violation");
+            cfg.obs.event(
+                jinjing_obs::Level::Info,
+                "check.verdict",
+                &format!("inconsistent: witness {}", violation.packet),
+            );
             report.outcome = CheckOutcome::Inconsistent(violation);
             return Ok(report);
         }
     }
+    cfg.obs
+        .event(jinjing_obs::Level::Info, "check.verdict", "consistent");
     Ok(report)
 }
 
@@ -358,12 +378,7 @@ fn locate_violation(
             continue;
         }
         let original = before.path_permits(path, packet);
-        let desired = desired_decision(
-            controls,
-            path,
-            &PacketSet::singleton(packet),
-            original,
-        );
+        let desired = desired_decision(controls, path, &PacketSet::singleton(packet), original);
         let actual = after.path_permits(path, packet);
         if desired != actual {
             return Some(Violation {
@@ -388,14 +403,12 @@ fn locate_violation(
 /// that moves a deny between two slots of the same path changes both ACLs
 /// while leaving every path decision intact. Control statements cannot be
 /// expressed at this granularity and are rejected.
-pub fn check_per_acl(
-    before: &AclConfig,
-    after: &AclConfig,
-    cfg: &CheckConfig,
-) -> CheckReport {
+pub fn check_per_acl(before: &AclConfig, after: &AclConfig, cfg: &CheckConfig) -> CheckReport {
     let total_rules = before.total_rules() + after.total_rules();
-    let t0 = std::time::Instant::now();
+    let _check_span = cfg.obs.span("check");
+    let sp = cfg.obs.span("check.preprocess");
     let (pairs, cover, encoded_rules) = preprocess(before, after, &[], cfg.differential);
+    let t_preprocess = sp.finish();
     let mut report = CheckReport {
         outcome: CheckOutcome::Consistent,
         fec_count: 0,
@@ -403,7 +416,7 @@ pub fn check_per_acl(
         solver_stats: SolverStats::default(),
         encoded_rules,
         total_rules,
-        t_preprocess: t0.elapsed(),
+        t_preprocess,
         t_refine: Default::default(),
         t_paths: Default::default(),
         t_solve: Default::default(),
@@ -415,8 +428,9 @@ pub fn check_per_acl(
     slots.sort();
     for slot in slots {
         let pair = &pairs[&slot];
-        let t_s = std::time::Instant::now();
+        let sp = cfg.obs.span("check.solve");
         let mut builder = CircuitBuilder::new();
+        builder.set_obs(cfg.obs.clone());
         let h = HeaderVars::new(&mut builder);
         let b = encode(&mut builder, &h, &pair.before, cfg.encoding);
         let a = encode(&mut builder, &h, &pair.after, cfg.encoding);
@@ -427,8 +441,8 @@ pub fn check_per_acl(
             builder.assert(in_cover);
         }
         let r = builder.solve();
-        report.t_solve += t_s.elapsed();
-        add_stats(&mut report.solver_stats, builder.solver().stats());
+        report.t_solve += sp.finish();
+        report.solver_stats.merge(&builder.solver().stats());
         report.paths_checked += 1;
         if r == SolveResult::Sat {
             let packet = h.decode(&builder);
@@ -511,7 +525,7 @@ mod tests {
                 out.push(CheckConfig {
                     differential,
                     encoding,
-                    refine_limits: RefineLimits::default(),
+                    ..CheckConfig::default()
                 });
             }
         }

@@ -9,10 +9,10 @@
 //! Controls never change how the *updated* configuration is modeled
 //! (`c'_p` is built normally); they transform the reference side `c_p`.
 
+use jinjing_acl::PacketSet;
 use jinjing_lai::{ControlVerb, HeaderSel};
 use jinjing_net::fib::{prefix_set, src_prefix_set};
 use jinjing_net::{IfaceId, Path};
-use jinjing_acl::PacketSet;
 use std::collections::HashSet;
 
 /// A control statement bound to concrete border interfaces and an exact
@@ -161,8 +161,8 @@ pub fn control_regions(controls: &[ResolvedControl]) -> Vec<PacketSet> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jinjing_net::{Dir, Slot};
     use jinjing_acl::parse::parse_prefix;
+    use jinjing_net::{Dir, Slot};
 
     fn path(ingress: u32, egress: u32) -> Path {
         Path {

@@ -22,11 +22,26 @@ pub struct EngineConfig {
     pub fix: FixConfig,
     /// Generate tunables.
     pub generate: GenerateConfig,
+    /// The run's observability collector. [`run`] shares it with every
+    /// primitive (overriding the per-primitive collectors), so one span
+    /// tree and one metric store describe the whole run.
+    pub obs: jinjing_obs::Collector,
 }
 
-/// What the engine produced.
+/// What the engine produced: the primitive's report plus the run's
+/// observability snapshot (span tree, metrics, events).
 #[derive(Debug)]
-pub enum Report {
+pub struct Report {
+    /// The primitive output.
+    pub kind: ReportKind,
+    /// Frozen observability data for the run (serialize with
+    /// [`jinjing_obs::Snapshot::to_json`]).
+    pub obs: jinjing_obs::Snapshot,
+}
+
+/// Which primitive ran, and what it produced.
+#[derive(Debug)]
+pub enum ReportKind {
     /// `check` ran.
     Check(CheckReport),
     /// `fix` ran (check + repair).
@@ -40,28 +55,28 @@ impl Report {
     /// (`fix`/`generate`; a consistent `check` means "deploy the update
     /// as written", returned as `None`).
     pub fn deployable(&self) -> Option<&AclConfig> {
-        match self {
-            Report::Check(_) => None,
-            Report::Fix(p) => Some(&p.fixed),
-            Report::Generate(g) => Some(&g.generated),
+        match &self.kind {
+            ReportKind::Check(_) => None,
+            ReportKind::Fix(p) => Some(&p.fixed),
+            ReportKind::Generate(g) => Some(&g.generated),
         }
     }
 
     /// One-line verdict for logs.
     pub fn verdict(&self) -> String {
-        match self {
-            Report::Check(r) => match &r.outcome {
+        match &self.kind {
+            ReportKind::Check(r) => match &r.outcome {
                 CheckOutcome::Consistent => "consistent".to_string(),
                 CheckOutcome::Inconsistent(v) => {
                     format!("inconsistent (witness {})", v.packet)
                 }
             },
-            Report::Fix(p) => format!(
+            ReportKind::Fix(p) => format!(
                 "fixed: {} rules added across {} neighborhoods",
                 p.added_rules.len(),
                 p.neighborhoods.len()
             ),
-            Report::Generate(g) => format!(
+            ReportKind::Generate(g) => format!(
                 "generated {} rules over {} classes ({} DEC-split)",
                 g.rules_final, g.aec_count, g.aecs_split
             ),
@@ -93,17 +108,44 @@ impl fmt::Display for EngineError {
 impl std::error::Error for EngineError {}
 
 /// Execute a task.
+///
+/// The engine's collector ([`EngineConfig::obs`]) is pushed down into every
+/// primitive configuration before dispatch, so the whole run — including the
+/// nested certification `check` inside `fix` — lands in one span tree. The
+/// frozen [`jinjing_obs::Snapshot`] rides back on the [`Report`].
 pub fn run(net: &Network, task: &Task, cfg: &EngineConfig) -> Result<Report, EngineError> {
-    match task.command {
+    let obs = cfg.obs.clone();
+    let mut cfg = cfg.clone();
+    cfg.check.obs = obs.clone();
+    cfg.fix.check.obs = obs.clone();
+    cfg.generate.obs = obs.clone();
+    obs.event(
+        jinjing_obs::Level::Info,
+        "engine.start",
+        &format!("running {:?}", task.command),
+    );
+    let run_span = obs.span("engine.run");
+    let kind = match task.command {
         Command::Check => check(net, task, &cfg.check)
-            .map(Report::Check)
+            .map(ReportKind::Check)
             .map_err(EngineError::Classes),
         Command::Fix => fix(net, task, &cfg.fix)
-            .map(Report::Fix)
+            .map(ReportKind::Fix)
             .map_err(EngineError::Fix),
         Command::Generate => generate(net, task, &cfg.generate)
-            .map(Report::Generate)
+            .map(ReportKind::Generate)
             .map_err(EngineError::Generate),
+    };
+    run_span.finish();
+    match kind {
+        Ok(kind) => Ok(Report {
+            kind,
+            obs: obs.snapshot(),
+        }),
+        Err(e) => {
+            obs.event(jinjing_obs::Level::Error, "engine.error", &e.to_string());
+            Err(e)
+        }
     }
 }
 
@@ -121,11 +163,7 @@ pub fn rollback_plan(
 
 /// Render the difference between two configurations as deployable ACL text
 /// (per changed slot), for operator review.
-pub fn render_plan(
-    net: &Network,
-    from: &AclConfig,
-    to: &AclConfig,
-) -> Vec<(Slot, String, String)> {
+pub fn render_plan(net: &Network, from: &AclConfig, to: &AclConfig) -> Vec<(Slot, String, String)> {
     let mut slots: Vec<Slot> = from.slots();
     for s in to.slots() {
         if !slots.contains(&s) {
@@ -144,11 +182,7 @@ pub fn render_plan(
             .map(|a| a.to_string())
             .unwrap_or_else(|| "(no acl)".to_string());
         if before != after {
-            let name = format!(
-                "{}-{}",
-                net.topology().iface_name(slot.iface),
-                slot.dir
-            );
+            let name = format!("{}-{}", net.topology().iface_name(slot.iface), slot.dir);
             out.push((slot, name, after));
         }
     }
@@ -189,7 +223,11 @@ modify A:3-out to A3'
         let f = Figure1::new();
         // check reports inconsistent (as in Figure 3).
         let report = run_src(&f, &format!("{RUNNING_EXAMPLE_BODY}check\n")).unwrap();
-        assert!(report.verdict().starts_with("inconsistent"), "{}", report.verdict());
+        assert!(
+            report.verdict().starts_with("inconsistent"),
+            "{}",
+            report.verdict()
+        );
         assert!(report.deployable().is_none());
         // fix produces a deployable, consistent plan.
         let report = run_src(&f, &format!("{RUNNING_EXAMPLE_BODY}fix\n")).unwrap();
@@ -227,7 +265,7 @@ generate
         assert_eq!(forward.len(), 1);
         assert_eq!(backward.len(), 1);
         assert_eq!(forward[0].1, backward[0].1); // same slot
-        // Applying the rollback text restores the original rules.
+                                                 // Applying the rollback text restores the original rules.
         assert!(backward[0].2.contains("deny dst 1.0.0.0/8"));
         assert!(forward[0].2.contains("default permit"));
     }

@@ -144,11 +144,12 @@ impl Figure1 {
             ("D2", d2),
             ("D3", d3),
         ];
-        let ifaces = names
-            .into_iter()
-            .map(|(n, i)| (n.to_string(), i))
-            .collect();
-        Figure1 { net, config, ifaces }
+        let ifaces = names.into_iter().map(|(n, i)| (n.to_string(), i)).collect();
+        Figure1 {
+            net,
+            config,
+            ifaces,
+        }
     }
 
     /// Interface handle by the paper's name.
@@ -214,8 +215,7 @@ mod tests {
         let universe: PacketSet = (1..=7)
             .map(|n| f.traffic(n))
             .fold(PacketSet::empty(), |a, b| a.union(&b));
-        let fecs =
-            derive_fecs(&f.net, &f.scope(), &universe, RefineLimits::default()).unwrap();
+        let fecs = derive_fecs(&f.net, &f.scope(), &universe, RefineLimits::default()).unwrap();
         assert_eq!(fecs.len(), 5, "exactly five FECs");
         let class_of = |n: u32| {
             let p = Packet::to_dst(n << 24 | 1);
@@ -249,11 +249,11 @@ mod tests {
         assert_eq!(paths7[0].display(topo), "⟨A:1, A:3, C:1, C:3⟩");
         // Topologically, there are three A1→D3 paths (§3.3): visible when
         // enumerating for the full universe.
-        let all = f.net.paths_for_class(&scope, f.iface("A1"), &PacketSet::full());
-        let to_d3: Vec<&jinjing_net::Path> = all
-            .iter()
-            .filter(|p| p.egress() == f.iface("D3"))
-            .collect();
+        let all = f
+            .net
+            .paths_for_class(&scope, f.iface("A1"), &PacketSet::full());
+        let to_d3: Vec<&jinjing_net::Path> =
+            all.iter().filter(|p| p.egress() == f.iface("D3")).collect();
         assert_eq!(to_d3.len(), 3);
     }
 

@@ -124,6 +124,22 @@ impl From<ClassExplosion> for FixError {
     }
 }
 
+/// Wall-clock split of a fix run, mirroring the `fix.*` span tree. Each
+/// field is the summed duration of the matching span across the whole run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixPhases {
+    /// Counterexample hunting: per-class solver enumeration (iterative
+    /// engine) or the exact violation sweep (batch engine).
+    pub enumerate: std::time::Duration,
+    /// Neighborhood enlargement (Eq. 6) / batch partitioning into maximal
+    /// uniform neighborhoods.
+    pub enlarge: std::time::Duration,
+    /// Placement solving (Eq. 7) including fixing-rule emission.
+    pub place: std::time::Duration,
+    /// Final ACL simplification (§4.2 extension).
+    pub simplify: std::time::Duration,
+}
+
 /// The produced fixing plan.
 #[derive(Debug, Clone)]
 pub struct FixPlan {
@@ -135,6 +151,9 @@ pub struct FixPlan {
     pub neighborhoods: Vec<MatchSpec>,
     /// The final (consistent) check report.
     pub final_check: CheckReport,
+    /// Per-phase wall-clock, sourced from the same spans the collector
+    /// aggregates.
+    pub phases: FixPhases,
 }
 
 /// Run fix on a resolved task.
@@ -160,6 +179,9 @@ fn fix_configs(
     allow: &[Slot],
     cfg: &FixConfig,
 ) -> Result<FixPlan, FixError> {
+    let obs = cfg.check.obs.clone();
+    let _fix_span = obs.span("fix");
+    let mut phases = FixPhases::default();
     let mut current = after.clone();
     let mut excluded = PacketSet::empty();
     let mut neighborhoods: Vec<MatchSpec> = Vec::new();
@@ -201,8 +223,7 @@ fn fix_configs(
         }
     }
 
-    let skip_cover =
-        |class: &PacketSet| cfg.check.differential && !class.intersects(&cover);
+    let skip_cover = |class: &PacketSet| cfg.check.differential && !class.intersects(&cover);
     for class in &classes {
         if skip_cover(&class.set) {
             continue;
@@ -215,6 +236,7 @@ fn fix_configs(
         // by blocking each repaired neighborhood and re-solving, so the
         // expensive class setup (FECs, circuit encodings) is paid once.
         let mut builder = CircuitBuilder::new();
+        builder.set_obs(obs.clone());
         let hvars = jinjing_solver::HeaderVars::new(&mut builder);
         let mut lits_before: HashMap<Slot, Lit> = HashMap::new();
         let mut lits_after: HashMap<Slot, Lit> = HashMap::new();
@@ -265,13 +287,20 @@ fn fix_configs(
         }
 
         // --- Counterexample enumeration for this class. ---
-        while builder.solve() == SolveResult::Sat {
+        loop {
+            let sp = obs.span("fix.enumerate");
+            let found = builder.solve() == SolveResult::Sat;
+            phases.enumerate += sp.finish();
+            if !found {
+                break;
+            }
             if neighborhoods.len() >= cfg.max_neighborhoods {
                 return Err(FixError::TooManyNeighborhoods);
             }
             let h = hvars.decode(&builder);
 
             // Phase 1: enlarge h into its neighborhood (Eq. 6).
+            let sp = obs.span("fix.enlarge");
             for &slot in &slots_union {
                 before_sets
                     .entry(slot)
@@ -290,11 +319,18 @@ fn fix_configs(
                 &excluded,
                 &h,
             );
+            phases.enlarge += sp.finish();
+            obs.event(
+                jinjing_obs::Level::Debug,
+                "fix.neighborhood",
+                &format!("counterexample {h} enlarged to {m}"),
+            );
             let region = PacketSet::from_cube(m.cube());
             excluded = excluded.union(&region);
             neighborhoods.push(m);
 
             // Phase 2: placement solve for this neighborhood.
+            let sp = obs.span("fix.place");
             repair_neighborhood(
                 net,
                 task,
@@ -309,6 +345,7 @@ fn fix_configs(
                 &h,
                 &mut added_rules,
             )?;
+            phases.place += sp.finish();
 
             // Exclude the repaired region from further enumeration.
             let blocked = hvars.in_set(&mut builder, &region);
@@ -324,6 +361,7 @@ fn fix_configs(
     );
     let mut fixed = current;
     if cfg.simplify {
+        let sp = obs.span("fix.simplify");
         for slot in fixed.slots() {
             if let Some(acl) = fixed.get(slot) {
                 if acl.len() <= 128 {
@@ -332,12 +370,16 @@ fn fix_configs(
                 }
             }
         }
+        phases.simplify = sp.finish();
     }
+    obs.counter_add("fix.neighborhoods", neighborhoods.len() as u64);
+    obs.counter_add("fix.added_rules", added_rules.len() as u64);
     Ok(FixPlan {
         added_rules,
         fixed,
         neighborhoods,
         final_check: report,
+        phases,
     })
 }
 
@@ -362,6 +404,7 @@ fn repair_neighborhood(
 ) -> Result<(), FixError> {
     let paths = net.all_paths_for_class(&task.scope, region);
     let mut builder = CircuitBuilder::new();
+    builder.set_obs(cfg.check.obs.clone());
     // One decision variable per slot appearing on any carrying path.
     let mut vars: HashMap<Slot, Lit> = HashMap::new();
     for p in &paths {
@@ -468,6 +511,9 @@ fn fix_batch(
     allow: &[Slot],
     cfg: &FixConfig,
 ) -> Result<FixPlan, FixError> {
+    let obs = cfg.check.obs.clone();
+    let _fix_span = obs.span("fix");
+    let mut phases = FixPhases::default();
     let mut current = after.clone();
     let mut neighborhoods: Vec<MatchSpec> = Vec::new();
     let mut added_rules: Vec<(Slot, Rule)> = Vec::new();
@@ -500,6 +546,7 @@ fn fix_batch(
     };
 
     // The complete violation set.
+    let sp = obs.span("fix.enumerate");
     let mut universe = PacketSet::empty();
     for (_, t) in net.entering_traffic(&task.scope) {
         universe = universe.union(&t);
@@ -517,10 +564,12 @@ fn fix_batch(
         violation_cubes.extend(wrong.cubes().iter().copied());
     }
     let violations = PacketSet::from_cubes_raw(violation_cubes).coalesce();
+    phases.enumerate = sp.finish();
 
     if !violations.is_empty() {
         // Partition into maximal uniform neighborhoods (the batch analogue
         // of Eq. 6: every predicate of Eq. 6's conjunction refines).
+        let sp = obs.span("fix.enlarge");
         let mut preds: Vec<PacketSet> = net
             .scope_predicates(&task.scope)
             .into_iter()
@@ -534,6 +583,7 @@ fn fix_batch(
         let preds = jinjing_acl::atoms::dedupe_predicates(preds);
         let atoms = jinjing_acl::atoms::refine(&violations, &preds, cfg.check.refine_limits)
             .map_err(FixError::Classes)?;
+        phases.enlarge = sp.finish();
         if atoms.len() > cfg.max_neighborhoods {
             return Err(FixError::TooManyNeighborhoods);
         }
@@ -542,6 +592,7 @@ fn fix_batch(
             let h = region.sample().expect("atoms are non-empty");
             let specs = jinjing_acl::decompose::set_to_matchspecs(&region);
             neighborhoods.extend(specs.iter().copied());
+            let sp = obs.span("fix.place");
             repair_neighborhood(
                 net,
                 task,
@@ -556,6 +607,7 @@ fn fix_batch(
                 &h,
                 &mut added_rules,
             )?;
+            phases.place += sp.finish();
         }
     }
 
@@ -567,6 +619,7 @@ fn fix_batch(
     );
     let mut fixed = current;
     if cfg.simplify {
+        let sp = obs.span("fix.simplify");
         for slot in fixed.slots() {
             if let Some(acl) = fixed.get(slot) {
                 if acl.len() <= 128 {
@@ -575,12 +628,16 @@ fn fix_batch(
                 }
             }
         }
+        phases.simplify = sp.finish();
     }
+    obs.counter_add("fix.neighborhoods", neighborhoods.len() as u64);
+    obs.counter_add("fix.added_rules", added_rules.len() as u64);
     Ok(FixPlan {
         added_rules,
         fixed,
         neighborhoods,
         final_check: report,
+        phases,
     })
 }
 
@@ -780,8 +837,9 @@ mod tests {
         assert!(total(&simplified.fixed) <= total(&unsimplified.fixed));
         // Both are consistent.
         for plan in [&unsimplified, &simplified] {
-            assert!(check_exact(&f.net, &task.scope, &task.before, &plan.fixed, &[])
-                .is_consistent());
+            assert!(
+                check_exact(&f.net, &task.scope, &task.before, &plan.fixed, &[]).is_consistent()
+            );
         }
     }
 
@@ -822,8 +880,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(check_exact(&f.net, &task.scope, &task.before, &plan.fixed, &[])
-            .is_consistent());
+        assert!(check_exact(&f.net, &task.scope, &task.before, &plan.fixed, &[]).is_consistent());
     }
 
     #[test]

@@ -31,7 +31,7 @@ use jinjing_solver::cdcl::SolveResult;
 use jinjing_solver::lit::Lit;
 use jinjing_solver::CircuitBuilder;
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tunables for generate.
 #[derive(Debug, Clone)]
@@ -41,6 +41,9 @@ pub struct GenerateConfig {
     pub optimize: bool,
     /// Equivalence-class caps.
     pub refine_limits: RefineLimits,
+    /// Observability sink: phase spans, solver histograms, events. A fresh
+    /// (private) collector by default; the engine shares one per run.
+    pub obs: jinjing_obs::Collector,
 }
 
 impl Default for GenerateConfig {
@@ -48,6 +51,7 @@ impl Default for GenerateConfig {
         GenerateConfig {
             optimize: true,
             refine_limits: RefineLimits::default(),
+            obs: jinjing_obs::Collector::new(),
         }
     }
 }
@@ -137,8 +141,10 @@ pub fn generate(
         t
     };
 
+    let _gen_span = cfg.obs.span("generate");
+
     // ---- Phase 1: derive AECs. ----
-    let t0 = Instant::now();
+    let sp = cfg.obs.span("generate.aec");
     let mut universe = PacketSet::empty();
     for (_, t) in net.entering_traffic(scope) {
         universe = universe.union(&t);
@@ -152,10 +158,12 @@ pub fn generate(
     predicates.extend(control_regions(&task.controls));
     let predicates = jinjing_acl::atoms::dedupe_predicates(predicates);
     let aecs = refine(&universe, &predicates, cfg.refine_limits)?;
-    let derive_aec = t0.elapsed();
+    let derive_aec = sp.finish();
+    cfg.obs
+        .histogram_record("generate.aec_count", aecs.len() as u64);
 
     // ---- Phase 2: solve AECs (DEC-split on unsat). ----
-    let t1 = Instant::now();
+    let sp = cfg.obs.span("generate.solve");
     // Topological paths: every path some entering packet can take.
     let all_paths = net.all_paths_for_class(scope, &universe);
     let fwd_predicates: Vec<PacketSet> = jinjing_acl::atoms::dedupe_predicates(
@@ -168,7 +176,7 @@ pub fn generate(
     let mut aecs_split = 0usize;
     let mut dec_count = 0usize;
     for (ai, aec) in aecs.iter().enumerate() {
-        match solve_class(net, task, &targets, &all_paths, &aec.set, false) {
+        match solve_class(net, task, cfg, &targets, &all_paths, &aec.set, false) {
             Some(decisions) => units.push((
                 ai,
                 vec![Unit {
@@ -183,7 +191,7 @@ pub fn generate(
                 let mut dec_units = Vec::with_capacity(decs.len());
                 for dec in decs {
                     dec_count += 1;
-                    match solve_class(net, task, &targets, &all_paths, &dec.set, true) {
+                    match solve_class(net, task, cfg, &targets, &all_paths, &dec.set, true) {
                         Some(decisions) => dec_units.push(Unit {
                             region: dec.set,
                             decisions,
@@ -199,10 +207,10 @@ pub fn generate(
             }
         }
     }
-    let solve = t1.elapsed();
+    let solve = sp.finish();
 
     // ---- Phase 3+4: sequence encoding and rule emission. ----
-    let t2 = Instant::now();
+    let sp = cfg.obs.span("generate.synthesize");
     // Encoding slots: every slot holding an ACL before the update (the
     // "source interfaces" of Table 4's sequence encoding).
     let encoding_slots: Vec<Slot> = task.before.slots();
@@ -278,8 +286,7 @@ pub fn generate(
     let mut generated = task.after.clone();
     let mut rules_emitted = 0usize;
     let mut rules_final = 0usize;
-    let unit_map: HashMap<usize, &Vec<Unit>> =
-        units.iter().map(|(ai, us)| (*ai, us)).collect();
+    let unit_map: HashMap<usize, &Vec<Unit>> = units.iter().map(|(ai, us)| (*ai, us)).collect();
     for &target in &targets {
         let mut acl = if cfg.optimize {
             // Units are pairwise disjoint (they partition the universe), so
@@ -330,7 +337,19 @@ pub fn generate(
         rules_final += acl.len();
         generated.set(target, acl);
     }
-    let synthesize = t2.elapsed();
+    let synthesize = sp.finish();
+    cfg.obs.event(
+        jinjing_obs::Level::Info,
+        "generate.done",
+        &format!(
+            "{} AECs ({} split, {} DECs), {} rules emitted, {} final",
+            aecs.len(),
+            aecs_split,
+            dec_count,
+            rules_emitted,
+            rules_final
+        ),
+    );
 
     Ok(GenerateReport {
         generated,
@@ -355,6 +374,7 @@ pub fn generate(
 fn solve_class(
     _net: &Network,
     task: &Task,
+    cfg: &GenerateConfig,
     targets: &[Slot],
     all_paths: &[Path],
     class: &PacketSet,
@@ -362,10 +382,8 @@ fn solve_class(
 ) -> Option<HashMap<Slot, bool>> {
     let h = class.sample().expect("non-empty class");
     let mut builder = CircuitBuilder::new();
-    let vars: HashMap<Slot, Lit> = targets
-        .iter()
-        .map(|&s| (s, builder.input()))
-        .collect();
+    builder.set_obs(cfg.obs.clone());
+    let vars: HashMap<Slot, Lit> = targets.iter().map(|&s| (s, builder.input())).collect();
     let class_controls = crate::control::ClassControls::new(&task.controls, class);
     for p in all_paths {
         if restrict_paths && !class.intersects(&p.carried) {
@@ -508,7 +526,10 @@ mod tests {
         let task = migration_task(&f);
         let report = generate(&f.net, &task, &GenerateConfig::default()).unwrap();
         assert!(report.aecs_split >= 1, "at least [1]AEC splits");
-        assert!(report.dec_count >= 2, "[1]AEC splits into [1]DEC and [2]DEC");
+        assert!(
+            report.dec_count >= 2,
+            "[1]AEC splits into [1]DEC and [2]DEC"
+        );
     }
 
     #[test]
@@ -644,9 +665,7 @@ mod tests {
         assert_eq!(grouped.len(), 3); // {1,2} | {3} | {4}
         assert_eq!(plain.len(), 4);
         // Same coverage either way.
-        let cover = |rs: &[PacketSet]| {
-            rs.iter().fold(PacketSet::empty(), |a, b| a.union(b))
-        };
+        let cover = |rs: &[PacketSet]| rs.iter().fold(PacketSet::empty(), |a, b| a.union(b));
         assert!(cover(&grouped).same_set(&cover(&plain)));
     }
 }

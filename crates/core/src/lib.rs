@@ -39,8 +39,8 @@ pub mod task;
 
 pub use crate::check::{check, check_per_acl, CheckConfig, CheckOutcome, CheckReport, Violation};
 pub use crate::control::ResolvedControl;
-pub use crate::engine::{run, Report};
-pub use crate::fix::{fix, FixConfig, FixError, FixPlan, FixStrategy};
+pub use crate::engine::{run, EngineConfig, Report, ReportKind};
+pub use crate::fix::{fix, FixConfig, FixError, FixPhases, FixPlan, FixStrategy};
 pub use crate::generate::{generate, GenerateConfig, GenerateError, GenerateReport};
 pub use crate::resolve::{resolve, ResolveError};
 pub use crate::task::Task;

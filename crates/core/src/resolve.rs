@@ -55,9 +55,7 @@ fn resolve_ifaces(net: &Network, pat: &SlotPattern) -> Result<Vec<IfaceId>, Reso
             .topology()
             .iface_by_name(&pat.device, name)
             .map(|i| vec![i])
-            .ok_or_else(|| {
-                ResolveError::new(format!("unknown interface {}:{}", pat.device, name))
-            }),
+            .ok_or_else(|| ResolveError::new(format!("unknown interface {}:{}", pat.device, name))),
     }
 }
 

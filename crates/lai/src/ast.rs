@@ -213,7 +213,9 @@ mod tests {
             "R3:*-out"
         );
         assert_eq!(
-            SlotPattern::named("R1", "2").with_dir(DirSpec::In).to_string(),
+            SlotPattern::named("R1", "2")
+                .with_dir(DirSpec::In)
+                .to_string(),
             "R1:2-in"
         );
     }

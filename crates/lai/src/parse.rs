@@ -86,12 +86,8 @@ fn parse_pattern_list(s: &str) -> Result<Vec<SlotPattern>, String> {
 fn parse_header_sel(tokens: &[&str]) -> Result<HeaderSel, String> {
     match tokens {
         ["all"] => Ok(HeaderSel::All),
-        ["src" | "from", p] => Ok(HeaderSel::Src(
-            parse_prefix(p).map_err(|e| e.to_string())?,
-        )),
-        ["dst" | "to", p] => Ok(HeaderSel::Dst(
-            parse_prefix(p).map_err(|e| e.to_string())?,
-        )),
+        ["src" | "from", p] => Ok(HeaderSel::Src(parse_prefix(p).map_err(|e| e.to_string())?)),
+        ["dst" | "to", p] => Ok(HeaderSel::Dst(parse_prefix(p).map_err(|e| e.to_string())?)),
         other => Err(format!("bad traffic selector {other:?}")),
     }
 }
@@ -215,8 +211,8 @@ pub fn parse_program(text: &str) -> Result<Program, LaiError> {
                     "maintain" => ControlVerb::Maintain,
                     _ => unreachable!(),
                 };
-                let header =
-                    parse_header_sel(&tokens[verb_pos + 1..]).map_err(|e| LaiError::at(lineno, e))?;
+                let header = parse_header_sel(&tokens[verb_pos + 1..])
+                    .map_err(|e| LaiError::at(lineno, e))?;
                 prog.controls.push(ControlStmt {
                     from,
                     to,
@@ -226,7 +222,10 @@ pub fn parse_program(text: &str) -> Result<Program, LaiError> {
             }
             "check" | "fix" | "generate" => {
                 if !rest.is_empty() {
-                    return Err(LaiError::at(lineno, format!("unexpected text after {keyword}")));
+                    return Err(LaiError::at(
+                        lineno,
+                        format!("unexpected text after {keyword}"),
+                    ));
                 }
                 if prog.command.is_some() {
                     return Err(LaiError::at(lineno, "duplicate command"));
@@ -373,8 +372,7 @@ generate
 
     #[test]
     fn modify_with_list_target_expands() {
-        let p =
-            parse_program("acl P { permit all }\nmodify A:1, A:2 to P\ncheck\n").unwrap();
+        let p = parse_program("acl P { permit all }\nmodify A:1, A:2 to P\ncheck\n").unwrap();
         assert_eq!(p.modifies.len(), 2);
     }
 }

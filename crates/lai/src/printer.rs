@@ -66,7 +66,10 @@ pub fn print_program(p: &Program) -> String {
 
 /// Count the non-empty source lines of a program — the metric of Table 5.
 pub fn line_count(p: &Program) -> usize {
-    print_program(p).lines().filter(|l| !l.trim().is_empty()).count()
+    print_program(p)
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count()
 }
 
 /// Count only the *intent statements* (scope/allow/modify/control/command),

@@ -76,9 +76,7 @@ mod tests {
 
     #[test]
     fn valid_program_passes() {
-        let p = check(
-            "acl P { permit all }\nscope A:*\nallow A:*\nmodify A:1 to P\ncheck\n",
-        );
+        let p = check("acl P { permit all }\nscope A:*\nallow A:*\nmodify A:1 to P\ncheck\n");
         assert!(p.is_ok());
     }
 
@@ -122,9 +120,7 @@ mod tests {
 
     #[test]
     fn generate_with_controls_only_is_fine() {
-        let p = check(
-            "scope A:*\nallow A:*\ncontrol A:1 -> A:2 isolate dst 1.0.0.0/8\ngenerate\n",
-        );
+        let p = check("scope A:*\nallow A:*\ncontrol A:1 -> A:2 isolate dst 1.0.0.0/8\ngenerate\n");
         assert!(p.is_ok());
     }
 }

@@ -267,10 +267,9 @@ mod tests {
                 .build(),
         );
         let findings = audit(&net, &config);
-        assert!(findings.iter().any(|f| matches!(
-            f,
-            AuditFinding::ShadowedRule { rule_index: 1, .. }
-        )));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, AuditFinding::ShadowedRule { rule_index: 1, .. })));
     }
 
     #[test]

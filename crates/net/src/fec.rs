@@ -96,8 +96,7 @@ mod tests {
     #[test]
     fn empty_traffic_no_fecs() {
         let (net, scope) = fan();
-        let fecs =
-            derive_fecs(&net, &scope, &PacketSet::empty(), RefineLimits::default()).unwrap();
+        let fecs = derive_fecs(&net, &scope, &PacketSet::empty(), RefineLimits::default()).unwrap();
         assert!(fecs.is_empty());
     }
 }

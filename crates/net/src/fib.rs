@@ -184,7 +184,13 @@ mod tests {
         f.add(pfx("10.1.2.0/24"), IfaceId(1));
         f.add(pfx("0.0.0.0/0"), IfaceId(3));
         let preds = f.forwarding_predicates();
-        for s in ["10.1.2.3", "10.1.9.9", "10.9.9.9", "11.0.0.1", "192.168.1.1"] {
+        for s in [
+            "10.1.2.3",
+            "10.1.9.9",
+            "10.9.9.9",
+            "11.0.0.1",
+            "192.168.1.1",
+        ] {
             let p = dpkt(s);
             let outs = f.lookup(&p);
             for (iface, set) in &preds {

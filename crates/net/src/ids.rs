@@ -96,8 +96,20 @@ mod tests {
     #[test]
     fn slot_constructors() {
         let i = IfaceId(3);
-        assert_eq!(Slot::ingress(i), Slot { iface: i, dir: Dir::In });
-        assert_eq!(Slot::egress(i), Slot { iface: i, dir: Dir::Out });
+        assert_eq!(
+            Slot::ingress(i),
+            Slot {
+                iface: i,
+                dir: Dir::In
+            }
+        );
+        assert_eq!(
+            Slot::egress(i),
+            Slot {
+                iface: i,
+                dir: Dir::Out
+            }
+        );
         assert_ne!(Slot::ingress(i), Slot::egress(i));
     }
 

@@ -24,11 +24,12 @@
 
 pub mod audit;
 pub mod config;
-pub mod spec;
 pub mod fec;
 pub mod fib;
 pub mod ids;
 pub mod network;
+#[cfg(feature = "spec")]
+pub mod spec;
 pub mod topology;
 
 pub use crate::config::AclConfig;

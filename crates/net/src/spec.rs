@@ -282,9 +282,8 @@ impl AclConfigSpec {
                 }
             };
             let text = slot_spec.acl.join("\n");
-            let acl = parse_acl(&text).map_err(|e| {
-                SpecError::new(format!("acl at {}: {e}", slot_spec.interface))
-            })?;
+            let acl = parse_acl(&text)
+                .map_err(|e| SpecError::new(format!("acl at {}: {e}", slot_spec.interface)))?;
             config.set(Slot { iface, dir }, acl);
         }
         Ok(config)
@@ -298,8 +297,7 @@ impl AclConfigSpec {
             .into_iter()
             .map(|slot| {
                 let acl = config.get(slot).expect("listed slot");
-                let mut lines: Vec<String> =
-                    acl.rules().iter().map(|r| r.to_string()).collect();
+                let mut lines: Vec<String> = acl.rules().iter().map(|r| r.to_string()).collect();
                 lines.push(format!("default {}", acl.default_action()));
                 AclSlotSpec {
                     interface: topo.iface_name(slot.iface),
@@ -366,7 +364,10 @@ mod tests {
         let exported = AclConfigSpec::from_config(&net, &config);
         let back = exported.build(&net).unwrap();
         for slot in config.slots() {
-            assert!(back.get(slot).unwrap().equivalent(config.get(slot).unwrap()));
+            assert!(back
+                .get(slot)
+                .unwrap()
+                .equivalent(config.get(slot).unwrap()));
         }
     }
 

@@ -1,0 +1,67 @@
+//! Structured event log with levels and an optional stderr sink.
+
+/// Event severity, ordered from chattiest to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Per-iteration diagnostics (per-class solves, per-neighborhood work).
+    Trace,
+    /// Phase-level diagnostics.
+    Debug,
+    /// Milestones (run started, verdict reached).
+    Info,
+    /// Degraded but recoverable situations.
+    Warn,
+    /// Failures.
+    Error,
+}
+
+impl Level {
+    /// Lower-case label, as emitted in JSON and on stderr.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Nanoseconds since the collector's epoch.
+    pub t_ns: u64,
+    /// Severity.
+    pub level: Level,
+    /// Short machine-friendly name, e.g. `"check.verdict"`.
+    pub name: String,
+    /// Free-form human-readable detail.
+    pub message: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Level::Info.as_str(), "info");
+        assert_eq!(Level::Error.to_string(), "error");
+    }
+}

@@ -1,0 +1,194 @@
+//! A hand-rolled JSON writer.
+//!
+//! The obs crate must stay dependency-free (the build is offline), so the
+//! snapshot serializer is written by hand. It produces strict JSON:
+//! RFC 8259 string escaping, no trailing commas, and — because snapshots
+//! are meant to be diffed in tests and CI — *stable key ordering* (callers
+//! insert keys in sorted order; the writer preserves insertion order).
+
+use std::fmt::Write;
+
+/// Append a JSON-escaped string literal (including the surrounding quotes).
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Incremental writer for JSON objects and arrays.
+///
+/// The caller drives structure (`begin_object` / `end_object`, …); the
+/// writer tracks whether a comma is due. Keys are emitted in the order the
+/// caller supplies them, so sorted input yields byte-stable output.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// Per nesting level: has a first element been written?
+    has_elem: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Fresh writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Finish and return the accumulated JSON text.
+    pub fn finish(self) -> String {
+        debug_assert!(self.has_elem.is_empty(), "unbalanced begin/end");
+        self.out
+    }
+
+    fn comma(&mut self) {
+        if let Some(seen) = self.has_elem.last_mut() {
+            if *seen {
+                self.out.push(',');
+            }
+            *seen = true;
+        }
+    }
+
+    /// `{`
+    pub fn begin_object(&mut self) {
+        self.comma();
+        self.out.push('{');
+        self.has_elem.push(false);
+    }
+
+    /// `}`
+    pub fn end_object(&mut self) {
+        self.has_elem.pop();
+        self.out.push('}');
+    }
+
+    /// `[`
+    pub fn begin_array(&mut self) {
+        self.comma();
+        self.out.push('[');
+        self.has_elem.push(false);
+    }
+
+    /// `]`
+    pub fn end_array(&mut self) {
+        self.has_elem.pop();
+        self.out.push(']');
+    }
+
+    /// `"key":` — must be followed by exactly one value.
+    pub fn key(&mut self, k: &str) {
+        self.comma();
+        write_escaped(&mut self.out, k);
+        self.out.push(':');
+        // The upcoming value must not emit its own comma.
+        if let Some(seen) = self.has_elem.last_mut() {
+            *seen = false;
+        }
+    }
+
+    /// A string value.
+    pub fn string(&mut self, s: &str) {
+        self.comma();
+        write_escaped(&mut self.out, s);
+    }
+
+    /// An unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.comma();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// A signed integer value.
+    pub fn i64(&mut self, v: i64) {
+        self.comma();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// A float value (finite; non-finite values are emitted as `null`,
+    /// which is what strict JSON requires).
+    pub fn f64(&mut self, v: f64) {
+        self.comma();
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// A boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.comma();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        let mut s = String::new();
+        write_escaped(&mut s, "a\"b\\c\nd\te\u{01}f");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+    }
+
+    #[test]
+    fn nested_structure_with_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.u64(1);
+        w.key("b");
+        w.begin_array();
+        w.string("x");
+        w.string("y");
+        w.begin_object();
+        w.key("n");
+        w.i64(-3);
+        w.end_object();
+        w.end_array();
+        w.key("c");
+        w.bool(true);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":["x","y",{"n":-3}],"c":true}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("xs");
+        w.begin_array();
+        w.end_array();
+        w.key("o");
+        w.begin_object();
+        w.end_object();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"xs":[],"o":{}}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64(1.5);
+        w.f64(f64::NAN);
+        w.f64(f64::INFINITY);
+        w.end_array();
+        assert_eq!(w.finish(), "[1.5,null,null]");
+    }
+}

@@ -1,0 +1,687 @@
+#![warn(missing_docs)]
+
+//! # jinjing-obs
+//!
+//! Zero-dependency tracing + metrics for the Jinjing reproduction. The
+//! paper's whole argument is *measured* safety-at-speed — §6's evaluation
+//! reports per-phase wall-clock splits and credits each optimization with
+//! order-of-magnitude solver-effort reductions — so the engine needs
+//! first-class instrumentation rather than ad-hoc stopwatches.
+//!
+//! Four pieces, all built on `std` alone (the build environment is
+//! offline; this crate must never grow an external dependency):
+//!
+//! - **Spans** ([`SpanGuard`]): RAII guard timers with parent/child
+//!   nesting. Same-named spans under the same parent aggregate (count +
+//!   total), so per-class solver loops collapse into one stable node.
+//! - **Metrics** ([`metrics`]): saturating counters, gauges, and
+//!   log₂-bucket [`metrics::Histogram`]s with percentile queries — used for
+//!   per-query solver effort distributions (decisions, conflicts, …).
+//! - **Events** ([`event`]): a leveled structured log with an optional
+//!   stderr sink (`JINJING_TRACE=1` or the CLI's `--trace`).
+//! - **Snapshots** ([`Snapshot`]): a point-in-time copy of everything,
+//!   rendered to strict JSON by the hand-rolled [`json`] writer with
+//!   stable (sorted) key ordering so outputs are diffable.
+//!
+//! A [`Collector`] is a cheap cloneable handle; every clone shares the same
+//! underlying store, which is how one collector threads through
+//! `check`/`fix`/`generate`, the CDCL solver, the CLI and the bench
+//! harness. Span nesting assumes the collector's spans are entered and
+//! exited on one thread (the engine is single-threaded); counters, gauges,
+//! histograms and events are safe from any thread.
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use event::{Event, Level};
+pub use metrics::Histogram;
+pub use span::SpanGuard;
+
+use json::JsonWriter;
+use metrics::{Counter, Gauge};
+use span::SpanNode;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Cap on stored events; beyond it events still hit the stderr sink but are
+/// dropped from snapshots (counted in the `obs.events_dropped` counter).
+const MAX_EVENTS: usize = 4096;
+
+/// `true` when the `JINJING_TRACE` environment variable asks for the
+/// stderr event sink (any value except empty / `0`).
+pub fn trace_env_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("JINJING_TRACE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Span arena; index 0 is the synthetic root.
+    spans: Vec<SpanNode>,
+    /// Stack of open span indices (root is always at the bottom).
+    stack: Vec<usize>,
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+    events: Vec<Event>,
+    events_dropped: u64,
+    /// Mirror events to stderr as they happen.
+    trace: bool,
+    /// Event-timestamp origin.
+    epoch: Instant,
+}
+
+impl Inner {
+    fn new(trace: bool) -> Inner {
+        Inner {
+            spans: vec![SpanNode::new("root", 0)],
+            stack: vec![0],
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            events: Vec::new(),
+            events_dropped: 0,
+            trace,
+            epoch: Instant::now(),
+        }
+    }
+}
+
+/// Shared handle to a tracing + metrics store. Clones share state.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Collector {
+    fn default() -> Collector {
+        Collector::new()
+    }
+}
+
+impl Collector {
+    /// Fresh collector. The stderr event sink starts enabled iff the
+    /// `JINJING_TRACE` environment variable is set (see
+    /// [`trace_env_enabled`]).
+    pub fn new() -> Collector {
+        Collector::with_trace(trace_env_enabled())
+    }
+
+    /// Fresh collector with the stderr sink explicitly on or off.
+    pub fn with_trace(trace: bool) -> Collector {
+        Collector {
+            inner: Arc::new(Mutex::new(Inner::new(trace))),
+        }
+    }
+
+    /// `true` if `self` and `other` share the same underlying store.
+    pub fn same_store(&self, other: &Collector) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Never poison-panic inside telemetry: recover the inner value.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enable or disable the stderr event sink (the CLI's `--trace`).
+    pub fn set_trace(&self, on: bool) {
+        self.lock().trace = on;
+    }
+
+    // ---- Spans. ----
+
+    /// Enter a span named `name` under the currently open span. Returns the
+    /// RAII guard; the span closes (and records) when the guard drops or
+    /// [`SpanGuard::finish`] is called.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let idx = {
+            let mut g = self.lock();
+            let parent = *g.stack.last().expect("root is never popped");
+            let existing = g.spans[parent]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| g.spans[c].parent == parent && g.spans[c].name == name);
+            let idx = match existing {
+                Some(i) => i,
+                None => {
+                    let i = g.spans.len();
+                    g.spans.push(SpanNode::new(name, parent));
+                    g.spans[parent].children.push(i);
+                    i
+                }
+            };
+            g.spans[idx].open += 1;
+            g.stack.push(idx);
+            idx
+        };
+        SpanGuard::new(self.clone(), idx)
+    }
+
+    /// Close a span opened by [`Collector::span`] (called by the guard).
+    pub(crate) fn exit_span(&self, idx: usize, elapsed: Duration) {
+        let mut g = self.lock();
+        g.spans[idx].count = g.spans[idx].count.saturating_add(1);
+        g.spans[idx].total += elapsed;
+        g.spans[idx].open = g.spans[idx].open.saturating_sub(1);
+        // Pop the stack down to (and including) this span. Guards are RAII
+        // so this is normally the top entry; tolerate skipped pops from
+        // early returns that dropped guards out of declaration order.
+        while let Some(&top) = g.stack.last() {
+            if top == 0 {
+                break; // never pop the root
+            }
+            g.stack.pop();
+            if top == idx {
+                break;
+            }
+        }
+    }
+
+    /// Total recorded wall-clock across all completed entries of the named
+    /// span, summed over every position in the tree.
+    pub fn span_total(&self, name: &str) -> Duration {
+        let g = self.lock();
+        g.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.total)
+            .sum()
+    }
+
+    // ---- Metrics. ----
+
+    /// Increment the named counter (created on first use; saturating).
+    pub fn counter_add(&self, name: &str, n: u64) {
+        self.lock()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .add(n);
+    }
+
+    /// Read a counter (0 if never touched).
+    pub fn counter_get(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).map_or(0, |c| c.get())
+    }
+
+    /// Set the named gauge.
+    pub fn gauge_set(&self, name: &str, v: i64) {
+        self.lock()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .set(v);
+    }
+
+    /// Record one sample into the named histogram.
+    pub fn histogram_record(&self, name: &str, v: u64) {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// Sum of all samples in the named histogram (0 when absent).
+    pub fn histogram_sum(&self, name: &str) -> u64 {
+        self.lock().histograms.get(name).map_or(0, |h| h.sum())
+    }
+
+    /// Sample count of the named histogram (0 when absent).
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.lock().histograms.get(name).map_or(0, |h| h.count())
+    }
+
+    // ---- Events. ----
+
+    /// Record a structured event; mirrored to stderr when tracing is on.
+    pub fn event(&self, level: Level, name: &str, message: &str) {
+        let mut g = self.lock();
+        let t_ns = g.epoch.elapsed().as_nanos() as u64;
+        if g.trace {
+            eprintln!(
+                "[jinjing {:>5} +{:>9.3}ms] {name}: {message}",
+                level,
+                t_ns as f64 / 1e6
+            );
+        }
+        if g.events.len() < MAX_EVENTS {
+            g.events.push(Event {
+                t_ns,
+                level,
+                name: name.to_string(),
+                message: message.to_string(),
+            });
+        } else {
+            g.events_dropped = g.events_dropped.saturating_add(1);
+        }
+    }
+
+    // ---- Snapshots. ----
+
+    /// Point-in-time copy of everything recorded so far. Open spans
+    /// contribute their completed entries only.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.lock();
+        fn build(spans: &[SpanNode], idx: usize) -> SpanSnapshot {
+            let n = &spans[idx];
+            SpanSnapshot {
+                name: n.name.clone(),
+                count: n.count,
+                total_ns: n.total.as_nanos() as u64,
+                children: n.children.iter().map(|&c| build(spans, c)).collect(),
+            }
+        }
+        let mut counters: Vec<(String, u64)> = g
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        if g.events_dropped > 0 {
+            counters.push(("obs.events_dropped".to_string(), g.events_dropped));
+            counters.sort();
+        }
+        Snapshot {
+            spans: build(&g.spans, 0),
+            counters,
+            gauges: g.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), HistogramSnapshot::of(h)))
+                .collect(),
+            events: g.events.clone(),
+        }
+    }
+}
+
+/// One node of the snapshot span tree.
+#[derive(Debug, Clone)]
+pub struct SpanSnapshot {
+    /// Span label.
+    pub name: String,
+    /// Completed entries.
+    pub count: u64,
+    /// Summed wall-clock of completed entries, in nanoseconds.
+    pub total_ns: u64,
+    /// Child spans, in first-entry order.
+    pub children: Vec<SpanSnapshot>,
+}
+
+impl SpanSnapshot {
+    /// Depth-first search for the first span with the given name.
+    pub fn find(&self, name: &str) -> Option<&SpanSnapshot> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Direct child by name.
+    pub fn child(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("children");
+        w.begin_array();
+        for c in &self.children {
+            c.write_json(w);
+        }
+        w.end_array();
+        w.key("count");
+        w.u64(self.count);
+        w.key("name");
+        w.string(&self.name);
+        w.key("total_ns");
+        w.u64(self.total_ns);
+        w.end_object();
+    }
+}
+
+/// Frozen summary of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Sample count.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Approximate 50th percentile.
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+    /// Non-empty log₂ buckets as `(bucket index, count)`.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    fn of(h: &Histogram) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            mean: h.mean(),
+            p50: h.percentile(0.50),
+            p90: h.percentile(0.90),
+            p99: h.percentile(0.99),
+            buckets: h.nonzero_buckets(),
+        }
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("buckets");
+        w.begin_array();
+        for &(i, c) in &self.buckets {
+            w.begin_array();
+            w.u64(i as u64);
+            w.u64(c);
+            w.end_array();
+        }
+        w.end_array();
+        w.key("count");
+        w.u64(self.count);
+        w.key("max");
+        w.u64(self.max);
+        w.key("mean");
+        w.f64(self.mean);
+        w.key("min");
+        w.u64(self.min);
+        w.key("p50");
+        w.u64(self.p50);
+        w.key("p90");
+        w.u64(self.p90);
+        w.key("p99");
+        w.u64(self.p99);
+        w.key("sum");
+        w.u64(self.sum);
+        w.end_object();
+    }
+}
+
+/// A point-in-time copy of a [`Collector`]'s state.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The span tree (root at the top).
+    pub spans: SpanSnapshot,
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Recorded events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl Snapshot {
+    /// An empty snapshot (no spans entered, no metrics).
+    pub fn empty() -> Snapshot {
+        Collector::with_trace(false).snapshot()
+    }
+
+    /// Depth-first search of the span tree.
+    pub fn find_span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.find(name)
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Render the whole snapshot as strict JSON with stable key ordering.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        for (k, v) in &self.counters {
+            w.key(k);
+            w.u64(*v);
+        }
+        w.end_object();
+        w.key("events");
+        w.begin_array();
+        for e in &self.events {
+            w.begin_object();
+            w.key("level");
+            w.string(e.level.as_str());
+            w.key("message");
+            w.string(&e.message);
+            w.key("name");
+            w.string(&e.name);
+            w.key("t_ns");
+            w.u64(e.t_ns);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("gauges");
+        w.begin_object();
+        for (k, v) in &self.gauges {
+            w.key(k);
+            w.i64(*v);
+        }
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for (k, h) in &self.histograms {
+            w.key(k);
+            h.write_json(&mut w);
+        }
+        w.end_object();
+        w.key("spans");
+        self.spans.write_json(&mut w);
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let c = Collector::with_trace(false);
+        {
+            let _outer = c.span("check");
+            for _ in 0..3 {
+                let _inner = c.span("check.solve");
+            }
+            let _other = c.span("check.paths");
+        }
+        let snap = c.snapshot();
+        let root = &snap.spans;
+        assert_eq!(root.name, "root");
+        assert_eq!(root.children.len(), 1);
+        let check = root.child("check").expect("check under root");
+        assert_eq!(check.count, 1);
+        // Same-named entries aggregate into one node with count 3.
+        let solve = check.child("check.solve").expect("solve under check");
+        assert_eq!(solve.count, 3);
+        assert!(solve.children.is_empty());
+        // Sibling order is first-entry order.
+        let names: Vec<&str> = check.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["check.solve", "check.paths"]);
+    }
+
+    #[test]
+    fn finish_returns_the_recorded_duration() {
+        let c = Collector::with_trace(false);
+        let g = c.span("phase");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let d = g.finish();
+        assert!(d >= std::time::Duration::from_millis(2));
+        assert_eq!(c.span_total("phase"), d, "guard and collector agree");
+    }
+
+    #[test]
+    fn sibling_spans_after_reentry_attach_to_the_right_parent() {
+        let c = Collector::with_trace(false);
+        {
+            let _a = c.span("a");
+            let _b = c.span("b");
+        } // both closed
+        {
+            let _a = c.span("a"); // re-enters the same node
+            let _c2 = c.span("c");
+        }
+        let snap = c.snapshot();
+        let a = snap.spans.child("a").unwrap();
+        assert_eq!(a.count, 2);
+        let names: Vec<&str> = a.children.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn span_total_sums_across_tree_positions() {
+        let c = Collector::with_trace(false);
+        {
+            let _x = c.span("x");
+            let _s = c.span("shared");
+        }
+        {
+            let _y = c.span("y");
+            let _s = c.span("shared");
+        }
+        let snap = c.snapshot();
+        // Two distinct nodes named "shared"…
+        assert_eq!(
+            snap.spans
+                .child("x")
+                .unwrap()
+                .child("shared")
+                .unwrap()
+                .count,
+            1
+        );
+        assert_eq!(
+            snap.spans
+                .child("y")
+                .unwrap()
+                .child("shared")
+                .unwrap()
+                .count,
+            1
+        );
+        // …and span_total sums both.
+        assert!(c.span_total("shared") >= Duration::ZERO);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let a = Collector::with_trace(false);
+        let b = a.clone();
+        assert!(a.same_store(&b));
+        b.counter_add("n", 2);
+        a.counter_add("n", 3);
+        assert_eq!(a.counter_get("n"), 5);
+        assert!(!a.same_store(&Collector::with_trace(false)));
+    }
+
+    #[test]
+    fn metrics_round_trip_through_snapshot() {
+        let c = Collector::with_trace(false);
+        c.counter_add("solver.queries", 7);
+        c.gauge_set("wan.devices", -1);
+        c.gauge_set("wan.devices", 40);
+        for v in [1u64, 2, 3, 1000] {
+            c.histogram_record("solver.decisions", v);
+        }
+        let s = c.snapshot();
+        assert_eq!(s.counter("solver.queries"), 7);
+        assert_eq!(s.gauges, vec![("wan.devices".to_string(), 40)]);
+        let h = s.histogram("solver.decisions").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1006);
+        assert_eq!(h.max, 1000);
+        assert_eq!(c.histogram_sum("solver.decisions"), 1006);
+        assert_eq!(c.histogram_count("solver.decisions"), 4);
+    }
+
+    #[test]
+    fn json_snapshot_is_stable_and_escaped() {
+        let c = Collector::with_trace(false);
+        // Insert counters out of order: output must be sorted.
+        c.counter_add("zeta", 1);
+        c.counter_add("alpha", 2);
+        c.event(Level::Info, "note", "quote \" backslash \\ newline \n done");
+        {
+            let _g = c.span("phase.one");
+        }
+        let json = c.snapshot().to_json();
+        // Stable ordering: top-level keys and counter keys sorted.
+        let zi = json.find("\"zeta\"").unwrap();
+        let ai = json.find("\"alpha\"").unwrap();
+        assert!(ai < zi, "counters must be sorted: {json}");
+        let order = [
+            "\"counters\"",
+            "\"events\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"spans\"",
+        ];
+        let mut last = 0;
+        for k in order {
+            let i = json.find(k).unwrap_or_else(|| panic!("{k} missing"));
+            assert!(i >= last, "top-level keys out of order");
+            last = i;
+        }
+        // Escaping.
+        assert!(json.contains("quote \\\" backslash \\\\ newline \\n done"));
+        // Two snapshots of the same collector are byte-identical apart from
+        // nothing — fully deterministic.
+        assert_eq!(json, c.snapshot().to_json());
+    }
+
+    #[test]
+    fn events_respect_cap() {
+        let c = Collector::with_trace(false);
+        for i in 0..(MAX_EVENTS + 10) {
+            c.event(Level::Trace, "e", &format!("{i}"));
+        }
+        let s = c.snapshot();
+        assert_eq!(s.events.len(), MAX_EVENTS);
+        assert_eq!(s.counter("obs.events_dropped"), 10);
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let s = Snapshot::empty();
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json
+            .contains("\"spans\":{\"children\":[],\"count\":0,\"name\":\"root\",\"total_ns\":0}"));
+    }
+}

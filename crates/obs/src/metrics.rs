@@ -1,0 +1,255 @@
+//! Counters, gauges and log₂-bucket histograms.
+//!
+//! All metric values are integers. Counters saturate instead of wrapping —
+//! a telemetry subsystem must never panic or silently wrap into nonsense
+//! when a workload runs long enough to exhaust 64 bits.
+
+/// A monotonically increasing counter (saturating).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Increment by `n`, saturating at `u64::MAX`.
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A last-write-wins signed gauge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    value: i64,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&mut self, v: i64) {
+        self.value = v;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value
+    }
+}
+
+/// Number of histogram buckets: one per possible bit-length of a `u64`
+/// (0 for the value 0, then 1..=64).
+pub const BUCKETS: usize = 65;
+
+/// A log₂-bucket histogram over `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `i` (1 ≤ i ≤ 64) holds values in
+/// `[2^(i-1), 2^i)`. This gives order-of-magnitude resolution over the full
+/// `u64` range with a fixed 65-slot footprint — the right shape for solver
+/// effort distributions (decisions, conflicts, propagations), which span
+/// many decades across queries.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket index a value falls into.
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (the value reported for percentiles).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] = self.buckets[bucket_index(v)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate percentile (`q` in `[0, 1]`): the inclusive upper bound
+    /// of the first bucket at which the cumulative sample count reaches
+    /// `ceil(q · count)`. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum = cum.saturating_add(b);
+            if cum >= target {
+                // Don't report an upper bound beyond the observed max.
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(bucket index, sample count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let mut c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX, "counters must saturate, not wrap");
+        c.add(1);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let mut g = Gauge::default();
+        g.set(42);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        // 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4..8 → bucket 3; …
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Upper bounds are inclusive and aligned to powers of two minus one.
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(3), 7);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // Each value is ≤ the upper bound of its own bucket.
+        for v in [0u64, 1, 2, 3, 4, 5, 100, 1023, 1024, u64::MAX] {
+            assert!(v <= bucket_upper(bucket_index(v)), "{v}");
+        }
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.2).abs() < 1e-9);
+        // Buckets: 0→[0], 1→[1], 2→[2,3], 7→[100].
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1), (2, 2), (7, 1)]);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Exactly half the samples are ≤ 50; p50's bucket is [32,64) → 63.
+        assert_eq!(h.percentile(0.5), 63);
+        assert_eq!(h.percentile(0.0), 1); // clamp to first sample's bucket
+        assert_eq!(h.percentile(1.0), 100); // clipped to the observed max
+        assert!(h.percentile(0.99) >= 64);
+        // Monotone in q.
+        let mut last = 0;
+        for i in 0..=10 {
+            let p = h.percentile(i as f64 / 10.0);
+            assert!(p >= last, "percentile must be monotone");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+}

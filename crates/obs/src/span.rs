@@ -1,0 +1,84 @@
+//! Hierarchical spans: RAII guard timers with parent/child nesting.
+//!
+//! Spans aggregate by `(parent, name)`: entering `check.solve` twenty times
+//! under the same parent produces **one** node with `count == 20` and the
+//! summed duration — exactly the shape the paper's per-phase breakdowns
+//! (Figures 9–11) need, and stable enough to snapshot-test.
+
+use crate::Collector;
+use std::time::{Duration, Instant};
+
+/// One aggregated node in the span tree (arena-indexed).
+#[derive(Debug, Clone)]
+pub(crate) struct SpanNode {
+    /// Phase label, e.g. `"check.solve"`.
+    pub(crate) name: String,
+    /// Arena index of the parent (the root is its own parent).
+    pub(crate) parent: usize,
+    /// Arena indices of children, in first-entry order.
+    pub(crate) children: Vec<usize>,
+    /// Number of completed enters.
+    pub(crate) count: u64,
+    /// Summed wall-clock across completed enters.
+    pub(crate) total: Duration,
+    /// Currently-open guards on this node (re-entrancy depth).
+    pub(crate) open: u32,
+}
+
+impl SpanNode {
+    pub(crate) fn new(name: &str, parent: usize) -> SpanNode {
+        SpanNode {
+            name: name.to_string(),
+            parent,
+            children: Vec::new(),
+            count: 0,
+            total: Duration::ZERO,
+            open: 0,
+        }
+    }
+}
+
+/// RAII timer for one span entry. Records into the collector on drop (or
+/// explicitly via [`SpanGuard::finish`], which also returns the elapsed
+/// time so callers can populate report fields from the same measurement).
+#[derive(Debug)]
+#[must_use = "a span measures nothing unless it is held for the duration of the phase"]
+pub struct SpanGuard {
+    collector: Collector,
+    pub(crate) idx: usize,
+    start: Instant,
+    done: bool,
+}
+
+impl SpanGuard {
+    pub(crate) fn new(collector: Collector, idx: usize) -> SpanGuard {
+        SpanGuard {
+            collector,
+            idx,
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Close the span now and return its elapsed wall-clock. The same
+    /// duration is added to the collector's aggregate for this node.
+    pub fn finish(mut self) -> Duration {
+        self.close()
+    }
+
+    fn close(&mut self) -> Duration {
+        if self.done {
+            return Duration::ZERO;
+        }
+        self.done = true;
+        let elapsed = self.start.elapsed();
+        self.collector.exit_span(self.idx, elapsed);
+        elapsed
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}

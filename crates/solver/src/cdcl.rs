@@ -44,6 +44,64 @@ pub struct SolverStats {
     pub max_depth: u64,
 }
 
+impl SolverStats {
+    /// Fold `other` into `self`: counters add (saturating), `max_depth`
+    /// takes the high-water mark. This is the one sanctioned way to
+    /// aggregate stats across solver instances — the per-class check loop,
+    /// the fix loop, and generate all use it.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.decisions = self.decisions.saturating_add(other.decisions);
+        self.propagations = self.propagations.saturating_add(other.propagations);
+        self.conflicts = self.conflicts.saturating_add(other.conflicts);
+        self.restarts = self.restarts.saturating_add(other.restarts);
+        self.learned = self.learned.saturating_add(other.learned);
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+
+    /// The work done since `earlier` was captured from the *same* solver.
+    /// Counters subtract (the solver's stats are cumulative); `max_depth`
+    /// passes through as the current high-water mark, since depth is not
+    /// additive across queries.
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learned: self.learned.saturating_sub(earlier.learned),
+            max_depth: self.max_depth,
+        }
+    }
+
+    /// Record this stats delta as one solver query in the observability
+    /// collector: one sample per `solver.*` histogram plus the
+    /// `solver.queries` counter. `vars`/`clauses` describe the instance
+    /// size at query time.
+    pub fn record_query(&self, obs: &jinjing_obs::Collector, vars: usize, clauses: usize) {
+        obs.counter_add("solver.queries", 1);
+        obs.histogram_record("solver.decisions", self.decisions);
+        obs.histogram_record("solver.propagations", self.propagations);
+        obs.histogram_record("solver.conflicts", self.conflicts);
+        obs.histogram_record("solver.restarts", self.restarts);
+        obs.histogram_record("solver.learned", self.learned);
+        obs.histogram_record("solver.max_depth", self.max_depth);
+        obs.histogram_record("solver.vars", vars as u64);
+        obs.histogram_record("solver.clauses", clauses as u64);
+    }
+}
+
+impl std::ops::AddAssign<SolverStats> for SolverStats {
+    fn add_assign(&mut self, other: SolverStats) {
+        self.merge(&other);
+    }
+}
+
+impl std::ops::AddAssign<&SolverStats> for SolverStats {
+    fn add_assign(&mut self, other: &SolverStats) {
+        self.merge(other);
+    }
+}
+
 #[derive(Debug)]
 struct Clause {
     lits: Vec<Lit>,
@@ -505,7 +563,9 @@ impl Solver {
                 self.var_inc /= 0.95;
                 continue;
             }
-            if conflicts_since_restart >= restart_budget && self.decision_level() as usize > assumptions.len() {
+            if conflicts_since_restart >= restart_budget
+                && self.decision_level() as usize > assumptions.len()
+            {
                 self.stats.restarts += 1;
                 conflicts_since_restart = 0;
                 restart_budget = luby(self.stats.restarts) * 64;

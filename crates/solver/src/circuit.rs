@@ -11,7 +11,7 @@
 //! path decision models conjoin them, and the consistency checks compare
 //! before/after circuits with `iff`.
 
-use crate::cdcl::{SolveResult, Solver};
+use crate::cdcl::{SolveResult, Solver, SolverStats};
 use crate::lit::Lit;
 
 /// Gate builder over an embedded solver.
@@ -19,6 +19,12 @@ use crate::lit::Lit;
 pub struct CircuitBuilder {
     solver: Solver,
     true_lit: Lit,
+    /// Optional observability sink; when set, every `solve`/`solve_with`
+    /// records its per-query stats delta into the `solver.*` histograms.
+    obs: Option<jinjing_obs::Collector>,
+    /// Stats high-water mark at the end of the previous query, used to
+    /// turn the solver's cumulative counters into per-query deltas.
+    last_stats: SolverStats,
 }
 
 impl Default for CircuitBuilder {
@@ -36,7 +42,16 @@ impl CircuitBuilder {
         CircuitBuilder {
             solver,
             true_lit: t,
+            obs: None,
+            last_stats: SolverStats::default(),
         }
+    }
+
+    /// Attach an observability collector. Subsequent solver queries record
+    /// per-query stats deltas (decisions, conflicts, propagations, …) into
+    /// its `solver.*` histograms and bump the `solver.queries` counter.
+    pub fn set_obs(&mut self, obs: jinjing_obs::Collector) {
+        self.obs = Some(obs);
     }
 
     /// The constant `true`.
@@ -160,12 +175,29 @@ impl CircuitBuilder {
 
     /// Solve the asserted constraints.
     pub fn solve(&mut self) -> SolveResult {
-        self.solver.solve()
+        let r = self.solver.solve();
+        self.record_query();
+        r
     }
 
     /// Solve under assumptions.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
-        self.solver.solve_with(assumptions)
+        let r = self.solver.solve_with(assumptions);
+        self.record_query();
+        r
+    }
+
+    /// Report the work done by the query that just finished.
+    fn record_query(&mut self) {
+        let now = self.solver.stats();
+        if let Some(obs) = &self.obs {
+            now.delta_since(&self.last_stats).record_query(
+                obs,
+                self.solver.num_vars(),
+                self.solver.num_clauses(),
+            );
+        }
+        self.last_stats = now;
     }
 
     /// Model value of a literal after a `Sat` answer.
@@ -184,7 +216,10 @@ mod tests {
     use super::*;
 
     /// Exhaustively verify a 2-input gate against a reference function.
-    fn check_gate2(build: impl Fn(&mut CircuitBuilder, Lit, Lit) -> Lit, reference: fn(bool, bool) -> bool) {
+    fn check_gate2(
+        build: impl Fn(&mut CircuitBuilder, Lit, Lit) -> Lit,
+        reference: fn(bool, bool) -> bool,
+    ) {
         for va in [false, true] {
             for vb in [false, true] {
                 let mut c = CircuitBuilder::new();

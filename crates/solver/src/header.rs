@@ -273,8 +273,9 @@ mod tests {
 
     #[test]
     fn matchspec_circuit_matches_semantics() {
-        let rule = parse_rule("permit src 10.0.0.0/8 dst 1.0.0.0/8 sport 1024-65535 dport 80 proto tcp")
-            .unwrap();
+        let rule =
+            parse_rule("permit src 10.0.0.0/8 dst 1.0.0.0/8 sport 1024-65535 dport 80 proto tcp")
+                .unwrap();
         agree_on(
             |c, h| h.matches(c, &rule.matches),
             |p| rule.matches.matches(p),

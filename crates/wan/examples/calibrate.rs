@@ -10,10 +10,10 @@
 use jinjing_core::check::{check, CheckConfig};
 use jinjing_core::fix::{fix, FixConfig};
 use jinjing_core::generate::{generate, GenerateConfig};
+use jinjing_core::Encoding;
 use jinjing_lai::Command;
 use jinjing_wan::scenarios;
 use jinjing_wan::{build_wan, NetSize, WanParams};
-use jinjing_core::Encoding;
 use std::time::Instant;
 
 fn main() {
@@ -21,12 +21,21 @@ fn main() {
     for size in [NetSize::Small, NetSize::Medium, NetSize::Large] {
         let wan = build_wan(&WanParams::preset(size));
         // Pre-warm the forwarding-predicate cache (routing data is static).
-        for d in wan.net.topology().devices() { let _ = wan.net.forwarding_predicates(d); }
+        for d in wan.net.topology().devices() {
+            let _ = wan.net.forwarding_predicates(d);
+        }
         if arg.contains("check") {
             let sc = scenarios::checkfix(&wan, 0.03, 1, Command::Check);
             for (label, cfg) in [
                 ("diff+tree", CheckConfig::default()),
-                ("basic+seq", CheckConfig { differential: false, encoding: Encoding::Sequential, ..CheckConfig::default() }),
+                (
+                    "basic+seq",
+                    CheckConfig {
+                        differential: false,
+                        encoding: Encoding::Sequential,
+                        ..CheckConfig::default()
+                    },
+                ),
             ] {
                 let t = Instant::now();
                 let r = check(&wan.net, &sc.task, &cfg).unwrap();
@@ -37,15 +46,30 @@ fn main() {
             let sc = scenarios::checkfix(&wan, 0.03, 1, Command::Fix);
             let t = Instant::now();
             let plan = fix(&wan.net, &sc.task, &FixConfig::default()).unwrap();
-            println!("{} fix: {:?} neighborhoods={} rules={}", size.label(), t.elapsed(), plan.neighborhoods.len(), plan.added_rules.len());
+            println!(
+                "{} fix: {:?} neighborhoods={} rules={}",
+                size.label(),
+                t.elapsed(),
+                plan.neighborhoods.len(),
+                plan.added_rules.len()
+            );
         }
         if arg.contains("batch") {
             use jinjing_core::fix::FixStrategy;
             let sc = scenarios::checkfix(&wan, 0.03, 1, Command::Fix);
-            let cfg = FixConfig { strategy: FixStrategy::ExactBatch, ..FixConfig::default() };
+            let cfg = FixConfig {
+                strategy: FixStrategy::ExactBatch,
+                ..FixConfig::default()
+            };
             let t = Instant::now();
             let plan = fix(&wan.net, &sc.task, &cfg).unwrap();
-            println!("{} fix[batch]: {:?} neighborhoods={} rules={}", size.label(), t.elapsed(), plan.neighborhoods.len(), plan.added_rules.len());
+            println!(
+                "{} fix[batch]: {:?} neighborhoods={} rules={}",
+                size.label(),
+                t.elapsed(),
+                plan.neighborhoods.len(),
+                plan.added_rules.len()
+            );
         }
         if arg.contains("gen") {
             let sc = scenarios::migration(&wan);
@@ -58,8 +82,22 @@ fn main() {
         if arg.contains("noopt") {
             let sc = scenarios::migration(&wan);
             let t = Instant::now();
-            let r = generate(&wan.net, &sc.task, &GenerateConfig { optimize: false, ..GenerateConfig::default() }).unwrap();
-            println!("{} generate[noopt]: {:?} rows={} rules={}", size.label(), t.elapsed(), r.rows, r.rules_final);
+            let r = generate(
+                &wan.net,
+                &sc.task,
+                &GenerateConfig {
+                    optimize: false,
+                    ..GenerateConfig::default()
+                },
+            )
+            .unwrap();
+            println!(
+                "{} generate[noopt]: {:?} rows={} rules={}",
+                size.label(),
+                t.elapsed(),
+                r.rows,
+                r.rules_final
+            );
         }
         if arg.contains("exact") {
             use jinjing_core::check::check_exact;
@@ -67,13 +105,24 @@ fn main() {
             let r = generate(&wan.net, &sc.task, &GenerateConfig::default()).unwrap();
             let t = Instant::now();
             let v = check_exact(&wan.net, &sc.task.scope, &sc.task.before, &r.generated, &[]);
-            println!("{} exact-verify: {:?} consistent={}", size.label(), t.elapsed(), v.is_consistent());
+            println!(
+                "{} exact-verify: {:?} consistent={}",
+                size.label(),
+                t.elapsed(),
+                v.is_consistent()
+            );
         }
         if arg.contains("open") {
             let sc = scenarios::control_open(&wan, 2, 1);
             let t = Instant::now();
             let r = generate(&wan.net, &sc.task, &GenerateConfig::default()).unwrap();
-            println!("{} open2: {:?} aecs={} rules={}", size.label(), t.elapsed(), r.aec_count, r.rules_final);
+            println!(
+                "{} open2: {:?} aecs={} rules={}",
+                size.label(),
+                t.elapsed(),
+                r.aec_count,
+                r.rules_final
+            );
         }
     }
 }

@@ -2,10 +2,10 @@
 
 use crate::params::WanParams;
 use jinjing_acl::parse::parse_rule;
+use jinjing_acl::IpPrefix;
 use jinjing_acl::{Acl, Action, PacketSet, Rule};
 use jinjing_net::fib::prefix_set;
 use jinjing_net::{AclConfig, DeviceId, IfaceId, Network, Scope, Slot, TopologyBuilder};
-use jinjing_acl::IpPrefix;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -61,6 +61,41 @@ impl Wan {
     pub fn installed_rules(&self) -> usize {
         self.config.total_rules()
     }
+}
+
+/// [`build_wan`] with observability: the construction is timed under a
+/// `wan.build` span and the generated workload's shape is recorded as
+/// gauges (`wan.devices`, `wan.acl_slots`, `wan.installed_rules`,
+/// `wan.edge_prefixes`), so benchmark metric dumps carry the workload size
+/// next to the phase timings.
+pub fn build_wan_observed(params: &WanParams, obs: &jinjing_obs::Collector) -> Wan {
+    let sp = obs.span("wan.build");
+    let wan = build_wan(params);
+    let built = sp.finish();
+    obs.gauge_set(
+        "wan.devices",
+        (wan.cores.len()
+            + wan.aggs.iter().map(Vec::len).sum::<usize>()
+            + wan.edges.iter().map(Vec::len).sum::<usize>()) as i64,
+    );
+    obs.gauge_set("wan.acl_slots", wan.all_acl_slots().len() as i64);
+    obs.gauge_set("wan.installed_rules", wan.installed_rules() as i64);
+    obs.gauge_set(
+        "wan.edge_prefixes",
+        wan.edge_prefixes.iter().map(Vec::len).sum::<usize>() as i64,
+    );
+    obs.event(
+        jinjing_obs::Level::Debug,
+        "wan.built",
+        &format!(
+            "seed {} built in {:.1} ms: {} rules over {} slots",
+            params.seed,
+            built.as_secs_f64() * 1e3,
+            wan.installed_rules(),
+            wan.all_acl_slots().len()
+        ),
+    );
+    wan
 }
 
 /// Build a WAN from parameters. Fully deterministic for a given seed.
@@ -268,10 +303,7 @@ mod tests {
         let wan = build_wan(&params);
         assert_eq!(wan.net.topology().device_count(), params.device_count());
         assert_eq!(wan.uplinks.len(), params.cores);
-        assert_eq!(
-            wan.downlinks.len(),
-            params.cells * params.edges_per_cell
-        );
+        assert_eq!(wan.downlinks.len(), params.cells * params.edges_per_cell);
         assert_eq!(wan.all_acl_slots().len(), params.acl_slot_count());
         assert_eq!(wan.installed_rules(), params.total_rules());
     }

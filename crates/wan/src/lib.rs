@@ -40,6 +40,6 @@ pub mod params;
 pub mod perturb;
 pub mod scenarios;
 
-pub use crate::build::{build_wan, Wan};
+pub use crate::build::{build_wan, build_wan_observed, Wan};
 pub use crate::params::{NetSize, WanParams};
 pub use crate::perturb::{perturb, Perturbation};

@@ -35,7 +35,9 @@ pub fn perturb(
     let mut rng = StdRng::seed_from_u64(seed);
     let slots = config.slots();
     let total: usize = config.total_rules();
-    let budget = ((total as f64) * fraction).round().max(if fraction > 0.0 { 1.0 } else { 0.0 }) as usize;
+    let budget = ((total as f64) * fraction)
+        .round()
+        .max(if fraction > 0.0 { 1.0 } else { 0.0 }) as usize;
     let mut out = config.clone();
     let mut touched: Vec<Slot> = Vec::new();
     let mut kinds: Vec<Perturbation> = Vec::new();
@@ -46,7 +48,9 @@ pub fn perturb(
             .copied()
             .filter(|s| out.get(*s).is_some_and(|a| !a.is_empty()))
             .collect();
-        let Some(&slot) = pick(&mut rng, &candidates) else { break };
+        let Some(&slot) = pick(&mut rng, &candidates) else {
+            break;
+        };
         let acl = out.get(slot).expect("candidate slot has an ACL").clone();
         let mut rules: Vec<Rule> = acl.rules().to_vec();
         // Bias the mutation toward deny rules: under a permit-all default
@@ -147,9 +151,7 @@ mod tests {
         let wan = build_wan(&WanParams::preset(NetSize::Small));
         let (after, touched, _) = perturb(&wan.config, 0.05, 7);
         assert!(!touched.is_empty());
-        let changed = touched
-            .iter()
-            .any(|s| after.get(*s) != wan.config.get(*s));
+        let changed = touched.iter().any(|s| after.get(*s) != wan.config.get(*s));
         assert!(changed, "at least one touched slot differs syntactically");
     }
 

@@ -59,8 +59,7 @@ fn main() {
     let lai_path = "examples/data/running-example.lai";
     std::fs::write(net_path, serde_json::to_string_pretty(&spec).unwrap())
         .expect("write network spec");
-    std::fs::write(acl_path, serde_json::to_string_pretty(&acls).unwrap())
-        .expect("write acl spec");
+    std::fs::write(acl_path, serde_json::to_string_pretty(&acls).unwrap()).expect("write acl spec");
     std::fs::write(lai_path, INTENT).expect("write intent");
 
     // Round-trip sanity: the rebuilt network reproduces the figure's paths.

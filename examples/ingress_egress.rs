@@ -93,8 +93,8 @@ fn main() {
 
     let scope = Scope::whole(topo);
     println!("checking the relocation plan…");
-    let report = check_configs(&net, &scope, &before, &after, &[], &CheckConfig::default())
-        .expect("check");
+    let report =
+        check_configs(&net, &scope, &before, &after, &[], &CheckConfig::default()).expect("check");
     match &report.outcome {
         CheckOutcome::Consistent => println!("consistent (unexpected!)"),
         CheckOutcome::Inconsistent(v) => {
@@ -113,8 +113,16 @@ fn main() {
         println!(
             "  path {}: before={} after={}",
             path.display(topo),
-            if before.path_permits(&path, &intra) { "permit" } else { "deny" },
-            if after.path_permits(&path, &intra) { "permit" } else { "deny" },
+            if before.path_permits(&path, &intra) {
+                "permit"
+            } else {
+                "deny"
+            },
+            if after.path_permits(&path, &intra) {
+                "permit"
+            } else {
+                "deny"
+            },
         );
     }
 
@@ -129,12 +137,15 @@ fn main() {
         command: Command::Fix,
     };
     let plan = fix(&net, &task, &FixConfig::default()).expect("fix");
-    println!("\nfix: {} rules across {} neighborhoods", plan.added_rules.len(), plan.neighborhoods.len());
+    println!(
+        "\nfix: {} rules across {} neighborhoods",
+        plan.added_rules.len(),
+        plan.neighborhoods.len()
+    );
     for (_, name, acl) in render_plan(&net, &task.after, &plan.fixed) {
         println!("--- {name} (after fixing) ---\n{acl}");
     }
-    let verdict =
-        jinjing_core::check::check_exact(&net, &scope, &before, &plan.fixed, &[]);
+    let verdict = jinjing_core::check::check_exact(&net, &scope, &before, &plan.fixed, &[]);
     println!(
         "\nexact verification: {}",
         if verdict.is_consistent() {

@@ -94,7 +94,13 @@ fn main() {
         );
     }
     // Verify against the desired reachability.
-    let verdict = check_exact(&net, &task.scope, &task.before, &report.generated, &task.controls);
+    let verdict = check_exact(
+        &net,
+        &task.scope,
+        &task.before,
+        &report.generated,
+        &task.controls,
+    );
     println!(
         "exact verification: {}",
         if verdict.is_consistent() {

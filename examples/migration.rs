@@ -47,7 +47,10 @@ generate
     for name in ["C1", "C2", "D1"] {
         let slot = fig.slot(name);
         let acl = report.generated.get(slot).expect("synthesized");
-        println!("--- synthesized {}-in ---\n{acl}\n", topo.iface_name(slot.iface));
+        println!(
+            "--- synthesized {}-in ---\n{acl}\n",
+            topo.iface_name(slot.iface)
+        );
     }
     let verdict = check_exact(&fig.net, &task.scope, &task.before, &report.generated, &[]);
     println!(
@@ -94,7 +97,13 @@ fn wan_migration(size: NetSize) {
         report.aec_count, report.aecs_split, report.dec_count
     );
     let t = std::time::Instant::now();
-    let verdict = check_exact(&wan.net, &sc.task.scope, &sc.task.before, &report.generated, &[]);
+    let verdict = check_exact(
+        &wan.net,
+        &sc.task.scope,
+        &sc.task.before,
+        &report.generated,
+        &[],
+    );
     println!(
         "exact verification in {:?}: {}",
         t.elapsed(),

@@ -10,7 +10,7 @@
 //! ```
 
 use jinjing_core::check::CheckOutcome;
-use jinjing_core::engine::{render_plan, run, EngineConfig, Report};
+use jinjing_core::engine::{render_plan, run, EngineConfig, ReportKind};
 use jinjing_core::figure1::Figure1;
 use jinjing_core::resolve::resolve;
 use jinjing_lai::{parse_program, validate};
@@ -52,8 +52,8 @@ fn main() {
     let program = validate(parse_program(&check_src).expect("parse")).expect("validate");
     let task = resolve(&fig.net, &program, &fig.config).expect("resolve");
     let report = run(&fig.net, &task, &EngineConfig::default()).expect("engine");
-    match &report {
-        Report::Check(r) => match &r.outcome {
+    match &report.kind {
+        ReportKind::Check(r) => match &r.outcome {
             CheckOutcome::Consistent => println!("check: consistent (unexpected!)"),
             CheckOutcome::Inconsistent(v) => {
                 println!("check: INCONSISTENT —");
@@ -74,21 +74,19 @@ fn main() {
     let program = validate(parse_program(&fix_src).expect("parse")).expect("validate");
     let task = resolve(&fig.net, &program, &fig.config).expect("resolve");
     let report = run(&fig.net, &task, &EngineConfig::default()).expect("engine");
-    let Report::Fix(plan) = &report else {
+    let ReportKind::Fix(plan) = &report.kind else {
         unreachable!("command was fix")
     };
-    println!("fix: repaired with {} neighborhoods", plan.neighborhoods.len());
+    println!(
+        "fix: repaired with {} neighborhoods",
+        plan.neighborhoods.len()
+    );
     for (i, n) in plan.neighborhoods.iter().enumerate() {
         println!("  neighborhood {i}: {n}");
     }
     println!("\nFixing rules added:");
     for (slot, rule) in &plan.added_rules {
-        println!(
-            "  {}-{}: {}",
-            topo.iface_name(slot.iface),
-            slot.dir,
-            rule
-        );
+        println!("  {}-{}: {}", topo.iface_name(slot.iface), slot.dir, rule);
     }
     println!("\nDeployable plan (changed slots):");
     for (_, name, acl) in render_plan(&fig.net, &fig.config, &plan.fixed) {

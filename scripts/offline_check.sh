@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Registry-free verification of the internal dependency chain.
+#
+# The workspace's external deps (proptest/criterion/serde_json/rand) only sit
+# in the outer layers (property suites, benches, CLI/spec JSON). Everything
+# inner — acl, obs, solver, lai, net (without the `spec` feature), core — is
+# std-only, so on a machine without crates.io access we can still build and
+# test the heart of the system with bare rustc:
+#
+#   rlibs:  acl → obs → {solver, lai, net} → core
+#   tests:  obs unit, solver unit, core unit, tests/obs_integration.rs
+#
+# The integration test's serde_json round-trip is compiled out under
+# `--cfg jinjing_offline` (the full check still runs under `cargo test`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-$(mktemp -d /tmp/jinjing-offline.XXXXXX)}"
+mkdir -p "$OUT"
+RUSTC=(rustc --edition 2021 -C opt-level=1 -L "$OUT")
+
+rlib() { # rlib <crate_snake> <path> [--extern ...]
+    local name="$1" src="$2"
+    shift 2
+    echo "==> rlib $name"
+    "${RUSTC[@]}" --crate-type rlib --crate-name "$name" "$src" \
+        -o "$OUT/lib$name.rlib" "$@"
+}
+
+tbin() { # tbin <bin_name> <src> [--extern ...]
+    local name="$1" src="$2"
+    shift 2
+    echo "==> test $name"
+    "${RUSTC[@]}" --test --crate-name "$name" "$src" -o "$OUT/$name" "$@"
+    "$OUT/$name" -q
+}
+
+A="--extern jinjing_acl=$OUT/libjinjing_acl.rlib"
+O="--extern jinjing_obs=$OUT/libjinjing_obs.rlib"
+
+rlib jinjing_acl crates/acl/src/lib.rs
+rlib jinjing_obs crates/obs/src/lib.rs
+rlib jinjing_solver crates/solver/src/lib.rs $A $O
+rlib jinjing_lai crates/lai/src/lib.rs $A
+rlib jinjing_net crates/net/src/lib.rs $A # no --cfg feature="spec": serde-free
+rlib jinjing_core crates/core/src/lib.rs $A $O \
+    --extern jinjing_solver="$OUT/libjinjing_solver.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib"
+
+tbin obs_unit crates/obs/src/lib.rs
+tbin solver_unit crates/solver/src/lib.rs $A $O
+tbin core_unit crates/core/src/lib.rs $A $O \
+    --extern jinjing_solver="$OUT/libjinjing_solver.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib"
+tbin obs_integration tests/obs_integration.rs --cfg jinjing_offline $O \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib"
+
+echo "offline_check.sh: all offline checks passed (artifacts in $OUT)"

@@ -18,7 +18,11 @@ fn pattern() -> impl Strategy<Value = SlotPattern> {
     (
         ident(),
         prop_oneof![Just(IfaceSel::Star), ident().prop_map(IfaceSel::Named)],
-        prop_oneof![Just(None), Just(Some(DirSpec::In)), Just(Some(DirSpec::Out))],
+        prop_oneof![
+            Just(None),
+            Just(Some(DirSpec::In)),
+            Just(Some(DirSpec::Out))
+        ],
     )
         .prop_map(|(device, iface, dir)| SlotPattern { device, iface, dir })
 }
@@ -81,7 +85,10 @@ fn program() -> impl Strategy<Value = Program> {
         .prop_flat_map(|(defs, scope, allow, controls, command)| {
             let n = defs.len();
             let defs_strategy: Vec<_> = (0..n).map(acl_def).collect();
-            (defs_strategy, prop::collection::vec(0..n.max(1), 0..=n.min(3)))
+            (
+                defs_strategy,
+                prop::collection::vec(0..n.max(1), 0..=n.min(3)),
+            )
                 .prop_map(move |(acl_defs, modify_refs)| {
                     let modifies: Vec<Modify> = modify_refs
                         .iter()
@@ -143,13 +150,15 @@ mod spec_roundtrip {
                 });
             }
             for i in 0..n - 1 {
-                spec.links.push((format!("R{i}:r"), format!("R{}:l", i + 1)));
+                spec.links
+                    .push((format!("R{i}:r"), format!("R{}:l", i + 1)));
             }
             for k in 0..prefixes {
-                spec.announcements.push(jinjing_net::spec::AnnouncementSpec {
-                    prefix: format!("{}.0.0.0/8", k + 1),
-                    interface: format!("R{}:x", k % n),
-                });
+                spec.announcements
+                    .push(jinjing_net::spec::AnnouncementSpec {
+                        prefix: format!("{}.0.0.0/8", k + 1),
+                        interface: format!("R{}:x", k % n),
+                    });
             }
             spec
         })

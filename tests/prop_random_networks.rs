@@ -29,12 +29,20 @@ struct ScenarioSpec {
 }
 
 fn rule_strategy() -> impl Strategy<Value = Rule> {
-    (1u32..=4, any::<bool>(), prop_oneof![Just(8u32), Just(16)], 0u32..4).prop_map(
-        |(n, permit, len, sub)| {
-            let addr = if len == 8 { n << 24 } else { n << 24 | sub << 16 };
-            Rule::on_dst(Action::from_bool(permit), IpPrefix::new(addr, len))
-        },
+    (
+        1u32..=4,
+        any::<bool>(),
+        prop_oneof![Just(8u32), Just(16)],
+        0u32..4,
     )
+        .prop_map(|(n, permit, len, sub)| {
+            let addr = if len == 8 {
+                n << 24
+            } else {
+                n << 24 | sub << 16
+            };
+            Rule::on_dst(Action::from_bool(permit), IpPrefix::new(addr, len))
+        })
 }
 
 fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
@@ -42,7 +50,10 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
         2usize..=4,
         any::<bool>(),
         1usize..=4,
-        prop::collection::vec((0usize..8, prop::collection::vec(rule_strategy(), 1..4)), 1..4),
+        prop::collection::vec(
+            (0usize..8, prop::collection::vec(rule_strategy(), 1..4)),
+            1..4,
+        ),
         prop::collection::vec((0usize..3, 0u8..3, any::<u32>()), 0..4),
     )
         .prop_map(|(chain, diamond, prefixes, acls, mutations)| ScenarioSpec {

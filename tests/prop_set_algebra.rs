@@ -39,7 +39,13 @@ fn packet_set() -> impl Strategy<Value = PacketSet> {
 }
 
 fn packet() -> impl Strategy<Value = Packet> {
-    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>())
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+    )
         .prop_map(|(s, d, sp, dp, pr)| Packet::new(s, d, sp, dp, pr))
 }
 

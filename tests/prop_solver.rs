@@ -3,23 +3,25 @@
 //! satisfy the formula, and the arithmetic circuits (comparators,
 //! cardinality counters) agree with concrete arithmetic.
 
+use jinjing_acl::packet::{Field, Packet};
 use jinjing_solver::card::counter_outputs;
 use jinjing_solver::cdcl::{SolveResult, Solver};
 use jinjing_solver::lit::{Lit, Var};
 use jinjing_solver::{CircuitBuilder, HeaderVars};
-use jinjing_acl::packet::{Field, Packet};
 use proptest::prelude::*;
 
 /// A random clause over `n` variables as non-zero DIMACS-style ints.
 fn clause(n: usize) -> impl Strategy<Value = Vec<i32>> {
-    prop::collection::vec((1..=n as i32, any::<bool>()), 1..4)
-        .prop_map(|lits| lits.into_iter().map(|(v, s)| if s { v } else { -v }).collect())
+    prop::collection::vec((1..=n as i32, any::<bool>()), 1..4).prop_map(|lits| {
+        lits.into_iter()
+            .map(|(v, s)| if s { v } else { -v })
+            .collect()
+    })
 }
 
 fn formula() -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
-    (2usize..9).prop_flat_map(|n| {
-        prop::collection::vec(clause(n), 0..30).prop_map(move |cs| (n, cs))
-    })
+    (2usize..9)
+        .prop_flat_map(|n| prop::collection::vec(clause(n), 0..30).prop_map(move |cs| (n, cs)))
 }
 
 fn brute_force(n: usize, clauses: &[Vec<i32>]) -> Option<u64> {
@@ -27,7 +29,11 @@ fn brute_force(n: usize, clauses: &[Vec<i32>]) -> Option<u64> {
         for c in clauses {
             let sat = c.iter().any(|&s| {
                 let v = (bits >> (s.unsigned_abs() - 1)) & 1 == 1;
-                if s > 0 { v } else { !v }
+                if s > 0 {
+                    v
+                } else {
+                    !v
+                }
             });
             if !sat {
                 continue 'outer;

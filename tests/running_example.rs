@@ -3,7 +3,7 @@
 //! parse → validate → resolve → run).
 
 use jinjing_core::check::{check_exact, CheckOutcome};
-use jinjing_core::engine::{run, EngineConfig, Report};
+use jinjing_core::engine::{run, EngineConfig, Report, ReportKind};
 use jinjing_core::figure1::Figure1;
 use jinjing_core::resolve::resolve;
 use jinjing_lai::{parse_program, validate};
@@ -39,7 +39,9 @@ fn run_lai(fig: &Figure1, src: &str) -> Report {
 fn figure3_check_reports_inconsistent() {
     let fig = Figure1::new();
     let report = run_lai(&fig, &format!("{RUNNING_EXAMPLE_BODY}check\n"));
-    let Report::Check(r) = report else { panic!("expected check") };
+    let ReportKind::Check(r) = report.kind else {
+        panic!("expected check")
+    };
     match r.outcome {
         CheckOutcome::Inconsistent(v) => {
             let top = v.packet.dip >> 24;
@@ -55,7 +57,9 @@ fn figure3_check_reports_inconsistent() {
 fn figure3_fix_produces_consistent_plan() {
     let fig = Figure1::new();
     let report = run_lai(&fig, &format!("{RUNNING_EXAMPLE_BODY}fix\n"));
-    let Report::Fix(plan) = report else { panic!("expected fix") };
+    let ReportKind::Fix(plan) = report.kind else {
+        panic!("expected fix")
+    };
     // The two neighborhoods are exactly Traffic 1 and Traffic 2 (§4.2).
     let mut tops: Vec<u32> = plan
         .neighborhoods
@@ -89,7 +93,9 @@ modify D:2 to PermitAll
 generate
 "#;
     let report = run_lai(&fig, src);
-    let Report::Generate(g) = report else { panic!("expected generate") };
+    let ReportKind::Generate(g) = report.kind else {
+        panic!("expected generate")
+    };
     assert_eq!(g.aec_count, 4, "Table 3");
     assert_eq!(g.aecs_split, 1, "§5.3: [1]AEC splits");
     assert_eq!(g.dec_count, 2, "[1]DEC and [2]DEC");
@@ -123,7 +129,9 @@ control A:1 -> C:3 isolate all
 generate
 "#;
     let report = run_lai(&fig, src);
-    let Report::Generate(g) = report else { panic!("expected generate") };
+    let ReportKind::Generate(g) = report.kind else {
+        panic!("expected generate")
+    };
     let program = validate(parse_program(src).unwrap()).unwrap();
     let task = resolve(&fig.net, &program, &fig.config).unwrap();
     let verdict = check_exact(
@@ -137,13 +145,17 @@ generate
     // Traffic 4 still flows A1→C3; traffic 7 (originally denied) stays
     // denied; any other traffic on that pair is now isolated.
     let scope = fig.scope();
-    let paths4 = fig.net.paths_for_class(&scope, fig.iface("A1"), &fig.traffic(4));
+    let paths4 = fig
+        .net
+        .paths_for_class(&scope, fig.iface("A1"), &fig.traffic(4));
     assert!(!paths4.is_empty());
     let p4 = jinjing_acl::Packet::to_dst(4 << 24 | 1);
     for p in &paths4 {
         assert!(g.generated.path_permits(p, &p4), "maintain kept traffic 4");
     }
-    let paths7 = fig.net.paths_for_class(&scope, fig.iface("A1"), &fig.traffic(7));
+    let paths7 = fig
+        .net
+        .paths_for_class(&scope, fig.iface("A1"), &fig.traffic(7));
     let p7 = jinjing_acl::Packet::to_dst(7 << 24 | 1);
     for p in &paths7 {
         assert!(!g.generated.path_permits(p, &p7), "isolate-all caught 7");
@@ -172,5 +184,8 @@ fn check_variants_agree_on_running_example() {
             verdicts.push(r.outcome.is_consistent());
         }
     }
-    assert!(verdicts.iter().all(|&v| !v), "all four variants: inconsistent");
+    assert!(
+        verdicts.iter().all(|&v| !v),
+        "all four variants: inconsistent"
+    );
 }

@@ -38,7 +38,10 @@ fn perturbed_update_check_agrees_with_oracle() {
                     .expect("check")
                     .outcome
                     .is_consistent();
-                assert_eq!(got, oracle, "seed {seed} fraction {fraction} diff {differential}");
+                assert_eq!(
+                    got, oracle,
+                    "seed {seed} fraction {fraction} diff {differential}"
+                );
             }
         }
     }
@@ -71,14 +74,17 @@ fn migration_scenario_preserves_reachability() {
     // Sources drained, targets populated.
     for group in &wan.acl_slots {
         for &s in group {
-            assert!(report
-                .generated
-                .get(s)
-                .map_or(true, |a| a.is_permit_all()));
+            assert!(report.generated.get(s).map_or(true, |a| a.is_permit_all()));
         }
     }
     assert!(report.rules_final > 0);
-    let verdict = check_exact(&wan.net, &sc.task.scope, &sc.task.before, &report.generated, &[]);
+    let verdict = check_exact(
+        &wan.net,
+        &sc.task.scope,
+        &sc.task.before,
+        &report.generated,
+        &[],
+    );
     assert!(verdict.is_consistent(), "{verdict:?}");
 }
 
@@ -106,8 +112,7 @@ fn migration_optimization_reduces_rules_dramatically() {
     );
     // Both are consistent.
     for r in [&opt, &base] {
-        let verdict =
-            check_exact(&wan.net, &sc.task.scope, &sc.task.before, &r.generated, &[]);
+        let verdict = check_exact(&wan.net, &sc.task.scope, &sc.task.before, &r.generated, &[]);
         assert!(verdict.is_consistent());
     }
 }
@@ -187,8 +192,5 @@ fn differential_reduction_shrinks_encoded_rules() {
         diff.encoded_rules,
         basic.encoded_rules
     );
-    assert_eq!(
-        diff.outcome.is_consistent(),
-        basic.outcome.is_consistent()
-    );
+    assert_eq!(diff.outcome.is_consistent(), basic.outcome.is_consistent());
 }
