@@ -198,7 +198,7 @@ mod tests {
         let a = dst_cube(0, 99);
         let b = dst_cube(50, 149);
         let pieces = a.subtract(&b);
-        let total: u128 = pieces.iter().map(|c| c.count()).sum();
+        let total: u128 = pieces.iter().map(Cube::count).sum();
         let expected = a.count() - a.intersect(&b).unwrap().count();
         assert_eq!(total, expected);
         // Pieces must be disjoint from `b` and from each other.
@@ -223,7 +223,7 @@ mod tests {
             .with(Field::Proto, Interval::singleton(6));
         let pieces = a.subtract(&b);
         let inter = a.intersect(&b).unwrap();
-        let total: u128 = pieces.iter().map(|c| c.count()).sum();
+        let total: u128 = pieces.iter().map(Cube::count).sum();
         assert_eq!(total + inter.count(), a.count());
         for (i, p) in pieces.iter().enumerate() {
             assert!(p.intersect(&b).is_none());

@@ -106,7 +106,7 @@ pub fn set_to_matchspecs(set: &PacketSet) -> Vec<MatchSpec> {
 
 /// Reassemble: the exact set matched by a tuple list (for validation).
 pub fn matchspecs_to_set(specs: &[MatchSpec]) -> PacketSet {
-    PacketSet::from_cubes(specs.iter().map(|m| m.cube()).collect())
+    PacketSet::from_cubes(specs.iter().map(MatchSpec::cube).collect())
 }
 
 #[cfg(test)]

@@ -284,3 +284,165 @@ mod tests {
         assert!(d.reduced_before.is_empty());
     }
 }
+
+/// Property-style tests over a deterministic xorshift stream (so they run
+/// in the dependency-free offline build too, unlike the proptest suites).
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::acl::AclBuilder;
+    use crate::packet::Packet;
+    use crate::rule::Action;
+
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            // Same generator the rtree tests use.
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+    }
+
+    /// A random ACL over a deliberately small, heavily overlapping prefix
+    /// universe (src and dst rules, both actions, both defaults).
+    fn random_acl(rng: &mut Rng) -> Acl {
+        let n = (rng.next() % 10) as usize;
+        let mut b = if rng.next() % 2 == 0 {
+            AclBuilder::default_permit()
+        } else {
+            AclBuilder::default_deny()
+        };
+        for _ in 0..n {
+            let p = format!(
+                "{}.{}.0.0/{}",
+                rng.next() % 3,
+                rng.next() % 3,
+                8 + rng.next() % 17
+            );
+            b = match rng.next() % 4 {
+                0 => b.permit_dst(&p),
+                1 => b.deny_dst(&p),
+                2 => b.permit_src(&p),
+                _ => b.deny_src(&p),
+            };
+        }
+        b.build()
+    }
+
+    /// A random small mutation of `acl`: drop a rule, duplicate-and-move a
+    /// rule, or flip the default.
+    fn mutate(rng: &mut Rng, acl: &Acl) -> Acl {
+        let mut rules: Vec<Rule> = acl.rules().to_vec();
+        let mut default = acl.default_action();
+        match rng.next() % 3 {
+            0 if !rules.is_empty() => {
+                let i = (rng.next() as usize) % rules.len();
+                rules.remove(i);
+            }
+            1 if !rules.is_empty() => {
+                let i = (rng.next() as usize) % rules.len();
+                let r = rules[i];
+                let j = (rng.next() as usize) % (rules.len() + 1);
+                rules.insert(j, r);
+            }
+            _ => {
+                default = match default {
+                    Action::Permit => Action::Deny,
+                    Action::Deny => Action::Permit,
+                };
+            }
+        }
+        Acl::new(rules, default)
+    }
+
+    fn random_packet(rng: &mut Rng) -> Packet {
+        // Addresses concentrated where the rule universe lives, so packets
+        // actually exercise the rules.
+        let ip = |r: &mut Rng| ((r.next() % 3) as u32) << 24 | (((r.next() % 3) as u32) << 16);
+        Packet::new(
+            ip(rng),
+            ip(rng),
+            (rng.next() % 1024) as u16,
+            (rng.next() % 1024) as u16,
+            6,
+        )
+    }
+
+    #[test]
+    fn diff_of_an_acl_with_itself_is_empty() {
+        let mut rng = Rng(0x5eed_0001);
+        for _ in 0..50 {
+            let acl = random_acl(&mut rng);
+            assert!(differential_rules(&acl, &acl).is_empty(), "{acl}");
+            let d = AclDiff::compute(&acl, &acl.clone());
+            assert!(d.is_unchanged());
+            assert!(d.cover.is_empty());
+            assert!(d.reduced_before.is_empty() && d.reduced_after.is_empty());
+        }
+    }
+
+    #[test]
+    fn cover_over_approximates_the_symmetric_difference() {
+        // Theorem 4.1's `H`: any packet the two ACLs decide differently
+        // must be matched by some differential rule.
+        let mut rng = Rng(0x5eed_0002);
+        for case in 0..50 {
+            let before = random_acl(&mut rng);
+            let after = mutate(&mut rng, &before);
+            let d = AclDiff::compute(&before, &after);
+            for _ in 0..200 {
+                let p = random_packet(&mut rng);
+                if before.permits(&p) != after.permits(&p) {
+                    assert!(
+                        d.cover.contains(&p),
+                        "case {case}: disagreement on {p} escaped the cover\nbefore: {before}\nafter: {after}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unchanged_iff_rule_lists_and_defaults_equal() {
+        let mut rng = Rng(0x5eed_0003);
+        for _ in 0..50 {
+            let before = random_acl(&mut rng);
+            let after = if rng.next() % 2 == 0 {
+                before.clone()
+            } else {
+                mutate(&mut rng, &before)
+            };
+            let d = AclDiff::compute(&before, &after);
+            let same = before.rules() == after.rules()
+                && before.default_action() == after.default_action();
+            assert_eq!(d.is_unchanged(), same, "\nbefore: {before}\nafter: {after}");
+        }
+    }
+
+    #[test]
+    fn reduced_pair_disagrees_exactly_like_the_full_pair_inside_the_cover() {
+        // The other half of Theorem 4.1 (sampled): within `H`, the
+        // related-rule sub-ACLs witness the same (in)equivalence as the
+        // full ACLs.
+        let mut rng = Rng(0x5eed_0004);
+        for case in 0..30 {
+            let before = random_acl(&mut rng);
+            let after = mutate(&mut rng, &before);
+            let d = AclDiff::compute(&before, &after);
+            for _ in 0..200 {
+                let p = random_packet(&mut rng);
+                if !d.cover.contains(&p) {
+                    continue;
+                }
+                assert_eq!(
+                    d.reduced_before.permits(&p) == d.reduced_after.permits(&p),
+                    before.permits(&p) == after.permits(&p),
+                    "case {case}: {p}\nbefore: {before}\nafter: {after}"
+                );
+            }
+        }
+    }
+}

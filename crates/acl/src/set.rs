@@ -163,12 +163,12 @@ impl PacketSet {
 
     /// An arbitrary member, if any.
     pub fn sample(&self) -> Option<Packet> {
-        self.cubes.first().map(|c| c.sample())
+        self.cubes.first().map(Cube::sample)
     }
 
     /// Exact cardinality.
     pub fn count(&self) -> u128 {
-        disjoin(&self.cubes).iter().map(|c| c.count()).sum()
+        disjoin(&self.cubes).iter().map(Cube::count).sum()
     }
 
     /// Merge cubes that agree on four fields and have adjacent or

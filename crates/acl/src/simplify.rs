@@ -15,8 +15,13 @@
 //! default) gives every packet of `E_i` the same action the rule did.
 
 use crate::acl::Acl;
+use crate::rtree::RuleTree;
 use crate::rule::Rule;
 use crate::set::PacketSet;
+
+fn tree_of(acl: &Acl) -> RuleTree {
+    RuleTree::build(acl.rules().iter().map(|r| r.matches).collect())
+}
 
 /// Statistics from a simplification run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -31,22 +36,51 @@ pub struct SimplifyStats {
 
 /// Is rule `idx` of `acl` redundant (removable without changing any
 /// decision)?
+///
+/// Convenience wrapper over [`rule_is_redundant_with`] that builds the
+/// overlap index on the spot; callers asking about many rules of the same
+/// ACL (like [`simplify`]) should build the [`RuleTree`] once and reuse it.
 pub fn rule_is_redundant(acl: &Acl, idx: usize) -> bool {
+    rule_is_redundant_with(acl, idx, &tree_of(acl))
+}
+
+/// Is rule `idx` of `acl` redundant, using a prebuilt §5.5 [`RuleTree`]
+/// over the ACL's match specs for candidate search?
+///
+/// Only rules whose match cubes can intersect rule `idx` are consulted:
+/// the packets reaching rule `idx` (`E_i`) are a subset of its own cube,
+/// so earlier non-overlapping rules subtract nothing and later
+/// non-overlapping rules can never be the first tail match for a packet of
+/// `E_i`. The decision is therefore identical to the naive full scan — see
+/// the `tree_matches_naive_reference` regression test.
+///
+/// `tree` must index exactly `acl.rules()[k].matches` at position `k`.
+pub fn rule_is_redundant_with(acl: &Acl, idx: usize, tree: &RuleTree) -> bool {
     let rules = acl.rules();
     assert!(idx < rules.len(), "rule index out of bounds");
-    // Packets that reach rule idx.
+    let mut overlapping = tree.overlapping(&rules[idx].matches);
+    overlapping.sort_unstable();
+    // Packets that reach rule idx: its cube minus every earlier
+    // overlapping cube (non-overlapping ones subtract nothing).
     let mut effective = PacketSet::from_cube(rules[idx].matches.cube());
-    for r in &rules[..idx] {
+    for &k in overlapping.iter().take_while(|&&k| k < idx) {
         if effective.is_empty() {
             return true; // fully shadowed
         }
-        effective = effective.subtract(&PacketSet::from_cube(r.matches.cube()));
+        effective = effective.subtract(&PacketSet::from_cube(rules[k].matches.cube()));
     }
     if effective.is_empty() {
         return true;
     }
-    // Decision of the tail ACL on those packets.
-    let tail = Acl::new(rules[idx + 1..].to_vec(), acl.default_action());
+    // Decision of the tail ACL on those packets; rules that cannot
+    // intersect rule idx's cube can never match a packet of `effective`,
+    // so the overlapping subsequence preserves first-match order.
+    let tail_rules: Vec<Rule> = overlapping
+        .iter()
+        .skip_while(|&&k| k <= idx)
+        .map(|&k| rules[k])
+        .collect();
+    let tail = Acl::new(tail_rules, acl.default_action());
     match tail.uniform_decision(&effective) {
         Some(a) => a == rules[idx].action,
         None => false,
@@ -65,6 +99,7 @@ pub fn simplify(acl: &Acl) -> (Acl, SimplifyStats) {
         after: acl.len(),
         passes: 0,
     };
+    let mut tree = tree_of(&current);
     loop {
         stats.passes += 1;
         let mut removed_any = false;
@@ -72,10 +107,12 @@ pub fn simplify(acl: &Acl) -> (Acl, SimplifyStats) {
         let mut i = current.len();
         while i > 0 {
             i -= 1;
-            if rule_is_redundant(&current, i) {
+            if rule_is_redundant_with(&current, i, &tree) {
                 let mut rules: Vec<Rule> = current.rules().to_vec();
                 rules.remove(i);
                 current = Acl::new(rules, current.default_action());
+                // The index maps positions to rules; rebuild after removal.
+                tree = tree_of(&current);
                 removed_any = true;
             }
         }
@@ -173,6 +210,98 @@ mod tests {
         let (s, stats) = simplify(&acl);
         assert_eq!(s.len(), 0);
         assert_eq!(stats.passes, 1);
+    }
+
+    /// The pre-RuleTree implementation, kept verbatim as the oracle.
+    fn naive_rule_is_redundant(acl: &Acl, idx: usize) -> bool {
+        let rules = acl.rules();
+        let mut effective = PacketSet::from_cube(rules[idx].matches.cube());
+        for r in &rules[..idx] {
+            if effective.is_empty() {
+                return true;
+            }
+            effective = effective.subtract(&PacketSet::from_cube(r.matches.cube()));
+        }
+        if effective.is_empty() {
+            return true;
+        }
+        let tail = Acl::new(rules[idx + 1..].to_vec(), acl.default_action());
+        match tail.uniform_decision(&effective) {
+            Some(a) => a == rules[idx].action,
+            None => false,
+        }
+    }
+
+    fn naive_simplify(acl: &Acl) -> (Acl, SimplifyStats) {
+        let mut current = acl.clone();
+        let mut stats = SimplifyStats {
+            before: acl.len(),
+            after: acl.len(),
+            passes: 0,
+        };
+        loop {
+            stats.passes += 1;
+            let mut removed_any = false;
+            let mut i = current.len();
+            while i > 0 {
+                i -= 1;
+                if naive_rule_is_redundant(&current, i) {
+                    let mut rules: Vec<Rule> = current.rules().to_vec();
+                    rules.remove(i);
+                    current = Acl::new(rules, current.default_action());
+                    removed_any = true;
+                }
+            }
+            if !removed_any {
+                break;
+            }
+        }
+        stats.after = current.len();
+        (current, stats)
+    }
+
+    #[test]
+    fn tree_matches_naive_reference() {
+        // Deterministic xorshift stream (same generator as the rtree
+        // tests); random prefix-pair ACLs with heavy overlap.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..60 {
+            let n = 1 + (next() % 12) as usize;
+            let mut b = if case % 2 == 0 {
+                AclBuilder::default_permit()
+            } else {
+                AclBuilder::default_deny()
+            };
+            for _ in 0..n {
+                let dst = format!("{}.{}.0.0/{}", next() % 4, next() % 4, 8 + (next() % 17));
+                b = match next() % 4 {
+                    0 => b.permit_dst(&dst),
+                    1 => b.deny_dst(&dst),
+                    2 => b.permit_src(&dst),
+                    _ => b.deny_src(&dst),
+                };
+            }
+            let acl = b.build();
+            let tree = tree_of(&acl);
+            for i in 0..acl.len() {
+                assert_eq!(
+                    rule_is_redundant_with(&acl, i, &tree),
+                    naive_rule_is_redundant(&acl, i),
+                    "case {case}, rule {i}: {acl}"
+                );
+            }
+            let (fast, fast_stats) = simplify(&acl);
+            let (slow, slow_stats) = naive_simplify(&acl);
+            assert_eq!(fast.rules(), slow.rules(), "case {case}: {acl}");
+            assert_eq!(fast.default_action(), slow.default_action());
+            assert_eq!(fast_stats, slow_stats, "case {case}");
+        }
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Regenerate the paper's evaluation tables and series.
 //!
 //! ```sh
@@ -7,7 +9,7 @@
 //! ```
 //!
 //! Subcommands: `fig4a` `fig4b` `fig4c` `fig4d` `table5` `depth` `spans`
-//! `all`.
+//! `lint` `all`.
 //! `--large` additionally runs the large-network fix (minutes, matching the
 //! paper's ~10-minute ceiling for check+fix).
 
@@ -301,12 +303,58 @@ fn spans() {
     }
 }
 
+/// Whole-config static analysis throughput on the preset WANs, with and
+/// without CDCL confirmation of full-shadow findings.
+fn lint() {
+    use jinjing_core::engine::ReportKind;
+    println!("\n## Static analysis — whole-config lint on the preset WANs\n");
+    println!(
+        "| network | slots | rules | heuristic ms | +solver ms | diagnostics | solver-confirmed |"
+    );
+    println!(
+        "|---------|-------|-------|--------------|------------|-------------|------------------|"
+    );
+    for size in NetSize::ALL {
+        let net = wan(size);
+        let slots = net.config.slots().len();
+        let rules: usize = net
+            .config
+            .slots()
+            .iter()
+            .filter_map(|&s| net.config.get(s))
+            .map(|a| a.rules().len())
+            .sum();
+        let heuristic_cfg = jinjing_lint::LintConfig {
+            solver_confirm: false,
+            ..jinjing_lint::LintConfig::default()
+        };
+        let (th, _) =
+            timed(|| jinjing_core::engine::lint(&net.net, &net.config, None, &heuristic_cfg));
+        let solver_cfg = jinjing_lint::LintConfig::default();
+        let (ts, report) =
+            timed(|| jinjing_core::engine::lint(&net.net, &net.config, None, &solver_cfg));
+        let ReportKind::Lint(r) = &report.kind else {
+            unreachable!("engine::lint returns a lint report")
+        };
+        println!(
+            "| {} | {:>5} | {:>5} | {:>12} | {:>10} | {:>11} | {:>16} |",
+            size.label(),
+            slots,
+            rules,
+            ms(th),
+            ms(ts),
+            r.len(),
+            report.obs.counter("lint.solver_confirmed"),
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let include_large = args.iter().any(|a| a == "--large");
     let wants = |name: &str| args.iter().any(|a| a == name) || args.iter().any(|a| a == "all");
     if args.is_empty() {
-        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [all] [--large]");
+        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [lint] [all] [--large]");
         std::process::exit(2);
     }
     println!("# Jinjing evaluation — regenerated tables");
@@ -330,5 +378,8 @@ fn main() {
     }
     if wants("spans") {
         spans();
+    }
+    if wants("lint") {
+        lint();
     }
 }

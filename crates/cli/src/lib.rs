@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # jinjing-cli
@@ -181,6 +182,9 @@ pub fn run_command_with(
                 g.aec_count, g.aecs_split, g.dec_count, g.rows
             );
         }
+        // `engine::run` never yields a lint report (lint has its own entry
+        // point), but the match must stay exhaustive.
+        ReportKind::Lint(_) => {}
     }
 
     let changes = match report.deployable() {
@@ -211,6 +215,66 @@ pub fn run_command_with(
         text,
         plan,
         obs: report.obs,
+    })
+}
+
+/// Everything a lint run produces.
+#[derive(Debug)]
+pub struct LintOutput {
+    /// The merged, sorted diagnostics from every analysis layer.
+    pub report: jinjing_lint::LintReport,
+    /// The run's observability snapshot (`lint.*` spans and counters).
+    pub obs: jinjing_obs::Snapshot,
+}
+
+/// Run the static analysis pass (`jinjing lint`) over raw spec texts and an
+/// optional LAI intent program.
+///
+/// Layering mirrors how the defects block progress: the spec layer
+/// (JL201/JL202) runs first on the raw JSON, collecting *every* dangling
+/// reference and invalid binding; if any are errors the network cannot be
+/// built, so that report is returned alone. Otherwise the built network +
+/// configuration (and the validated program, when given) go through the
+/// rule, intent, and network layers via [`jinjing_core::engine::lint`].
+pub fn lint_command(
+    net_text: &str,
+    acls_text: &str,
+    intent_text: Option<&str>,
+    opts: &RunOptions,
+) -> Result<LintOutput, CliError> {
+    let net_spec: NetworkSpec =
+        serde_json::from_str(net_text).map_err(|e| CliError(format!("network spec: {e}")))?;
+    let acl_spec: AclConfigSpec =
+        serde_json::from_str(acls_text).map_err(|e| CliError(format!("acl spec: {e}")))?;
+    let mut cfg = jinjing_lint::LintConfig::default();
+    if opts.trace {
+        cfg.obs = jinjing_obs::Collector::with_trace(true);
+    }
+    let mut spec_report = jinjing_lint::lint_specs(&net_spec, &acl_spec, &cfg);
+    if spec_report.has_errors() {
+        spec_report.sort();
+        return Ok(LintOutput {
+            report: spec_report,
+            obs: cfg.obs.snapshot(),
+        });
+    }
+    let net = net_spec.build().map_err(err)?;
+    let config = acl_spec.build(&net).map_err(err)?;
+    let program = match intent_text {
+        Some(text) => Some(validate(parse_program(text).map_err(err)?).map_err(err)?),
+        None => None,
+    };
+    let out = jinjing_core::engine::lint(&net, &config, program.as_ref(), &cfg);
+    let ReportKind::Lint(mut report) = out.kind else {
+        return Err(CliError(
+            "engine returned a non-lint report for lint".into(),
+        ));
+    };
+    report.merge(spec_report); // warning-free here, but keeps the shape honest
+    report.sort();
+    Ok(LintOutput {
+        report,
+        obs: out.obs,
     })
 }
 
@@ -395,6 +459,51 @@ mod tests {
         let net = load_network(&write_temp("net3.json", NET_JSON)).unwrap();
         let out = show_network(&net);
         assert!(out.contains("1.0.0.0/8 @ B:1"));
+    }
+
+    #[test]
+    fn lint_collects_spec_errors_before_build() {
+        // An ACL slot on an undeclared interface: build() would fail fast;
+        // lint reports it as JL201 instead.
+        let bad_acls = r#"{"slots": [
+            {"interface": "Z:9", "acl": ["default permit"]}
+        ]}"#;
+        let out = lint_command(NET_JSON, bad_acls, None, &RunOptions::default()).unwrap();
+        assert!(out.report.has_errors());
+        assert!(out.report.has_code("JL201"), "{}", out.report.render_text());
+    }
+
+    #[test]
+    fn lint_reports_rule_findings_on_built_config() {
+        let shadowed = r#"{"slots": [
+            {"interface": "A:0", "acl": [
+                "deny dst 1.0.0.0/8", "deny dst 1.2.0.0/16", "default permit"
+            ]}
+        ]}"#;
+        let out = lint_command(NET_JSON, shadowed, None, &RunOptions::default()).unwrap();
+        let d = out
+            .report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "JL001")
+            .expect("full shadow found");
+        assert_eq!(d.location, "A:0-in:rule:1");
+        assert!(!out.report.has_errors(), "shadows are warnings, not errors");
+    }
+
+    #[test]
+    fn lint_includes_intent_layer_and_is_byte_stable() {
+        let intent = "acl Unused { permit all }\nacl X { deny dst 1.2.0.0/16\n permit all\n}\n\
+                      scope A:*, B:*\nallow A:*\nmodify A:0 to X\ncheck\n";
+        let run = || {
+            lint_command(NET_JSON, ACLS_JSON, Some(intent), &RunOptions::default())
+                .unwrap()
+                .report
+                .to_json()
+        };
+        let json = run();
+        assert!(json.contains("JL104"), "{json}");
+        assert_eq!(json, run(), "lint JSON must be deterministic");
     }
 
     #[test]

@@ -1,10 +1,12 @@
+#![forbid(unsafe_code)]
+
 //! The `jinjing` binary. Argument parsing is deliberately dependency-free
 //! (the offline crate budget goes to the algorithmic substrates); see the
 //! crate docs for the grammar.
 
 use jinjing_cli::{
-    audit_report, load_acls, load_network, run_command_with, show_network, simplify_acl_text,
-    RunOptions,
+    audit_report, lint_command, load_acls, load_network, run_command_with, show_network,
+    simplify_acl_text, RunOptions,
 };
 
 const USAGE: &str = "\
@@ -14,6 +16,9 @@ USAGE:
     jinjing run --network <net.json> --acls <acls.json> --intent <prog.lai>
                 [--plan-out <plan.json>] [--rollback-out <rollback.json>]
                 [--metrics-out <metrics.json>] [--trace]
+    jinjing lint --network <net.json> --acls <acls.json> [--intent <prog.lai>]
+                [--format text|json] [--deny <CODE>] ...
+                [--metrics-out <metrics.json>] [--trace]
     jinjing show --network <net.json>
     jinjing audit --network <net.json> --acls <acls.json>
     jinjing simplify --acl-file <acl.txt>
@@ -22,6 +27,10 @@ USAGE:
 
 COMMANDS:
     run        Parse the LAI intent and execute its command (check/fix/generate)
+    lint       Static analysis: shadowed/redundant/conflicting rules (JL0xx),
+               contradictory or vacuous intent clauses (JL1xx), dangling
+               references and silent-allow paths (JL2xx). Exits 4 when any
+               error-severity diagnostic (or a --deny'd code) is reported.
     show       Print the topology and announcements of a network spec
     audit      Report data-quality anomalies (unrouted prefixes, black holes,
                unused ACLs, shadowed rules)
@@ -103,6 +112,49 @@ fn real_main(args: &[String]) -> Result<(), String> {
             // deployments on it.
             if plan.command == "check" && plan.verdict.starts_with("inconsistent") {
                 std::process::exit(3);
+            }
+            Ok(())
+        }
+        "lint" => {
+            let net_path = require(args, "--network")?;
+            let acl_path = require(args, "--acls")?;
+            let net_text =
+                std::fs::read_to_string(&net_path).map_err(|e| format!("{net_path}: {e}"))?;
+            let acls_text =
+                std::fs::read_to_string(&acl_path).map_err(|e| format!("{acl_path}: {e}"))?;
+            let intent_text = match arg_value(args, "--intent") {
+                Some(p) => Some(std::fs::read_to_string(&p).map_err(|e| format!("{p}: {e}"))?),
+                None => None,
+            };
+            let opts = RunOptions {
+                trace: args.iter().any(|a| a == "--trace"),
+            };
+            let out = lint_command(&net_text, &acls_text, intent_text.as_deref(), &opts)
+                .map_err(|e| e.to_string())?;
+            match arg_value(args, "--format").as_deref() {
+                Some("json") => println!("{}", out.report.to_json()),
+                None | Some("text") => print!("{}", out.report.render_text()),
+                Some(other) => return Err(format!("unknown --format {other:?} (text|json)")),
+            }
+            if let Some(path) = arg_value(args, "--metrics-out") {
+                std::fs::write(&path, out.obs.to_json()).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("metrics written to {path}");
+            }
+            // Exit-code policy: error-severity findings always gate;
+            // --deny CODE escalates specific codes (repeatable).
+            let denied: Vec<String> = args
+                .windows(2)
+                .filter(|w| w[0] == "--deny")
+                .map(|w| w[1].clone())
+                .collect();
+            let gate = out.report.has_errors()
+                || out
+                    .report
+                    .diagnostics()
+                    .iter()
+                    .any(|d| denied.iter().any(|c| c.as_str() == d.code));
+            if gate {
+                std::process::exit(4);
             }
             Ok(())
         }

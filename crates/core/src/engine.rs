@@ -48,6 +48,8 @@ pub enum ReportKind {
     Fix(FixPlan),
     /// `generate` ran.
     Generate(GenerateReport),
+    /// `lint` ran (static analysis; produces diagnostics, never a plan).
+    Lint(jinjing_lint::LintReport),
 }
 
 impl Report {
@@ -56,7 +58,7 @@ impl Report {
     /// as written", returned as `None`).
     pub fn deployable(&self) -> Option<&AclConfig> {
         match &self.kind {
-            ReportKind::Check(_) => None,
+            ReportKind::Check(_) | ReportKind::Lint(_) => None,
             ReportKind::Fix(p) => Some(&p.fixed),
             ReportKind::Generate(g) => Some(&g.generated),
         }
@@ -80,6 +82,20 @@ impl Report {
                 "generated {} rules over {} classes ({} DEC-split)",
                 g.rules_final, g.aec_count, g.aecs_split
             ),
+            ReportKind::Lint(r) => {
+                if r.is_empty() {
+                    "lint: clean".to_string()
+                } else {
+                    use jinjing_lint::Severity;
+                    format!(
+                        "lint: {} diagnostic(s) ({} error(s), {} warning(s), {} note(s))",
+                        r.len(),
+                        r.count(Severity::Error),
+                        r.count(Severity::Warning),
+                        r.count(Severity::Note)
+                    )
+                }
+            }
         }
     }
 }
@@ -149,6 +165,36 @@ pub fn run(net: &Network, task: &Task, cfg: &EngineConfig) -> Result<Report, Eng
     }
 }
 
+/// Run the static analysis pass (jinjing-lint) over a built network, its
+/// ACL configuration, and optionally an LAI program, packaged like every
+/// other primitive: a [`Report`] with a sorted
+/// [`jinjing_lint::LintReport`] inside and the run's observability
+/// snapshot alongside.
+///
+/// Unlike `check`/`fix`/`generate`, lint needs no resolved [`Task`]: it
+/// inspects what already exists rather than what an update would do, so it
+/// can run before any update is even proposed.
+pub fn lint(
+    net: &Network,
+    config: &AclConfig,
+    program: Option<&jinjing_lai::Program>,
+    cfg: &jinjing_lint::LintConfig,
+) -> Report {
+    let obs = cfg.obs.clone();
+    obs.event(jinjing_obs::Level::Info, "engine.start", "running lint");
+    let run_span = obs.span("lint.run");
+    let mut report = jinjing_lint::lint_config(net, config, cfg);
+    if let Some(p) = program {
+        report.merge(jinjing_lint::lint_program(p, cfg));
+    }
+    report.sort();
+    run_span.finish();
+    Report {
+        kind: ReportKind::Lint(report),
+        obs: obs.snapshot(),
+    }
+}
+
 /// The roll-back plan for an applied update: the inverse rendering that
 /// restores `from` after `to` was deployed. §1 notes operators spend weeks
 /// preparing "migration and roll-back plans"; with declarative configs the
@@ -175,12 +221,10 @@ pub fn render_plan(net: &Network, from: &AclConfig, to: &AclConfig) -> Vec<(Slot
     for slot in slots {
         let before = from
             .get(slot)
-            .map(|a| a.to_string())
-            .unwrap_or_else(|| "(no acl)".to_string());
+            .map_or_else(|| "(no acl)".to_string(), ToString::to_string);
         let after = to
             .get(slot)
-            .map(|a| a.to_string())
-            .unwrap_or_else(|| "(no acl)".to_string());
+            .map_or_else(|| "(no acl)".to_string(), ToString::to_string);
         if before != after {
             let name = format!("{}-{}", net.topology().iface_name(slot.iface), slot.dir);
             out.push((slot, name, after));
@@ -253,6 +297,47 @@ generate
         let verdict = crate::check::check_exact(&f.net, &f.scope(), &f.config, generated, &[]);
         assert!(verdict.is_consistent(), "{verdict:?}");
         assert!(report.verdict().starts_with("generated"));
+    }
+
+    #[test]
+    fn engine_lint_packages_a_sorted_report() {
+        let f = Figure1::new();
+        let cfg = jinjing_lint::LintConfig::default();
+        let report = lint(&f.net, &f.config, None, &cfg);
+        assert!(report.deployable().is_none());
+        assert!(
+            report.verdict().starts_with("lint:"),
+            "{}",
+            report.verdict()
+        );
+        let ReportKind::Lint(r) = &report.kind else {
+            panic!("expected a lint report")
+        };
+        // Sorted: locations are non-decreasing.
+        let locs: Vec<&str> = r
+            .diagnostics()
+            .iter()
+            .map(|d| d.location.as_str())
+            .collect();
+        let mut sorted = locs.clone();
+        sorted.sort_unstable();
+        assert_eq!(locs, sorted);
+        // The run's spans landed in the snapshot under lint.run.
+        assert!(report.obs.to_json().contains("lint.run"));
+    }
+
+    #[test]
+    fn engine_lint_includes_program_findings() {
+        let f = Figure1::new();
+        let src = "acl Unused { permit all }\nacl X { deny dst 9.0.0.0/8 }\n\
+                   scope A:*\nallow A:*\nmodify A:1 to X\ncheck\n";
+        let prog = validate(parse_program(src).unwrap()).unwrap();
+        let cfg = jinjing_lint::LintConfig::default();
+        let report = lint(&f.net, &f.config, Some(&prog), &cfg);
+        let ReportKind::Lint(r) = &report.kind else {
+            panic!("expected a lint report")
+        };
+        assert!(r.has_code("JL104"), "{}", r.render_text());
     }
 
     #[test]

@@ -803,7 +803,10 @@ mod tests {
         // C and D keep their updated (permit-all) ACLs untouched.
         for name in ["C1", "D2"] {
             let slot = f.slot(name);
-            assert!(plan.fixed.get(slot).map_or(true, |a| a.is_permit_all()));
+            assert!(plan
+                .fixed
+                .get(slot)
+                .map_or(true, jinjing_acl::Acl::is_permit_all));
         }
     }
 

@@ -308,8 +308,8 @@ pub fn generate(
         } else {
             let mut rules: Vec<Rule> = Vec::new();
             for row in &rows {
-                let row_units = &unit_map[&row.aec_index];
-                for unit in row_units.iter() {
+                let row_units = unit_map[&row.aec_index];
+                for unit in row_units {
                     let region = if row_units.len() == 1 {
                         row.region.clone()
                     } else {

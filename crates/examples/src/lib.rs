@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Umbrella package whose `examples/` (at the repository root) demonstrate
 //! the Jinjing public API end to end:
 //!

@@ -1,0 +1,362 @@
+//! The diagnostic model: severities, certainties, individual findings, and
+//! the machine-readable [`LintReport`].
+//!
+//! Output follows rustc's conventions: every diagnostic carries a stable
+//! *code* (`JL0xx` rule-level, `JL1xx` intent-level, `JL2xx` network-level),
+//! a severity, a location string, a human message, and an optional suggested
+//! fix. Reports render either as rustc-style text or as deterministic JSON
+//! (sorted diagnostics, sorted keys) suitable for diffing in CI.
+
+use jinjing_obs::json::JsonWriter;
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// `Error` means the input is broken (e.g. a dangling reference) and later
+/// stages would fail on it; `Warning` flags likely mistakes; `Note` flags
+/// hygiene issues that are probably intentional but worth knowing about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: legal and harmless, but worth a look.
+    Note,
+    /// Likely a mistake; the configuration still builds and runs.
+    Warning,
+    /// The input is inconsistent; downstream stages would reject it.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name used in JSON and text output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How sure the analysis is about a finding.
+///
+/// Most checks are exact consequences of the packet-set algebra, but the
+/// full-shadow check (JL001) can additionally be *confirmed by the CDCL
+/// solver* on the balanced-tree ACL encoding: the solver proves that no
+/// packet reaches the shadowed rule. Findings that skipped the solver pass
+/// are reported as [`Certainty::Heuristic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Certainty {
+    /// The CDCL solver proved the finding (Unsat on its negation).
+    SolverConfirmed,
+    /// Derived from the set algebra / pattern analysis only.
+    Heuristic,
+}
+
+impl Certainty {
+    /// Stable name used in JSON and text output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Certainty::SolverConfirmed => "solver-confirmed",
+            Certainty::Heuristic => "heuristic",
+        }
+    }
+}
+
+impl fmt::Display for Certainty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code from the registry (`JL001`, `JL101`, …).
+    pub code: &'static str,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// How sure the analysis is (only set by checks that distinguish
+    /// solver-confirmed from heuristic findings).
+    pub certainty: Option<Certainty>,
+    /// Where the finding points: `"A:1-in:rule:3"`, `"lai:control:2"`,
+    /// `"spec:links[0]"`, `"path:A:0->B:1"`, ….
+    pub location: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Suggested fix, when one exists.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic without certainty or suggestion.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            certainty: None,
+            location: location.into(),
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attach a suggested fix.
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    /// Attach a certainty level.
+    pub fn with_certainty(mut self, c: Certainty) -> Diagnostic {
+        self.certainty = Some(c);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}\n  --> {}",
+            self.severity, self.code, self.message, self.location
+        )?;
+        if let Some(c) = self.certainty {
+            write!(f, "\n  = note: certainty: {c}")?;
+        }
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n  = help: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Record a freshly emitted diagnostic in the run's metric store. Called at
+/// emission time (not on merge) so merged sub-reports are not double
+/// counted.
+pub(crate) fn record(obs: &jinjing_obs::Collector, d: &Diagnostic) {
+    obs.counter_add("lint.diagnostics", 1);
+    obs.counter_add(&format!("lint.severity.{}", d.severity), 1);
+    obs.counter_add(&format!("lint.code.{}", d.code), 1);
+}
+
+/// An ordered collection of findings with deterministic serialization.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> LintReport {
+        LintReport::default()
+    }
+
+    /// Append one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Absorb another report's findings.
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Sort findings by `(location, code, message)` so output is stable no
+    /// matter which analysis layer ran first. Call once before rendering.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            a.location
+                .cmp(&b.location)
+                .then_with(|| a.code.cmp(b.code))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+    }
+
+    /// The findings, in current order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// `true` when there are no findings.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of findings at the given severity.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// `true` when any finding is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// `true` when any finding carries the given code.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Deterministic JSON rendering: diagnostics in report order (sort
+    /// first!) with alphabetically ordered keys, plus a severity summary.
+    /// Byte-stable across runs — no timestamps, no addresses.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("diagnostics");
+        w.begin_array();
+        for d in &self.diagnostics {
+            w.begin_object();
+            if let Some(c) = d.certainty {
+                w.key("certainty");
+                w.string(c.as_str());
+            }
+            w.key("code");
+            w.string(d.code);
+            w.key("location");
+            w.string(&d.location);
+            w.key("message");
+            w.string(&d.message);
+            w.key("severity");
+            w.string(d.severity.as_str());
+            if let Some(s) = &d.suggestion {
+                w.key("suggestion");
+                w.string(s);
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.key("summary");
+        w.begin_object();
+        w.key("error");
+        w.u64(self.count(Severity::Error) as u64);
+        w.key("note");
+        w.u64(self.count(Severity::Note) as u64);
+        w.key("total");
+        w.u64(self.len() as u64);
+        w.key("warning");
+        w.u64(self.count(Severity::Warning) as u64);
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Rustc-style text rendering, one block per finding plus a summary
+    /// line.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        if self.is_empty() {
+            out.push_str("lint: clean — no diagnostics\n");
+        } else {
+            let _ = writeln!(
+                out,
+                "lint: {} diagnostic(s) — {} error(s), {} warning(s), {} note(s)",
+                self.len(),
+                self.count(Severity::Error),
+                self.count(Severity::Warning),
+                self.count(Severity::Note)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        let mut r = LintReport::new();
+        r.push(
+            Diagnostic::new("JL003", Severity::Note, "A:1-in:rule:2", "redundant rule")
+                .with_suggestion("delete it"),
+        );
+        r.push(
+            Diagnostic::new("JL001", Severity::Warning, "A:1-in:rule:1", "shadowed rule")
+                .with_certainty(Certainty::SolverConfirmed),
+        );
+        r.push(Diagnostic::new(
+            "JL201",
+            Severity::Error,
+            "spec:links[0]",
+            "unknown interface",
+        ));
+        r
+    }
+
+    #[test]
+    fn sort_orders_by_location_then_code() {
+        let mut r = sample();
+        r.sort();
+        let codes: Vec<&str> = r.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["JL001", "JL003", "JL201"]);
+    }
+
+    #[test]
+    fn json_is_byte_stable_and_sorted_keys() {
+        let mut r = sample();
+        r.sort();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with(
+            "{\"diagnostics\":[{\"certainty\":\"solver-confirmed\",\"code\":\"JL001\""
+        ));
+        assert!(a.ends_with("\"summary\":{\"error\":1,\"note\":1,\"total\":3,\"warning\":1}}"));
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_style() {
+        let mut r = sample();
+        r.sort();
+        let t = r.render_text();
+        assert!(t.contains("warning[JL001]: shadowed rule"));
+        assert!(t.contains("  --> A:1-in:rule:1"));
+        assert!(t.contains("  = note: certainty: solver-confirmed"));
+        assert!(t.contains("  = help: delete it"));
+        assert!(t.contains("1 error(s), 1 warning(s), 1 note(s)"));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = LintReport::new();
+        assert!(!r.has_errors());
+        assert!(r.is_empty());
+        assert_eq!(
+            r.to_json(),
+            "{\"diagnostics\":[],\"summary\":{\"error\":0,\"note\":0,\"total\":0,\"warning\":0}}"
+        );
+        assert!(r.render_text().contains("clean"));
+    }
+
+    #[test]
+    fn counts_and_codes() {
+        let r = sample();
+        assert!(r.has_errors());
+        assert!(r.has_code("JL001"));
+        assert!(!r.has_code("JL999"));
+        assert_eq!(r.count(Severity::Warning), 1);
+    }
+}

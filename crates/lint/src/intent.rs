@@ -1,0 +1,382 @@
+//! Intent-level analysis (JL1xx): static checks over a validated LAI
+//! program, before any update plan is computed.
+//!
+//! The paper's `control` statements are priority-ordered ("earlier
+//! statements win", §6), which makes three whole-program defects statically
+//! decidable: contradictory clauses (JL101), vacuous clauses whose traffic
+//! is entirely masked by higher-priority clauses (JL102), and
+//! duplicate/subsumed clauses (JL103). ACL definitions that no `modify`
+//! references are flagged too (JL104), and every defined ACL is run through
+//! the rule-level linter.
+
+use crate::diag::{record, Diagnostic, LintReport, Severity};
+use crate::rules::lint_acl;
+use crate::LintConfig;
+use jinjing_acl::{MatchSpec, PacketSet};
+use jinjing_lai::{ControlStmt, ControlVerb, HeaderSel, IfaceSel, Program, SlotPattern};
+
+/// Do two slot patterns select at least one common slot (on any network)?
+fn pat_overlaps(a: &SlotPattern, b: &SlotPattern) -> bool {
+    a.device == b.device
+        && match (&a.iface, &b.iface) {
+            (IfaceSel::Star, _) | (_, IfaceSel::Star) => true,
+            (IfaceSel::Named(x), IfaceSel::Named(y)) => x == y,
+        }
+        && match (a.dir, b.dir) {
+            (None, _) | (_, None) => true,
+            (Some(x), Some(y)) => x == y,
+        }
+}
+
+/// Does `outer` select every slot `inner` selects (on every network)?
+fn pat_covers(outer: &SlotPattern, inner: &SlotPattern) -> bool {
+    outer.device == inner.device
+        && match (&outer.iface, &inner.iface) {
+            (IfaceSel::Star, _) => true,
+            (IfaceSel::Named(x), IfaceSel::Named(y)) => x == y,
+            (IfaceSel::Named(_), IfaceSel::Star) => false,
+        }
+        && match (outer.dir, inner.dir) {
+            (None, _) => true,
+            (Some(x), Some(y)) => x == y,
+            (Some(_), None) => false,
+        }
+}
+
+fn pats_overlap(a: &[SlotPattern], b: &[SlotPattern]) -> bool {
+    a.iter().any(|x| b.iter().any(|y| pat_overlaps(x, y)))
+}
+
+fn pats_cover(outer: &[SlotPattern], inner: &[SlotPattern]) -> bool {
+    inner.iter().all(|y| outer.iter().any(|x| pat_covers(x, y)))
+}
+
+/// The exact packet region a header selector names.
+fn header_set(h: &HeaderSel) -> PacketSet {
+    match h {
+        HeaderSel::Src(p) => PacketSet::from_cube(MatchSpec::src(*p).cube()),
+        HeaderSel::Dst(p) => PacketSet::from_cube(MatchSpec::dst(*p).cube()),
+        HeaderSel::All => PacketSet::full(),
+    }
+}
+
+fn verbs_conflict(a: ControlVerb, b: ControlVerb) -> bool {
+    matches!(
+        (a, b),
+        (ControlVerb::Isolate, ControlVerb::Open) | (ControlVerb::Open, ControlVerb::Isolate)
+    )
+}
+
+fn join_pats(ps: &[SlotPattern]) -> String {
+    let parts: Vec<String> = ps.iter().map(ToString::to_string).collect();
+    parts.join(", ")
+}
+
+fn control_summary(c: &ControlStmt) -> String {
+    format!(
+        "{} -> {} {} {}",
+        join_pats(&c.from),
+        join_pats(&c.to),
+        c.verb,
+        c.header
+    )
+}
+
+/// Lint a validated LAI [`Program`].
+///
+/// Emits:
+/// - **JL101** (warning) — two control statements with overlapping
+///   endpoints and intersecting traffic regions request *opposite*
+///   reachability (`isolate` vs `open`); the earlier one silently wins.
+/// - **JL102** (warning) — a control statement whose whole traffic region
+///   is masked by earlier, higher-priority statements covering the same
+///   endpoints: it can never influence the outcome.
+/// - **JL103** (note) — a control statement subsumed by a single earlier
+///   statement with the same verb, covering endpoints, and a superset
+///   traffic region.
+/// - **JL104** (note) — an ACL definition no `modify` statement references.
+/// - All **JL0xx** rule-level findings for each defined ACL (located at
+///   `lai:acl:{name}:rule:{i}`).
+pub fn lint_program(prog: &Program, cfg: &LintConfig) -> LintReport {
+    let span = cfg.obs.span("lint.intent");
+    let mut report = LintReport::new();
+
+    // JL104 + rule-level lint of every definition.
+    for def in &prog.acl_defs {
+        if !prog.modifies.iter().any(|m| m.acl == def.name) {
+            let d = Diagnostic::new(
+                "JL104",
+                Severity::Note,
+                format!("lai:acl:{}", def.name),
+                format!(
+                    "ACL `{}` is defined but never referenced by a modify statement",
+                    def.name
+                ),
+            )
+            .with_suggestion("remove the definition or reference it in a `modify`");
+            record(&cfg.obs, &d);
+            report.push(d);
+        }
+        report.merge(lint_acl(&format!("lai:acl:{}", def.name), &def.acl, cfg));
+    }
+
+    // Control-statement checks, in priority order. A clause found inert
+    // (subsumed or vacuous) is excluded from later comparisons so one root
+    // cause yields one diagnostic.
+    let cs = &prog.controls;
+    let mut inert = vec![false; cs.len()];
+    for j in 0..cs.len() {
+        // JL103: one earlier clause with the same verb fully subsumes j.
+        let subsumer = (0..j).find(|&i| {
+            !inert[i]
+                && cs[i].verb == cs[j].verb
+                && pats_cover(&cs[i].from, &cs[j].from)
+                && pats_cover(&cs[i].to, &cs[j].to)
+                && header_set(&cs[j].header).is_subset(&header_set(&cs[i].header))
+        });
+        if let Some(i) = subsumer {
+            inert[j] = true;
+            let d = Diagnostic::new(
+                "JL103",
+                Severity::Note,
+                format!("lai:control:{j}"),
+                format!(
+                    "control statement {j} `{}` is subsumed by earlier statement {i} `{}`",
+                    control_summary(&cs[j]),
+                    control_summary(&cs[i])
+                ),
+            )
+            .with_suggestion("delete the duplicate statement");
+            record(&cfg.obs, &d);
+            report.push(d);
+            continue;
+        }
+
+        // Masking: the union of earlier covering clauses (any verb —
+        // earlier statements win, including `maintain` shields) may decide
+        // all of j's traffic. Track which clauses actually mask something.
+        let mut remaining = header_set(&cs[j].header);
+        let mut maskers: Vec<usize> = Vec::new();
+        for i in 0..j {
+            if inert[i] || remaining.is_empty() {
+                continue;
+            }
+            if pats_cover(&cs[i].from, &cs[j].from)
+                && pats_cover(&cs[i].to, &cs[j].to)
+                && remaining.intersects(&header_set(&cs[i].header))
+            {
+                maskers.push(i);
+                remaining = remaining.subtract(&header_set(&cs[i].header));
+            }
+        }
+        if remaining.is_empty() {
+            inert[j] = true;
+            // A fully masked clause is a *contradiction* when a masker
+            // requests the opposite reachability, and merely *vacuous*
+            // otherwise.
+            if let Some(&i) = maskers
+                .iter()
+                .find(|&&i| verbs_conflict(cs[i].verb, cs[j].verb))
+            {
+                let d = Diagnostic::new(
+                    "JL101",
+                    Severity::Warning,
+                    format!("lai:control:{j}"),
+                    format!(
+                        "control statements {i} `{}` and {j} `{}` request opposite reachability for overlapping endpoints and traffic; statement {i} wins on the overlap",
+                        control_summary(&cs[i]),
+                        control_summary(&cs[j])
+                    ),
+                )
+                .with_suggestion(
+                    "split the overlapping traffic between the statements or make one an explicit exception",
+                );
+                record(&cfg.obs, &d);
+                report.push(d);
+            } else {
+                let d = Diagnostic::new(
+                    "JL102",
+                    Severity::Warning,
+                    format!("lai:control:{j}"),
+                    format!(
+                        "control statement {j} `{}` is vacuous: earlier, higher-priority statements already decide all of its traffic",
+                        control_summary(&cs[j])
+                    ),
+                )
+                .with_suggestion(
+                    "delete the statement, or move it earlier if its intent should win",
+                );
+                record(&cfg.obs, &d);
+                report.push(d);
+            }
+            continue;
+        }
+
+        // JL101: a higher-priority clause contradicts j on overlapping
+        // endpoints and intersecting traffic (the partial-overlap case —
+        // full masking was handled above).
+        for i in 0..j {
+            if inert[i] || !verbs_conflict(cs[i].verb, cs[j].verb) {
+                continue;
+            }
+            if pats_overlap(&cs[i].from, &cs[j].from)
+                && pats_overlap(&cs[i].to, &cs[j].to)
+                && header_set(&cs[i].header).intersects(&header_set(&cs[j].header))
+            {
+                let d = Diagnostic::new(
+                    "JL101",
+                    Severity::Warning,
+                    format!("lai:control:{j}"),
+                    format!(
+                        "control statements {i} `{}` and {j} `{}` request opposite reachability for overlapping endpoints and traffic; statement {i} wins on the overlap",
+                        control_summary(&cs[i]),
+                        control_summary(&cs[j])
+                    ),
+                )
+                .with_suggestion(
+                    "split the overlapping traffic between the statements or make one an explicit exception",
+                );
+                record(&cfg.obs, &d);
+                report.push(d);
+            }
+        }
+    }
+
+    span.finish();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jinjing_lai::{parse_program, validate};
+
+    fn program(src: &str) -> Program {
+        validate(parse_program(src).unwrap()).unwrap()
+    }
+
+    fn lint(src: &str) -> LintReport {
+        let mut r = lint_program(&program(src), &LintConfig::default());
+        r.sort();
+        r
+    }
+
+    const PREAMBLE: &str =
+        "acl X { deny dst 9.0.0.0/8 }\nscope A:*, B:*\nallow A:*\nmodify A:1 to X\n";
+
+    #[test]
+    fn clean_program_is_clean() {
+        let r = lint(&format!(
+            "{PREAMBLE}control A:* -> B:* isolate dst 1.0.0.0/8\ncheck\n"
+        ));
+        assert!(r.is_empty(), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn contradictory_controls_are_jl101() {
+        let r = lint(&format!(
+            "{PREAMBLE}control A:* -> B:* isolate dst 1.0.0.0/8\n\
+             control A:1 -> B:* open dst 1.2.0.0/16\ncheck\n"
+        ));
+        let d = r.diagnostics().iter().find(|d| d.code == "JL101").unwrap();
+        assert_eq!(d.location, "lai:control:1");
+        assert!(d.message.contains("statement 0 wins"), "{}", d.message);
+    }
+
+    #[test]
+    fn masked_clause_is_jl102() {
+        // Two earlier halves jointly mask the later whole. Same verb
+        // everywhere, and no *single* earlier clause subsumes the whole, so
+        // this is vacuity (JL102), not subsumption (JL103) or contradiction
+        // (JL101).
+        let r = lint(&format!(
+            "{PREAMBLE}control A:* -> B:* isolate dst 1.0.0.0/9\n\
+             control A:* -> B:* isolate dst 1.128.0.0/9\n\
+             control A:1 -> B:* isolate dst 1.0.0.0/8\ncheck\n"
+        ));
+        let d = r.diagnostics().iter().find(|d| d.code == "JL102").unwrap();
+        assert_eq!(d.location, "lai:control:2");
+        // Masked clauses are inert: no extra JL101/JL103 for the same root
+        // cause.
+        assert!(!r.has_code("JL101"));
+        assert!(!r.has_code("JL103"));
+    }
+
+    #[test]
+    fn fully_masked_conflicting_clause_is_jl101_not_jl102() {
+        // When the masking clauses *contradict* the masked one, the right
+        // diagnostic is the contradiction, not mere vacuity.
+        let r = lint(&format!(
+            "{PREAMBLE}control A:* -> B:* isolate dst 1.0.0.0/8\n\
+             control A:1 -> B:* open dst 1.2.0.0/16\ncheck\n"
+        ));
+        assert!(r.has_code("JL101"));
+        assert!(!r.has_code("JL102"), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn subsumed_clause_is_jl103() {
+        let r = lint(&format!(
+            "{PREAMBLE}control A:* -> B:* isolate dst 1.0.0.0/8\n\
+             control A:1 -> B:2 isolate dst 1.2.0.0/16\ncheck\n"
+        ));
+        let d = r.diagnostics().iter().find(|d| d.code == "JL103").unwrap();
+        assert_eq!(d.location, "lai:control:1");
+        assert!(!r.has_code("JL102"), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn unused_acl_definition_is_jl104() {
+        let r = lint(
+            "acl X { deny dst 9.0.0.0/8 }\nacl Unused { permit all }\n\
+             scope A:*\nallow A:*\nmodify A:1 to X\ncheck\n",
+        );
+        let d = r.diagnostics().iter().find(|d| d.code == "JL104").unwrap();
+        assert_eq!(d.location, "lai:acl:Unused");
+    }
+
+    #[test]
+    fn defined_acls_get_rule_level_lint() {
+        let r = lint(
+            "acl Bad {\n deny dst 1.0.0.0/8\n deny dst 1.2.0.0/16\n}\n\
+             scope A:*\nallow A:*\nmodify A:1 to Bad\ncheck\n",
+        );
+        let d = r.diagnostics().iter().find(|d| d.code == "JL001").unwrap();
+        assert_eq!(d.location, "lai:acl:Bad:rule:1");
+    }
+
+    #[test]
+    fn disjoint_endpoints_do_not_conflict() {
+        let r = lint(&format!(
+            "{PREAMBLE}control A:1 -> B:* isolate dst 1.0.0.0/8\n\
+             control A:2 -> B:* open dst 1.0.0.0/8\ncheck\n"
+        ));
+        assert!(!r.has_code("JL101"), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn maintain_does_not_contradict_but_can_mask() {
+        let r = lint(&format!(
+            "{PREAMBLE}control A:* -> B:* maintain all\n\
+             control A:1 -> B:1 open dst 1.0.0.0/8\ncheck\n"
+        ));
+        // The `open` is masked by the shield — JL102, not JL101.
+        assert!(r.has_code("JL102"));
+        assert!(!r.has_code("JL101"));
+    }
+
+    #[test]
+    fn pattern_cover_and_overlap_semantics() {
+        use jinjing_lai::DirSpec;
+        let star = SlotPattern::star("A");
+        let named = SlotPattern::named("A", "1");
+        let named_in = SlotPattern::named("A", "1").with_dir(DirSpec::In);
+        let other = SlotPattern::star("B");
+        assert!(pat_covers(&star, &named));
+        assert!(!pat_covers(&named, &star));
+        assert!(pat_covers(&named, &named_in));
+        assert!(!pat_covers(&named_in, &named));
+        assert!(pat_overlaps(&named_in, &named));
+        assert!(!pat_overlaps(&star, &other));
+    }
+}

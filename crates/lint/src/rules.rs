@@ -1,0 +1,343 @@
+//! Rule-level analysis (JL0xx): shadowing, redundancy, and conflicts within
+//! a single ACL.
+//!
+//! The candidate search is routed through the §5.5 [`RuleTree`] so a rule is
+//! only compared against rules whose 5-tuple regions actually overlap it,
+//! the exact decisions come from the packet-set algebra, and — for
+//! full-shadow findings — the CDCL solver re-proves the result on the
+//! balanced-tree ACL encoding, upgrading the diagnostic's certainty from
+//! [`Certainty::Heuristic`] to [`Certainty::SolverConfirmed`].
+
+use crate::diag::{record, Certainty, Diagnostic, LintReport, Severity};
+use crate::LintConfig;
+use jinjing_acl::rtree::RuleTree;
+use jinjing_acl::{Acl, Action, PacketSet, Rule};
+use jinjing_solver::aclenc::{encode, Encoding};
+use jinjing_solver::{CircuitBuilder, HeaderVars, SolveResult};
+
+fn fmt_indices(idxs: &[usize]) -> String {
+    let parts: Vec<String> = idxs.iter().map(ToString::to_string).collect();
+    parts.join(", ")
+}
+
+/// Ask the CDCL solver to confirm that rule `idx` is fully shadowed: build
+/// header variables, encode "some earlier rule matches" as a balanced-tree
+/// ACL circuit (every earlier rule mapped to `permit`, default `deny`),
+/// assert the packet matches rule `idx` but no earlier rule, and check for
+/// Unsat.
+fn solver_confirms_full_shadow(acl: &Acl, idx: usize, cfg: &LintConfig) -> bool {
+    let _span = cfg.obs.span("lint.solver_confirm");
+    let rules = acl.rules();
+    let mut c = CircuitBuilder::new();
+    c.set_obs(cfg.obs.clone());
+    let h = HeaderVars::new(&mut c);
+    let earlier = Acl::new(
+        rules[..idx]
+            .iter()
+            .map(|r| Rule::new(Action::Permit, r.matches))
+            .collect(),
+        Action::Deny,
+    );
+    let hit_earlier = encode(&mut c, &h, &earlier, Encoding::Tree);
+    let hits_rule = h.matches(&mut c, &rules[idx].matches);
+    c.assert(hits_rule);
+    c.assert(!hit_earlier);
+    matches!(c.solve(), SolveResult::Unsat)
+}
+
+/// Lint one ACL. `name` is the location prefix (e.g. `"A:1-in"` for a
+/// configured slot or `"lai:acl:A1'"` for an intent-file definition); rule
+/// findings are located at `"{name}:rule:{index}"`.
+///
+/// Emits:
+/// - **JL001** (warning) — a rule no packet can reach because earlier rules
+///   jointly cover its whole match region; solver-confirmed when
+///   [`LintConfig::solver_confirm`] is on.
+/// - **JL002** (note) — a rule partially shadowed by earlier rules *with the
+///   same action* (wasted overlap, often a refactoring leftover).
+/// - **JL003** (note) — a reachable rule whose removal provably leaves the
+///   decision model unchanged (the [`jinjing_acl::simplify`] criterion,
+///   surfaced as a diagnostic instead of a silent rewrite).
+/// - **JL004** (note) — overlapping rule pairs with *opposite* actions,
+///   ranked by overlap volume and capped at
+///   [`LintConfig::max_conflicts_per_acl`]; first-match makes the earlier
+///   rule win, which is either an intentional exception or a conflict.
+pub fn lint_acl(name: &str, acl: &Acl, cfg: &LintConfig) -> LintReport {
+    let span = cfg.obs.span("lint.acl");
+    let mut report = LintReport::new();
+    let rules = acl.rules();
+    let tree = RuleTree::build(rules.iter().map(|r| r.matches).collect());
+    let mut fully_shadowed = vec![false; rules.len()];
+
+    for i in 0..rules.len() {
+        let mut overlapping = tree.overlapping(&rules[i].matches);
+        overlapping.sort_unstable();
+        let earlier: Vec<usize> = overlapping.iter().copied().filter(|&j| j < i).collect();
+        let later: Vec<usize> = overlapping.iter().copied().filter(|&j| j > i).collect();
+
+        // Packets that actually reach rule i (its cube minus everything an
+        // earlier overlapping rule takes first).
+        let mut effective = PacketSet::from_cube(rules[i].matches.cube());
+        let mut shadowers: Vec<usize> = Vec::new();
+        for &j in &earlier {
+            shadowers.push(j);
+            effective = effective.subtract(&PacketSet::from_cube(rules[j].matches.cube()));
+            if effective.is_empty() {
+                break;
+            }
+        }
+
+        if effective.is_empty() {
+            fully_shadowed[i] = true;
+            let certainty = if cfg.solver_confirm && solver_confirms_full_shadow(acl, i, cfg) {
+                cfg.obs.counter_add("lint.solver_confirmed", 1);
+                Certainty::SolverConfirmed
+            } else {
+                Certainty::Heuristic
+            };
+            let d = Diagnostic::new(
+                "JL001",
+                Severity::Warning,
+                format!("{name}:rule:{i}"),
+                format!(
+                    "rule {i} `{}` is fully shadowed by earlier rule(s) [{}]",
+                    rules[i],
+                    fmt_indices(&shadowers)
+                ),
+            )
+            .with_certainty(certainty)
+            .with_suggestion("delete this rule; no packet can reach it");
+            record(&cfg.obs, &d);
+            report.push(d);
+            continue;
+        }
+
+        // Redundancy: the tail (restricted to overlapping rules — sound,
+        // since non-overlapping rules cannot match packets of `effective`)
+        // plus the default give every reaching packet the same action.
+        let tail = Acl::new(
+            later.iter().map(|&j| rules[j]).collect(),
+            acl.default_action(),
+        );
+        if tail.uniform_decision(&effective) == Some(rules[i].action) {
+            let d = Diagnostic::new(
+                "JL003",
+                Severity::Note,
+                format!("{name}:rule:{i}"),
+                format!(
+                    "rule {i} `{}` is redundant: the rules after it and the default already {} every packet it matches",
+                    rules[i], rules[i].action
+                ),
+            )
+            .with_suggestion("delete this rule; the decision model is unchanged");
+            record(&cfg.obs, &d);
+            report.push(d);
+            continue;
+        }
+
+        // Partial shadow by earlier same-action rules: part of the match
+        // region is dead weight.
+        let coverers: Vec<usize> = earlier
+            .iter()
+            .copied()
+            .filter(|&j| rules[j].action == rules[i].action)
+            .collect();
+        if !coverers.is_empty() {
+            let d = Diagnostic::new(
+                "JL002",
+                Severity::Note,
+                format!("{name}:rule:{i}"),
+                format!(
+                    "rule {i} `{}` is partially shadowed by earlier same-action rule(s) [{}]",
+                    rules[i],
+                    fmt_indices(&coverers)
+                ),
+            )
+            .with_suggestion("narrow this rule to the packets it actually decides");
+            record(&cfg.obs, &d);
+            report.push(d);
+        }
+    }
+
+    // Conflicts: overlapping pairs with opposite actions, ranked by the
+    // exact overlap volume (descending), ties broken by position.
+    let mut pairs: Vec<(u128, usize, usize)> = Vec::new();
+    for i in 0..rules.len() {
+        if fully_shadowed[i] {
+            continue; // already reported as JL001; the overlap is moot
+        }
+        let mut overlapping = tree.overlapping(&rules[i].matches);
+        overlapping.sort_unstable();
+        for j in overlapping.into_iter().filter(|&j| j < i) {
+            if fully_shadowed[j] || rules[j].action == rules[i].action {
+                continue;
+            }
+            if let Some(inter) = rules[j].matches.intersect(&rules[i].matches) {
+                pairs.push((inter.cube().count(), j, i));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    for &(volume, j, i) in pairs.iter().take(cfg.max_conflicts_per_acl) {
+        let d = Diagnostic::new(
+            "JL004",
+            Severity::Note,
+            format!("{name}:rule:{i}"),
+            format!(
+                "rule {j} `{}` and rule {i} `{}` overlap with opposite actions ({volume} packets); first-match gives rule {j} the overlap",
+                rules[j], rules[i]
+            ),
+        )
+        .with_suggestion("split the overlap or reorder the rules to make the precedence explicit");
+        record(&cfg.obs, &d);
+        report.push(d);
+    }
+
+    span.finish();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jinjing_acl::AclBuilder;
+
+    fn lint(acl: &Acl) -> LintReport {
+        let mut r = lint_acl("t", acl, &LintConfig::default());
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn clean_acl_has_no_findings() {
+        let acl = AclBuilder::default_permit().deny_dst("6.0.0.0/8").build();
+        assert!(lint(&acl).is_empty());
+    }
+
+    #[test]
+    fn full_shadow_is_solver_confirmed() {
+        let acl = AclBuilder::default_permit()
+            .deny_dst("1.0.0.0/8")
+            .deny_dst("1.2.0.0/16") // fully inside 1/8
+            .build();
+        let r = lint(&acl);
+        let d = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "JL001")
+            .expect("JL001 reported");
+        assert_eq!(d.certainty, Some(Certainty::SolverConfirmed));
+        assert_eq!(d.location, "t:rule:1");
+        assert!(d.message.contains("[0]"), "{}", d.message);
+    }
+
+    #[test]
+    fn full_shadow_without_solver_is_heuristic() {
+        let acl = AclBuilder::default_permit()
+            .deny_dst("1.0.0.0/8")
+            .deny_dst("1.2.0.0/16")
+            .build();
+        let cfg = LintConfig {
+            solver_confirm: false,
+            ..LintConfig::default()
+        };
+        let r = lint_acl("t", &acl, &cfg);
+        let d = r.diagnostics().iter().find(|d| d.code == "JL001").unwrap();
+        assert_eq!(d.certainty, Some(Certainty::Heuristic));
+    }
+
+    #[test]
+    fn joint_shadow_by_several_rules_is_detected() {
+        // 1.2/16 is covered by the union 1.2.0/17 ∪ 1.2.128/17, neither of
+        // which covers it alone.
+        let acl = AclBuilder::default_permit()
+            .deny_dst("1.2.0.0/17")
+            .deny_dst("1.2.128.0/17")
+            .deny_dst("1.2.0.0/16")
+            .build();
+        let r = lint(&acl);
+        let d = r.diagnostics().iter().find(|d| d.code == "JL001").unwrap();
+        assert_eq!(d.location, "t:rule:2");
+        assert_eq!(d.certainty, Some(Certainty::SolverConfirmed));
+        assert!(d.message.contains("[0, 1]"), "{}", d.message);
+    }
+
+    #[test]
+    fn redundant_rule_is_reported_not_rewritten() {
+        // permit 9/8 then default permit: reachable but pointless.
+        let acl = AclBuilder::default_permit()
+            .permit_dst("9.0.0.0/8")
+            .deny_dst("6.0.0.0/8")
+            .build();
+        let r = lint(&acl);
+        let d = r.diagnostics().iter().find(|d| d.code == "JL003").unwrap();
+        assert_eq!(d.location, "t:rule:0");
+        assert_eq!(d.severity, Severity::Note);
+    }
+
+    #[test]
+    fn partial_shadow_same_action_is_a_note() {
+        let acl = AclBuilder::default_deny()
+            .permit_dst("1.2.0.0/16")
+            .permit_dst("1.0.0.0/8") // partially shadowed by rule 0
+            .build();
+        let r = lint(&acl);
+        let d = r.diagnostics().iter().find(|d| d.code == "JL002").unwrap();
+        assert_eq!(d.location, "t:rule:1");
+    }
+
+    #[test]
+    fn conflicts_are_ranked_by_overlap_volume() {
+        // Partial opposite-action overlaps (neither rule contains the
+        // other, so nothing is fully shadowed): /7 vs /8 on the dst, and a
+        // /16 vs /24.
+        let acl = AclBuilder::default_permit()
+            .deny_dst("1.0.0.0/8")
+            .deny_dst("7.7.7.0/24")
+            .permit_dst("0.0.0.0/7") // big overlap (all of 1/8) with rule 0
+            .permit_dst("7.7.0.0/16") // small overlap (7.7.7/24) with rule 1
+            .build();
+        let r = lint_acl("t", &acl, &LintConfig::default());
+        let conflicts: Vec<&Diagnostic> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == "JL004")
+            .collect();
+        assert_eq!(conflicts.len(), 2);
+        // Biggest overlap first (pre-sort order is emission order).
+        assert_eq!(conflicts[0].location, "t:rule:2");
+        assert_eq!(conflicts[1].location, "t:rule:3");
+    }
+
+    #[test]
+    fn conflict_cap_limits_output() {
+        // A src-based deny overlaps every dst-based permit partially.
+        let mut b = AclBuilder::default_permit().deny_src("10.0.0.0/8");
+        for i in 0..8 {
+            b = b.permit_dst(&format!("{}.0.0.0/8", 20 + i));
+        }
+        let acl = b.build();
+        let cfg = LintConfig {
+            max_conflicts_per_acl: 3,
+            ..LintConfig::default()
+        };
+        let r = lint_acl("t", &acl, &cfg);
+        assert_eq!(
+            r.diagnostics().iter().filter(|d| d.code == "JL004").count(),
+            3
+        );
+    }
+
+    #[test]
+    fn counters_land_in_obs() {
+        let cfg = LintConfig::default();
+        let acl = AclBuilder::default_permit()
+            .deny_dst("1.0.0.0/8")
+            .deny_dst("1.2.0.0/16")
+            .build();
+        let _ = lint_acl("t", &acl, &cfg);
+        assert_eq!(cfg.obs.counter_get("lint.diagnostics"), 1);
+        assert_eq!(cfg.obs.counter_get("lint.code.JL001"), 1);
+        assert_eq!(cfg.obs.counter_get("lint.solver_confirmed"), 1);
+    }
+}

@@ -65,7 +65,7 @@ impl AclConfig {
     pub fn slot_permit_set(&self, slot: Slot) -> PacketSet {
         self.acls
             .get(&slot)
-            .map_or_else(PacketSet::full, |a| a.permit_set())
+            .map_or_else(PacketSet::full, Acl::permit_set)
     }
 
     /// Concrete path decision model `c_p(h)` (Eq. 1): conjunction of every
@@ -99,7 +99,7 @@ impl AclConfig {
 
     /// Total rule count across all slots (a size metric for reports).
     pub fn total_rules(&self) -> usize {
-        self.acls.values().map(|a| a.len()).sum()
+        self.acls.values().map(Acl::len).sum()
     }
 }
 

@@ -298,8 +298,7 @@ impl Network {
         self.entering
             .iter()
             .find(|(i, _)| *i == iface)
-            .map(|(_, s)| s.clone())
-            .unwrap_or_else(PacketSet::empty)
+            .map_or_else(PacketSet::empty, |(_, s)| s.clone())
     }
 
     /// The traffic entering a scope — the `X_Ω` of Algorithm 1: per ingress
@@ -529,7 +528,7 @@ mod tests {
         let class = prefix_set(&pfx("1.0.0.0/8"));
         let paths = net.paths_for_class(&scope, a0, &class);
         assert_eq!(paths.len(), 2, "two ECMP paths through the diamond");
-        let egresses: HashSet<IfaceId> = paths.iter().map(|p| p.egress()).collect();
+        let egresses: HashSet<IfaceId> = paths.iter().map(Path::egress).collect();
         assert_eq!(egresses, HashSet::from([d0]));
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # jinjing-obs
@@ -54,11 +55,7 @@ const MAX_EVENTS: usize = 4096;
 /// stderr event sink (any value except empty / `0`).
 pub fn trace_env_enabled() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
-    *ENABLED.get_or_init(|| {
-        std::env::var("JINJING_TRACE")
-            .map(|v| !v.is_empty() && v != "0")
-            .unwrap_or(false)
-    })
+    *ENABLED.get_or_init(|| std::env::var("JINJING_TRACE").is_ok_and(|v| !v.is_empty() && v != "0"))
 }
 
 #[derive(Debug)]
@@ -128,7 +125,9 @@ impl Collector {
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         // Never poison-panic inside telemetry: recover the inner value.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Enable or disable the stderr event sink (the CLI's `--trace`).
@@ -210,7 +209,7 @@ impl Collector {
 
     /// Read a counter (0 if never touched).
     pub fn counter_get(&self, name: &str) -> u64 {
-        self.lock().counters.get(name).map_or(0, |c| c.get())
+        self.lock().counters.get(name).map_or(0, Counter::get)
     }
 
     /// Set the named gauge.
@@ -233,12 +232,12 @@ impl Collector {
 
     /// Sum of all samples in the named histogram (0 when absent).
     pub fn histogram_sum(&self, name: &str) -> u64 {
-        self.lock().histograms.get(name).map_or(0, |h| h.sum())
+        self.lock().histograms.get(name).map_or(0, Histogram::sum)
     }
 
     /// Sample count of the named histogram (0 when absent).
     pub fn histogram_count(&self, name: &str) -> u64 {
-        self.lock().histograms.get(name).map_or(0, |h| h.count())
+        self.lock().histograms.get(name).map_or(0, Histogram::count)
     }
 
     // ---- Events. ----

@@ -246,8 +246,8 @@ mod tests {
 
     #[test]
     fn xor_and_iff_truth_tables() {
-        check_gate2(|c, a, b| c.xor(a, b), |x, y| x != y);
-        check_gate2(|c, a, b| c.iff(a, b), |x, y| x == y);
+        check_gate2(CircuitBuilder::xor, |x, y| x != y);
+        check_gate2(CircuitBuilder::iff, |x, y| x == y);
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Umbrella package for the cross-crate integration tests living in the
 //! repository-level `tests/` directory. See that directory for the suites:
 //! paper worked examples (`running_example`), synthetic-WAN end-to-end runs

@@ -26,6 +26,17 @@ cargo build --release --workspace
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> jinjing lint (examples/data fixtures)"
+# Static analysis over the shipped example specs: warnings/notes are
+# expected (the running example is deliberately broken), but any
+# error-severity finding — or a failure to parse the fixtures at all —
+# fails CI (`lint` exits 4 on errors, 1 on bad input).
+cargo run --release -p jinjing-cli --bin jinjing -- lint \
+    --network examples/data/figure1-network.json \
+    --acls examples/data/figure1-acls.json \
+    --intent examples/data/running-example.lai \
+    --format json >/dev/null
+
 echo "==> cargo fmt --all --check"
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --all --check
