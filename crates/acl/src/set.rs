@@ -177,16 +177,21 @@ impl PacketSet {
     /// heavily fragmented sets (tens of thousands of cubes). The result
     /// denotes the same set with (often far) fewer cubes; useful before
     /// decomposing a set back into ACL rules.
+    ///
+    /// The output cube order is a *deterministic* function of the input set
+    /// (groups are folded in key order): synthesized rule order, witness
+    /// sampling and every other order-sensitive consumer downstream stay
+    /// byte-identical across runs, processes and thread counts.
     pub fn coalesce(&self) -> PacketSet {
         use crate::interval::Interval;
         use crate::packet::Field;
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         let mut cubes = self.cubes.clone();
         loop {
             let before = cubes.len();
             for f in Field::ALL {
                 // Group by the other four fields; merge intervals in `f`.
-                let mut groups: HashMap<[Interval; 4], Vec<Interval>> = HashMap::new();
+                let mut groups: BTreeMap<[Interval; 4], Vec<Interval>> = BTreeMap::new();
                 for c in &cubes {
                     let mut key: [Interval; 4] = [c.get(Field::SrcIp); 4];
                     let mut ki = 0;

@@ -9,20 +9,24 @@
 //! ```
 //!
 //! Subcommands: `fig4a` `fig4b` `fig4c` `fig4d` `table5` `depth` `spans`
-//! `lint` `all`.
+//! `lint` `par` `all`.
 //! `--large` additionally runs the large-network fix (minutes, matching the
 //! paper's ~10-minute ceiling for check+fix).
+//! `par` accepts `--small` (restrict to the small WAN; the CI smoke step)
+//! and `--bench-out <path>` (write the machine-readable `BENCH_check.json`).
 
 use jinjing_bench::{checkfix_scenario, control_open_task, migration_task, wan, PERTURBATIONS};
-use jinjing_core::check::{check, CheckConfig};
+use jinjing_core::check::{check, CheckConfig, CheckReport};
 use jinjing_core::engine::{run as engine_run, EngineConfig};
 use jinjing_core::fix::{fix, FixConfig};
 use jinjing_core::generate::{generate, GenerateConfig};
+use jinjing_core::qcache::QueryCache;
 use jinjing_core::Encoding;
 use jinjing_lai::printer::statement_count;
 use jinjing_lai::Command;
 use jinjing_wan::scenarios;
 use jinjing_wan::NetSize;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn ms(d: Duration) -> String {
@@ -349,12 +353,229 @@ fn lint() {
     }
 }
 
+/// Everything in a check report except wall-clock durations. The scaling
+/// table asserts this rendering is byte-identical across every (threads,
+/// cache-temperature) cell — the same contract `tests/par_determinism.rs`
+/// pins on the running example, here enforced on the synthetic WANs.
+fn canon_check(r: &CheckReport) -> String {
+    format!(
+        "outcome={:?} fec={} paths={} stats={:?} encoded={} total={}",
+        r.outcome, r.fec_count, r.paths_checked, r.solver_stats, r.encoded_rules, r.total_rules
+    )
+}
+
+/// One measured cell of the scaling table.
+struct ParRun {
+    threads: usize,
+    cold: Duration,
+    warm: Duration,
+    cold_hits: u64,
+    cold_misses: u64,
+    warm_hits: u64,
+    warm_misses: u64,
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+/// Serialize the small-WAN scaling runs as `BENCH_check.json`.
+///
+/// The writer is jinjing-obs's hand-rolled serializer; keys are emitted in
+/// sorted order within every object, so two runs of the same build differ
+/// only in the `wall_ms` / speedup numbers — the shape is byte-stable and
+/// strict-JSON (CI parses it back with `python3 -m json.tool` offline and
+/// serde_json online).
+fn bench_json(network: &str, report: &CheckReport, runs: &[ParRun]) -> String {
+    let mut w = jinjing_obs::json::JsonWriter::new();
+    let wall = |d: Duration| (d.as_secs_f64() * 1e6).round() / 1e3; // µs-rounded ms
+    w.begin_object();
+    w.key("benchmark");
+    w.string("check");
+    w.key("fec_count");
+    w.u64(report.fec_count as u64);
+    w.key("network");
+    w.string(network);
+    w.key("outcome");
+    w.string(if report.outcome.is_consistent() {
+        "consistent"
+    } else {
+        "inconsistent"
+    });
+    w.key("paths_checked");
+    w.u64(report.paths_checked as u64);
+    w.key("perturbation");
+    w.f64(0.03);
+    w.key("runs");
+    w.begin_array();
+    let serial = runs.first().map_or(Duration::ZERO, |r| r.cold);
+    for r in runs {
+        w.begin_object();
+        for (label, wall_ms, hits, misses) in [
+            ("cold", wall(r.cold), r.cold_hits, r.cold_misses),
+            ("warm", wall(r.warm), r.warm_hits, r.warm_misses),
+        ] {
+            w.key(label);
+            w.begin_object();
+            w.key("cache_hit_rate");
+            w.f64((hit_rate(hits, misses) * 1e4).round() / 1e4);
+            w.key("cache_hits");
+            w.u64(hits);
+            w.key("cache_misses");
+            w.u64(misses);
+            w.key("wall_ms");
+            w.f64(wall_ms);
+            w.end_object();
+        }
+        w.key("speedup_vs_serial");
+        w.f64((serial.as_secs_f64() / r.cold.as_secs_f64().max(1e-9) * 100.0).round() / 100.0);
+        w.key("threads");
+        w.u64(r.threads as u64);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("total_rules");
+    w.u64(report.total_rules as u64);
+    w.end_object();
+    let mut json = w.finish();
+    json.push('\n');
+    json
+}
+
+/// Thread-scaling of the parallel check engine plus query-cache behaviour.
+///
+/// Each preset WAN runs the same 3% perturbation check at 1/2/4/8 worker
+/// threads: once against a fresh query cache (*cold* — this is the honest
+/// scaling number) and once more against the now-populated cache (*warm* —
+/// every stage-1 query replays from the cache). The canonical report must
+/// be byte-identical across all cells; only the wall clock may move.
+fn par(include_large: bool, small_only: bool, bench_out: Option<&str>) {
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+    println!("\n## Parallel scaling — check at 3% perturbation, 1/2/4/8 threads\n");
+    println!("| network | threads | cold ms | speedup | warm ms | cold hit rate | warm hit rate |");
+    println!("|---------|---------|---------|---------|---------|---------------|---------------|");
+    let mut sizes = vec![NetSize::Small];
+    if !small_only {
+        sizes.push(NetSize::Medium);
+        if include_large {
+            sizes.push(NetSize::Large);
+        }
+    }
+    for size in sizes {
+        let net = wan(size);
+        let sc = checkfix_scenario(&net, 0.03, Command::Check);
+        let mut baseline: Option<String> = None;
+        let mut runs: Vec<ParRun> = Vec::new();
+        let mut last_report: Option<CheckReport> = None;
+        for threads in THREADS {
+            // Cold: a fresh cache per invocation so `timed`'s median-of-3
+            // never accidentally measures a warmed run. The cache (and the
+            // counters) of the *last* invocation survive for the warm pass.
+            let mut kept: Option<(Arc<QueryCache>, u64, u64)> = None;
+            let (t_cold, r_cold) = timed(|| {
+                let cache = Arc::new(QueryCache::new());
+                let cfg = CheckConfig {
+                    threads,
+                    cache: Some(Arc::clone(&cache)),
+                    ..CheckConfig::default()
+                };
+                let r = check(&net.net, &sc.task, &cfg).expect("check");
+                kept = Some((
+                    cache,
+                    cfg.obs.counter_get("check.cache_hit"),
+                    cfg.obs.counter_get("check.cache_miss"),
+                ));
+                r
+            });
+            let (cache, cold_hits, cold_misses) = kept.expect("timed ran at least once");
+            // Warm: replay against the populated cache. Counters accumulate
+            // per config, so give each invocation a fresh collector and keep
+            // the last one's totals.
+            let mut warm_counts = (0u64, 0u64);
+            let (t_warm, r_warm) = timed(|| {
+                let cfg = CheckConfig {
+                    threads,
+                    cache: Some(Arc::clone(&cache)),
+                    ..CheckConfig::default()
+                };
+                let r = check(&net.net, &sc.task, &cfg).expect("check");
+                warm_counts = (
+                    cfg.obs.counter_get("check.cache_hit"),
+                    cfg.obs.counter_get("check.cache_miss"),
+                );
+                r
+            });
+            let canon = canon_check(&r_cold);
+            assert_eq!(
+                canon,
+                canon_check(&r_warm),
+                "{}: cache replay diverged at {threads} threads",
+                size.label()
+            );
+            match &baseline {
+                None => baseline = Some(canon),
+                Some(b) => assert_eq!(
+                    &canon,
+                    b,
+                    "{}: report diverged at {threads} threads",
+                    size.label()
+                ),
+            }
+            runs.push(ParRun {
+                threads,
+                cold: t_cold,
+                warm: t_warm,
+                cold_hits,
+                cold_misses,
+                warm_hits: warm_counts.0,
+                warm_misses: warm_counts.1,
+            });
+            last_report = Some(r_cold);
+        }
+        let serial = runs[0].cold;
+        for r in &runs {
+            println!(
+                "| {} | {:>7} | {:>7} | {:>6.2}x | {:>7} | {:>12.1}% | {:>12.1}% |",
+                size.label(),
+                r.threads,
+                ms(r.cold),
+                serial.as_secs_f64() / r.cold.as_secs_f64().max(1e-9),
+                ms(r.warm),
+                100.0 * hit_rate(r.cold_hits, r.cold_misses),
+                100.0 * hit_rate(r.warm_hits, r.warm_misses),
+            );
+        }
+        if size == NetSize::Small {
+            if let Some(path) = bench_out {
+                let report = last_report.expect("at least one run");
+                let json = bench_json(size.label(), &report, &runs);
+                std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                println!("\n(wrote {path})");
+            }
+        }
+    }
+    if small_only {
+        println!("\n(medium/large omitted — drop --small, add --large)");
+    } else if !include_large {
+        println!("\n(large omitted — run with --large)");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let include_large = args.iter().any(|a| a == "--large");
+    let small_only = args.iter().any(|a| a == "--small");
+    let bench_out = args
+        .iter()
+        .position(|a| a == "--bench-out")
+        .map(|i| args.get(i + 1).cloned().expect("--bench-out needs a path"));
     let wants = |name: &str| args.iter().any(|a| a == name) || args.iter().any(|a| a == "all");
     if args.is_empty() {
-        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [lint] [all] [--large]");
+        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [lint] [par] [all] [--large] [--small] [--bench-out <path>]");
         std::process::exit(2);
     }
     println!("# Jinjing evaluation — regenerated tables");
@@ -381,5 +602,63 @@ fn main() {
     }
     if wants("lint") {
         lint();
+    }
+    if wants("par") {
+        par(include_large, small_only, bench_out.as_deref());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jinjing_core::figure1::Figure1;
+    use jinjing_core::Task;
+
+    /// `BENCH_check.json` must parse under a real JSON parser, keep its
+    /// sorted-key shape, and serialize byte-identically for the same input
+    /// (CI diffs it across runs of the same build).
+    #[test]
+    fn bench_json_is_strict_and_stable() {
+        let f = Figure1::new();
+        let task = Task {
+            scope: f.scope(),
+            allow: Vec::new(),
+            before: f.config.clone(),
+            after: f.config.clone(),
+            modified: Vec::new(),
+            controls: Vec::new(),
+            command: Command::Check,
+        };
+        let r = check(&f.net, &task, &CheckConfig::default()).expect("check");
+        let runs = vec![
+            ParRun {
+                threads: 1,
+                cold: Duration::from_millis(10),
+                warm: Duration::from_millis(5),
+                cold_hits: 0,
+                cold_misses: 4,
+                warm_hits: 4,
+                warm_misses: 0,
+            },
+            ParRun {
+                threads: 4,
+                cold: Duration::from_millis(4),
+                warm: Duration::from_millis(2),
+                cold_hits: 1,
+                cold_misses: 3,
+                warm_hits: 4,
+                warm_misses: 0,
+            },
+        ];
+        let json = bench_json("small", &r, &runs);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("strict JSON");
+        assert_eq!(v["benchmark"], "check");
+        assert_eq!(v["network"], "small");
+        assert_eq!(v["outcome"], "consistent");
+        assert_eq!(v["runs"][1]["threads"], 4);
+        assert!((v["runs"][1]["speedup_vs_serial"].as_f64().unwrap() - 2.5).abs() < 1e-9);
+        assert!(v["runs"][0]["warm"]["cache_hit_rate"].as_f64().unwrap() > 0.0);
+        assert_eq!(v["fec_count"].as_u64().unwrap(), r.fec_count as u64);
+        assert_eq!(json, bench_json("small", &r, &runs), "byte-stable");
     }
 }

@@ -97,6 +97,10 @@ pub struct RunOptions {
     /// `JINJING_TRACE` environment variable enables this too, even when the
     /// flag is absent.
     pub trace: bool,
+    /// Worker threads for the engine's query fan-outs (the `--threads`
+    /// flag). `0` means "auto": consult `JINJING_THREADS`, defaulting to 1
+    /// (serial). Reports are byte-identical for every value.
+    pub threads: usize,
 }
 
 /// Everything a CLI run produces.
@@ -136,7 +140,10 @@ pub fn run_command_with(
     let program = validate(parse_program(intent_text).map_err(err)?).map_err(err)?;
     let command = program.command.expect("validated programs have a command");
     let task = resolve(net, &program, config).map_err(err)?;
-    let mut cfg = EngineConfig::default();
+    let mut cfg = EngineConfig {
+        threads: opts.threads,
+        ..EngineConfig::default()
+    };
     if opts.trace {
         cfg.obs = jinjing_obs::Collector::with_trace(true);
     }

@@ -15,7 +15,7 @@ jinjing — safely and automatically update in-network ACL configurations
 USAGE:
     jinjing run --network <net.json> --acls <acls.json> --intent <prog.lai>
                 [--plan-out <plan.json>] [--rollback-out <rollback.json>]
-                [--metrics-out <metrics.json>] [--trace]
+                [--metrics-out <metrics.json>] [--trace] [--threads <N>]
     jinjing lint --network <net.json> --acls <acls.json> [--intent <prog.lai>]
                 [--format text|json] [--deny <CODE>] ...
                 [--metrics-out <metrics.json>] [--trace]
@@ -43,7 +43,11 @@ replacement ACL, ready for a deployment pipeline to consume.
 
 --metrics-out writes the run's observability snapshot (per-phase span tree,
 solver histograms, counters, events) as JSON. --trace (or the JINJING_TRACE
-environment variable) streams events to stderr as they happen.";
+environment variable) streams events to stderr as they happen.
+
+--threads N fans the engine's solver queries out over N worker threads
+(default: the JINJING_THREADS environment variable, else 1). Reports are
+byte-identical for every thread count.";
 
 fn arg_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -82,8 +86,15 @@ fn real_main(args: &[String]) -> Result<(), String> {
             let config = load_acls(&acl_path, &net).map_err(|e| e.to_string())?;
             let intent =
                 std::fs::read_to_string(&intent_path).map_err(|e| format!("{intent_path}: {e}"))?;
+            let threads = match arg_value(args, "--threads") {
+                Some(n) => n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--threads wants a number, got {n:?}"))?,
+                None => 0,
+            };
             let opts = RunOptions {
                 trace: args.iter().any(|a| a == "--trace"),
+                threads,
             };
             let out = run_command_with(&net, &config, &intent, &opts).map_err(|e| e.to_string())?;
             let (text, plan) = (out.text, out.plan);
@@ -128,6 +139,7 @@ fn real_main(args: &[String]) -> Result<(), String> {
             };
             let opts = RunOptions {
                 trace: args.iter().any(|a| a == "--trace"),
+                ..RunOptions::default()
             };
             let out = lint_command(&net_text, &acls_text, intent_text.as_deref(), &opts)
                 .map_err(|e| e.to_string())?;

@@ -20,21 +20,36 @@
 //!   optimization"): balanced tournament-tree circuits instead of the
 //!   sequential first-match chain.
 //!
+//! **Parallel query engine.** The per-`(class, path)` queries are
+//! independent SAT instances, dispatched through `jinjing-par`'s
+//! work-stealing pool (`CheckConfig::threads` / `JINJING_THREADS`; the
+//! default is the exact serial path). Each pair runs a *two-stage* query:
+//! stage 1 asks for a disagreeing packet anywhere in the differential
+//! cover — a class-independent question keyed and cached in
+//! [`crate::qcache`] so FECs sharing an ACL chain solve it once — and
+//! stage 2 (only when stage 1's model misses the class) pins the witness
+//! inside the class. Results fold in class-major order, stopping at the
+//! first violation, so reports are byte-identical across thread counts
+//! and cache settings.
+//!
 //! [`check_exact`] is the set-algebra reference oracle: slower but purely
 //! exact, used to cross-validate the solver path in tests.
 
 use crate::control::{control_regions, desired_decision, desired_permit_set, ResolvedControl};
+use crate::qcache::{CachedSolve, QueryCache};
 use crate::task::Task;
 use jinjing_acl::atoms::{refine, ClassExplosion, RefineLimits};
 use jinjing_acl::diff::AclDiff;
 use jinjing_acl::{Acl, Packet, PacketSet};
 use jinjing_lai::ControlVerb;
 use jinjing_net::{AclConfig, Network, Path, Scope, Slot};
+use jinjing_par::{Cancel, Pool};
 use jinjing_solver::aclenc::{encode, Encoding};
 use jinjing_solver::cdcl::SolveResult;
-use jinjing_solver::lit::Lit;
 use jinjing_solver::{CircuitBuilder, HeaderVars, SolverStats};
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Tunables for check.
 #[derive(Debug, Clone)]
@@ -45,6 +60,17 @@ pub struct CheckConfig {
     pub encoding: Encoding,
     /// Equivalence-class caps.
     pub refine_limits: RefineLimits,
+    /// Worker threads for the per-`(class, path)` query fan-out. `0` means
+    /// "auto": consult `JINJING_THREADS`, defaulting to 1 (serial — the
+    /// exact historical code path). Reports are byte-identical for every
+    /// value (see `jinjing-par`'s determinism contract).
+    pub threads: usize,
+    /// Cross-query solver cache: identical decision-model comparisons
+    /// across paths/FECs (and across engine phases, when shared) are
+    /// solved once. `None` disables caching; replaying a hit is
+    /// observationally identical to re-solving, so reports do not depend
+    /// on this setting.
+    pub cache: Option<Arc<QueryCache>>,
     /// Observability sink: phase spans, solver histograms, events. A fresh
     /// (private) collector by default; the engine shares one per run.
     pub obs: jinjing_obs::Collector,
@@ -56,6 +82,8 @@ impl Default for CheckConfig {
             differential: true,
             encoding: Encoding::Tree,
             refine_limits: RefineLimits::default(),
+            threads: 0,
+            cache: Some(Arc::new(QueryCache::new())),
             obs: jinjing_obs::Collector::new(),
         }
     }
@@ -286,83 +314,253 @@ pub fn check_configs(
     cfg.obs
         .histogram_record("check.fec_count", classes.len() as u64);
 
-    for class in &classes {
-        // Theorem 4.1: a class disjoint from the differential cover meets
-        // identical rule subsequences before and after — skip it outright.
-        if cfg.differential && !class.set.intersects(&cover) {
-            continue;
-        }
-        let sp = cfg.obs.span("check.paths");
+    // Theorem 4.1: classes disjoint from the differential cover meet
+    // identical rule subsequences before and after — skip them outright.
+    let candidates: Vec<&jinjing_acl::atoms::AtomClass> = classes
+        .iter()
+        .filter(|class| !cfg.differential || class.set.intersects(&cover))
+        .collect();
+
+    let pool = Pool::new(cfg.threads);
+
+    // Phase A: enumerate paths per candidate class. Workers time their
+    // own enumeration; the driver folds the measurements below.
+    let enumerated: Vec<(Vec<Path>, Duration)> = pool.par_map(&candidates, |_, class| {
+        let t0 = Instant::now();
         let paths = net.all_paths_for_class(scope, &class.set);
-        report.t_paths += sp.finish();
+        (paths, t0.elapsed())
+    });
+
+    // Phase B: one two-stage solver query per (class, path) pair, in
+    // class-major order. Stage 1 is class-independent (and cacheable
+    // across FECs sharing an ACL chain); stage 2 pins the witness inside
+    // the class. `Cancel` lets workers skip pairs beyond the first
+    // violation without ever skipping the minimal violating index.
+    struct PairJob<'a> {
+        class_idx: usize,
+        path_idx: usize,
+        verb: Option<ControlVerb>,
+        class_set: &'a PacketSet,
+    }
+    let mut jobs: Vec<PairJob<'_>> = Vec::new();
+    for (ci, class) in candidates.iter().enumerate() {
+        let paths = &enumerated[ci].0;
         if paths.is_empty() {
             continue;
         }
-        report.paths_checked += paths.len();
-        let sp = cfg.obs.span("check.solve");
-        let mut builder = CircuitBuilder::new();
-        builder.set_obs(cfg.obs.clone());
-        let h = HeaderVars::new(&mut builder);
-        // Cache slot decision circuits.
-        let mut lits_before: HashMap<Slot, Lit> = HashMap::new();
-        let mut lits_after: HashMap<Slot, Lit> = HashMap::new();
-        let mut disagreements: Vec<Lit> = Vec::new();
         let class_controls = crate::control::ClassControls::new(controls, &class.set);
-        for path in &paths {
-            let mut c_before: Vec<Lit> = Vec::new();
-            let mut c_after: Vec<Lit> = Vec::new();
-            for &slot in &path.slots {
-                if let Some(pair) = pairs.get(&slot) {
-                    let lb = *lits_before
-                        .entry(slot)
-                        .or_insert_with(|| encode(&mut builder, &h, &pair.before, cfg.encoding));
-                    let la = *lits_after
-                        .entry(slot)
-                        .or_insert_with(|| encode(&mut builder, &h, &pair.after, cfg.encoding));
-                    c_before.push(lb);
-                    c_after.push(la);
+        for (pi, path) in paths.iter().enumerate() {
+            jobs.push(PairJob {
+                class_idx: ci,
+                path_idx: pi,
+                verb: class_controls.verb_for(path),
+                class_set: &class.set,
+            });
+        }
+    }
+
+    let region = if cfg.differential { Some(&cover) } else { None };
+    let cancel = Cancel::new();
+    let results = pool.par_map_cancel(&jobs, &cancel, |i, job| {
+        let t0 = Instant::now();
+        let path = &enumerated[job.class_idx].0[job.path_idx];
+        let chain: Vec<(&Acl, &Acl)> = path
+            .slots
+            .iter()
+            .filter_map(|s| pairs.get(s))
+            .map(|p| (&p.before, &p.after))
+            .collect();
+        let mut queries: Vec<CachedSolve> = Vec::new();
+        // Stage 1: ∃h (∈ cover): desired chain ≠ updated chain. The
+        // class constraint is deliberately absent so the query is shared
+        // verbatim by every FEC routed through the same ACL chain.
+        let stage1 = cached_query(cfg, &chain, job.verb, region, None);
+        let witness = match stage1.result {
+            SolveResult::Unsat => {
+                // No disagreeing packet anywhere in the cover ⇒ none in
+                // class ∩ cover either.
+                queries.push(stage1);
+                None
+            }
+            SolveResult::Sat => {
+                let m = stage1.model.expect("Sat query stores its model");
+                queries.push(stage1);
+                if job.class_set.contains(&m) {
+                    // The shared model already lies in this class: it is a
+                    // witness outright. (Deterministic across cache
+                    // on/off because the model itself is cached.)
+                    Some(m)
+                } else {
+                    // Stage 2: re-ask with the witness pinned inside the
+                    // class. Never cached (class sets rarely recur).
+                    let s2 = run_query(&chain, job.verb, cfg.encoding, region, Some(job.class_set));
+                    let w = match s2.result {
+                        SolveResult::Sat => Some(s2.model.expect("Sat query stores its model")),
+                        SolveResult::Unsat => None,
+                    };
+                    queries.push(s2);
+                    w
                 }
             }
-            let cp = builder.and(&c_before);
-            let cp2 = builder.and(&c_after);
-            // Desired side: the first applicable control rewrites cp.
-            let desired = match class_controls.verb_for(path) {
-                Some(ControlVerb::Isolate) => builder.f(),
-                Some(ControlVerb::Open) => builder.t(),
-                Some(ControlVerb::Maintain) | None => cp,
-            };
-            let eq = builder.iff(desired, cp2);
-            disagreements.push(!eq);
+        };
+        if witness.is_some() {
+            cancel.cut(i);
         }
-        let any = builder.or(&disagreements);
-        // Pin the witness inside the class — and, under the differential
-        // optimization, inside the cover `H` as well.
-        let in_class = h.in_set(&mut builder, &class.set);
-        builder.assert(any);
-        builder.assert(in_class);
-        if cfg.differential {
-            let in_cover = h.in_set(&mut builder, &cover);
-            builder.assert(in_cover);
+        PairResult {
+            queries,
+            t_solve: t0.elapsed(),
+            witness,
         }
-        let r = builder.solve();
-        report.t_solve += sp.finish();
-        report.solver_stats.merge(&builder.solver().stats());
-        if r == SolveResult::Sat {
-            let packet = h.decode(&builder);
-            let violation = locate_violation(before, after, controls, &paths, &packet)
-                .expect("solver model must correspond to a concrete violation");
-            cfg.obs.event(
-                jinjing_obs::Level::Info,
-                "check.verdict",
-                &format!("inconsistent: witness {}", violation.packet),
-            );
-            report.outcome = CheckOutcome::Inconsistent(violation);
-            return Ok(report);
+    });
+
+    // Deterministic fold, in class-major pair order, stopping at the
+    // first violation — exactly what the serial loop observed. Durations
+    // and span aggregates are derived from the same folded measurements,
+    // so the report and the span tree cannot disagree.
+    let mut t_solve = Duration::ZERO;
+    let mut folded_queries = 0u64;
+    let mut violation_at: Option<(usize, Packet)> = None;
+    for (i, slot) in results.iter().enumerate() {
+        let res = slot
+            .as_ref()
+            .expect("pairs at or before the first violation are never skipped");
+        for q in &res.queries {
+            report.solver_stats.merge(&q.stats);
+            q.stats.record_query(&cfg.obs, q.vars, q.clauses);
+            folded_queries += 1;
         }
+        t_solve += res.t_solve;
+        if let Some(p) = res.witness {
+            violation_at = Some((i, p));
+            break;
+        }
+    }
+    // Classes the serial loop would have entered: all candidates up to and
+    // including the violating pair's class (every candidate otherwise).
+    let folded_classes = match violation_at {
+        Some((i, _)) => jobs[i].class_idx + 1,
+        None => candidates.len(),
+    };
+    let mut t_paths = Duration::ZERO;
+    for (paths, t) in enumerated.iter().take(folded_classes) {
+        t_paths += *t;
+        report.paths_checked += paths.len();
+    }
+    if folded_classes > 0 {
+        cfg.obs
+            .record_span("check.paths", folded_classes as u64, t_paths);
+    }
+    if folded_queries > 0 {
+        cfg.obs.record_span("check.solve", folded_queries, t_solve);
+    }
+    report.t_paths = t_paths;
+    report.t_solve = t_solve;
+
+    if let Some((i, packet)) = violation_at {
+        let paths = &enumerated[jobs[i].class_idx].0;
+        let violation = locate_violation(before, after, controls, paths, &packet)
+            .expect("solver model must correspond to a concrete violation");
+        cfg.obs.event(
+            jinjing_obs::Level::Info,
+            "check.verdict",
+            &format!("inconsistent: witness {}", violation.packet),
+        );
+        report.outcome = CheckOutcome::Inconsistent(violation);
+        return Ok(report);
     }
     cfg.obs
         .event(jinjing_obs::Level::Info, "check.verdict", "consistent");
     Ok(report)
+}
+
+/// Per-`(class, path)` worker result.
+struct PairResult {
+    /// Every solver query executed (or replayed from cache), in order.
+    queries: Vec<CachedSolve>,
+    /// Worker-measured wall clock for this pair's solving.
+    t_solve: Duration,
+    /// Violating packet, if the pair is inconsistent.
+    witness: Option<Packet>,
+}
+
+/// Run one decision-model comparison through the cache (when enabled),
+/// bumping the `check.cache_hit` / `check.cache_miss` counters.
+fn cached_query(
+    cfg: &CheckConfig,
+    chain: &[(&Acl, &Acl)],
+    verb: Option<ControlVerb>,
+    region: Option<&PacketSet>,
+    class_set: Option<&PacketSet>,
+) -> CachedSolve {
+    match &cfg.cache {
+        Some(cache) => {
+            let key = cache.key(chain, verb, cfg.encoding, region);
+            let (v, hit) = cache.get_or_solve(key, || {
+                run_query(chain, verb, cfg.encoding, region, class_set)
+            });
+            cfg.obs.counter_add(
+                if hit {
+                    "check.cache_hit"
+                } else {
+                    "check.cache_miss"
+                },
+                1,
+            );
+            v
+        }
+        None => run_query(chain, verb, cfg.encoding, region, class_set),
+    }
+}
+
+/// Build and solve one Eq. 3 query: does the desired decision of the
+/// `chain` (rewritten by `verb`) disagree with the updated decision for
+/// some packet in `region ∩ class_set`?
+///
+/// Uses a fresh [`CircuitBuilder`] *without* an obs sink: the caller folds
+/// the returned stats in deterministic order and replays them into the
+/// collector, so speculative parallel work never pollutes the metrics.
+fn run_query(
+    chain: &[(&Acl, &Acl)],
+    verb: Option<ControlVerb>,
+    encoding: Encoding,
+    region: Option<&PacketSet>,
+    class_set: Option<&PacketSet>,
+) -> CachedSolve {
+    let mut builder = CircuitBuilder::new();
+    let h = HeaderVars::new(&mut builder);
+    let mut c_before = Vec::with_capacity(chain.len());
+    let mut c_after = Vec::with_capacity(chain.len());
+    for (b, a) in chain {
+        c_before.push(encode(&mut builder, &h, b, encoding));
+        c_after.push(encode(&mut builder, &h, a, encoding));
+    }
+    let cp = builder.and(&c_before);
+    let cp2 = builder.and(&c_after);
+    // Desired side: the applicable control rewrites cp.
+    let desired = match verb {
+        Some(ControlVerb::Isolate) => builder.f(),
+        Some(ControlVerb::Open) => builder.t(),
+        Some(ControlVerb::Maintain) | None => cp,
+    };
+    let eq = builder.iff(desired, cp2);
+    builder.assert(!eq);
+    if let Some(set) = region {
+        let in_region = h.in_set(&mut builder, set);
+        builder.assert(in_region);
+    }
+    if let Some(set) = class_set {
+        let in_class = h.in_set(&mut builder, set);
+        builder.assert(in_class);
+    }
+    let result = builder.solve();
+    let model = (result == SolveResult::Sat).then(|| h.decode(&builder));
+    CachedSolve {
+        result,
+        model,
+        stats: builder.solver().stats(),
+        vars: builder.solver().num_vars(),
+        clauses: builder.solver().num_clauses(),
+    }
 }
 
 /// Evaluate a concrete packet against every path to find the violated one.
@@ -426,40 +624,56 @@ pub fn check_per_acl(before: &AclConfig, after: &AclConfig, cfg: &CheckConfig) -
     }
     let mut slots: Vec<Slot> = pairs.keys().copied().collect();
     slots.sort();
-    for slot in slots {
-        let pair = &pairs[&slot];
-        let sp = cfg.obs.span("check.solve");
-        let mut builder = CircuitBuilder::new();
-        builder.set_obs(cfg.obs.clone());
-        let h = HeaderVars::new(&mut builder);
-        let b = encode(&mut builder, &h, &pair.before, cfg.encoding);
-        let a = encode(&mut builder, &h, &pair.after, cfg.encoding);
-        let eq = builder.iff(b, a);
-        builder.assert(!eq);
-        if cfg.differential {
-            let in_cover = h.in_set(&mut builder, &cover);
-            builder.assert(in_cover);
+    let pool = Pool::new(cfg.threads);
+    let cancel = Cancel::new();
+    let region = if cfg.differential { Some(&cover) } else { None };
+    // One per-slot equivalence query per work item; identical ACL
+    // templates on different slots share a cache entry.
+    let results = pool.par_map_cancel(&slots, &cancel, |i, slot| {
+        let pair = &pairs[slot];
+        let t0 = Instant::now();
+        let chain = [(&pair.before, &pair.after)];
+        let solved = cached_query(cfg, &chain, None, region, None);
+        if solved.result == SolveResult::Sat {
+            cancel.cut(i);
         }
-        let r = builder.solve();
-        report.t_solve += sp.finish();
-        report.solver_stats.merge(&builder.solver().stats());
+        (solved, t0.elapsed())
+    });
+    // Deterministic fold in slot order, stopping at the first violating
+    // slot — the serial semantics.
+    let mut t_solve = Duration::ZERO;
+    let mut folded = 0u64;
+    for (i, res) in results.iter().enumerate() {
+        let (solved, elapsed) = res
+            .as_ref()
+            .expect("slots at or before the first violation are never skipped");
+        report.solver_stats.merge(&solved.stats);
+        solved
+            .stats
+            .record_query(&cfg.obs, solved.vars, solved.clauses);
+        t_solve += *elapsed;
+        folded += 1;
         report.paths_checked += 1;
-        if r == SolveResult::Sat {
-            let packet = h.decode(&builder);
-            let desired = pair.before.permits(&packet);
+        if solved.result == SolveResult::Sat {
+            let packet = solved.model.expect("Sat query stores its model");
+            let desired = pairs[&slots[i]].before.permits(&packet);
             report.outcome = CheckOutcome::Inconsistent(Violation {
                 packet,
                 // A synthetic single-slot "path" naming the offending ACL.
                 path: Path {
-                    slots: vec![slot],
+                    slots: vec![slots[i]],
                     carried: PacketSet::full(),
                 },
                 desired,
                 actual: !desired,
             });
-            return report;
+            break;
         }
     }
+    if folded > 0 {
+        cfg.obs.record_span("check.solve", folded, t_solve);
+    }
+    report.t_solve = t_solve;
     report
 }
 
@@ -754,5 +968,146 @@ mod per_acl_tests {
         let r = check_per_acl(&f.config, &f.config, &CheckConfig::default());
         assert!(r.outcome.is_consistent());
         assert_eq!(r.paths_checked, 0, "empty diff short-circuits");
+    }
+
+    /// Canonical rendering of a report minus wall-clock (fuzz comparator).
+    fn canon(r: &CheckReport) -> String {
+        format!(
+            "{:?}|{}|{}|{:?}|{}|{}",
+            r.outcome, r.fec_count, r.paths_checked, r.solver_stats, r.encoded_rules, r.total_rules
+        )
+    }
+
+    /// Tiny xorshift64* PRNG: the fuzz below must run under bare rustc with
+    /// no registry access, so no proptest/rand here.
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// A small random ACL: 0–4 deny/permit rules over /6–/10 dst prefixes.
+    fn random_acl(rng: &mut XorShift) -> Acl {
+        let mut rules = Vec::new();
+        for _ in 0..rng.below(5) {
+            let len = 6 + rng.below(5) as u32;
+            let addr = (rng.next() as u32) & (u32::MAX << (32 - len));
+            let action = if rng.below(2) == 0 {
+                jinjing_acl::Action::Deny
+            } else {
+                jinjing_acl::Action::Permit
+            };
+            rules.push(jinjing_acl::Rule::new(
+                action,
+                jinjing_acl::MatchSpec::dst(jinjing_acl::IpPrefix::new(addr, len)),
+            ));
+        }
+        Acl::new(rules, jinjing_acl::Action::Permit)
+    }
+
+    /// Fuzz the cache against ground truth: for random before/after config
+    /// pairs, `check_per_acl` with a shared cache (reused across cases, so
+    /// cross-case hits happen), with a *degenerate* fingerprint (every key
+    /// hashes alike — the collision path must fall back to full structural
+    /// equality), and with no cache at all must produce identical reports.
+    #[test]
+    fn fuzz_cached_and_uncached_per_acl_agree() {
+        let f = Figure1::new();
+        let slots: Vec<jinjing_net::Slot> = f.config.slots();
+        let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+        let shared = std::sync::Arc::new(QueryCache::new());
+        let colliding = std::sync::Arc::new(QueryCache::with_fingerprint(|_| 0));
+        for case in 0..40 {
+            let mut before = AclConfig::new();
+            let mut after = AclConfig::new();
+            for &slot in &slots {
+                if rng.below(2) == 0 {
+                    before.set(slot, random_acl(&mut rng));
+                }
+                if rng.below(2) == 0 {
+                    after.set(slot, random_acl(&mut rng));
+                }
+            }
+            let run = |cache: Option<std::sync::Arc<QueryCache>>| {
+                let cfg = CheckConfig {
+                    cache,
+                    ..CheckConfig::default()
+                };
+                canon(&check_per_acl(&before, &after, &cfg))
+            };
+            let uncached = run(None);
+            assert_eq!(
+                uncached,
+                run(Some(std::sync::Arc::clone(&shared))),
+                "case {case}: shared cache diverged"
+            );
+            assert_eq!(
+                uncached,
+                run(Some(std::sync::Arc::clone(&colliding))),
+                "case {case}: colliding-fingerprint cache diverged"
+            );
+        }
+        assert!(
+            !shared.is_empty(),
+            "the fuzz must actually populate the shared cache"
+        );
+    }
+
+    /// Same fuzz for the full path-sensitive checker on Figure 1: random
+    /// updates to the running-example network, cached (shared + colliding)
+    /// vs uncached, across serial and parallel execution.
+    #[test]
+    fn fuzz_cached_and_uncached_check_agree() {
+        let f = Figure1::new();
+        let slots: Vec<jinjing_net::Slot> = f.config.slots();
+        let mut rng = XorShift(0xDEAD_BEEF_CAFE_F00D);
+        let shared = std::sync::Arc::new(QueryCache::new());
+        let colliding = std::sync::Arc::new(QueryCache::with_fingerprint(|_| 0));
+        for case in 0..12 {
+            let mut after = f.config.clone();
+            for &slot in &slots {
+                if rng.below(3) == 0 {
+                    after.set(slot, random_acl(&mut rng));
+                }
+            }
+            let task = Task {
+                scope: f.scope(),
+                allow: Vec::new(),
+                before: f.config.clone(),
+                after,
+                modified: Vec::new(),
+                controls: Vec::new(),
+                command: jinjing_lai::Command::Check,
+            };
+            let run = |cache: Option<std::sync::Arc<QueryCache>>, threads: usize| {
+                let cfg = CheckConfig {
+                    cache,
+                    threads,
+                    ..CheckConfig::default()
+                };
+                canon(&check(&f.net, &task, &cfg).expect("figure 1 never explodes"))
+            };
+            let uncached = run(None, 1);
+            assert_eq!(
+                uncached,
+                run(Some(std::sync::Arc::clone(&shared)), 2),
+                "case {case}: shared cache (parallel) diverged"
+            );
+            assert_eq!(
+                uncached,
+                run(Some(std::sync::Arc::clone(&colliding)), 1),
+                "case {case}: colliding-fingerprint cache diverged"
+            );
+        }
+        assert!(!shared.is_empty());
     }
 }

@@ -22,6 +22,12 @@ pub struct EngineConfig {
     pub fix: FixConfig,
     /// Generate tunables.
     pub generate: GenerateConfig,
+    /// Run-level worker-thread override. When non-zero, [`run`] pushes it
+    /// into every primitive's `threads` knob (check's query fan-out, batch
+    /// fix's placement fan-out, generate's AEC sweep). `0` leaves the
+    /// per-primitive settings alone (their own `0` means "consult
+    /// `JINJING_THREADS`, default serial").
+    pub threads: usize,
     /// The run's observability collector. [`run`] shares it with every
     /// primitive (overriding the per-primitive collectors), so one span
     /// tree and one metric store describe the whole run.
@@ -135,6 +141,15 @@ pub fn run(net: &Network, task: &Task, cfg: &EngineConfig) -> Result<Report, Eng
     cfg.check.obs = obs.clone();
     cfg.fix.check.obs = obs.clone();
     cfg.generate.obs = obs.clone();
+    if cfg.threads != 0 {
+        cfg.check.threads = cfg.threads;
+        cfg.fix.check.threads = cfg.threads;
+        cfg.generate.threads = cfg.threads;
+    }
+    // One solver-query cache per run: the counterexample search inside fix
+    // and its final certification check hit the same decision-model
+    // comparisons, so they share the engine-level cache.
+    cfg.fix.check.cache = cfg.check.cache.clone();
     obs.event(
         jinjing_obs::Level::Info,
         "engine.start",

@@ -39,11 +39,13 @@ use jinjing_acl::packet::Field;
 use jinjing_acl::simplify::simplify;
 use jinjing_acl::{Action, IpPrefix, MatchSpec, Packet, PacketSet, PortRange, Rule};
 use jinjing_net::{AclConfig, Network, Path, Slot};
+use jinjing_par::Pool;
 use jinjing_solver::card::{at_most_assumption, counter_outputs};
 use jinjing_solver::cdcl::SolveResult;
 use jinjing_solver::lit::Lit;
 use jinjing_solver::CircuitBuilder;
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// How fix hunts for violations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,7 +68,9 @@ pub enum FixStrategy {
 pub struct FixConfig {
     /// Violation-hunting strategy.
     pub strategy: FixStrategy,
-    /// Check configuration used for counterexample search.
+    /// Check configuration used for counterexample search. Its `threads`
+    /// setting also sizes the batch engine's placement fan-out, and its
+    /// `cache` is shared with the final certification check.
     pub check: CheckConfig,
     /// Minimize the number of slots changed per neighborhood (§4.2
     /// "Optimization for minimal changes").
@@ -402,8 +406,41 @@ fn repair_neighborhood(
     h: &Packet,
     added_rules: &mut Vec<(Slot, Rule)>,
 ) -> Result<(), FixError> {
+    let adds = solve_placement(
+        net, task, before, current, controls, allow, cfg, specs, region, h,
+    )?;
+    apply_placement(current, current_sets, added_rules, &adds);
+    Ok(())
+}
+
+/// The solving half of a neighborhood repair, pure with respect to `base`:
+/// the fixing rules are *returned*, not applied. Because neighborhoods are
+/// pairwise disjoint and fixing rules only match their own neighborhood,
+/// `base`'s decision on any *other* neighborhood's packets is unchanged by
+/// applying a placement — so solving every placement against the
+/// pre-placement configuration and applying the results serially in
+/// neighborhood order is bit-for-bit the sequential repair. That is what
+/// lets the batch engine fan placements out across worker threads.
+#[allow(clippy::too_many_arguments)]
+fn solve_placement(
+    net: &Network,
+    task: &Task,
+    before: &AclConfig,
+    base: &AclConfig,
+    controls: &[ResolvedControl],
+    allow: &[Slot],
+    cfg: &FixConfig,
+    specs: &[MatchSpec],
+    region: &PacketSet,
+    h: &Packet,
+) -> Result<Vec<(Slot, Rule)>, FixError> {
+    let current = base;
     let paths = net.all_paths_for_class(&task.scope, region);
     let mut builder = CircuitBuilder::new();
+    // Solver telemetry lands in the shared collector directly from the
+    // worker: counters and histograms are commutative aggregates, so the
+    // totals are schedule-independent (unlike spans, which workers never
+    // open).
     builder.set_obs(cfg.check.obs.clone());
     // One decision variable per slot appearing on any carrying path.
     let mut vars: HashMap<Slot, Lit> = HashMap::new();
@@ -475,28 +512,47 @@ fn repair_neighborhood(
             neighborhood: specs[0],
         });
     }
-    // Emit fixing rules where the solved decision differs from the current
+    // Emit fixing rules where the solved decision differs from the base
     // ACL's decision on the neighborhood (one rule per covering tuple).
+    let mut adds: Vec<(Slot, Rule)> = Vec::new();
     for &slot in &changeable {
         let want = builder.model_value(vars[&slot]);
         let now = current.slot_permits(slot, h);
         if want != now {
-            let rules: Vec<Rule> = specs
-                .iter()
-                .map(|&m| Rule::new(Action::from_bool(want), m))
-                .collect();
-            let acl = current
-                .get(slot)
-                .cloned()
-                .unwrap_or_else(jinjing_acl::Acl::permit_all);
-            current.set(slot, acl.with_prepended(&rules));
-            current_sets.remove(&slot);
-            for r in rules {
-                added_rules.push((slot, r));
+            for &m in specs {
+                adds.push((slot, Rule::new(Action::from_bool(want), m)));
             }
         }
     }
-    Ok(())
+    Ok(adds)
+}
+
+/// Apply a solved placement: prepend each slot's fixing rules (in spec
+/// order, as one batch per slot) and invalidate the slot's permit-set
+/// cache. `adds` is slot-major as produced by [`solve_placement`].
+fn apply_placement(
+    current: &mut AclConfig,
+    current_sets: &mut HashMap<Slot, PacketSet>,
+    added_rules: &mut Vec<(Slot, Rule)>,
+    adds: &[(Slot, Rule)],
+) {
+    let mut i = 0;
+    while i < adds.len() {
+        let slot = adds[i].0;
+        let mut j = i;
+        while j < adds.len() && adds[j].0 == slot {
+            j += 1;
+        }
+        let rules: Vec<Rule> = adds[i..j].iter().map(|(_, r)| r.clone()).collect();
+        let acl = current
+            .get(slot)
+            .cloned()
+            .unwrap_or_else(jinjing_acl::Acl::permit_all);
+        current.set(slot, acl.with_prepended(&rules));
+        current_sets.remove(&slot);
+        added_rules.extend_from_slice(&adds[i..j]);
+        i = j;
+    }
 }
 
 /// The [`FixStrategy::ExactBatch`] engine: one exact pass computes every
@@ -587,27 +643,70 @@ fn fix_batch(
         if atoms.len() > cfg.max_neighborhoods {
             return Err(FixError::TooManyNeighborhoods);
         }
-        for atom in atoms {
-            let region = atom.set;
-            let h = region.sample().expect("atoms are non-empty");
-            let specs = jinjing_acl::decompose::set_to_matchspecs(&region);
-            neighborhoods.extend(specs.iter().copied());
-            let sp = obs.span("fix.place");
-            repair_neighborhood(
-                net,
-                task,
-                before,
-                &mut current,
-                &mut current_sets,
-                controls,
-                allow,
-                cfg,
-                &specs,
-                &region,
-                &h,
-                &mut added_rules,
-            )?;
-            phases.place += sp.finish();
+        // Per-atom placement jobs. Atoms are pairwise disjoint, so every
+        // placement is solved against the pristine updated configuration —
+        // in parallel — and the resulting rules are applied serially in
+        // atom order, which is bit-for-bit the sequential repair (see
+        // `solve_placement`). Workers measure their own solve time; the
+        // driver folds the sum into `phases.place` and the `fix.place`
+        // span, so the phase split stays a single timing source whatever
+        // the thread count.
+        struct AtomJob {
+            region: PacketSet,
+            h: Packet,
+            specs: Vec<MatchSpec>,
+        }
+        let jobs: Vec<AtomJob> = atoms
+            .into_iter()
+            .map(|atom| {
+                let region = atom.set;
+                let h = region.sample().expect("atoms are non-empty");
+                let specs = jinjing_acl::decompose::set_to_matchspecs(&region);
+                AtomJob { region, h, specs }
+            })
+            .collect();
+        let pool = Pool::new(jinjing_par::resolve_threads(cfg.check.threads));
+        let base = &current;
+        let solved: Vec<(Result<Vec<(Slot, Rule)>, FixError>, Duration)> =
+            pool.par_map(&jobs, |_, job| {
+                let t0 = Instant::now();
+                let r = solve_placement(
+                    net,
+                    task,
+                    before,
+                    base,
+                    controls,
+                    allow,
+                    cfg,
+                    &job.specs,
+                    &job.region,
+                    &job.h,
+                );
+                (r, t0.elapsed())
+            });
+        let mut t_place = Duration::ZERO;
+        let mut folded = 0u64;
+        let mut first_err = None;
+        for (job, (result, dt)) in jobs.iter().zip(solved) {
+            t_place += dt;
+            folded += 1;
+            match result {
+                Ok(adds) => {
+                    neighborhoods.extend(job.specs.iter().copied());
+                    apply_placement(&mut current, &mut current_sets, &mut added_rules, &adds);
+                }
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        phases.place = t_place;
+        if folded > 0 {
+            obs.record_span("fix.place", folded, t_place);
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
     }
 

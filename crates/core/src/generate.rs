@@ -41,6 +41,11 @@ pub struct GenerateConfig {
     pub optimize: bool,
     /// Equivalence-class caps.
     pub refine_limits: RefineLimits,
+    /// Worker threads for the per-AEC solve fan-out (Eq. 10). `0` means
+    /// "auto": consult `JINJING_THREADS`, defaulting to 1 (serial — the
+    /// exact historical code path). Reports are byte-identical for every
+    /// value (see `jinjing-par`'s determinism contract).
+    pub threads: usize,
     /// Observability sink: phase spans, solver histograms, events. A fresh
     /// (private) collector by default; the engine shares one per run.
     pub obs: jinjing_obs::Collector,
@@ -51,6 +56,7 @@ impl Default for GenerateConfig {
         GenerateConfig {
             optimize: true,
             refine_limits: RefineLimits::default(),
+            threads: 0,
             obs: jinjing_obs::Collector::new(),
         }
     }
@@ -172,11 +178,22 @@ pub fn generate(
             .map(|(_, g)| g)
             .collect(),
     );
+    // AEC-level solves are independent of one another (Eq. 10 constrains
+    // each class in isolation), so the sweep fans out across the worker
+    // pool; results fold back in AEC order. Each worker's solver telemetry
+    // lands in the shared collector directly — counters and histograms are
+    // commutative aggregates, so the totals are schedule-independent. DEC
+    // refinement of the unsat residue (§5.3) stays serial: splits are rare
+    // and each is cheap relative to the AEC sweep.
+    let pool = jinjing_par::Pool::new(jinjing_par::resolve_threads(cfg.threads));
+    let aec_solutions: Vec<Option<HashMap<Slot, bool>>> = pool.par_map(&aecs, |_, aec| {
+        solve_class(net, task, cfg, &targets, &all_paths, &aec.set, false)
+    });
     let mut units: Vec<(usize, Vec<Unit>)> = Vec::new(); // (aec index, units)
     let mut aecs_split = 0usize;
     let mut dec_count = 0usize;
-    for (ai, aec) in aecs.iter().enumerate() {
-        match solve_class(net, task, cfg, &targets, &all_paths, &aec.set, false) {
+    for (ai, (aec, solution)) in aecs.iter().zip(aec_solutions).enumerate() {
+        match solution {
             Some(decisions) => units.push((
                 ai,
                 vec![Unit {

@@ -21,6 +21,11 @@
 //!   and the §5.5 optimizations.
 //! - [`control`] — desired-reachability transformation of path decision
 //!   models for `isolate` / `open` / `maintain` intents (§6).
+//! - [`mod@qcache`] — the cross-query solver cache: identical
+//!   decision-model comparisons (same ordered slot ACLs, encoding, verb
+//!   and packet region) across paths, FECs and engine phases are solved
+//!   once; collision-safe keys (full structural `Eq`, fingerprint-routed
+//!   `Hash`) behind a sharded mutex map.
 //! - [`mod@resolve`] — binding a parsed LAI [`Program`](jinjing_lai::Program)
 //!   to a concrete [`Network`](jinjing_net::Network) + current
 //!   [`AclConfig`](jinjing_net::AclConfig), producing a [`task::Task`].
@@ -35,6 +40,7 @@ pub mod engine;
 pub mod figure1;
 pub mod fix;
 pub mod generate;
+pub mod qcache;
 pub mod resolve;
 pub mod task;
 
@@ -43,6 +49,7 @@ pub use crate::control::ResolvedControl;
 pub use crate::engine::{run, EngineConfig, Report, ReportKind};
 pub use crate::fix::{fix, FixConfig, FixError, FixPhases, FixPlan, FixStrategy};
 pub use crate::generate::{generate, GenerateConfig, GenerateError, GenerateReport};
+pub use crate::qcache::{CachedSolve, QueryCache, QueryKey};
 pub use crate::resolve::{resolve, ResolveError};
 pub use crate::task::Task;
 pub use jinjing_solver::aclenc::Encoding;

@@ -1,0 +1,399 @@
+//! Cross-query solver cache for the check/fix/generate hot loops.
+//!
+//! Every Eq. 3 consistency query compares a *path decision model* — the
+//! conjunction of per-slot ACL circuits — before and after the update,
+//! confined to a packet region. WAN topologies route many FECs through the
+//! same ACL chains, so the identical `(ordered slot ACLs, encoding, verb,
+//! region)` comparison recurs across paths, classes, and even across
+//! engine phases (`fix` re-certifies with the same queries `check` just
+//! ran). The [`QueryCache`] solves each distinct comparison once.
+//!
+//! **Keying.** A [`QueryKey`] stores the *full* structural inputs — the
+//! reduced before/after ACL pair per slot (in path order), the control
+//! verb, the encoding kind, and the confining packet region — plus a
+//! precomputed 64-bit fingerprint. `Hash` writes only the fingerprint;
+//! `Eq` compares the full structure, so fingerprint collisions degrade to
+//! ordinary `HashMap` bucket collisions and can never return a wrong
+//! entry. The fingerprint function is injectable
+//! ([`QueryCache::with_fingerprint`]) precisely so tests can force
+//! collisions-by-construction and pin that property.
+//!
+//! **Determinism.** A [`CachedSolve`] stores everything a query execution
+//! would have produced: the verdict, the decoded model packet (for `Sat`),
+//! the per-query [`SolverStats`] delta and the instance size. Replaying a
+//! hit is therefore observationally identical to re-solving (the CDCL
+//! solver is deterministic), which is what keeps `CheckReport`s
+//! byte-identical with the cache on or off.
+//!
+//! **Sharding.** The map is split into [`SHARDS`] shards, each behind its
+//! own [`Mutex`], selected by key fingerprint. Lookups never hold a shard
+//! lock across a solver call: miss → release → solve → re-lock → insert
+//! (first writer wins), so concurrent workers at worst duplicate a solve,
+//! never serialize on one.
+
+use jinjing_acl::{Acl, Field, Packet, PacketSet};
+use jinjing_lai::ControlVerb;
+use jinjing_solver::aclenc::Encoding;
+use jinjing_solver::{acl_fingerprint, SolveResult, SolverStats};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Number of independently locked shards (power of two).
+pub const SHARDS: usize = 16;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_mix(h: &mut u64, v: u64) {
+    for byte in v.to_le_bytes() {
+        *h ^= u64::from(byte);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn region_fingerprint(set: &PacketSet) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_mix(&mut h, set.cubes().len() as u64);
+    for cube in set.cubes() {
+        for f in Field::ALL {
+            let iv = cube.get(f);
+            fnv_mix(&mut h, iv.lo());
+            fnv_mix(&mut h, iv.hi());
+        }
+    }
+    h
+}
+
+/// The full structural identity of one decision-model comparison query.
+///
+/// Two keys are equal iff every component is structurally equal; the
+/// stored fingerprint only routes hashing. Construct via
+/// [`QueryCache::key`] so the fingerprint matches the cache's function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryKey {
+    /// Precomputed fingerprint over all components (the only thing
+    /// `Hash` sees).
+    hash: u64,
+    /// Ordered `(before, after)` reduced ACL pair per slot on the path.
+    chain: Vec<(Acl, Acl)>,
+    /// Control verb rewriting the desired side (`None` = maintain).
+    verb: Option<ControlVerb>,
+    /// Decision-model encoding the circuit was built with.
+    encoding: Encoding,
+    /// Packet region the query is confined to (`None` = full space, i.e.
+    /// the differential optimization is off).
+    region: Option<PacketSet>,
+}
+
+impl QueryKey {
+    /// The precomputed fingerprint (exposed for diagnostics/tests).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Hash for QueryKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// Everything one query execution produces, stored for replay.
+#[derive(Debug, Clone)]
+pub struct CachedSolve {
+    /// The verdict.
+    pub result: SolveResult,
+    /// Decoded model packet when `Sat`.
+    pub model: Option<Packet>,
+    /// Per-query stats delta (merged into reports on hit exactly as a
+    /// fresh solve would be).
+    pub stats: SolverStats,
+    /// Instance size at solve time: variables.
+    pub vars: usize,
+    /// Instance size at solve time: clauses.
+    pub clauses: usize,
+}
+
+/// A sharded, collision-safe, cross-query solver cache.
+pub struct QueryCache {
+    shards: Vec<Mutex<HashMap<QueryKey, CachedSolve>>>,
+    fingerprint: fn(&Acl) -> u64,
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryCache")
+            .field("shards", &self.shards.len())
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+impl Default for QueryCache {
+    fn default() -> QueryCache {
+        QueryCache::new()
+    }
+}
+
+impl QueryCache {
+    /// Fresh cache using the real ACL fingerprint.
+    #[must_use]
+    pub fn new() -> QueryCache {
+        QueryCache::with_fingerprint(acl_fingerprint)
+    }
+
+    /// Fresh cache with an injected ACL fingerprint function. Tests use
+    /// degenerate functions (e.g. `|_| 0`) to force every key into one
+    /// bucket and prove that correctness never depends on fingerprint
+    /// quality.
+    #[must_use]
+    pub fn with_fingerprint(fingerprint: fn(&Acl) -> u64) -> QueryCache {
+        QueryCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            fingerprint,
+        }
+    }
+
+    /// Build a key for the comparison of the ordered slot `chain` under
+    /// `verb`/`encoding`, confined to `region`.
+    #[must_use]
+    pub fn key(
+        &self,
+        chain: &[(&Acl, &Acl)],
+        verb: Option<ControlVerb>,
+        encoding: Encoding,
+        region: Option<&PacketSet>,
+    ) -> QueryKey {
+        let mut h = FNV_OFFSET;
+        fnv_mix(&mut h, chain.len() as u64);
+        for (b, a) in chain {
+            fnv_mix(&mut h, (self.fingerprint)(b));
+            fnv_mix(&mut h, (self.fingerprint)(a));
+        }
+        fnv_mix(
+            &mut h,
+            match verb {
+                None => 0,
+                Some(ControlVerb::Maintain) => 1,
+                Some(ControlVerb::Isolate) => 2,
+                Some(ControlVerb::Open) => 3,
+            },
+        );
+        fnv_mix(
+            &mut h,
+            match encoding {
+                Encoding::Sequential => 0,
+                Encoding::Tree => 1,
+            },
+        );
+        match region {
+            None => fnv_mix(&mut h, 0),
+            Some(set) => {
+                fnv_mix(&mut h, 1);
+                fnv_mix(&mut h, region_fingerprint(set));
+            }
+        }
+        QueryKey {
+            hash: h,
+            chain: chain
+                .iter()
+                .map(|(b, a)| ((*b).clone(), (*a).clone()))
+                .collect(),
+            verb,
+            encoding,
+            region: region.cloned(),
+        }
+    }
+
+    fn shard(&self, key: &QueryKey) -> &Mutex<HashMap<QueryKey, CachedSolve>> {
+        &self.shards[(key.hash as usize) & (SHARDS - 1)]
+    }
+
+    /// Look up a key. Clones the stored value (all components are cheap).
+    #[must_use]
+    pub fn get(&self, key: &QueryKey) -> Option<CachedSolve> {
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(key)
+            .cloned()
+    }
+
+    /// Insert a value; the first writer wins so the stored value stays
+    /// canonical even if concurrent workers raced on the same miss.
+    pub fn insert(&self, key: QueryKey, value: CachedSolve) {
+        self.shard(&key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(key)
+            .or_insert(value);
+    }
+
+    /// Fetch the cached result for `key`, or run `solve` and remember it.
+    /// Returns `(value, hit)`. The shard lock is **not** held while
+    /// `solve` runs, so concurrent misses on the same key duplicate work
+    /// (benignly — the solver is deterministic) instead of serializing.
+    pub fn get_or_solve(
+        &self,
+        key: QueryKey,
+        solve: impl FnOnce() -> CachedSolve,
+    ) -> (CachedSolve, bool) {
+        if let Some(v) = self.get(&key) {
+            return (v, true);
+        }
+        let v = solve();
+        self.insert(key, v.clone());
+        (v, false)
+    }
+
+    /// Total entries across shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
+            .sum()
+    }
+
+    /// `true` when no entry is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (used between unrelated workloads in benches).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jinjing_acl::AclBuilder;
+
+    fn acl_a() -> Acl {
+        AclBuilder::default_permit().deny_dst("1.0.0.0/8").build()
+    }
+
+    fn acl_b() -> Acl {
+        AclBuilder::default_permit().deny_dst("2.0.0.0/8").build()
+    }
+
+    fn dummy(result: SolveResult) -> CachedSolve {
+        CachedSolve {
+            result,
+            model: None,
+            stats: SolverStats::default(),
+            vars: 1,
+            clauses: 1,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_round_trip() {
+        let cache = QueryCache::new();
+        let a = acl_a();
+        let b = acl_b();
+        let key = cache.key(&[(&a, &b)], None, Encoding::Tree, None);
+        assert!(cache.get(&key).is_none());
+        let (v, hit) = cache.get_or_solve(key.clone(), || dummy(SolveResult::Unsat));
+        assert!(!hit);
+        assert_eq!(v.result, SolveResult::Unsat);
+        let (v2, hit2) = cache.get_or_solve(key, || panic!("must not re-solve"));
+        assert!(hit2);
+        assert_eq!(v2.result, SolveResult::Unsat);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_components_make_distinct_keys() {
+        let cache = QueryCache::new();
+        let a = acl_a();
+        let b = acl_b();
+        let base = cache.key(&[(&a, &b)], None, Encoding::Tree, None);
+        let swapped = cache.key(&[(&b, &a)], None, Encoding::Tree, None);
+        let verbed = cache.key(
+            &[(&a, &b)],
+            Some(ControlVerb::Isolate),
+            Encoding::Tree,
+            None,
+        );
+        let seq = cache.key(&[(&a, &b)], None, Encoding::Sequential, None);
+        let full = PacketSet::full();
+        let regioned = cache.key(&[(&a, &b)], None, Encoding::Tree, Some(&full));
+        for other in [&swapped, &verbed, &seq, &regioned] {
+            assert_ne!(&base, other);
+        }
+        cache.insert(base.clone(), dummy(SolveResult::Unsat));
+        assert!(cache.get(&swapped).is_none());
+        assert!(cache.get(&verbed).is_none());
+        assert!(cache.get(&seq).is_none());
+        assert!(cache.get(&regioned).is_none());
+    }
+
+    #[test]
+    fn colliding_fingerprints_never_alias_entries() {
+        // Degenerate fingerprint: every ACL hashes to 0, so every key
+        // lands in one shard bucket chain. Structural Eq must still keep
+        // the entries apart.
+        let cache = QueryCache::with_fingerprint(|_| 0);
+        let a = acl_a();
+        let b = acl_b();
+        let k1 = cache.key(&[(&a, &b)], None, Encoding::Tree, None);
+        let k2 = cache.key(&[(&b, &a)], None, Encoding::Tree, None);
+        let k3 = cache.key(&[(&a, &a)], None, Encoding::Tree, None);
+        assert_eq!(k1.fingerprint(), k2.fingerprint());
+        assert_eq!(k1.fingerprint(), k3.fingerprint());
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        cache.insert(k1.clone(), dummy(SolveResult::Sat));
+        cache.insert(k2.clone(), dummy(SolveResult::Unsat));
+        assert_eq!(cache.get(&k1).unwrap().result, SolveResult::Sat);
+        assert_eq!(cache.get(&k2).unwrap().result, SolveResult::Unsat);
+        assert!(cache.get(&k3).is_none());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn first_writer_wins() {
+        let cache = QueryCache::new();
+        let a = acl_a();
+        let key = cache.key(&[(&a, &a)], None, Encoding::Tree, None);
+        cache.insert(key.clone(), dummy(SolveResult::Sat));
+        cache.insert(key.clone(), dummy(SolveResult::Unsat));
+        assert_eq!(cache.get(&key).unwrap().result, SolveResult::Sat);
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let cache = QueryCache::new();
+        let a = acl_a();
+        let b = acl_b();
+        for (i, chain) in [(&a, &b), (&b, &a), (&a, &a), (&b, &b)].iter().enumerate() {
+            let key = cache.key(&[*chain], None, Encoding::Tree, None);
+            cache.insert(
+                key,
+                dummy(if i % 2 == 0 {
+                    SolveResult::Sat
+                } else {
+                    SolveResult::Unsat
+                }),
+            );
+        }
+        assert_eq!(cache.len(), 4);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

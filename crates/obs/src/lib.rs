@@ -27,9 +27,14 @@
 //! A [`Collector`] is a cheap cloneable handle; every clone shares the same
 //! underlying store, which is how one collector threads through
 //! `check`/`fix`/`generate`, the CDCL solver, the CLI and the bench
-//! harness. Span nesting assumes the collector's spans are entered and
-//! exited on one thread (the engine is single-threaded); counters, gauges,
-//! histograms and events are safe from any thread.
+//! harness. Span *nesting* (the [`Collector::span`] guard stack) assumes
+//! spans are entered and exited on one thread — the engine's driver
+//! thread. Worker threads in the parallel query engine (`jinjing-par`)
+//! never open guards; they time their work with bare [`Instant`]s and the
+//! driver folds the measurements in deterministic order via
+//! [`Collector::record_span`], which merges externally-measured
+//! aggregates under the currently open span without touching the stack.
+//! Counters, gauges, histograms and events are safe from any thread.
 
 pub mod event;
 pub mod json;
@@ -183,6 +188,40 @@ impl Collector {
                 break;
             }
         }
+    }
+
+    /// Merge externally-measured span aggregates under the currently open
+    /// span, without pushing the guard stack.
+    ///
+    /// This is the bridge between worker threads and the span tree: a
+    /// worker times its unit of work with a bare [`Instant`], the driver
+    /// collects `(count, total)` per logical span name and records them
+    /// here *in deterministic order*. Same-named entries under the same
+    /// parent aggregate exactly like re-entered [`Collector::span`]
+    /// guards, so downstream consumers (snapshots, [`Collector::span_total`])
+    /// cannot tell merged aggregates from guard-recorded ones.
+    ///
+    /// `count == 0` still creates the node (with zero totals) so span-tree
+    /// shape stays stable across runs that happen to record no work.
+    pub fn record_span(&self, name: &str, count: u64, total: Duration) {
+        let mut g = self.lock();
+        let parent = *g.stack.last().expect("root is never popped");
+        let existing = g.spans[parent]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| g.spans[c].parent == parent && g.spans[c].name == name);
+        let idx = match existing {
+            Some(i) => i,
+            None => {
+                let i = g.spans.len();
+                g.spans.push(SpanNode::new(name, parent));
+                g.spans[parent].children.push(i);
+                i
+            }
+        };
+        g.spans[idx].count = g.spans[idx].count.saturating_add(count);
+        g.spans[idx].total += total;
     }
 
     /// Total recorded wall-clock across all completed entries of the named
@@ -596,6 +635,38 @@ mod tests {
         );
         // …and span_total sums both.
         assert!(c.span_total("shared") >= Duration::ZERO);
+    }
+
+    #[test]
+    fn record_span_merges_under_open_span() {
+        let c = Collector::with_trace(false);
+        {
+            let _outer = c.span("check");
+            // Driver folds worker-measured aggregates: two batches into the
+            // same logical child node.
+            c.record_span("check.solve", 3, Duration::from_nanos(300));
+            c.record_span("check.solve", 2, Duration::from_nanos(200));
+            // Zero-count record: shape only.
+            c.record_span("check.paths", 0, Duration::ZERO);
+            // A real guard into the same node aggregates with the merged
+            // totals.
+            c.span("check.solve").finish();
+        }
+        let snap = c.snapshot();
+        let check = snap.spans.child("check").unwrap();
+        let solve = check.child("check.solve").unwrap();
+        assert_eq!(solve.count, 6);
+        assert!(solve.total_ns >= 500);
+        let paths = check.child("check.paths").unwrap();
+        assert_eq!((paths.count, paths.total_ns), (0, 0));
+        // record_span must not disturb the guard stack: "check" closed
+        // normally with count 1.
+        assert_eq!(check.count, 1);
+        assert_eq!(c.span_total("check.solve"), {
+            let mut d = Duration::from_nanos(500);
+            d += Duration::from_nanos(solve.total_ns - 500);
+            d
+        });
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::circuit::CircuitBuilder;
 use crate::header::HeaderVars;
 use crate::lit::Lit;
-use jinjing_acl::Acl;
+use jinjing_acl::{Acl, Field};
 
 /// Which decision-model encoding to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -94,6 +94,41 @@ pub fn encode_tree(c: &mut CircuitBuilder, h: &HeaderVars, acl: &Acl) -> Lit {
     }
     let (hit, dec) = layer[0];
     c.ite(hit, dec, default)
+}
+
+/// A cheap, stable, order-sensitive fingerprint of an ACL's decision
+/// model, for use as a (pre)key in cross-query encoding caches.
+///
+/// FNV-1a over the default action and every rule's `(action, match cube)`
+/// in priority order. Two ACLs that encode to the same circuit (identical
+/// rule list + default) always get the same fingerprint; the converse is
+/// only probabilistic, which is why cache keys must *also* store the full
+/// ACLs and compare them on lookup (see `jinjing-core::qcache`). Stable
+/// across processes (no `DefaultHasher` seed), so fingerprints are safe to
+/// surface in logs and bench output.
+#[must_use]
+pub fn acl_fingerprint(acl: &Acl) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(u64::from(acl.default_action().permits()));
+    mix(acl.rules().len() as u64);
+    for rule in acl.rules() {
+        mix(u64::from(rule.action.permits()));
+        let cube = rule.matches.cube();
+        for f in Field::ALL {
+            let iv = cube.get(f);
+            mix(iv.lo());
+            mix(iv.hi());
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -181,6 +216,32 @@ mod tests {
             assert!(acl.permits(&p));
             assert_eq!(p.dip >> 24, 9);
         }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_order_sensitive() {
+        let a = sample_acl();
+        let b = sample_acl();
+        assert_eq!(acl_fingerprint(&a), acl_fingerprint(&b), "deterministic");
+        // Rule order matters (priority is semantic).
+        let fwd = AclBuilder::default_deny()
+            .permit_dst("1.0.0.0/8")
+            .deny_dst("1.2.0.0/16")
+            .build();
+        let rev = AclBuilder::default_deny()
+            .deny_dst("1.2.0.0/16")
+            .permit_dst("1.0.0.0/8")
+            .build();
+        assert_ne!(acl_fingerprint(&fwd), acl_fingerprint(&rev));
+        // Default action matters.
+        assert_ne!(
+            acl_fingerprint(&Acl::permit_all()),
+            acl_fingerprint(&Acl::deny_all())
+        );
+        // Action on an otherwise identical rule matters.
+        let p = AclBuilder::default_deny().permit_dst("9.0.0.0/8").build();
+        let d = AclBuilder::default_deny().deny_dst("9.0.0.0/8").build();
+        assert_ne!(acl_fingerprint(&p), acl_fingerprint(&d));
     }
 
     #[test]

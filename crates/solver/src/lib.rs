@@ -37,6 +37,7 @@ pub mod circuit;
 pub mod header;
 pub mod lit;
 
+pub use crate::aclenc::acl_fingerprint;
 pub use crate::cdcl::{SolveResult, Solver, SolverStats};
 pub use crate::circuit::CircuitBuilder;
 pub use crate::header::HeaderVars;

@@ -37,6 +37,26 @@ cargo run --release -p jinjing-cli --bin jinjing -- lint \
     --intent examples/data/running-example.lai \
     --format json >/dev/null
 
+echo "==> parallel-scaling smoke (small WAN) — regenerates BENCH_check.json"
+# The scaling harness itself asserts byte-identical check reports across
+# 1/2/4/8 threads and cold/warm caches; the smoke step additionally
+# verifies the emitted artifact is strict JSON with a non-zero warm cache
+# hit rate.
+cargo run --release -p jinjing-bench --bin figures -- par --small \
+    --bench-out BENCH_check.json >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_check.json"))
+assert d["benchmark"] == "check" and d["network"] == "small", d
+assert any(r["warm"]["cache_hit_rate"] > 0 for r in d["runs"]), "no cache hits"
+print(f"BENCH_check.json: {len(d['runs'])} runs, warm hit rate "
+      f"{max(r['warm']['cache_hit_rate'] for r in d['runs']):.2f}")
+EOF
+else
+    echo "ci.sh: python3 not installed — skipping BENCH_check.json probe" >&2
+fi
+
 echo "==> cargo fmt --all --check"
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --all --check

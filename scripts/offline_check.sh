@@ -7,9 +7,10 @@
 # std-only, so on a machine without crates.io access we can still build and
 # test the heart of the system with bare rustc:
 #
-#   rlibs:  acl → obs → {solver, lai, net} → lint → core
-#   tests:  acl unit, obs unit, solver unit, lint unit, core unit,
-#           tests/obs_integration.rs, tests/lint_integration.rs
+#   rlibs:  acl → obs → par → {solver, lai, net} → lint → core
+#   tests:  acl unit, obs unit, par unit, solver unit, lint unit, core unit,
+#           tests/obs_integration.rs, tests/lint_integration.rs,
+#           tests/par_determinism.rs
 #
 # The integration test's serde_json round-trip is compiled out under
 # `--cfg jinjing_offline` (the full check still runs under `cargo test`).
@@ -41,6 +42,7 @@ O="--extern jinjing_obs=$OUT/libjinjing_obs.rlib"
 
 rlib jinjing_acl crates/acl/src/lib.rs
 rlib jinjing_obs crates/obs/src/lib.rs
+rlib jinjing_par crates/par/src/lib.rs
 rlib jinjing_solver crates/solver/src/lib.rs $A $O
 rlib jinjing_lai crates/lai/src/lib.rs $A
 rlib jinjing_net crates/net/src/lib.rs $A # no --cfg feature="spec": serde-free
@@ -49,6 +51,7 @@ rlib jinjing_lint crates/lint/src/lib.rs $A $O \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" # no `spec` feature
 rlib jinjing_core crates/core/src/lib.rs $A $O \
+    --extern jinjing_par="$OUT/libjinjing_par.rlib" \
     --extern jinjing_solver="$OUT/libjinjing_solver.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
@@ -56,12 +59,14 @@ rlib jinjing_core crates/core/src/lib.rs $A $O \
 
 tbin acl_unit crates/acl/src/lib.rs
 tbin obs_unit crates/obs/src/lib.rs
+tbin par_unit crates/par/src/lib.rs
 tbin solver_unit crates/solver/src/lib.rs $A $O
 tbin lint_unit crates/lint/src/lib.rs $A $O \
     --extern jinjing_solver="$OUT/libjinjing_solver.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib"
 tbin core_unit crates/core/src/lib.rs $A $O \
+    --extern jinjing_par="$OUT/libjinjing_par.rlib" \
     --extern jinjing_solver="$OUT/libjinjing_solver.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
@@ -69,6 +74,11 @@ tbin core_unit crates/core/src/lib.rs $A $O \
 tbin obs_integration tests/obs_integration.rs --cfg jinjing_offline $O \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib"
+tbin par_determinism tests/par_determinism.rs $A $O \
+    --extern jinjing_par="$OUT/libjinjing_par.rlib" \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib"
 tbin lint_integration tests/lint_integration.rs --cfg jinjing_offline $A \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \

@@ -215,6 +215,76 @@ fn snapshot_json_is_strict_and_complete() {
     assert_eq!(json, report.obs.to_json());
 }
 
+/// Duration-accounting regression: the old per-iteration loop `+=`-ed path
+/// and solve time into the report *and* opened a fresh span guard per
+/// iteration, so the two books could drift apart. Both now derive from one
+/// fold of the same worker-measured aggregates, so report durations and
+/// span totals must be byte-equal — serial or parallel.
+#[test]
+fn check_durations_are_span_derived_for_every_thread_count() {
+    for threads in [1usize, 4] {
+        let fig = Figure1::new();
+        let src = format!("{RUNNING_EXAMPLE_BODY}check\n");
+        let program = validate(parse_program(&src).expect("parse")).expect("validate");
+        let task = resolve(&fig.net, &program, &fig.config).expect("resolve");
+        let cfg = EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        };
+        let report = run(&fig.net, &task, &cfg).expect("engine");
+        let snap = &report.obs;
+        let check = snap
+            .spans
+            .child("engine.run")
+            .and_then(|e| e.child("check"))
+            .expect("check span");
+        let ReportKind::Check(r) = &report.kind else {
+            panic!("expected check")
+        };
+        let span = |name: &str| {
+            check
+                .child(name)
+                .unwrap_or_else(|| panic!("missing {name} (threads={threads})"))
+        };
+        assert_eq!(
+            span("check.preprocess").total_ns,
+            r.t_preprocess.as_nanos() as u64,
+            "threads={threads}"
+        );
+        assert_eq!(
+            span("check.refine").total_ns,
+            r.t_refine.as_nanos() as u64,
+            "threads={threads}"
+        );
+        assert_eq!(
+            span("check.paths").total_ns,
+            r.t_paths.as_nanos() as u64,
+            "threads={threads}"
+        );
+        assert_eq!(
+            span("check.solve").total_ns,
+            r.t_solve.as_nanos() as u64,
+            "threads={threads}"
+        );
+        // Span counts carry the fold sizes: one entry per folded class /
+        // query, never the speculative overshoot.
+        let paths = span("check.paths");
+        assert!(
+            paths.count >= 1 && paths.count <= r.fec_count as u64,
+            "threads={threads}: {} classes folded of {}",
+            paths.count,
+            r.fec_count
+        );
+        assert!(span("check.solve").count >= 1);
+        // A fresh per-run cache starts cold: the first stage-1 query is a
+        // miss, and the hit/miss split covers every cached lookup.
+        assert!(
+            snap.counter("check.cache_miss") >= 1,
+            "threads={threads}: cold cache must miss first"
+        );
+    }
+}
+
 #[test]
 fn collectors_are_isolated_between_runs() {
     // Two engine runs with default configs must not share state: each
