@@ -422,6 +422,26 @@ mod prop_tests {
         }
     }
 
+    /// Historical proptest shrink (was pinned in
+    /// `tests/prop_acl_semantics.proptest-regressions`): two *empty* ACLs
+    /// whose only difference is the default action. There are no rule
+    /// pairs to relate, so the default-action flip must be covered
+    /// explicitly — the cover is all of header space and the reduced pair
+    /// reproduces the disagreement on the shrunken witness (and, being
+    /// rule-free, everywhere else).
+    #[test]
+    fn default_action_only_diff_covers_everything() {
+        let a = Acl::new(vec![], Action::Permit);
+        let b = Acl::new(vec![], Action::Deny);
+        let d = AclDiff::compute(&a, &b);
+        assert!(!d.is_unchanged());
+        assert!(d.cover.same_set(&PacketSet::full()));
+        let p = Packet::new(0, 0, 0, 0, 6); // the shrunken witness
+        assert!(d.cover.contains(&p), "disagreement outside cover");
+        assert_eq!(d.reduced_before.permits(&p), a.permits(&p));
+        assert_eq!(d.reduced_after.permits(&p), b.permits(&p));
+    }
+
     #[test]
     fn reduced_pair_disagrees_exactly_like_the_full_pair_inside_the_cover() {
         // The other half of Theorem 4.1 (sampled): within `H`, the

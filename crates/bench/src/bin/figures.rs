@@ -9,14 +9,18 @@
 //! ```
 //!
 //! Subcommands: `fig4a` `fig4b` `fig4c` `fig4d` `table5` `depth` `spans`
-//! `lint` `par` `all`.
+//! `lint` `par` `incr` `all`.
 //! `--large` additionally runs the large-network fix (minutes, matching the
 //! paper's ~10-minute ceiling for check+fix).
 //! `par` accepts `--small` (restrict to the small WAN; the CI smoke step)
 //! and `--bench-out <path>` (write the machine-readable `BENCH_check.json`).
+//! `incr` replays the perturbation as a per-slot edit stream through a
+//! [`jinjing_core::incr::CheckSession`] against per-step cold checks and
+//! honours the same flags (`--bench-out` writes `BENCH_incr.json`).
 
 use jinjing_bench::{checkfix_scenario, control_open_task, migration_task, wan, PERTURBATIONS};
-use jinjing_core::check::{check, CheckConfig, CheckReport};
+use jinjing_core::check::{check, check_configs, CheckConfig, CheckReport};
+use jinjing_core::incr::{CheckSession, Delta, IncrConfig};
 use jinjing_core::engine::{run as engine_run, EngineConfig};
 use jinjing_core::fix::{fix, FixConfig};
 use jinjing_core::generate::{generate, GenerateConfig};
@@ -565,6 +569,193 @@ fn par(include_large: bool, small_only: bool, bench_out: Option<&str>) {
     }
 }
 
+/// Aggregates of one incremental replay (one WAN size).
+struct IncrRun {
+    steps: usize,
+    applied: usize,
+    class_count: usize,
+    total_pairs: usize,
+    dirty_pairs_total: usize,
+    dirty_pairs_max: usize,
+    dirty_classes_total: usize,
+    cold: Duration,
+    warm: Duration,
+}
+
+/// Serialize the small-WAN incremental replay as `BENCH_incr.json`
+/// (sorted keys, strict JSON, byte-stable shape — see [`bench_json`]).
+fn incr_json(network: &str, r: &IncrRun) -> String {
+    let mut w = jinjing_obs::json::JsonWriter::new();
+    let wall = |d: Duration| (d.as_secs_f64() * 1e6).round() / 1e3; // µs-rounded ms
+    w.begin_object();
+    w.key("applied");
+    w.u64(r.applied as u64);
+    w.key("benchmark");
+    w.string("incr");
+    w.key("class_count");
+    w.u64(r.class_count as u64);
+    w.key("cold_wall_ms");
+    w.f64(wall(r.cold));
+    w.key("dirty_classes_total");
+    w.u64(r.dirty_classes_total as u64);
+    w.key("dirty_pairs_max");
+    w.u64(r.dirty_pairs_max as u64);
+    w.key("dirty_pairs_total");
+    w.u64(r.dirty_pairs_total as u64);
+    w.key("incr_wall_ms");
+    w.f64(wall(r.warm));
+    w.key("network");
+    w.string(network);
+    // The full per-step workload a cold check considers before Theorem 4.1
+    // pruning: `dirty ≪ pairs_ceiling` is the point of the session engine.
+    w.key("pairs_ceiling_total");
+    w.u64((r.steps * r.total_pairs) as u64);
+    w.key("perturbation");
+    w.f64(0.03);
+    w.key("rejected");
+    w.u64((r.steps - r.applied) as u64);
+    w.key("speedup");
+    w.f64((r.cold.as_secs_f64() / r.warm.as_secs_f64().max(1e-9) * 100.0).round() / 100.0);
+    w.key("steps");
+    w.u64(r.steps as u64);
+    w.key("total_pairs");
+    w.u64(r.total_pairs as u64);
+    w.end_object();
+    let mut json = w.finish();
+    json.push('\n');
+    json
+}
+
+/// Decompose a before→after perturbation into single-slot deltas, in
+/// deterministic (sorted-slot) order — the edit stream an operator would
+/// deploy change by change.
+fn per_slot_deltas(
+    before: &jinjing_net::AclConfig,
+    after: &jinjing_net::AclConfig,
+) -> Vec<Delta> {
+    let mut slots = before.slots();
+    slots.extend(after.slots());
+    slots.sort();
+    slots.dedup();
+    let mut deltas = Vec::new();
+    for slot in slots {
+        match (before.get(slot), after.get(slot)) {
+            (b, a) if b == a => {}
+            (_, Some(a)) => deltas.push(Delta::new().set(slot, a.clone())),
+            (_, None) => deltas.push(Delta::new().clear(slot)),
+        }
+    }
+    deltas
+}
+
+/// Incremental re-check vs per-step cold checks on the preset WANs: the
+/// 3% perturbation replayed one slot at a time through a persistent
+/// [`CheckSession`]. Every step's session report is asserted byte-identical
+/// to the cold check of the same before/after pair (the
+/// `tests/incr_oracle.rs` contract, enforced here on the synthetic WANs),
+/// so the table only ever shows a wall-clock difference.
+fn incr(small_only: bool, bench_out: Option<&str>) {
+    println!("\n## Incremental re-check — 3% perturbation as a per-slot edit stream\n");
+    println!("| network | steps | applied | classes | pairs/step | dirty pairs (max) | cold ms | incr ms | speedup |");
+    println!("|---------|-------|---------|---------|------------|-------------------|---------|---------|---------|");
+    let mut sizes = vec![NetSize::Small];
+    if !small_only {
+        sizes.push(NetSize::Medium);
+    }
+    for size in sizes {
+        let net = wan(size);
+        let sc = checkfix_scenario(&net, 0.03, Command::Check);
+        let deltas = per_slot_deltas(&sc.task.before, &sc.task.after);
+
+        // Cold baseline: a fresh default config (fresh cache) per step,
+        // base advancing exactly as the session's default policy does.
+        let mut cold_canons = Vec::with_capacity(deltas.len());
+        let mut base = sc.task.before.clone();
+        let t = Instant::now();
+        for delta in &deltas {
+            let after = delta.applied_to(&base);
+            let r = check_configs(
+                &net.net,
+                &sc.task.scope,
+                &base,
+                &after,
+                &sc.task.controls,
+                &CheckConfig::default(),
+            )
+            .expect("cold check");
+            if r.outcome.is_consistent() {
+                base = after;
+            }
+            cold_canons.push(canon_check(&r));
+        }
+        let cold = t.elapsed();
+
+        // Incremental: one persistent session over the same stream.
+        let mut session = CheckSession::with_configs(
+            &net.net,
+            sc.task.scope.clone(),
+            sc.task.controls.clone(),
+            sc.task.before.clone(),
+            CheckConfig::default(),
+            IncrConfig::default(),
+        )
+        .expect("session opens");
+        let total_pairs = session.total_pairs();
+        let mut run = IncrRun {
+            steps: deltas.len(),
+            applied: 0,
+            class_count: session.class_count(),
+            total_pairs,
+            dirty_pairs_total: 0,
+            dirty_pairs_max: 0,
+            dirty_classes_total: 0,
+            cold,
+            warm: Duration::ZERO,
+        };
+        let t = Instant::now();
+        for (i, delta) in deltas.iter().enumerate() {
+            let r = session.recheck(delta).expect("recheck");
+            assert_eq!(
+                canon_check(&r.report),
+                cold_canons[i],
+                "{}: session step {i} diverged from the cold check",
+                size.label()
+            );
+            if r.applied {
+                run.applied += 1;
+            }
+            run.dirty_pairs_total += r.incr.dirty_pairs;
+            run.dirty_pairs_max = run.dirty_pairs_max.max(r.incr.dirty_pairs);
+            run.dirty_classes_total += r.incr.dirty_classes;
+        }
+        run.warm = t.elapsed();
+        assert_eq!(session.base(), &base, "bases converge across the stream");
+        println!(
+            "| {} | {:>5} | {:>7} | {:>7} | {:>10} | {:>11} ({:>3}) | {:>7} | {:>7} | {:>6.2}x |",
+            size.label(),
+            run.steps,
+            run.applied,
+            run.class_count,
+            run.total_pairs,
+            run.dirty_pairs_total,
+            run.dirty_pairs_max,
+            ms(run.cold),
+            ms(run.warm),
+            run.cold.as_secs_f64() / run.warm.as_secs_f64().max(1e-9),
+        );
+        if size == NetSize::Small {
+            if let Some(path) = bench_out {
+                let json = incr_json(size.label(), &run);
+                std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                println!("\n(wrote {path})");
+            }
+        }
+    }
+    if small_only {
+        println!("\n(medium omitted — drop --small)");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let include_large = args.iter().any(|a| a == "--large");
@@ -575,7 +766,7 @@ fn main() {
         .map(|i| args.get(i + 1).cloned().expect("--bench-out needs a path"));
     let wants = |name: &str| args.iter().any(|a| a == name) || args.iter().any(|a| a == "all");
     if args.is_empty() {
-        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [lint] [par] [all] [--large] [--small] [--bench-out <path>]");
+        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [lint] [par] [incr] [all] [--large] [--small] [--bench-out <path>]");
         std::process::exit(2);
     }
     println!("# Jinjing evaluation — regenerated tables");
@@ -605,6 +796,9 @@ fn main() {
     }
     if wants("par") {
         par(include_large, small_only, bench_out.as_deref());
+    }
+    if wants("incr") {
+        incr(small_only, bench_out.as_deref());
     }
 }
 
@@ -660,5 +854,35 @@ mod tests {
         assert!(v["runs"][0]["warm"]["cache_hit_rate"].as_f64().unwrap() > 0.0);
         assert_eq!(v["fec_count"].as_u64().unwrap(), r.fec_count as u64);
         assert_eq!(json, bench_json("small", &r, &runs), "byte-stable");
+    }
+
+    /// Same contract for `BENCH_incr.json`: strict JSON, sorted keys,
+    /// byte-stable, and the ceiling arithmetic is what CI's probe assumes.
+    #[test]
+    fn incr_json_is_strict_and_stable() {
+        let run = IncrRun {
+            steps: 12,
+            applied: 9,
+            class_count: 40,
+            total_pairs: 120,
+            dirty_pairs_total: 85,
+            dirty_pairs_max: 14,
+            dirty_classes_total: 31,
+            cold: Duration::from_millis(90),
+            warm: Duration::from_millis(30),
+        };
+        let json = incr_json("small", &run);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("strict JSON");
+        assert_eq!(v["benchmark"], "incr");
+        assert_eq!(v["network"], "small");
+        assert_eq!(v["steps"].as_u64().unwrap(), 12);
+        assert_eq!(v["rejected"].as_u64().unwrap(), 3);
+        assert_eq!(v["pairs_ceiling_total"].as_u64().unwrap(), 12 * 120);
+        assert!(
+            v["dirty_pairs_total"].as_u64().unwrap()
+                < v["pairs_ceiling_total"].as_u64().unwrap()
+        );
+        assert!((v["speedup"].as_f64().unwrap() - 3.0).abs() < 1e-9);
+        assert_eq!(json, incr_json("small", &run), "byte-stable");
     }
 }

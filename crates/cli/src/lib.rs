@@ -13,22 +13,29 @@
 //! jinjing run --network net.json --acls acls.json --intent update.lai
 //! jinjing run ... --plan-out plan.json      # write the deployable plan
 //! jinjing run ... --metrics-out m.json      # write the observability snapshot
+//! jinjing run ... --format json             # canonical machine-readable report
 //! jinjing run ... --trace                   # stream events to stderr
+//! jinjing watch ... --deltas edits.txt      # incremental session over a stream
 //! jinjing show --network net.json           # topology summary
 //! jinjing simplify --acl-file acl.txt       # standalone ACL minimization
 //! ```
 //!
 //! The library half of the crate ([`run_command`] and friends) is what the
 //! binary calls; keeping it a library makes the whole flow unit-testable
-//! without spawning processes.
+//! without spawning processes. The JSON spec loaders need `serde`; under
+//! `--cfg jinjing_offline` (the registry-free build) they are compiled
+//! out, while everything else — including the canonical JSON renderers,
+//! which use `jinjing-obs`'s hand-rolled writer — still builds and tests.
 
 use jinjing_core::check::CheckOutcome;
-use jinjing_core::engine::{render_plan, run, EngineConfig, ReportKind};
+use jinjing_core::engine::{open_session, render_plan, run, EngineConfig, ReportKind};
+use jinjing_core::incr::parse_delta_script;
 use jinjing_core::resolve::resolve;
 use jinjing_lai::{parse_program, validate};
+#[cfg(not(jinjing_offline))]
 use jinjing_net::spec::{AclConfigSpec, NetworkSpec};
 use jinjing_net::{AclConfig, Network};
-use serde::Serialize;
+use jinjing_obs::json::JsonWriter;
 
 /// Everything that can go wrong on a CLI run, as a printable message.
 #[derive(Debug)]
@@ -53,6 +60,7 @@ fn err(e: impl std::fmt::Display) -> CliError {
 }
 
 /// Load a network from a JSON spec file.
+#[cfg(not(jinjing_offline))]
 pub fn load_network(path: &str) -> Result<Network, CliError> {
     let text = std::fs::read_to_string(path)?;
     let spec: NetworkSpec =
@@ -61,6 +69,7 @@ pub fn load_network(path: &str) -> Result<Network, CliError> {
 }
 
 /// Load an ACL configuration from a JSON spec file.
+#[cfg(not(jinjing_offline))]
 pub fn load_acls(path: &str, net: &Network) -> Result<AclConfig, CliError> {
     let text = std::fs::read_to_string(path)?;
     let spec: AclConfigSpec =
@@ -69,7 +78,8 @@ pub fn load_acls(path: &str, net: &Network) -> Result<AclConfig, CliError> {
 }
 
 /// One changed slot in the machine-readable plan.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
+#[cfg_attr(not(jinjing_offline), derive(serde::Serialize))]
 pub struct PlanEntry {
     /// `"device:interface"`.
     pub interface: String,
@@ -80,7 +90,8 @@ pub struct PlanEntry {
 }
 
 /// The machine-readable output of a run.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
+#[cfg_attr(not(jinjing_offline), derive(serde::Serialize))]
 pub struct PlanDocument {
     /// The command that produced the plan.
     pub command: String,
@@ -88,6 +99,41 @@ pub struct PlanDocument {
     pub verdict: String,
     /// Changed slots (empty for a bare check).
     pub changes: Vec<PlanEntry>,
+}
+
+impl PlanDocument {
+    /// Canonical JSON rendering (the `run --format json` output): strict
+    /// JSON, keys in sorted order, no timings — byte-stable across runs,
+    /// thread counts and cache settings, so golden tests can pin it.
+    pub fn to_canonical_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("changes");
+        w.begin_array();
+        for e in &self.changes {
+            w.begin_object();
+            w.key("acl");
+            w.begin_array();
+            for line in &e.acl {
+                w.string(line);
+            }
+            w.end_array();
+            w.key("direction");
+            w.string(&e.direction);
+            w.key("interface");
+            w.string(&e.interface);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("command");
+        w.string(&self.command);
+        w.key("verdict");
+        w.string(&self.verdict);
+        w.end_object();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
 }
 
 /// Observability knobs for a CLI run.
@@ -225,6 +271,170 @@ pub fn run_command_with(
     })
 }
 
+/// One step of a `jinjing watch` session.
+#[derive(Debug, Clone)]
+pub struct WatchStep {
+    /// The delta's label from the script (`step <label>`).
+    pub label: String,
+    /// `"consistent"` or `"inconsistent (witness …)"`.
+    pub verdict: String,
+    /// Whether the delta was folded into the session base.
+    pub applied: bool,
+    /// FEC classes whose cubes intersect this delta's differential cover.
+    pub dirty_classes: usize,
+    /// FEC classes untouched by the delta (verdicts reused).
+    pub clean_classes: usize,
+    /// `(class, path)` pairs dispatched to the solver.
+    pub dirty_pairs: usize,
+    /// FECs examined (0 on the empty-cover fast path).
+    pub fec_count: usize,
+    /// Pairs folded into the report.
+    pub paths_checked: usize,
+    /// Cache generation the step ran under.
+    pub generation: u64,
+    /// Stale cache entries evicted after the step.
+    pub evicted: usize,
+}
+
+/// Everything a `jinjing watch` session produces.
+#[derive(Debug)]
+pub struct WatchOutput {
+    /// Human-readable transcript.
+    pub text: String,
+    /// Per-delta summaries, in script order.
+    pub steps: Vec<WatchStep>,
+    /// How many deltas were rejected (inconsistent).
+    pub rejected: usize,
+    /// FEC classes in the session partition.
+    pub class_count: usize,
+    /// The session's observability snapshot (`incr.*` spans/counters plus
+    /// one `check` span tree per step).
+    pub obs: jinjing_obs::Snapshot,
+}
+
+impl WatchOutput {
+    /// Canonical JSON rendering (the `watch --format json` output):
+    /// strict JSON, sorted keys, no timings — byte-stable across runs,
+    /// thread counts and cache settings.
+    pub fn to_canonical_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("class_count");
+        w.u64(self.class_count as u64);
+        w.key("rejected");
+        w.u64(self.rejected as u64);
+        w.key("steps");
+        w.begin_array();
+        for s in &self.steps {
+            w.begin_object();
+            w.key("applied");
+            w.bool(s.applied);
+            w.key("clean_classes");
+            w.u64(s.clean_classes as u64);
+            w.key("dirty_classes");
+            w.u64(s.dirty_classes as u64);
+            w.key("dirty_pairs");
+            w.u64(s.dirty_pairs as u64);
+            w.key("evicted");
+            w.u64(s.evicted as u64);
+            w.key("fec_count");
+            w.u64(s.fec_count as u64);
+            w.key("generation");
+            w.u64(s.generation);
+            w.key("label");
+            w.string(&s.label);
+            w.key("paths_checked");
+            w.u64(s.paths_checked as u64);
+            w.key("verdict");
+            w.string(&s.verdict);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
+}
+
+/// Run an incremental check session (`jinjing watch`, a.k.a.
+/// `run --session`): bind the intent's scope/controls and the current
+/// configuration into a [`jinjing_core::incr::CheckSession`], then feed it
+/// the delta script (see
+/// [`parse_delta_script`](jinjing_core::incr::parse_delta_script) for the
+/// format). Each step re-checks only the FECs its delta dirties; verdicts
+/// are byte-identical to cold per-step checks.
+pub fn watch_command(
+    net: &Network,
+    config: &AclConfig,
+    intent_text: &str,
+    deltas_text: &str,
+    opts: &RunOptions,
+) -> Result<WatchOutput, CliError> {
+    let program = validate(parse_program(intent_text).map_err(err)?).map_err(err)?;
+    let task = resolve(net, &program, config).map_err(err)?;
+    let mut cfg = EngineConfig {
+        threads: opts.threads,
+        ..EngineConfig::default()
+    };
+    if opts.trace {
+        cfg.obs = jinjing_obs::Collector::with_trace(true);
+    }
+    let deltas = parse_delta_script(net, deltas_text).map_err(err)?;
+    let mut session = open_session(net, &task, &cfg).map_err(err)?;
+    let mut text = String::new();
+    use std::fmt::Write;
+    let class_count = session.class_count();
+    let _ = writeln!(
+        text,
+        "session : {} classes, {} delta(s)",
+        class_count,
+        deltas.len()
+    );
+    let mut steps = Vec::new();
+    for (label, delta) in &deltas {
+        let r = session.recheck(delta).map_err(err)?;
+        let verdict = match &r.report.outcome {
+            CheckOutcome::Consistent => "consistent".to_string(),
+            CheckOutcome::Inconsistent(v) => format!("inconsistent (witness {})", v.packet),
+        };
+        let _ = writeln!(
+            text,
+            "step    : {label}: {verdict}{} — {} dirty / {} clean classes, {} pairs",
+            if r.applied { "" } else { " [rejected]" },
+            r.incr.dirty_classes,
+            r.incr.clean_classes,
+            r.incr.dirty_pairs
+        );
+        steps.push(WatchStep {
+            label: label.clone(),
+            verdict,
+            applied: r.applied,
+            dirty_classes: r.incr.dirty_classes,
+            clean_classes: r.incr.clean_classes,
+            dirty_pairs: r.incr.dirty_pairs,
+            fec_count: r.report.fec_count,
+            paths_checked: r.report.paths_checked,
+            generation: r.generation,
+            evicted: r.evicted,
+        });
+    }
+    let rejected = steps.iter().filter(|s| !s.applied).count();
+    let _ = writeln!(
+        text,
+        "steps   : {} total, {} rejected",
+        steps.len(),
+        rejected
+    );
+    Ok(WatchOutput {
+        text,
+        steps,
+        rejected,
+        class_count,
+        obs: cfg.obs.snapshot(),
+    })
+}
+
 /// Everything a lint run produces.
 #[derive(Debug)]
 pub struct LintOutput {
@@ -243,6 +453,7 @@ pub struct LintOutput {
 /// built, so that report is returned alone. Otherwise the built network +
 /// configuration (and the validated program, when given) go through the
 /// rule, intent, and network layers via [`jinjing_core::engine::lint`].
+#[cfg(not(jinjing_offline))]
 pub fn lint_command(
     net_text: &str,
     acls_text: &str,
@@ -346,6 +557,7 @@ pub fn rollback_document(net: &Network, original: &AclConfig, plan: &PlanDocumen
 /// Convert a Cisco IOS configuration fragment into an
 /// [`AclConfigSpec`] JSON document. `mappings` bind list names to slots:
 /// `("EDGE-IN", "A:1", "in")`.
+#[cfg(not(jinjing_offline))]
 pub fn convert_cisco(
     config_text: &str,
     mappings: &[(String, String, String)],
@@ -396,7 +608,7 @@ pub fn show_network(net: &Network) -> String {
     out
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(jinjing_offline)))]
 mod tests {
     use super::*;
     use std::io::Write;
@@ -522,7 +734,107 @@ mod tests {
     }
 }
 
+/// Registry-free tests: everything here runs under `--cfg jinjing_offline`
+/// too (no serde, no spec files — the Figure 1 network is programmatic).
 #[cfg(test)]
+mod offline_tests {
+    use super::*;
+    use jinjing_core::figure1::Figure1;
+
+    const CHECK_INTENT: &str = "\
+acl PermitAll { permit all }
+scope A:*, B:*, C:*, D:*
+allow A:*, B:*
+modify D:2 to PermitAll
+check
+";
+
+    #[test]
+    fn plan_document_canonical_json_is_stable() {
+        let f = Figure1::new();
+        let render = || {
+            run_command_with(&f.net, &f.config, CHECK_INTENT, &RunOptions::default())
+                .unwrap()
+                .plan
+                .to_canonical_json()
+        };
+        let json = render();
+        assert!(json.starts_with("{\"changes\":["), "{json}");
+        assert!(json.contains("\"command\":\"check\""), "{json}");
+        assert!(json.contains("\"verdict\":\"inconsistent"), "{json}");
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json, render(), "canonical JSON must be byte-stable");
+    }
+
+    #[test]
+    fn watch_session_rechecks_a_delta_stream() {
+        let f = Figure1::new();
+        let script = "\
+step rewrite-D2
+set D:2 deny dst 2.0.0.0/8; deny dst 1.0.0.0/8
+step open-D2
+set D:2 permit all
+step noop
+";
+        let out = watch_command(
+            &f.net,
+            &f.config,
+            CHECK_INTENT,
+            script,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.steps.len(), 3);
+        assert_eq!(out.rejected, 1);
+        assert_eq!(out.steps[0].verdict, "consistent");
+        assert!(out.steps[0].applied);
+        assert!(out.steps[1].verdict.starts_with("inconsistent"));
+        assert!(!out.steps[1].applied, "violating delta is rejected");
+        assert_eq!(out.steps[2].verdict, "consistent");
+        assert_eq!(out.steps[2].dirty_classes, 0, "noop takes the fast path");
+        assert!(
+            out.steps[0].clean_classes > 0,
+            "a small edit must leave most classes clean"
+        );
+        assert!(out.text.contains("[rejected]"), "{}", out.text);
+        // Canonical JSON: byte-stable and schema-pinned.
+        let json = out.to_canonical_json();
+        assert!(json.starts_with("{\"class_count\":"), "{json}");
+        assert!(json.contains("\"label\":\"rewrite-D2\""), "{json}");
+        let again = watch_command(
+            &f.net,
+            &f.config,
+            CHECK_INTENT,
+            script,
+            &RunOptions {
+                threads: 4,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            json,
+            again.to_canonical_json(),
+            "watch JSON must not depend on thread count"
+        );
+    }
+
+    #[test]
+    fn watch_rejects_bad_scripts_with_messages() {
+        let f = Figure1::new();
+        let e = watch_command(
+            &f.net,
+            &f.config,
+            CHECK_INTENT,
+            "set Z:9 permit all\n",
+            &RunOptions::default(),
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("unknown interface"), "{e}");
+    }
+}
+
+#[cfg(all(test, not(jinjing_offline)))]
 mod convert_tests {
     use super::*;
 

@@ -6,7 +6,7 @@
 
 use jinjing_cli::{
     audit_report, lint_command, load_acls, load_network, run_command_with, show_network,
-    simplify_acl_text, RunOptions,
+    simplify_acl_text, watch_command, RunOptions,
 };
 
 const USAGE: &str = "\
@@ -14,7 +14,11 @@ jinjing — safely and automatically update in-network ACL configurations
 
 USAGE:
     jinjing run --network <net.json> --acls <acls.json> --intent <prog.lai>
+                [--format text|json] [--session <deltas.txt>]
                 [--plan-out <plan.json>] [--rollback-out <rollback.json>]
+                [--metrics-out <metrics.json>] [--trace] [--threads <N>]
+    jinjing watch --network <net.json> --acls <acls.json> --intent <prog.lai>
+                --deltas <deltas.txt> [--format text|json]
                 [--metrics-out <metrics.json>] [--trace] [--threads <N>]
     jinjing lint --network <net.json> --acls <acls.json> [--intent <prog.lai>]
                 [--format text|json] [--deny <CODE>] ...
@@ -26,7 +30,16 @@ USAGE:
                 [--out <acls.json>]
 
 COMMANDS:
-    run        Parse the LAI intent and execute its command (check/fix/generate)
+    run        Parse the LAI intent and execute its command (check/fix/generate).
+               With --session <deltas.txt> the run becomes an incremental
+               check session (same as `watch`)
+    watch      Incremental re-checking: open a session over the intent's
+               scope and current ACLs, then re-check a stream of deltas
+               (--deltas script: `step <label>` / `set DEV:IFACE[-in|-out]
+               <rules;…>` / `clear DEV:IFACE[-in|-out]` lines). Only the
+               FECs each delta dirties are re-solved; verdicts are
+               byte-identical to cold per-step checks. Exits 3 when any
+               delta is rejected as inconsistent
     lint       Static analysis: shadowed/redundant/conflicting rules (JL0xx),
                contradictory or vacuous intent clauses (JL1xx), dangling
                references and silent-allow paths (JL2xx). Exits 4 when any
@@ -75,6 +88,35 @@ fn main() {
     std::process::exit(code);
 }
 
+/// The shared incremental path behind `jinjing watch` and
+/// `jinjing run --session`.
+fn run_watch(
+    net: &jinjing_net::Network,
+    config: &jinjing_net::AclConfig,
+    intent: &str,
+    deltas_path: &str,
+    opts: &RunOptions,
+    args: &[String],
+) -> Result<(), String> {
+    let deltas =
+        std::fs::read_to_string(deltas_path).map_err(|e| format!("{deltas_path}: {e}"))?;
+    let out = watch_command(net, config, intent, &deltas, opts).map_err(|e| e.to_string())?;
+    match arg_value(args, "--format").as_deref() {
+        Some("json") => print!("{}", out.to_canonical_json()),
+        None | Some("text") => print!("{}", out.text),
+        Some(other) => return Err(format!("unknown --format {other:?} (text|json)")),
+    }
+    if let Some(path) = arg_value(args, "--metrics-out") {
+        std::fs::write(&path, out.obs.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
+    // Pipelines gate on rejected (inconsistent) deltas, like a failed check.
+    if out.rejected > 0 {
+        std::process::exit(3);
+    }
+    Ok(())
+}
+
 fn real_main(args: &[String]) -> Result<(), String> {
     let command = args.first().map(String::as_str).unwrap_or("");
     match command {
@@ -96,9 +138,17 @@ fn real_main(args: &[String]) -> Result<(), String> {
                 trace: args.iter().any(|a| a == "--trace"),
                 threads,
             };
+            // `run --session <deltas>` is the incremental path (see watch).
+            if let Some(deltas_path) = arg_value(args, "--session") {
+                return run_watch(&net, &config, &intent, &deltas_path, &opts, args);
+            }
             let out = run_command_with(&net, &config, &intent, &opts).map_err(|e| e.to_string())?;
             let (text, plan) = (out.text, out.plan);
-            print!("{text}");
+            match arg_value(args, "--format").as_deref() {
+                Some("json") => print!("{}", plan.to_canonical_json()),
+                None | Some("text") => print!("{text}"),
+                Some(other) => return Err(format!("unknown --format {other:?} (text|json)")),
+            }
             if let Some(path) = arg_value(args, "--metrics-out") {
                 std::fs::write(&path, out.obs.to_json()).map_err(|e| format!("{path}: {e}"))?;
                 println!("metrics written to {path}");
@@ -125,6 +175,27 @@ fn real_main(args: &[String]) -> Result<(), String> {
                 std::process::exit(3);
             }
             Ok(())
+        }
+        "watch" => {
+            let net_path = require(args, "--network")?;
+            let acl_path = require(args, "--acls")?;
+            let intent_path = require(args, "--intent")?;
+            let deltas_path = require(args, "--deltas")?;
+            let net = load_network(&net_path).map_err(|e| e.to_string())?;
+            let config = load_acls(&acl_path, &net).map_err(|e| e.to_string())?;
+            let intent =
+                std::fs::read_to_string(&intent_path).map_err(|e| format!("{intent_path}: {e}"))?;
+            let threads = match arg_value(args, "--threads") {
+                Some(n) => n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--threads wants a number, got {n:?}"))?,
+                None => 0,
+            };
+            let opts = RunOptions {
+                trace: args.iter().any(|a| a == "--trace"),
+                threads,
+            };
+            run_watch(&net, &config, &intent, &deltas_path, &opts, args)
         }
         "lint" => {
             let net_path = require(args, "--network")?;

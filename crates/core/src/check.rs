@@ -34,6 +34,14 @@
 //!
 //! [`check_exact`] is the set-algebra reference oracle: slower but purely
 //! exact, used to cross-validate the solver path in tests.
+//!
+//! **Session reuse.** The internal [`check_inner`] entry point optionally
+//! takes a [`SessionMemo`] — config-independent state (FEC classes, lazily
+//! enumerated per-class paths) that [`crate::incr`]'s `CheckSession` keeps
+//! alive across a stream of deltas. The memoized values are produced by
+//! the very same deterministic code (`derive_classes`,
+//! `all_paths_for_class`), so a session re-check is byte-identical to a
+//! cold check of the same pair of configurations.
 
 use crate::control::{control_regions, desired_decision, desired_permit_set, ResolvedControl};
 use crate::qcache::{CachedSolve, QueryCache};
@@ -192,12 +200,19 @@ pub(crate) fn preprocess(
         }
         return (pairs, PacketSet::full(), encoded_rules);
     }
-    // Pass 1: global differential rules and their packet cover.
+    // Pass 1: global differential rules and their packet cover. Untouched
+    // slots (`b == a`) are skipped outright — a self-diff has no
+    // differential rules and an empty cover, so it contributes nothing —
+    // which makes this pass proportional to the *edit*, not the
+    // configuration (the property `incr`'s per-delta re-checks lean on).
     let mut global_diff: Vec<jinjing_acl::Rule> = Vec::new();
     let mut cover = PacketSet::empty();
     for &slot in &slots {
         let b = before.get(slot).cloned().unwrap_or_else(Acl::permit_all);
         let a = after.get(slot).cloned().unwrap_or_else(Acl::permit_all);
+        if b == a {
+            continue;
+        }
         let d = AclDiff::compute(&b, &a);
         cover = cover.union(&d.cover);
         for r in d.diff {
@@ -262,6 +277,114 @@ pub fn check_configs(
     controls: &[ResolvedControl],
     cfg: &CheckConfig,
 ) -> Result<CheckReport, ClassExplosion> {
+    check_inner(net, scope, before, after, controls, cfg, None).map(|(r, _)| r)
+}
+
+/// Dirty/clean workload split of one check run.
+///
+/// For a session re-check ([`crate::incr`]) this is the incremental
+/// ledger: `dirty_*` is the work actually (re-)done under the delta,
+/// `clean_classes` the FECs whose verdicts were reused wholesale because
+/// their packet cubes miss the delta's differential cover (Theorem 4.1
+/// applied across time). A cold run reports the same split — there the
+/// "clean" classes are the ordinary Theorem 4.1 skips.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrStats {
+    /// FEC classes intersecting the differential cover (queries ran).
+    pub dirty_classes: usize,
+    /// FEC classes disjoint from the cover (verdict reused, no queries).
+    pub clean_classes: usize,
+    /// `(class, path)` pairs actually dispatched to the solver fan-out.
+    pub dirty_pairs: usize,
+}
+
+/// Config-independent state a [`crate::incr::CheckSession`] keeps alive
+/// across re-checks: the scope's FEC partition and, per class, the lazily
+/// enumerated (and then memoized) path set.
+///
+/// Everything in here is a pure function of `(net, scope, controls,
+/// refine_limits)` — never of the ACL configurations — so replaying it
+/// under a different before/after pair is exact, not approximate.
+pub(crate) struct SessionMemo {
+    /// `derive_classes` output, computed once per session.
+    pub(crate) classes: Vec<jinjing_acl::atoms::AtomClass>,
+    /// `paths[i]` memoizes `net.all_paths_for_class(scope, classes[i])`;
+    /// filled on first use (a class disjoint from every cover so far has
+    /// never needed its paths).
+    pub(crate) paths: Vec<std::sync::Mutex<Option<Arc<Vec<Path>>>>>,
+}
+
+impl SessionMemo {
+    /// Derive the FEC partition and empty path memos.
+    pub(crate) fn build(
+        net: &Network,
+        scope: &Scope,
+        controls: &[ResolvedControl],
+        limits: RefineLimits,
+    ) -> Result<SessionMemo, ClassExplosion> {
+        let classes = derive_classes(net, scope, controls, limits)?;
+        let paths = classes
+            .iter()
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        Ok(SessionMemo { classes, paths })
+    }
+
+    /// Paths for class `i`, enumerating and memoizing on first use.
+    pub(crate) fn paths_for(&self, net: &Network, scope: &Scope, i: usize) -> Arc<Vec<Path>> {
+        let mut slot = self.paths[i]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match &*slot {
+            Some(p) => Arc::clone(p),
+            None => {
+                let p = Arc::new(net.all_paths_for_class(scope, &self.classes[i].set));
+                *slot = Some(Arc::clone(&p));
+                p
+            }
+        }
+    }
+}
+
+/// The scope's forwarding-equivalence partition: traffic universe entering
+/// the scope, refined by the forwarding predicates plus the `control`
+/// regions (so classes are control-uniform). Deterministic — the session
+/// memo and the cold path call this same function.
+pub(crate) fn derive_classes(
+    net: &Network,
+    scope: &Scope,
+    controls: &[ResolvedControl],
+    limits: RefineLimits,
+) -> Result<Vec<jinjing_acl::atoms::AtomClass>, ClassExplosion> {
+    let mut universe = PacketSet::empty();
+    for (_, t) in net.entering_traffic(scope) {
+        universe = universe.union(&t);
+    }
+    let mut preds: Vec<PacketSet> = net
+        .scope_predicates(scope)
+        .into_iter()
+        .map(|(_, g)| g)
+        .collect();
+    preds.extend(control_regions(controls));
+    let preds = jinjing_acl::atoms::dedupe_predicates(preds);
+    refine(&universe, &preds, limits)
+}
+
+/// The body shared by [`check_configs`] (cold, `session: None`) and
+/// [`crate::incr::CheckSession::recheck`] (warm, `session: Some`). The two
+/// paths run the same preprocessing, the same Theorem 4.1 class filter,
+/// the same two-stage queries and the same deterministic fold; a session
+/// merely *replays* memoized FECs/paths and re-uses the persistent query
+/// cache, so the returned [`CheckReport`] is byte-identical either way.
+pub(crate) fn check_inner(
+    net: &Network,
+    scope: &Scope,
+    before: &AclConfig,
+    after: &AclConfig,
+    controls: &[ResolvedControl],
+    cfg: &CheckConfig,
+    session: Option<&SessionMemo>,
+) -> Result<(CheckReport, IncrStats), ClassExplosion> {
     let total_rules = before.total_rules() + after.total_rules();
     let _check_span = cfg.obs.span("check");
     let sp = cfg.obs.span("check.preprocess");
@@ -289,26 +412,29 @@ pub fn check_configs(
             "check.fastpath",
             "empty differential cover; trivially consistent",
         );
-        return Ok(report);
+        let incr = IncrStats {
+            dirty_classes: 0,
+            clean_classes: session.map_or(0, |m| m.classes.len()),
+            dirty_pairs: 0,
+        };
+        if session.is_some() {
+            record_incr_counters(cfg, incr);
+        }
+        return Ok((report, incr));
     }
 
-    // Traffic universe entering the scope.
-    let mut universe = PacketSet::empty();
-    for (_, t) in net.entering_traffic(scope) {
-        universe = universe.union(&t);
-    }
-
-    // Forwarding equivalence classes (control regions join the refinement
-    // so classes are control-uniform).
-    let mut preds: Vec<PacketSet> = net
-        .scope_predicates(scope)
-        .into_iter()
-        .map(|(_, g)| g)
-        .collect();
-    preds.extend(control_regions(controls));
-    let preds = jinjing_acl::atoms::dedupe_predicates(preds);
+    // FEC partition: replayed from the session memo when warm, derived
+    // fresh otherwise — by the *same* deterministic `derive_classes`, so
+    // the partitions (and everything downstream) are identical.
     let sp = cfg.obs.span("check.refine");
-    let classes = refine(&universe, &preds, cfg.refine_limits)?;
+    let fresh_classes;
+    let classes: &[jinjing_acl::atoms::AtomClass] = match session {
+        Some(memo) => &memo.classes,
+        None => {
+            fresh_classes = derive_classes(net, scope, controls, cfg.refine_limits)?;
+            &fresh_classes
+        }
+    };
     report.t_refine = sp.finish();
     report.fec_count = classes.len();
     cfg.obs
@@ -316,20 +442,27 @@ pub fn check_configs(
 
     // Theorem 4.1: classes disjoint from the differential cover meet
     // identical rule subsequences before and after — skip them outright.
-    let candidates: Vec<&jinjing_acl::atoms::AtomClass> = classes
+    // Under a session these are the *clean* classes of the delta.
+    let candidates: Vec<(usize, &jinjing_acl::atoms::AtomClass)> = classes
         .iter()
-        .filter(|class| !cfg.differential || class.set.intersects(&cover))
+        .enumerate()
+        .filter(|(_, class)| !cfg.differential || class.set.intersects(&cover))
         .collect();
 
     let pool = Pool::new(cfg.threads);
 
-    // Phase A: enumerate paths per candidate class. Workers time their
-    // own enumeration; the driver folds the measurements below.
-    let enumerated: Vec<(Vec<Path>, Duration)> = pool.par_map(&candidates, |_, class| {
-        let t0 = Instant::now();
-        let paths = net.all_paths_for_class(scope, &class.set);
-        (paths, t0.elapsed())
-    });
+    // Phase A: enumerate paths per candidate (dirty) class — replaying the
+    // session's memoized enumeration when warm. Workers time their own
+    // lookups; the driver folds the measurements below.
+    let enumerated: Vec<(Arc<Vec<Path>>, Duration)> =
+        pool.par_map(&candidates, |_, &(gi, class)| {
+            let t0 = Instant::now();
+            let paths = match session {
+                Some(memo) => memo.paths_for(net, scope, gi),
+                None => Arc::new(net.all_paths_for_class(scope, &class.set)),
+            };
+            (paths, t0.elapsed())
+        });
 
     // Phase B: one two-stage solver query per (class, path) pair, in
     // class-major order. Stage 1 is class-independent (and cacheable
@@ -343,7 +476,7 @@ pub fn check_configs(
         class_set: &'a PacketSet,
     }
     let mut jobs: Vec<PairJob<'_>> = Vec::new();
-    for (ci, class) in candidates.iter().enumerate() {
+    for (ci, (_, class)) in candidates.iter().enumerate() {
         let paths = &enumerated[ci].0;
         if paths.is_empty() {
             continue;
@@ -357,6 +490,15 @@ pub fn check_configs(
                 class_set: &class.set,
             });
         }
+    }
+
+    let incr = IncrStats {
+        dirty_classes: candidates.len(),
+        clean_classes: classes.len() - candidates.len(),
+        dirty_pairs: jobs.len(),
+    };
+    if session.is_some() {
+        record_incr_counters(cfg, incr);
     }
 
     let region = if cfg.differential { Some(&cover) } else { None };
@@ -466,11 +608,24 @@ pub fn check_configs(
             &format!("inconsistent: witness {}", violation.packet),
         );
         report.outcome = CheckOutcome::Inconsistent(violation);
-        return Ok(report);
+        return Ok((report, incr));
     }
     cfg.obs
         .event(jinjing_obs::Level::Info, "check.verdict", "consistent");
-    Ok(report)
+    Ok((report, incr))
+}
+
+/// Session-only counters: the incremental ledger in the obs stream. A cold
+/// run never emits these, so a cold snapshot and a warm one differ by
+/// exactly this family (plus cache hit/miss counts) — the shape contract
+/// `tests/incr_oracle.rs` pins.
+fn record_incr_counters(cfg: &CheckConfig, incr: IncrStats) {
+    cfg.obs
+        .counter_add("check.incr_dirty", incr.dirty_classes as u64);
+    cfg.obs
+        .counter_add("check.incr_clean", incr.clean_classes as u64);
+    cfg.obs
+        .counter_add("check.incr_dirty_pairs", incr.dirty_pairs as u64);
 }
 
 /// Per-`(class, path)` worker result.

@@ -7,6 +7,7 @@
 use crate::check::{check, CheckConfig, CheckOutcome, CheckReport};
 use crate::fix::{fix, FixConfig, FixError, FixPlan};
 use crate::generate::{generate, GenerateConfig, GenerateError, GenerateReport};
+use crate::incr::{CheckSession, IncrConfig};
 use crate::task::Task;
 use jinjing_acl::atoms::ClassExplosion;
 use jinjing_lai::Command;
@@ -22,6 +23,9 @@ pub struct EngineConfig {
     pub fix: FixConfig,
     /// Generate tunables.
     pub generate: GenerateConfig,
+    /// Incremental-session tunables (cache-eviction window, base-advance
+    /// policy) for sessions opened through [`open_session`].
+    pub incr: IncrConfig,
     /// Run-level worker-thread override. When non-zero, [`run`] pushes it
     /// into every primitive's `threads` knob (check's query fan-out, batch
     /// fix's placement fan-out, generate's AEC sweep). `0` leaves the
@@ -178,6 +182,27 @@ pub fn run(net: &Network, task: &Task, cfg: &EngineConfig) -> Result<Report, Eng
             Err(e)
         }
     }
+}
+
+/// Open an incremental [`CheckSession`] for a resolved task, applying the
+/// same configuration pushdown as [`run`]: the engine's collector and
+/// run-level thread override land in the session's check configuration,
+/// and the engine-level query cache becomes the session's persistent
+/// generation-tagged cache. The task's scope, controls and *current*
+/// configuration (`task.before`) seed the session; its update
+/// (`task.after`) is ignored — deltas arrive through
+/// [`CheckSession::recheck`].
+pub fn open_session<'n>(
+    net: &'n Network,
+    task: &Task,
+    cfg: &EngineConfig,
+) -> Result<CheckSession<'n>, EngineError> {
+    let mut check_cfg = cfg.check.clone();
+    check_cfg.obs = cfg.obs.clone();
+    if cfg.threads != 0 {
+        check_cfg.threads = cfg.threads;
+    }
+    CheckSession::for_task(net, task, check_cfg, cfg.incr.clone()).map_err(EngineError::Classes)
 }
 
 /// Run the static analysis pass (jinjing-lint) over a built network, its
@@ -353,6 +378,40 @@ generate
             panic!("expected a lint report")
         };
         assert!(r.has_code("JL104"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn open_session_matches_the_one_shot_check() {
+        use crate::incr::Delta;
+        let f = Figure1::new();
+        let prog =
+            validate(parse_program(&format!("{RUNNING_EXAMPLE_BODY}check\n")).unwrap()).unwrap();
+        let task = resolve(&f.net, &prog, &f.config).unwrap();
+        let cfg = EngineConfig::default();
+        // The one-shot engine run of the same update.
+        let one_shot = run(&f.net, &task, &cfg).unwrap();
+        // A session seeded from the task, fed the update as a delta.
+        let mut session = open_session(&f.net, &task, &cfg).unwrap();
+        let mut delta = Delta::new();
+        for slot in task.after.slots() {
+            delta = delta.set(slot, task.after.get(slot).unwrap().clone());
+        }
+        for slot in task.before.slots() {
+            if task.after.get(slot).is_none() {
+                delta = delta.clear(slot);
+            }
+        }
+        let step = session.recheck(&delta).unwrap();
+        let ReportKind::Check(want) = &one_shot.kind else {
+            panic!("check task yields a check report")
+        };
+        assert_eq!(
+            format!("{:?}", step.report.outcome),
+            format!("{:?}", want.outcome)
+        );
+        assert_eq!(step.report.fec_count, want.fec_count);
+        assert_eq!(step.report.paths_checked, want.paths_checked);
+        assert!(!step.applied, "inconsistent update must be rejected");
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //!   and packet region) across paths, FECs and engine phases are solved
 //!   once; collision-safe keys (full structural `Eq`, fingerprint-routed
 //!   `Hash`) behind a sharded mutex map.
+//! - [`mod@incr`] — the incremental re-check engine: a
+//!   [`CheckSession`](incr::CheckSession) keeps the FEC partition,
+//!   per-class paths and a generation-tagged query cache alive across a
+//!   stream of deltas, re-solving only the (class, path) pairs each
+//!   delta dirties while staying byte-identical to a cold check.
 //! - [`mod@resolve`] — binding a parsed LAI [`Program`](jinjing_lai::Program)
 //!   to a concrete [`Network`](jinjing_net::Network) + current
 //!   [`AclConfig`](jinjing_net::AclConfig), producing a [`task::Task`].
@@ -40,15 +45,19 @@ pub mod engine;
 pub mod figure1;
 pub mod fix;
 pub mod generate;
+pub mod incr;
 pub mod qcache;
 pub mod resolve;
 pub mod task;
 
-pub use crate::check::{check, check_per_acl, CheckConfig, CheckOutcome, CheckReport, Violation};
+pub use crate::check::{
+    check, check_per_acl, CheckConfig, CheckOutcome, CheckReport, IncrStats, Violation,
+};
 pub use crate::control::ResolvedControl;
-pub use crate::engine::{run, EngineConfig, Report, ReportKind};
+pub use crate::engine::{open_session, run, EngineConfig, Report, ReportKind};
 pub use crate::fix::{fix, FixConfig, FixError, FixPhases, FixPlan, FixStrategy};
 pub use crate::generate::{generate, GenerateConfig, GenerateError, GenerateReport};
+pub use crate::incr::{CheckSession, Delta, DeltaEdit, IncrConfig, RecheckReport};
 pub use crate::qcache::{CachedSolve, QueryCache, QueryKey};
 pub use crate::resolve::{resolve, ResolveError};
 pub use crate::task::Task;

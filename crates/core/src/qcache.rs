@@ -30,6 +30,16 @@
 //! lock across a solver call: miss → release → solve → re-lock → insert
 //! (first writer wins), so concurrent workers at worst duplicate a solve,
 //! never serialize on one.
+//!
+//! **Generations.** Long-lived caches (the incremental
+//! [`CheckSession`](crate::incr::CheckSession)) tag every entry with the
+//! cache's current *generation* — a monotonically increasing epoch bumped
+//! once per `recheck` via [`QueryCache::advance_generation`]. A hit
+//! refreshes the entry's tag, so [`QueryCache::evict_stale`] can drop
+//! entries that no recent generation touched, bounding the resident set of
+//! a session that runs for thousands of deltas. Eviction only ever causes
+//! a re-solve (the solver is deterministic), never a wrong answer, so
+//! generations are invisible to the determinism contract.
 
 use jinjing_acl::{Acl, Field, Packet, PacketSet};
 use jinjing_lai::ControlVerb;
@@ -37,6 +47,7 @@ use jinjing_solver::aclenc::Encoding;
 use jinjing_solver::{acl_fingerprint, SolveResult, SolverStats};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Number of independently locked shards (power of two).
@@ -116,10 +127,22 @@ pub struct CachedSolve {
     pub clauses: usize,
 }
 
-/// A sharded, collision-safe, cross-query solver cache.
+/// One stored entry: the replayable solve plus the last generation that
+/// touched it (insert or hit).
+#[derive(Debug, Clone)]
+struct Entry {
+    value: CachedSolve,
+    last_used: u64,
+}
+
+/// A sharded, collision-safe, cross-query solver cache with generation
+/// tags for session-style eviction.
 pub struct QueryCache {
-    shards: Vec<Mutex<HashMap<QueryKey, CachedSolve>>>,
+    shards: Vec<Mutex<HashMap<QueryKey, Entry>>>,
     fingerprint: fn(&Acl) -> u64,
+    /// Current generation (epoch). Entries are stamped with this on insert
+    /// and refreshed on hit.
+    generation: AtomicU64,
 }
 
 impl std::fmt::Debug for QueryCache {
@@ -153,7 +176,36 @@ impl QueryCache {
         QueryCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             fingerprint,
+            generation: AtomicU64::new(0),
         }
+    }
+
+    /// The current generation (epoch) of the cache.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Start a new generation and return it. Sessions call this once per
+    /// `recheck`, so "entry untouched for `n` generations" means "unused by
+    /// the last `n` rechecks".
+    pub fn advance_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Drop every entry whose last use is more than `keep` generations old
+    /// (i.e. `last_used + keep < current`). Returns the number of evicted
+    /// entries. `keep == u64::MAX` never evicts.
+    pub fn evict_stale(&self, keep: u64) -> usize {
+        let current = self.generation();
+        let mut evicted = 0;
+        for s in &self.shards {
+            let mut map = s.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let before = map.len();
+            map.retain(|_, e| e.last_used.saturating_add(keep) >= current);
+            evicted += before - map.len();
+        }
+        evicted
     }
 
     /// Build a key for the comparison of the ordered slot `chain` under
@@ -207,28 +259,39 @@ impl QueryCache {
         }
     }
 
-    fn shard(&self, key: &QueryKey) -> &Mutex<HashMap<QueryKey, CachedSolve>> {
+    fn shard(&self, key: &QueryKey) -> &Mutex<HashMap<QueryKey, Entry>> {
         &self.shards[(key.hash as usize) & (SHARDS - 1)]
     }
 
-    /// Look up a key. Clones the stored value (all components are cheap).
+    /// Look up a key, refreshing its generation tag on hit. Clones the
+    /// stored value (all components are cheap).
     #[must_use]
     pub fn get(&self, key: &QueryKey) -> Option<CachedSolve> {
-        self.shard(key)
+        let generation = self.generation();
+        let mut map = self
+            .shard(key)
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(key)
-            .cloned()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.get_mut(key).map(|e| {
+            e.last_used = generation;
+            e.value.clone()
+        })
     }
 
     /// Insert a value; the first writer wins so the stored value stays
-    /// canonical even if concurrent workers raced on the same miss.
+    /// canonical even if concurrent workers raced on the same miss (a
+    /// duplicate insert still refreshes the generation tag).
     pub fn insert(&self, key: QueryKey, value: CachedSolve) {
+        let generation = self.generation();
         self.shard(&key)
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(key)
-            .or_insert(value);
+            .and_modify(|e| e.last_used = generation)
+            .or_insert(Entry {
+                value,
+                last_used: generation,
+            });
     }
 
     /// Fetch the cached result for `key`, or run `solve` and remember it.
@@ -395,5 +458,58 @@ mod tests {
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn generations_advance_and_evict_stale_entries() {
+        let cache = QueryCache::new();
+        let a = acl_a();
+        let b = acl_b();
+        let old_key = cache.key(&[(&a, &b)], None, Encoding::Tree, None);
+        cache.insert(old_key.clone(), dummy(SolveResult::Unsat)); // gen 0
+        assert_eq!(cache.generation(), 0);
+        assert_eq!(cache.advance_generation(), 1);
+        let new_key = cache.key(&[(&b, &a)], None, Encoding::Tree, None);
+        cache.insert(new_key.clone(), dummy(SolveResult::Sat)); // gen 1
+        assert_eq!(cache.advance_generation(), 2);
+        // keep=2: gen-0 entry still within the window.
+        assert_eq!(cache.evict_stale(2), 0);
+        // keep=1: the gen-0 entry is stale, the gen-1 entry survives.
+        assert_eq!(cache.evict_stale(1), 1);
+        assert!(cache.get(&old_key).is_none());
+        assert!(cache.get(&new_key).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn hits_refresh_the_generation_tag() {
+        let cache = QueryCache::new();
+        let a = acl_a();
+        let b = acl_b();
+        let hot = cache.key(&[(&a, &b)], None, Encoding::Tree, None);
+        let cold = cache.key(&[(&b, &a)], None, Encoding::Tree, None);
+        cache.insert(hot.clone(), dummy(SolveResult::Unsat)); // gen 0
+        cache.insert(cold.clone(), dummy(SolveResult::Unsat)); // gen 0
+        for _ in 0..3 {
+            cache.advance_generation();
+            assert!(cache.get(&hot).is_some(), "hit refreshes the tag");
+        }
+        // gen is now 3; `hot` was touched at gen 3, `cold` at gen 0.
+        assert_eq!(cache.evict_stale(1), 1);
+        assert!(cache.get(&hot).is_some());
+        assert!(cache.get(&cold).is_none());
+    }
+
+    #[test]
+    fn keep_max_never_evicts() {
+        let cache = QueryCache::new();
+        let a = acl_a();
+        let key = cache.key(&[(&a, &a)], None, Encoding::Tree, None);
+        cache.insert(key, dummy(SolveResult::Unsat));
+        for _ in 0..10 {
+            cache.advance_generation();
+        }
+        assert_eq!(cache.evict_stale(u64::MAX), 0);
+        assert_eq!(cache.len(), 1);
     }
 }

@@ -12,7 +12,7 @@ use jinjing_acl::{Acl, Packet, PacketSet};
 use std::collections::HashMap;
 
 /// Assignment of ACLs to slots.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AclConfig {
     acls: HashMap<Slot, Acl>,
 }

@@ -57,6 +57,27 @@ else
     echo "ci.sh: python3 not installed — skipping BENCH_check.json probe" >&2
 fi
 
+echo "==> incremental-replay smoke (small WAN) — regenerates BENCH_incr.json"
+# The replay itself asserts every session re-check byte-identical to a cold
+# per-step check; the smoke step additionally verifies the artifact is
+# strict JSON and that the headline claim holds: the session solved far
+# fewer (class, path) pairs than the cold per-step ceiling.
+cargo run --release -p jinjing-bench --bin figures -- incr --small \
+    --bench-out BENCH_incr.json >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_incr.json"))
+assert d["benchmark"] == "incr" and d["network"] == "small", d
+assert d["dirty_pairs_total"] * 2 < d["pairs_ceiling_total"], \
+    f"incremental pruning regressed: {d['dirty_pairs_total']} dirty vs ceiling {d['pairs_ceiling_total']}"
+print(f"BENCH_incr.json: {d['steps']} steps, {d['dirty_pairs_total']} dirty pairs "
+      f"vs ceiling {d['pairs_ceiling_total']}, speedup {d['speedup']}x")
+EOF
+else
+    echo "ci.sh: python3 not installed — skipping BENCH_incr.json probe" >&2
+fi
+
 echo "==> cargo fmt --all --check"
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --all --check

@@ -7,13 +7,21 @@
 # std-only, so on a machine without crates.io access we can still build and
 # test the heart of the system with bare rustc:
 #
-#   rlibs:  acl → obs → par → {solver, lai, net} → lint → core
+#   rlibs:  acl → obs → par → {solver, lai, net} → lint → core → cli
+#           (+ the scripts/stubs/rand.rs facade → wan → bench)
 #   tests:  acl unit, obs unit, par unit, solver unit, lint unit, core unit,
-#           tests/obs_integration.rs, tests/lint_integration.rs,
-#           tests/par_determinism.rs
+#           cli unit (offline subset), tests/obs_integration.rs,
+#           tests/lint_integration.rs, tests/par_determinism.rs,
+#           tests/running_example.rs, tests/wan_integration.rs,
+#           tests/incr_oracle.rs (+ a JINJING_THREADS=4 re-run),
+#           tests/cli_golden.rs (+ a JINJING_THREADS=4 re-run)
+#   bench:  the `figures` binary's `incr --small` replay, regenerating
+#           BENCH_incr.json into $OUT and sanity-probing its shape
 #
-# The integration test's serde_json round-trip is compiled out under
-# `--cfg jinjing_offline` (the full check still runs under `cargo test`).
+# serde-dependent code (spec JSON, CLI loaders, serde_json round-trips) is
+# compiled out under `--cfg jinjing_offline`; `rand` is satisfied by the
+# committed splitmix64 stub in scripts/stubs/rand.rs. The full check still
+# runs under `cargo test`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,6 +64,23 @@ rlib jinjing_core crates/core/src/lib.rs $A $O \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
     --extern jinjing_lint="$OUT/libjinjing_lint.rlib"
+rlib jinjing_cli crates/cli/src/lib.rs --cfg jinjing_offline $A $O \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_lint="$OUT/libjinjing_lint.rlib"
+rlib rand scripts/stubs/rand.rs
+rlib jinjing_wan crates/wan/src/lib.rs $A $O \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern rand="$OUT/librand.rlib"
+rlib jinjing_bench crates/bench/src/lib.rs $A $O \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_wan="$OUT/libjinjing_wan.rlib" \
+    --extern rand="$OUT/librand.rlib"
 
 tbin acl_unit crates/acl/src/lib.rs
 tbin obs_unit crates/obs/src/lib.rs
@@ -84,5 +109,63 @@ tbin lint_integration tests/lint_integration.rs --cfg jinjing_offline $A \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
     --extern jinjing_lint="$OUT/libjinjing_lint.rlib"
+tbin cli_unit crates/cli/src/lib.rs --cfg jinjing_offline $A $O \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_lint="$OUT/libjinjing_lint.rlib"
+tbin running_example tests/running_example.rs $A \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib"
+tbin wan_integration tests/wan_integration.rs $A $O \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib" \
+    --extern jinjing_wan="$OUT/libjinjing_wan.rlib"
+tbin incr_oracle tests/incr_oracle.rs $A $O \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib"
+tbin cli_golden tests/cli_golden.rs --cfg jinjing_offline $A $O \
+    --extern jinjing_cli="$OUT/libjinjing_cli.rlib" \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_lint="$OUT/libjinjing_lint.rlib" \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib"
+
+# The determinism half of the incremental contract: the oracle suite and
+# the golden files must hold verbatim under a 4-worker default too.
+echo "==> re-run incr_oracle + cli_golden with JINJING_THREADS=4"
+JINJING_THREADS=4 "$OUT/incr_oracle" -q
+JINJING_THREADS=4 "$OUT/cli_golden" -q
+
+# Incremental-replay smoke: regenerate BENCH_incr.json (into $OUT — the
+# committed copy is refreshed by scripts/ci.sh's online path) and check
+# the headline claim: dirty pairs ≪ the cold per-step pair ceiling.
+echo "==> figures incr --small (BENCH_incr.json smoke)"
+"${RUSTC[@]}" -C opt-level=2 --crate-name figures crates/bench/src/bin/figures.rs \
+    -o "$OUT/figures" $A $O \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_wan="$OUT/libjinjing_wan.rlib" \
+    --extern jinjing_bench="$OUT/libjinjing_bench.rlib" \
+    --extern jinjing_solver="$OUT/libjinjing_solver.rlib" \
+    --extern jinjing_lint="$OUT/libjinjing_lint.rlib"
+"$OUT/figures" incr --small --bench-out "$OUT/BENCH_incr.json" >/dev/null
+grep -q '"benchmark":"incr"' "$OUT/BENCH_incr.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$OUT/BENCH_incr.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["benchmark"] == "incr" and d["network"] == "small", d
+assert d["dirty_pairs_total"] * 2 < d["pairs_ceiling_total"], \
+    f"incremental pruning regressed: {d['dirty_pairs_total']} dirty vs ceiling {d['pairs_ceiling_total']}"
+print(f"BENCH_incr.json: {d['steps']} steps, {d['dirty_pairs_total']} dirty pairs "
+      f"vs ceiling {d['pairs_ceiling_total']}, speedup {d['speedup']}x")
+EOF
+else
+    echo "offline_check.sh: python3 not installed — skipping BENCH_incr.json probe" >&2
+fi
 
 echo "offline_check.sh: all offline checks passed (artifacts in $OUT)"
