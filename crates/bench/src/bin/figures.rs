@@ -9,7 +9,7 @@
 //! ```
 //!
 //! Subcommands: `fig4a` `fig4b` `fig4c` `fig4d` `table5` `depth` `spans`
-//! `lint` `par` `incr` `all`.
+//! `lint` `par` `incr` `serve` `all`.
 //! `--large` additionally runs the large-network fix (minutes, matching the
 //! paper's ~10-minute ceiling for check+fix).
 //! `par` accepts `--small` (restrict to the small WAN; the CI smoke step)
@@ -17,13 +17,17 @@
 //! `incr` replays the perturbation as a per-slot edit stream through a
 //! [`jinjing_core::incr::CheckSession`] against per-step cold checks and
 //! honours the same flags (`--bench-out` writes `BENCH_incr.json`).
+//! `serve` stands a loopback `jinjing-serve` daemon up and fires
+//! concurrent `/v1/check` load at it, asserting every response
+//! byte-identical to the CLI rendering (`--bench-out` writes
+//! `BENCH_serve.json`).
 
 use jinjing_bench::{checkfix_scenario, control_open_task, migration_task, wan, PERTURBATIONS};
 use jinjing_core::check::{check, check_configs, CheckConfig, CheckReport};
-use jinjing_core::incr::{CheckSession, Delta, IncrConfig};
 use jinjing_core::engine::{run as engine_run, EngineConfig};
 use jinjing_core::fix::{fix, FixConfig};
 use jinjing_core::generate::{generate, GenerateConfig};
+use jinjing_core::incr::{CheckSession, Delta, IncrConfig};
 use jinjing_core::qcache::QueryCache;
 use jinjing_core::Encoding;
 use jinjing_lai::printer::statement_count;
@@ -629,10 +633,7 @@ fn incr_json(network: &str, r: &IncrRun) -> String {
 /// Decompose a before→after perturbation into single-slot deltas, in
 /// deterministic (sorted-slot) order — the edit stream an operator would
 /// deploy change by change.
-fn per_slot_deltas(
-    before: &jinjing_net::AclConfig,
-    after: &jinjing_net::AclConfig,
-) -> Vec<Delta> {
+fn per_slot_deltas(before: &jinjing_net::AclConfig, after: &jinjing_net::AclConfig) -> Vec<Delta> {
     let mut slots = before.slots();
     slots.extend(after.slots());
     slots.sort();
@@ -756,6 +757,228 @@ fn incr(small_only: bool, bench_out: Option<&str>) {
     }
 }
 
+/// Aggregates of one daemon load run.
+struct ServeRun {
+    clients: usize,
+    requests: usize,
+    workers: usize,
+    bodies_identical: bool,
+    shed: u64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+    throughput_rps: f64,
+    session_delta_us: u64,
+}
+
+/// `p` in [0,1] over an ascending-sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Serialize the daemon load run as `BENCH_serve.json` (sorted keys,
+/// strict JSON — see [`incr_json`]). Latencies are machine-dependent;
+/// the shape and the `bodies_identical` invariant are not.
+fn serve_json(r: &ServeRun) -> String {
+    let mut w = jinjing_obs::json::JsonWriter::new();
+    w.begin_object();
+    w.key("benchmark");
+    w.string("serve");
+    w.key("bodies_identical");
+    w.bool(r.bodies_identical);
+    w.key("clients");
+    w.u64(r.clients as u64);
+    w.key("network");
+    w.string("figure1");
+    w.key("p50_us");
+    w.u64(r.p50_us);
+    w.key("p90_us");
+    w.u64(r.p90_us);
+    w.key("p99_us");
+    w.u64(r.p99_us);
+    w.key("requests");
+    w.u64(r.requests as u64);
+    w.key("session_delta_us");
+    w.u64(r.session_delta_us);
+    w.key("shed");
+    w.u64(r.shed);
+    w.key("throughput_rps");
+    w.f64((r.throughput_rps * 100.0).round() / 100.0);
+    w.key("workers");
+    w.u64(r.workers as u64);
+    w.end_object();
+    let mut json = w.finish();
+    json.push('\n');
+    json
+}
+
+/// Daemon throughput on the Figure 1 running example: K concurrent
+/// loopback clients firing `POST /v1/check`, every response asserted
+/// byte-identical (the serving contract under concurrency), plus one
+/// session open→delta→delete round. `--bench-out` writes
+/// `BENCH_serve.json`.
+fn serve_bench(bench_out: Option<&str>) {
+    use jinjing_serve::{client, ServeConfig, Server};
+
+    const INTENT: &str = "\
+acl PermitAll { permit all }
+scope A:*, B:*, C:*, D:*
+allow A:*, B:*
+modify D:2 to PermitAll
+check
+";
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 25;
+    const WORKERS: usize = 4;
+
+    println!("\n## Daemon throughput — concurrent /v1/check on the running example\n");
+    let f = jinjing_core::figure1::Figure1::new();
+    let cfg = ServeConfig {
+        workers: WORKERS,
+        queue: 256,
+        deadline_ms: 60_000,
+        ..ServeConfig::default()
+    };
+    let srv = Server::bind(f.net, f.config, cfg).expect("bind");
+    let addr = srv.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || srv.run().expect("serve"));
+
+    // The reference bytes every response must equal.
+    let f2 = jinjing_core::figure1::Figure1::new();
+    let want =
+        jinjing_core::query::run_query(&f2.net, &f2.config, INTENT, &EngineConfig::default())
+            .expect("reference run")
+            .plan
+            .to_canonical_json();
+
+    let t = Instant::now();
+    let mut all_latencies: Vec<u64> = Vec::new();
+    let mut bodies_identical = true;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let addr = &addr;
+                let want = &want;
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(PER_CLIENT);
+                    let mut ok = true;
+                    for _ in 0..PER_CLIENT {
+                        let t = Instant::now();
+                        let r = client::call(
+                            addr,
+                            "POST",
+                            "/v1/check",
+                            &[],
+                            INTENT.as_bytes(),
+                            Duration::from_secs(60),
+                        )
+                        .expect("call");
+                        lat.push(t.elapsed().as_micros() as u64);
+                        ok &= r.status == 200 && r.body_text() == *want;
+                    }
+                    (lat, ok)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, ok) = h.join().expect("client thread");
+            all_latencies.extend(lat);
+            bodies_identical &= ok;
+        }
+    });
+    let wall = t.elapsed();
+    assert!(
+        bodies_identical,
+        "a daemon response diverged from the CLI bytes"
+    );
+
+    // One session round: open → delta batch → delete.
+    let t = Instant::now();
+    let r = client::call(
+        &addr,
+        "POST",
+        "/v1/sessions",
+        &[],
+        INTENT.as_bytes(),
+        Duration::from_secs(60),
+    )
+    .expect("session open");
+    assert_eq!(r.status, 200, "{}", r.body_text());
+    let id = r
+        .body_text()
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next().map(str::to_string))
+        .expect("session id");
+    let r = client::call(
+        &addr,
+        "POST",
+        &format!("/v1/sessions/{id}/delta"),
+        &[],
+        b"step tighten\nset D:2 deny dst 2.0.0.0/8; deny dst 1.0.0.0/8\n",
+        Duration::from_secs(60),
+    )
+    .expect("session delta");
+    assert_eq!(r.status, 200, "{}", r.body_text());
+    let session_delta_us = t.elapsed().as_micros() as u64;
+    client::call(
+        &addr,
+        "DELETE",
+        &format!("/v1/sessions/{id}"),
+        &[],
+        b"",
+        Duration::from_secs(60),
+    )
+    .expect("session delete");
+
+    client::call(
+        &addr,
+        "POST",
+        "/v1/shutdown",
+        &[],
+        b"",
+        Duration::from_secs(60),
+    )
+    .expect("shutdown");
+    let summary = handle.join().expect("daemon thread");
+
+    all_latencies.sort_unstable();
+    let run = ServeRun {
+        clients: CLIENTS,
+        requests: CLIENTS * PER_CLIENT,
+        workers: WORKERS,
+        bodies_identical,
+        shed: summary.shed,
+        p50_us: percentile(&all_latencies, 0.50),
+        p90_us: percentile(&all_latencies, 0.90),
+        p99_us: percentile(&all_latencies, 0.99),
+        throughput_rps: (CLIENTS * PER_CLIENT) as f64 / wall.as_secs_f64().max(1e-9),
+        session_delta_us,
+    };
+    println!("| clients | requests | workers | p50 µs | p90 µs | p99 µs | rps | shed |");
+    println!("|---------|----------|---------|--------|--------|--------|-----|------|");
+    println!(
+        "| {} | {} | {} | {} | {} | {} | {:.1} | {} |",
+        run.clients,
+        run.requests,
+        run.workers,
+        run.p50_us,
+        run.p90_us,
+        run.p99_us,
+        run.throughput_rps,
+        run.shed,
+    );
+    if let Some(path) = bench_out {
+        let json = serve_json(&run);
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\n(wrote {path})");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let include_large = args.iter().any(|a| a == "--large");
@@ -766,7 +989,7 @@ fn main() {
         .map(|i| args.get(i + 1).cloned().expect("--bench-out needs a path"));
     let wants = |name: &str| args.iter().any(|a| a == name) || args.iter().any(|a| a == "all");
     if args.is_empty() {
-        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [lint] [par] [incr] [all] [--large] [--small] [--bench-out <path>]");
+        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [lint] [par] [incr] [serve] [all] [--large] [--small] [--bench-out <path>]");
         std::process::exit(2);
     }
     println!("# Jinjing evaluation — regenerated tables");
@@ -799,6 +1022,9 @@ fn main() {
     }
     if wants("incr") {
         incr(small_only, bench_out.as_deref());
+    }
+    if wants("serve") {
+        serve_bench(bench_out.as_deref());
     }
 }
 
@@ -879,8 +1105,7 @@ mod tests {
         assert_eq!(v["rejected"].as_u64().unwrap(), 3);
         assert_eq!(v["pairs_ceiling_total"].as_u64().unwrap(), 12 * 120);
         assert!(
-            v["dirty_pairs_total"].as_u64().unwrap()
-                < v["pairs_ceiling_total"].as_u64().unwrap()
+            v["dirty_pairs_total"].as_u64().unwrap() < v["pairs_ceiling_total"].as_u64().unwrap()
         );
         assert!((v["speedup"].as_f64().unwrap() - 3.0).abs() < 1e-9);
         assert_eq!(json, incr_json("small", &run), "byte-stable");

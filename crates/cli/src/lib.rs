@@ -27,15 +27,20 @@
 //! out, while everything else — including the canonical JSON renderers,
 //! which use `jinjing-obs`'s hand-rolled writer — still builds and tests.
 
-use jinjing_core::check::CheckOutcome;
-use jinjing_core::engine::{open_session, render_plan, run, EngineConfig, ReportKind};
-use jinjing_core::incr::parse_delta_script;
-use jinjing_core::resolve::resolve;
+use jinjing_core::engine::EngineConfig;
+#[cfg(not(jinjing_offline))]
+use jinjing_core::engine::ReportKind;
+#[cfg(not(jinjing_offline))]
 use jinjing_lai::{parse_program, validate};
 #[cfg(not(jinjing_offline))]
 use jinjing_net::spec::{AclConfigSpec, NetworkSpec};
 use jinjing_net::{AclConfig, Network};
-use jinjing_obs::json::JsonWriter;
+
+// The canonical query-output layer (plan/watch documents and the
+// functions that produce them) lives in `jinjing_core::query`, shared
+// byte-for-byte with the `jinjing-serve` daemon; the CLI re-exports it
+// so front-end callers keep one import path.
+pub use jinjing_core::query::{PlanDocument, PlanEntry, RunOutput, WatchOutput, WatchStep};
 
 /// Everything that can go wrong on a CLI run, as a printable message.
 #[derive(Debug)]
@@ -77,65 +82,6 @@ pub fn load_acls(path: &str, net: &Network) -> Result<AclConfig, CliError> {
     spec.build(net).map_err(err)
 }
 
-/// One changed slot in the machine-readable plan.
-#[derive(Debug)]
-#[cfg_attr(not(jinjing_offline), derive(serde::Serialize))]
-pub struct PlanEntry {
-    /// `"device:interface"`.
-    pub interface: String,
-    /// `"in"` / `"out"`.
-    pub direction: String,
-    /// The new ACL, one rule per line plus a trailing `default …`.
-    pub acl: Vec<String>,
-}
-
-/// The machine-readable output of a run.
-#[derive(Debug)]
-#[cfg_attr(not(jinjing_offline), derive(serde::Serialize))]
-pub struct PlanDocument {
-    /// The command that produced the plan.
-    pub command: String,
-    /// One-line verdict.
-    pub verdict: String,
-    /// Changed slots (empty for a bare check).
-    pub changes: Vec<PlanEntry>,
-}
-
-impl PlanDocument {
-    /// Canonical JSON rendering (the `run --format json` output): strict
-    /// JSON, keys in sorted order, no timings — byte-stable across runs,
-    /// thread counts and cache settings, so golden tests can pin it.
-    pub fn to_canonical_json(&self) -> String {
-        let mut w = JsonWriter::new();
-        w.begin_object();
-        w.key("changes");
-        w.begin_array();
-        for e in &self.changes {
-            w.begin_object();
-            w.key("acl");
-            w.begin_array();
-            for line in &e.acl {
-                w.string(line);
-            }
-            w.end_array();
-            w.key("direction");
-            w.string(&e.direction);
-            w.key("interface");
-            w.string(&e.interface);
-            w.end_object();
-        }
-        w.end_array();
-        w.key("command");
-        w.string(&self.command);
-        w.key("verdict");
-        w.string(&self.verdict);
-        w.end_object();
-        let mut out = w.finish();
-        out.push('\n');
-        out
-    }
-}
-
 /// Observability knobs for a CLI run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunOptions {
@@ -149,17 +95,19 @@ pub struct RunOptions {
     pub threads: usize,
 }
 
-/// Everything a CLI run produces.
-#[derive(Debug)]
-pub struct RunOutput {
-    /// Human-readable report text.
-    pub text: String,
-    /// Machine-readable plan.
-    pub plan: PlanDocument,
-    /// The run's observability snapshot (spans, metrics, events);
-    /// serialize with [`jinjing_obs::Snapshot::to_json`] for
-    /// `--metrics-out`.
-    pub obs: jinjing_obs::Snapshot,
+impl RunOptions {
+    /// The [`EngineConfig`] these options describe: run-level thread
+    /// override plus a trace-enabled collector when `--trace` was given.
+    fn engine_config(&self) -> EngineConfig {
+        let mut cfg = EngineConfig {
+            threads: self.threads,
+            ..EngineConfig::default()
+        };
+        if self.trace {
+            cfg.obs = jinjing_obs::Collector::with_trace(true);
+        }
+        cfg
+    }
 }
 
 /// Run an LAI program against a network + configuration; returns the
@@ -176,185 +124,17 @@ pub fn run_command(
         .map(|out| (out.text, out.plan))
 }
 
-/// Run an LAI program with explicit observability options.
+/// Run an LAI program with explicit observability options. Thin wrapper
+/// over [`jinjing_core::query::run_query`] — the same code path the
+/// `jinjing-serve` daemon answers `POST /v1/check|fix|generate` with, so
+/// outputs are byte-identical across front ends.
 pub fn run_command_with(
     net: &Network,
     config: &AclConfig,
     intent_text: &str,
     opts: &RunOptions,
 ) -> Result<RunOutput, CliError> {
-    let program = validate(parse_program(intent_text).map_err(err)?).map_err(err)?;
-    let command = program.command.expect("validated programs have a command");
-    let task = resolve(net, &program, config).map_err(err)?;
-    let mut cfg = EngineConfig {
-        threads: opts.threads,
-        ..EngineConfig::default()
-    };
-    if opts.trace {
-        cfg.obs = jinjing_obs::Collector::with_trace(true);
-    }
-    let report = run(net, &task, &cfg).map_err(err)?;
-
-    let mut text = String::new();
-    use std::fmt::Write;
-    let _ = writeln!(text, "command : {command}");
-    let _ = writeln!(text, "verdict : {}", report.verdict());
-    match &report.kind {
-        ReportKind::Check(r) => {
-            let _ = writeln!(
-                text,
-                "classes : {} examined, {} (class,path) pairs",
-                r.fec_count, r.paths_checked
-            );
-            if let CheckOutcome::Inconsistent(v) = &r.outcome {
-                let _ = writeln!(text, "witness : {}", v.packet);
-                let _ = writeln!(text, "path    : {}", v.path.display(net.topology()));
-                let _ = writeln!(
-                    text,
-                    "decision: desired {}, got {}",
-                    if v.desired { "permit" } else { "deny" },
-                    if v.actual { "permit" } else { "deny" }
-                );
-            }
-        }
-        ReportKind::Fix(p) => {
-            for (slot, rule) in &p.added_rules {
-                let _ = writeln!(
-                    text,
-                    "add     : {}-{} ← {}",
-                    net.topology().iface_name(slot.iface),
-                    slot.dir,
-                    rule
-                );
-            }
-        }
-        ReportKind::Generate(g) => {
-            let _ = writeln!(
-                text,
-                "classes : {} AECs ({} DEC-split into {}), {} rows",
-                g.aec_count, g.aecs_split, g.dec_count, g.rows
-            );
-        }
-        // `engine::run` never yields a lint report (lint has its own entry
-        // point), but the match must stay exhaustive.
-        ReportKind::Lint(_) => {}
-    }
-
-    let changes = match report.deployable() {
-        None => Vec::new(),
-        Some(to) => render_plan(net, config, to)
-            .into_iter()
-            .map(|(slot, name, acl_text)| {
-                let (iface, dir) = name.rsplit_once('-').expect("name has -dir suffix");
-                let _ = slot;
-                PlanEntry {
-                    interface: iface.to_string(),
-                    direction: dir.to_string(),
-                    acl: acl_text
-                        .lines()
-                        .map(|l| l.trim().to_string())
-                        .map(|l| l.replace("(default ", "default ").replace(')', ""))
-                        .collect(),
-                }
-            })
-            .collect(),
-    };
-    let plan = PlanDocument {
-        command: command.to_string(),
-        verdict: report.verdict(),
-        changes,
-    };
-    Ok(RunOutput {
-        text,
-        plan,
-        obs: report.obs,
-    })
-}
-
-/// One step of a `jinjing watch` session.
-#[derive(Debug, Clone)]
-pub struct WatchStep {
-    /// The delta's label from the script (`step <label>`).
-    pub label: String,
-    /// `"consistent"` or `"inconsistent (witness …)"`.
-    pub verdict: String,
-    /// Whether the delta was folded into the session base.
-    pub applied: bool,
-    /// FEC classes whose cubes intersect this delta's differential cover.
-    pub dirty_classes: usize,
-    /// FEC classes untouched by the delta (verdicts reused).
-    pub clean_classes: usize,
-    /// `(class, path)` pairs dispatched to the solver.
-    pub dirty_pairs: usize,
-    /// FECs examined (0 on the empty-cover fast path).
-    pub fec_count: usize,
-    /// Pairs folded into the report.
-    pub paths_checked: usize,
-    /// Cache generation the step ran under.
-    pub generation: u64,
-    /// Stale cache entries evicted after the step.
-    pub evicted: usize,
-}
-
-/// Everything a `jinjing watch` session produces.
-#[derive(Debug)]
-pub struct WatchOutput {
-    /// Human-readable transcript.
-    pub text: String,
-    /// Per-delta summaries, in script order.
-    pub steps: Vec<WatchStep>,
-    /// How many deltas were rejected (inconsistent).
-    pub rejected: usize,
-    /// FEC classes in the session partition.
-    pub class_count: usize,
-    /// The session's observability snapshot (`incr.*` spans/counters plus
-    /// one `check` span tree per step).
-    pub obs: jinjing_obs::Snapshot,
-}
-
-impl WatchOutput {
-    /// Canonical JSON rendering (the `watch --format json` output):
-    /// strict JSON, sorted keys, no timings — byte-stable across runs,
-    /// thread counts and cache settings.
-    pub fn to_canonical_json(&self) -> String {
-        let mut w = JsonWriter::new();
-        w.begin_object();
-        w.key("class_count");
-        w.u64(self.class_count as u64);
-        w.key("rejected");
-        w.u64(self.rejected as u64);
-        w.key("steps");
-        w.begin_array();
-        for s in &self.steps {
-            w.begin_object();
-            w.key("applied");
-            w.bool(s.applied);
-            w.key("clean_classes");
-            w.u64(s.clean_classes as u64);
-            w.key("dirty_classes");
-            w.u64(s.dirty_classes as u64);
-            w.key("dirty_pairs");
-            w.u64(s.dirty_pairs as u64);
-            w.key("evicted");
-            w.u64(s.evicted as u64);
-            w.key("fec_count");
-            w.u64(s.fec_count as u64);
-            w.key("generation");
-            w.u64(s.generation);
-            w.key("label");
-            w.string(&s.label);
-            w.key("paths_checked");
-            w.u64(s.paths_checked as u64);
-            w.key("verdict");
-            w.string(&s.verdict);
-            w.end_object();
-        }
-        w.end_array();
-        w.end_object();
-        let mut out = w.finish();
-        out.push('\n');
-        out
-    }
+    jinjing_core::query::run_query(net, config, intent_text, &opts.engine_config()).map_err(err)
 }
 
 /// Run an incremental check session (`jinjing watch`, a.k.a.
@@ -363,7 +143,9 @@ impl WatchOutput {
 /// the delta script (see
 /// [`parse_delta_script`](jinjing_core::incr::parse_delta_script) for the
 /// format). Each step re-checks only the FECs its delta dirties; verdicts
-/// are byte-identical to cold per-step checks.
+/// are byte-identical to cold per-step checks. Thin wrapper over
+/// [`jinjing_core::query::watch_query`] — the daemon's session endpoints
+/// run the same loop one delta batch at a time.
 pub fn watch_command(
     net: &Network,
     config: &AclConfig,
@@ -371,68 +153,116 @@ pub fn watch_command(
     deltas_text: &str,
     opts: &RunOptions,
 ) -> Result<WatchOutput, CliError> {
-    let program = validate(parse_program(intent_text).map_err(err)?).map_err(err)?;
-    let task = resolve(net, &program, config).map_err(err)?;
-    let mut cfg = EngineConfig {
-        threads: opts.threads,
-        ..EngineConfig::default()
+    jinjing_core::query::watch_query(net, config, intent_text, deltas_text, &opts.engine_config())
+        .map_err(err)
+}
+
+/// Parse the `jinjing serve` flags (listen address, admission-control
+/// knobs, drain hooks) into a [`jinjing_serve::ServeConfig`]. Spec paths
+/// are handled by the caller — this half is serde-free so the offline
+/// build verifies it.
+pub fn serve_config_from_args(args: &[String]) -> Result<jinjing_serve::ServeConfig, CliError> {
+    fn arg_value(args: &[String], name: &str) -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    }
+    let parse_num = |flag: &str, default: usize| -> Result<usize, CliError> {
+        match arg_value(args, flag) {
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| CliError(format!("{flag} wants a number, got {v:?}"))),
+            None => Ok(default),
+        }
     };
-    if opts.trace {
-        cfg.obs = jinjing_obs::Collector::with_trace(true);
-    }
-    let deltas = parse_delta_script(net, deltas_text).map_err(err)?;
-    let mut session = open_session(net, &task, &cfg).map_err(err)?;
-    let mut text = String::new();
-    use std::fmt::Write;
-    let class_count = session.class_count();
-    let _ = writeln!(
-        text,
-        "session : {} classes, {} delta(s)",
-        class_count,
-        deltas.len()
-    );
-    let mut steps = Vec::new();
-    for (label, delta) in &deltas {
-        let r = session.recheck(delta).map_err(err)?;
-        let verdict = match &r.report.outcome {
-            CheckOutcome::Consistent => "consistent".to_string(),
-            CheckOutcome::Inconsistent(v) => format!("inconsistent (witness {})", v.packet),
-        };
-        let _ = writeln!(
-            text,
-            "step    : {label}: {verdict}{} — {} dirty / {} clean classes, {} pairs",
-            if r.applied { "" } else { " [rejected]" },
-            r.incr.dirty_classes,
-            r.incr.clean_classes,
-            r.incr.dirty_pairs
-        );
-        steps.push(WatchStep {
-            label: label.clone(),
-            verdict,
-            applied: r.applied,
-            dirty_classes: r.incr.dirty_classes,
-            clean_classes: r.incr.clean_classes,
-            dirty_pairs: r.incr.dirty_pairs,
-            fec_count: r.report.fec_count,
-            paths_checked: r.report.paths_checked,
-            generation: r.generation,
-            evicted: r.evicted,
-        });
-    }
-    let rejected = steps.iter().filter(|s| !s.applied).count();
-    let _ = writeln!(
-        text,
-        "steps   : {} total, {} rejected",
-        steps.len(),
-        rejected
-    );
-    Ok(WatchOutput {
-        text,
-        steps,
-        rejected,
-        class_count,
-        obs: cfg.obs.snapshot(),
+    let defaults = jinjing_serve::ServeConfig::default();
+    Ok(jinjing_serve::ServeConfig {
+        addr: arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+        workers: parse_num("--workers", defaults.workers)?,
+        queue: parse_num("--queue", defaults.queue)?,
+        deadline_ms: parse_num("--deadline-ms", defaults.deadline_ms as usize)? as u64,
+        max_body: parse_num("--max-body", defaults.max_body)?,
+        max_sessions: parse_num("--max-sessions", defaults.max_sessions)?,
+        threads: parse_num("--threads", 0)?,
+        metrics_out: arg_value(args, "--metrics-out"),
+        port_file: arg_value(args, "--port-file"),
+        drain_on_stdin_eof: args.iter().any(|a| a == "--drain-on-stdin-eof"),
+        // Test-only saturation knob; never a CLI flag.
+        allow_test_delay: std::env::var_os("JINJING_SERVE_TEST_DELAY").is_some(),
+        trace: args.iter().any(|a| a == "--trace"),
     })
+}
+
+/// Run the verification daemon over an already-loaded network +
+/// configuration until drained (`jinjing serve`). Announces the bound
+/// address on stderr (stdout stays clean for pipelines).
+pub fn serve_command(
+    net: Network,
+    config: AclConfig,
+    cfg: jinjing_serve::ServeConfig,
+) -> Result<(), CliError> {
+    let srv = jinjing_serve::Server::bind(net, config, cfg).map_err(err)?;
+    let addr = srv.local_addr().map_err(err)?;
+    eprintln!("jinjing-serve listening on {addr}");
+    let summary = srv.run().map_err(err)?;
+    eprintln!(
+        "jinjing-serve drained: {} request(s), {} shed",
+        summary.requests, summary.shed
+    );
+    Ok(())
+}
+
+/// The `jinjing call` subcommand: one HTTP request to a running daemon.
+/// Prints the response body to stdout and returns the process exit code —
+/// the daemon's `X-Jinjing-Exit` header (0 ok, 1 error, 3
+/// check-inconsistent / watch-rejected, 4 lint gate), falling back to 1
+/// for any undecorated non-2xx status. Serde-free: the offline build
+/// verifies the whole client path.
+pub fn call_command(args: &[String]) -> Result<i32, CliError> {
+    fn arg_value(args: &[String], name: &str) -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    }
+    let addr = arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".to_string());
+    let path = arg_value(args, "--path")
+        .ok_or_else(|| CliError("missing required flag --path".to_string()))?;
+    let method = arg_value(args, "--method").unwrap_or_else(|| "POST".to_string());
+    let timeout_ms = match arg_value(args, "--timeout-ms") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| CliError(format!("--timeout-ms wants a number, got {v:?}")))?,
+        None => 30_000,
+    };
+    let body = match (arg_value(args, "--body-file"), arg_value(args, "--body")) {
+        (Some(p), _) => std::fs::read(&p).map_err(|e| CliError(format!("{p}: {e}")))?,
+        (None, Some(text)) => text.into_bytes(),
+        (None, None) => Vec::new(),
+    };
+    let headers: Vec<(String, String)> = args
+        .windows(2)
+        .filter(|w| w[0] == "--header")
+        .filter_map(|w| {
+            w[1].split_once(':')
+                .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+        })
+        .collect();
+    let resp = jinjing_serve::client::call(
+        &addr,
+        &method,
+        &path,
+        &headers,
+        &body,
+        std::time::Duration::from_millis(timeout_ms),
+    )
+    .map_err(CliError)?;
+    print!("{}", resp.body_text());
+    if resp.status >= 400 {
+        eprintln!("error: HTTP {} from {addr}{path}", resp.status);
+    }
+    Ok(resp.exit_code())
 }
 
 /// Everything a lint run produces.
@@ -659,8 +489,8 @@ mod tests {
                       modify A:0 to Open\nfix\n";
         let (_, plan) = run_command(&net, &config, intent).unwrap();
         assert!(!plan.changes.is_empty());
-        // The plan document serializes.
-        let json = serde_json::to_string_pretty(&plan).unwrap();
+        // The plan document renders as canonical JSON.
+        let json = plan.to_canonical_json();
         assert!(json.contains("\"command\""));
     }
 
@@ -817,6 +647,79 @@ step noop
             again.to_canonical_json(),
             "watch JSON must not depend on thread count"
         );
+    }
+
+    #[test]
+    fn serve_config_parses_flags_and_rejects_garbage() {
+        let args: Vec<String> = [
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "3",
+            "--queue",
+            "5",
+            "--deadline-ms",
+            "250",
+            "--drain-on-stdin-eof",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = serve_config_from_args(&args).unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.queue, 5);
+        assert_eq!(cfg.deadline_ms, 250);
+        assert!(cfg.drain_on_stdin_eof);
+        assert!(!cfg.trace);
+        // Unspecified knobs keep the daemon defaults.
+        let defaults = jinjing_serve::ServeConfig::default();
+        assert_eq!(cfg.max_body, defaults.max_body);
+        assert_eq!(cfg.max_sessions, defaults.max_sessions);
+
+        let bad: Vec<String> = ["serve", "--queue", "nope"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(serve_config_from_args(&bad).is_err());
+    }
+
+    #[test]
+    fn call_command_maps_daemon_exit_codes() {
+        let f = Figure1::new();
+        let srv =
+            jinjing_serve::Server::bind(f.net, f.config, jinjing_serve::ServeConfig::default())
+                .unwrap();
+        let addr = srv.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || srv.run().unwrap());
+        let args = |path: &str, body: &str| -> Vec<String> {
+            [
+                "call",
+                "--addr",
+                &addr,
+                "--path",
+                path,
+                "--body",
+                body,
+                "--timeout-ms",
+                "20000",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+        };
+        // A failing bare check maps to the CLI's exit 3.
+        assert_eq!(call_command(&args("/v1/check", CHECK_INTENT)).unwrap(), 3);
+        // A malformed intent maps to 1.
+        assert_eq!(
+            call_command(&args("/v1/check", "scope Z:*\ncheck\n")).unwrap(),
+            1
+        );
+        // Missing --path is a usage error, not a panic.
+        assert!(call_command(&["call".to_string()]).is_err());
+        assert_eq!(call_command(&args("/v1/shutdown", "")).unwrap(), 0);
+        handle.join().unwrap();
     }
 
     #[test]

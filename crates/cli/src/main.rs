@@ -28,6 +28,14 @@ USAGE:
     jinjing simplify --acl-file <acl.txt>
     jinjing convert --cisco-config <conf.txt> --map <LIST=dev:iface[-dir]> ...
                 [--out <acls.json>]
+    jinjing serve --network <net.json> --acls <acls.json>
+                [--addr <host:port>] [--workers <N>] [--queue <N>]
+                [--deadline-ms <N>] [--max-body <BYTES>] [--max-sessions <N>]
+                [--threads <N>] [--metrics-out <m.json>] [--port-file <p>]
+                [--drain-on-stdin-eof] [--trace]
+    jinjing call [--addr <host:port>] --path </v1/check>
+                [--method POST|GET|DELETE] [--body-file <f> | --body <text>]
+                [--timeout-ms <N>] [--header <Name: value>] ...
 
 COMMANDS:
     run        Parse the LAI intent and execute its command (check/fix/generate).
@@ -50,6 +58,19 @@ COMMANDS:
     simplify   Minimize a standalone ACL (decision-preserving)
     convert    Translate Cisco IOS extended access lists into an ACL spec,
                binding each list to an interface slot via --map
+    serve      Long-running verification daemon: keep the network resident
+               and answer POST /v1/check|fix|generate|lint, session
+               endpoints (POST /v1/sessions, POST /v1/sessions/{id}/delta,
+               DELETE /v1/sessions/{id}) and GET /healthz|/metrics over
+               HTTP. Response bodies are byte-identical to the CLI's
+               --format json output. A full queue answers 429; POST
+               /v1/shutdown (or stdin EOF with --drain-on-stdin-eof)
+               drains gracefully
+    call       Thin HTTP client for the daemon: sends one request, prints
+               the response body, and exits with the server's
+               X-Jinjing-Exit code (0 ok, 1 error, 3 check-inconsistent /
+               watch-rejected, 4 lint gate) — pipelines gate on a remote
+               daemon exactly as on a local run
 
 The plan JSON written by --plan-out lists every changed slot with its full
 replacement ACL, ready for a deployment pipeline to consume.
@@ -98,8 +119,7 @@ fn run_watch(
     opts: &RunOptions,
     args: &[String],
 ) -> Result<(), String> {
-    let deltas =
-        std::fs::read_to_string(deltas_path).map_err(|e| format!("{deltas_path}: {e}"))?;
+    let deltas = std::fs::read_to_string(deltas_path).map_err(|e| format!("{deltas_path}: {e}"))?;
     let out = watch_command(net, config, intent, &deltas, opts).map_err(|e| e.to_string())?;
     match arg_value(args, "--format").as_deref() {
         Some("json") => print!("{}", out.to_canonical_json()),
@@ -158,15 +178,13 @@ fn real_main(args: &[String]) -> Result<(), String> {
             }
             if let Some(out) = arg_value(args, "--rollback-out") {
                 let rollback = jinjing_cli::rollback_document(&net, &config, &plan);
-                let json = serde_json::to_string_pretty(&rollback)
-                    .map_err(|e| format!("rollback serialization: {e}"))?;
-                std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+                std::fs::write(&out, rollback.to_canonical_json())
+                    .map_err(|e| format!("{out}: {e}"))?;
                 println!("rollback plan written to {out}");
             }
             if let Some(out) = arg_value(args, "--plan-out") {
-                let json = serde_json::to_string_pretty(&plan)
-                    .map_err(|e| format!("plan serialization: {e}"))?;
-                std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+                std::fs::write(&out, plan.to_canonical_json())
+                    .map_err(|e| format!("{out}: {e}"))?;
                 println!("plan written to {out}");
             }
             // Exit non-zero when a bare check fails, so pipelines can gate
@@ -284,6 +302,23 @@ fn real_main(args: &[String]) -> Result<(), String> {
                     println!("wrote {out}");
                 }
                 None => println!("{json}"),
+            }
+            Ok(())
+        }
+        "serve" => {
+            let net_path = require(args, "--network")?;
+            let acl_path = require(args, "--acls")?;
+            let net = load_network(&net_path).map_err(|e| e.to_string())?;
+            let config = load_acls(&acl_path, &net).map_err(|e| e.to_string())?;
+            let cfg = jinjing_cli::serve_config_from_args(args).map_err(|e| e.to_string())?;
+            jinjing_cli::serve_command(net, config, cfg).map_err(|e| e.to_string())
+        }
+        "call" => {
+            // Exit with the daemon's X-Jinjing-Exit code so pipelines can
+            // gate on a remote daemon exactly as on a local run.
+            let code = jinjing_cli::call_command(args).map_err(|e| e.to_string())?;
+            if code != 0 {
+                std::process::exit(code);
             }
             Ok(())
         }

@@ -432,11 +432,12 @@ pub fn parse_delta_script(
                 continue;
             }
         }
-        let (keyword, rest) = line
-            .split_once(char::is_whitespace)
-            .ok_or_else(|| script_err(ln, format!("expected `set`/`clear`/`step`, got {line:?}")))?;
+        let (keyword, rest) = line.split_once(char::is_whitespace).ok_or_else(|| {
+            script_err(ln, format!("expected `set`/`clear`/`step`, got {line:?}"))
+        })?;
         let rest = rest.trim();
-        let entry = current.get_or_insert_with(|| (format!("step-{}", out.len() + 1), Delta::new()));
+        let entry =
+            current.get_or_insert_with(|| (format!("step-{}", out.len() + 1), Delta::new()));
         match keyword {
             "set" => {
                 let (slot_tok, acl_text) = rest
@@ -632,7 +633,9 @@ mod tests {
             // Alternate so each step has a non-empty cover.
             evicted_total += session.recheck(&elsewhere).unwrap().evicted;
             evicted_total += session
-                .recheck(&Delta::new().set(f.slot("A1"), f.config.get(f.slot("A1")).unwrap().clone()))
+                .recheck(
+                    &Delta::new().set(f.slot("A1"), f.config.get(f.slot("A1")).unwrap().clone()),
+                )
                 .unwrap()
                 .evicted;
         }
@@ -675,7 +678,10 @@ clear A:3-out
             panic!("expected a set edit");
         };
         assert_eq!(*slot, Slot::egress(f.iface("A3")));
-        assert_eq!(deltas[1].1.edits()[0], DeltaEdit::Clear(Slot::egress(f.iface("A3"))));
+        assert_eq!(
+            deltas[1].1.edits()[0],
+            DeltaEdit::Clear(Slot::egress(f.iface("A3")))
+        );
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //!   per-class paths and a generation-tagged query cache alive across a
 //!   stream of deltas, re-solving only the (class, path) pairs each
 //!   delta dirties while staying byte-identical to a cold check.
+//! - [`mod@query`] — the query layer shared by every front end (CLI and
+//!   the `jinjing-serve` daemon): run an LAI intent or a watch-session
+//!   delta batch and render the result as canonical, byte-stable JSON
+//!   ([`query::PlanDocument`], [`query::WatchOutput`]).
 //! - [`mod@resolve`] — binding a parsed LAI [`Program`](jinjing_lai::Program)
 //!   to a concrete [`Network`](jinjing_net::Network) + current
 //!   [`AclConfig`](jinjing_net::AclConfig), producing a [`task::Task`].
@@ -47,6 +51,7 @@ pub mod fix;
 pub mod generate;
 pub mod incr;
 pub mod qcache;
+pub mod query;
 pub mod resolve;
 pub mod task;
 
@@ -59,6 +64,10 @@ pub use crate::fix::{fix, FixConfig, FixError, FixPhases, FixPlan, FixStrategy};
 pub use crate::generate::{generate, GenerateConfig, GenerateError, GenerateReport};
 pub use crate::incr::{CheckSession, Delta, DeltaEdit, IncrConfig, RecheckReport};
 pub use crate::qcache::{CachedSolve, QueryCache, QueryKey};
+pub use crate::query::{
+    open_intent_session, recheck_steps, run_query, watch_query, PlanDocument, PlanEntry,
+    QueryError, RunOutput, WatchOutput, WatchStep,
+};
 pub use crate::resolve::{resolve, ResolveError};
 pub use crate::task::Task;
 pub use jinjing_solver::aclenc::Encoding;

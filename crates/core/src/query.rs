@@ -1,0 +1,495 @@
+//! The **query layer**: one engine invocation packaged as a canonical,
+//! byte-stable document.
+//!
+//! Historically this lived in `jinjing-cli`, but the CLI is only one
+//! front end: the `jinjing-serve` daemon answers the same questions over
+//! HTTP and its contract is that a response body is *byte-identical* to
+//! the corresponding CLI output. Sharing one renderer is the only honest
+//! way to keep that promise (goldens are shared, not duplicated), so the
+//! output structs ([`PlanDocument`], [`WatchOutput`]) and the functions
+//! that produce them ([`run_query`], [`watch_query`]) live here, beneath
+//! both front ends.
+//!
+//! Canonical JSON means: strict JSON through
+//! [`jinjing_obs::json::JsonWriter`], keys in sorted order, no
+//! wall-clock, trailing newline — byte-stable across runs, thread counts
+//! and cache settings, so golden tests can pin every byte.
+//!
+//! The session half ([`open_intent_session`], [`recheck_steps`],
+//! [`WatchOutput::from_steps`]) is the serving hook: a daemon keeps a
+//! [`CheckSession`] resident and replays the `watch` protocol one delta
+//! batch per request, rendering each batch with the same writer the CLI
+//! uses for a whole script.
+
+use crate::check::CheckOutcome;
+use crate::engine::{open_session, render_plan, run, EngineConfig, ReportKind};
+use crate::incr::{CheckSession, Delta};
+use jinjing_lai::{parse_program, validate};
+use jinjing_net::{AclConfig, Network};
+use jinjing_obs::json::JsonWriter;
+
+/// Everything that can go wrong executing a query, as a printable
+/// message. Front ends map this onto their own error types (CLI exit
+/// code 1, HTTP 400).
+#[derive(Debug)]
+pub struct QueryError(pub String);
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+fn err(e: impl std::fmt::Display) -> QueryError {
+    QueryError(e.to_string())
+}
+
+/// One changed slot in the machine-readable plan.
+#[derive(Debug, Clone)]
+pub struct PlanEntry {
+    /// `"device:interface"`.
+    pub interface: String,
+    /// `"in"` / `"out"`.
+    pub direction: String,
+    /// The new ACL, one rule per line plus a trailing `default …`.
+    pub acl: Vec<String>,
+}
+
+/// The machine-readable output of a run.
+#[derive(Debug, Clone)]
+pub struct PlanDocument {
+    /// The command that produced the plan.
+    pub command: String,
+    /// One-line verdict.
+    pub verdict: String,
+    /// Changed slots (empty for a bare check).
+    pub changes: Vec<PlanEntry>,
+}
+
+impl PlanDocument {
+    /// Canonical JSON rendering (the `run --format json` output and the
+    /// `POST /v1/check|fix|generate` response body): strict JSON, keys in
+    /// sorted order, no timings — byte-stable across runs, thread counts
+    /// and cache settings, so golden tests can pin it.
+    pub fn to_canonical_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("changes");
+        w.begin_array();
+        for e in &self.changes {
+            w.begin_object();
+            w.key("acl");
+            w.begin_array();
+            for line in &e.acl {
+                w.string(line);
+            }
+            w.end_array();
+            w.key("direction");
+            w.string(&e.direction);
+            w.key("interface");
+            w.string(&e.interface);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("command");
+        w.string(&self.command);
+        w.key("verdict");
+        w.string(&self.verdict);
+        w.end_object();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
+}
+
+/// Everything one engine query produces.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Human-readable report text.
+    pub text: String,
+    /// Machine-readable plan.
+    pub plan: PlanDocument,
+    /// The run's observability snapshot (spans, metrics, events);
+    /// serialize with [`jinjing_obs::Snapshot::to_json`] for
+    /// `--metrics-out`.
+    pub obs: jinjing_obs::Snapshot,
+}
+
+/// Run an LAI program against a network + configuration under an explicit
+/// [`EngineConfig`] (thread override, shared query cache, observability
+/// collector). This is the one code path behind `jinjing run` and the
+/// daemon's one-shot query endpoints.
+pub fn run_query(
+    net: &Network,
+    config: &AclConfig,
+    intent_text: &str,
+    cfg: &EngineConfig,
+) -> Result<RunOutput, QueryError> {
+    let program = validate(parse_program(intent_text).map_err(err)?).map_err(err)?;
+    let command = program.command.expect("validated programs have a command");
+    let task = crate::resolve::resolve(net, &program, config).map_err(err)?;
+    let report = run(net, &task, cfg).map_err(err)?;
+
+    let mut text = String::new();
+    use std::fmt::Write;
+    let _ = writeln!(text, "command : {command}");
+    let _ = writeln!(text, "verdict : {}", report.verdict());
+    match &report.kind {
+        ReportKind::Check(r) => {
+            let _ = writeln!(
+                text,
+                "classes : {} examined, {} (class,path) pairs",
+                r.fec_count, r.paths_checked
+            );
+            if let CheckOutcome::Inconsistent(v) = &r.outcome {
+                let _ = writeln!(text, "witness : {}", v.packet);
+                let _ = writeln!(text, "path    : {}", v.path.display(net.topology()));
+                let _ = writeln!(
+                    text,
+                    "decision: desired {}, got {}",
+                    if v.desired { "permit" } else { "deny" },
+                    if v.actual { "permit" } else { "deny" }
+                );
+            }
+        }
+        ReportKind::Fix(p) => {
+            for (slot, rule) in &p.added_rules {
+                let _ = writeln!(
+                    text,
+                    "add     : {}-{} ← {}",
+                    net.topology().iface_name(slot.iface),
+                    slot.dir,
+                    rule
+                );
+            }
+        }
+        ReportKind::Generate(g) => {
+            let _ = writeln!(
+                text,
+                "classes : {} AECs ({} DEC-split into {}), {} rows",
+                g.aec_count, g.aecs_split, g.dec_count, g.rows
+            );
+        }
+        // `engine::run` never yields a lint report (lint has its own entry
+        // point), but the match must stay exhaustive.
+        ReportKind::Lint(_) => {}
+    }
+
+    let changes = match report.deployable() {
+        None => Vec::new(),
+        Some(to) => render_plan(net, config, to)
+            .into_iter()
+            .map(|(slot, name, acl_text)| {
+                let (iface, dir) = name.rsplit_once('-').expect("name has -dir suffix");
+                let _ = slot;
+                PlanEntry {
+                    interface: iface.to_string(),
+                    direction: dir.to_string(),
+                    acl: acl_text
+                        .lines()
+                        .map(|l| l.trim().to_string())
+                        .map(|l| l.replace("(default ", "default ").replace(')', ""))
+                        .collect(),
+                }
+            })
+            .collect(),
+    };
+    let plan = PlanDocument {
+        command: command.to_string(),
+        verdict: report.verdict(),
+        changes,
+    };
+    Ok(RunOutput {
+        text,
+        plan,
+        obs: report.obs,
+    })
+}
+
+/// One step of a watch session (one delta's re-check).
+#[derive(Debug, Clone)]
+pub struct WatchStep {
+    /// The delta's label from the script (`step <label>`).
+    pub label: String,
+    /// `"consistent"` or `"inconsistent (witness …)"`.
+    pub verdict: String,
+    /// Whether the delta was folded into the session base.
+    pub applied: bool,
+    /// FEC classes whose cubes intersect this delta's differential cover.
+    pub dirty_classes: usize,
+    /// FEC classes untouched by the delta (verdicts reused).
+    pub clean_classes: usize,
+    /// `(class, path)` pairs dispatched to the solver.
+    pub dirty_pairs: usize,
+    /// FECs examined (0 on the empty-cover fast path).
+    pub fec_count: usize,
+    /// Pairs folded into the report.
+    pub paths_checked: usize,
+    /// Cache generation the step ran under.
+    pub generation: u64,
+    /// Stale cache entries evicted after the step.
+    pub evicted: usize,
+}
+
+/// Everything a watch session (or one daemon delta batch) produces.
+#[derive(Debug)]
+pub struct WatchOutput {
+    /// Human-readable transcript.
+    pub text: String,
+    /// Per-delta summaries, in script order.
+    pub steps: Vec<WatchStep>,
+    /// How many deltas were rejected (inconsistent).
+    pub rejected: usize,
+    /// FEC classes in the session partition.
+    pub class_count: usize,
+    /// The session's observability snapshot (`incr.*` spans/counters plus
+    /// one `check` span tree per step).
+    pub obs: jinjing_obs::Snapshot,
+}
+
+impl WatchOutput {
+    /// Package an already-executed step batch. `rejected` and the
+    /// transcript are derived from the steps, so a daemon rendering one
+    /// delta request and the CLI rendering a whole script produce the
+    /// same bytes for the same steps.
+    pub fn from_steps(
+        class_count: usize,
+        delta_count: usize,
+        steps: Vec<WatchStep>,
+        obs: jinjing_obs::Snapshot,
+    ) -> WatchOutput {
+        use std::fmt::Write;
+        let mut text = String::new();
+        let _ = writeln!(
+            text,
+            "session : {class_count} classes, {delta_count} delta(s)"
+        );
+        for s in &steps {
+            let _ = writeln!(
+                text,
+                "step    : {}: {}{} — {} dirty / {} clean classes, {} pairs",
+                s.label,
+                s.verdict,
+                if s.applied { "" } else { " [rejected]" },
+                s.dirty_classes,
+                s.clean_classes,
+                s.dirty_pairs
+            );
+        }
+        let rejected = steps.iter().filter(|s| !s.applied).count();
+        let _ = writeln!(
+            text,
+            "steps   : {} total, {} rejected",
+            steps.len(),
+            rejected
+        );
+        WatchOutput {
+            text,
+            steps,
+            rejected,
+            class_count,
+            obs,
+        }
+    }
+
+    /// Canonical JSON rendering (the `watch --format json` output and the
+    /// daemon's session-delta response body): strict JSON, sorted keys,
+    /// no timings — byte-stable across runs, thread counts and cache
+    /// settings.
+    pub fn to_canonical_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("class_count");
+        w.u64(self.class_count as u64);
+        w.key("rejected");
+        w.u64(self.rejected as u64);
+        w.key("steps");
+        w.begin_array();
+        for s in &self.steps {
+            w.begin_object();
+            w.key("applied");
+            w.bool(s.applied);
+            w.key("clean_classes");
+            w.u64(s.clean_classes as u64);
+            w.key("dirty_classes");
+            w.u64(s.dirty_classes as u64);
+            w.key("dirty_pairs");
+            w.u64(s.dirty_pairs as u64);
+            w.key("evicted");
+            w.u64(s.evicted as u64);
+            w.key("fec_count");
+            w.u64(s.fec_count as u64);
+            w.key("generation");
+            w.u64(s.generation);
+            w.key("label");
+            w.string(&s.label);
+            w.key("paths_checked");
+            w.u64(s.paths_checked as u64);
+            w.key("verdict");
+            w.string(&s.verdict);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
+}
+
+/// Open a [`CheckSession`] from an LAI intent: parse + validate the
+/// program, resolve it against the current configuration, and seed the
+/// session from the task's scope, controls and *current* configuration
+/// (the update in the program body, if any, is ignored — deltas arrive
+/// through [`recheck_steps`]). The daemon's `POST /v1/sessions` hook.
+pub fn open_intent_session<'n>(
+    net: &'n Network,
+    config: &AclConfig,
+    intent_text: &str,
+    cfg: &EngineConfig,
+) -> Result<CheckSession<'n>, QueryError> {
+    let program = validate(parse_program(intent_text).map_err(err)?).map_err(err)?;
+    let task = crate::resolve::resolve(net, &program, config).map_err(err)?;
+    open_session(net, &task, cfg).map_err(err)
+}
+
+/// Run a batch of labeled deltas through a session, one
+/// [`CheckSession::recheck`] per delta, returning the per-step summaries
+/// in script order. Consistent deltas advance the session base;
+/// inconsistent ones are rejected and leave it untouched (the session's
+/// [`crate::incr::IncrConfig`] policy). The daemon's
+/// `POST /v1/sessions/{id}/delta` hook, and the loop inside
+/// [`watch_query`].
+pub fn recheck_steps(
+    session: &mut CheckSession<'_>,
+    deltas: &[(String, Delta)],
+) -> Result<Vec<WatchStep>, QueryError> {
+    let mut steps = Vec::with_capacity(deltas.len());
+    for (label, delta) in deltas {
+        let r = session.recheck(delta).map_err(err)?;
+        let verdict = match &r.report.outcome {
+            CheckOutcome::Consistent => "consistent".to_string(),
+            CheckOutcome::Inconsistent(v) => format!("inconsistent (witness {})", v.packet),
+        };
+        steps.push(WatchStep {
+            label: label.clone(),
+            verdict,
+            applied: r.applied,
+            dirty_classes: r.incr.dirty_classes,
+            clean_classes: r.incr.clean_classes,
+            dirty_pairs: r.incr.dirty_pairs,
+            fec_count: r.report.fec_count,
+            paths_checked: r.report.paths_checked,
+            generation: r.generation,
+            evicted: r.evicted,
+        });
+    }
+    Ok(steps)
+}
+
+/// Run an incremental check session over a whole delta script (the
+/// `jinjing watch` / `run --session` path): open the session, parse the
+/// script, feed every delta through [`recheck_steps`] and package the
+/// result. Verdicts are byte-identical to cold per-step checks.
+pub fn watch_query(
+    net: &Network,
+    config: &AclConfig,
+    intent_text: &str,
+    deltas_text: &str,
+    cfg: &EngineConfig,
+) -> Result<WatchOutput, QueryError> {
+    let deltas = crate::incr::parse_delta_script(net, deltas_text).map_err(err)?;
+    let mut session = open_intent_session(net, config, intent_text, cfg)?;
+    let class_count = session.class_count();
+    let steps = recheck_steps(&mut session, &deltas)?;
+    Ok(WatchOutput::from_steps(
+        class_count,
+        deltas.len(),
+        steps,
+        cfg.obs.snapshot(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::Figure1;
+
+    const CHECK_INTENT: &str = "\
+acl PermitAll { permit all }
+scope A:*, B:*, C:*, D:*
+allow A:*, B:*
+modify D:2 to PermitAll
+check
+";
+
+    #[test]
+    fn run_query_is_byte_stable() {
+        let f = Figure1::new();
+        let render = || {
+            run_query(&f.net, &f.config, CHECK_INTENT, &EngineConfig::default())
+                .unwrap()
+                .plan
+                .to_canonical_json()
+        };
+        let json = render();
+        assert!(json.starts_with("{\"changes\":["), "{json}");
+        assert!(json.contains("\"command\":\"check\""), "{json}");
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json, render());
+    }
+
+    #[test]
+    fn watch_query_batches_equal_one_shot_script() {
+        // The serving contract in miniature: a daemon replaying the same
+        // deltas in two batches must concatenate to the same steps as the
+        // CLI's one-shot script run.
+        let f = Figure1::new();
+        let script = "step a\nset D:2 deny dst 2.0.0.0/8; deny dst 1.0.0.0/8\nstep b\n";
+        let whole = watch_query(
+            &f.net,
+            &f.config,
+            CHECK_INTENT,
+            script,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+
+        let cfg = EngineConfig::default();
+        let mut session = open_intent_session(&f.net, &f.config, CHECK_INTENT, &cfg).unwrap();
+        let class_count = session.class_count();
+        let deltas = crate::incr::parse_delta_script(&f.net, script).unwrap();
+        let first = recheck_steps(&mut session, &deltas[..1]).unwrap();
+        let second = recheck_steps(&mut session, &deltas[1..]).unwrap();
+        let batch1 = WatchOutput::from_steps(class_count, 1, first, cfg.obs.snapshot());
+        let batch2 = WatchOutput::from_steps(class_count, 1, second, cfg.obs.snapshot());
+        let mut merged: Vec<WatchStep> = batch1.steps;
+        merged.extend(batch2.steps);
+        let merged = WatchOutput::from_steps(class_count, 2, merged, cfg.obs.snapshot());
+        assert_eq!(merged.to_canonical_json(), whole.to_canonical_json());
+    }
+
+    #[test]
+    fn query_errors_are_messages_not_panics() {
+        let f = Figure1::new();
+        let e = run_query(
+            &f.net,
+            &f.config,
+            "scope Z:*\ncheck\n",
+            &EngineConfig::default(),
+        )
+        .unwrap_err();
+        assert!(!e.to_string().is_empty());
+        let e = watch_query(
+            &f.net,
+            &f.config,
+            CHECK_INTENT,
+            "set Z:9 permit all\n",
+            &EngineConfig::default(),
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("unknown interface"), "{e}");
+    }
+}

@@ -498,6 +498,91 @@ impl Snapshot {
             .map(|(_, h)| h)
     }
 
+    /// Render the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4), for a daemon's `GET /metrics` endpoint.
+    ///
+    /// Mapping:
+    /// - counters → `jinjing_<name> <v>` with `# TYPE … counter`;
+    /// - gauges → the same with `# TYPE … gauge`;
+    /// - histograms → a summary: `{quantile="0.5|0.9|0.99"}` sample
+    ///   lines plus `_sum` and `_count`;
+    /// - spans → two metric families, `jinjing_span_seconds_total` and
+    ///   `jinjing_span_entries_total`, one sample per tree node with the
+    ///   node's `root/…` path as the `path` label.
+    ///
+    /// Metric names are sanitized (`.` and any other non-alphanumeric
+    /// byte become `_`); label values escape `\`, `"` and newlines as
+    /// the format requires. Families are emitted in sorted-name order,
+    /// so the rendering is as deterministic as the snapshot itself.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len());
+            for (i, c) in name.chars().enumerate() {
+                let ok = c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit());
+                out.push(if ok { c } else { '_' });
+            }
+            out
+        }
+        fn escape_label(v: &str) -> String {
+            v.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        }
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let n = format!("jinjing_{}", sanitize(k));
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let n = format!("jinjing_{}", sanitize(k));
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let n = format!("jinjing_{}", sanitize(k));
+            let _ = writeln!(out, "# TYPE {n} summary");
+            for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        // Spans: flatten the tree, one sample per node, path-labeled.
+        fn walk(node: &SpanSnapshot, prefix: &str, rows: &mut Vec<(String, u64, u64)>) {
+            let path = if prefix.is_empty() {
+                node.name.clone()
+            } else {
+                format!("{prefix}/{}", node.name)
+            };
+            rows.push((path.clone(), node.count, node.total_ns));
+            for c in &node.children {
+                walk(c, &path, rows);
+            }
+        }
+        let mut rows = Vec::new();
+        walk(&self.spans, "", &mut rows);
+        let _ = writeln!(out, "# TYPE jinjing_span_seconds_total counter");
+        for (path, _, total_ns) in &rows {
+            let _ = writeln!(
+                out,
+                "jinjing_span_seconds_total{{path=\"{}\"}} {}",
+                escape_label(path),
+                *total_ns as f64 / 1e9
+            );
+        }
+        let _ = writeln!(out, "# TYPE jinjing_span_entries_total counter");
+        for (path, count, _) in &rows {
+            let _ = writeln!(
+                out,
+                "jinjing_span_entries_total{{path=\"{}\"}} {count}",
+                escape_label(path)
+            );
+        }
+        out
+    }
+
     /// Render the whole snapshot as strict JSON with stable key ordering.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();

@@ -30,9 +30,15 @@
 //!   never skipped (only indices *beyond* a cut are), so a driver that
 //!   folds results in index order and stops at the first violation sees
 //!   the same outcome regardless of thread count or scheduling.
+//! * Streamed (rather than batched) workloads — the `jinjing serve`
+//!   daemon's request dispatch — use [`queue::Bounded`], a bounded MPMC
+//!   queue with non-blocking admission (backpressure), a graceful-drain
+//!   close, and depth introspection for live metrics.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+
+pub mod queue;
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,228 @@
+//! A bounded MPMC work queue with backpressure and depth introspection.
+//!
+//! [`Pool`](crate::Pool) fans a *known* batch of items over scoped
+//! workers; a long-running service has the opposite shape — an unbounded
+//! *stream* of jobs arriving from the network that must be admitted,
+//! queued, or refused. [`Bounded`] is the admission-control piece:
+//!
+//! * **Bounded**: [`Bounded::try_push`] never blocks; when the queue is
+//!   at capacity it hands the job back ([`PushError::Full`]) so the
+//!   caller can shed load (the daemon's HTTP 429).
+//! * **Blocking pop**: consumers park on a condvar; [`Bounded::pop`]
+//!   returns `None` only after [`Bounded::close`] *and* the queue is
+//!   empty, which is exactly the graceful-drain contract — every job
+//!   admitted before the close is still handed to a worker.
+//! * **Introspection**: [`Bounded::depth`] / [`Bounded::capacity`] are
+//!   cheap and callable from any thread, so a metrics endpoint can gauge
+//!   queue pressure while workers run.
+//!
+//! Std-only like the rest of the crate: one mutex + one condvar, no
+//! spinning.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a [`Bounded::try_push`] was refused; the job rides back to the
+/// caller in both cases.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — shed load or retry later.
+    Full(T),
+    /// The queue has been closed — no new work is admitted.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// The refused job.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(t) | PushError::Closed(t) => t,
+        }
+    }
+
+    /// `true` for the at-capacity refusal.
+    pub fn is_full(&self) -> bool {
+        matches!(self, PushError::Full(_))
+    }
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer FIFO queue. See the module
+/// docs for the admission/drain contract.
+#[derive(Debug)]
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A fresh open queue holding at most `capacity` jobs (minimum 1).
+    pub fn new(capacity: usize) -> Bounded<T> {
+        Bounded {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // Queue state is plain data; recover it from a poisoned lock
+        // rather than cascading a worker panic into the whole service.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Admit a job without blocking. Returns the depth *after* the push
+    /// on success; hands the job back when full or closed.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        g.items.push_back(item);
+        let depth = g.items.len();
+        drop(g);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Take the next job, blocking while the queue is open and empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self
+                .ready
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Stop admitting new jobs and wake every parked consumer. Jobs
+    /// already queued are still handed out; idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Has [`Bounded::close`] been called?
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Jobs currently waiting (admitted, not yet popped).
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// The admission bound this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn push_pop_fifo_and_depth() {
+        let q: Bounded<u32> = Bounded::new(3);
+        assert_eq!(q.capacity(), 3);
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_load_with_the_job_attached() {
+        let q: Bounded<&str> = Bounded::new(1);
+        q.try_push("a").unwrap();
+        let err = q.try_push("b").unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), "b");
+        // Popping frees a slot again.
+        assert_eq!(q.pop(), Some("a"));
+        q.try_push("c").unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_yields_none() {
+        let q: Bounded<u32> = Bounded::new(4);
+        q.try_push(7).unwrap();
+        q.try_push(8).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        let err = q.try_push(9).unwrap_err();
+        assert!(!err.is_full());
+        assert_eq!(err.into_inner(), 9);
+        // Admitted-before-close jobs still drain, in order.
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), Some(8));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed+empty stays None");
+    }
+
+    #[test]
+    fn blocking_consumers_wake_on_push_and_close() {
+        let q: Bounded<usize> = Bounded::new(8);
+        let seen = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while let Some(v) = q.pop() {
+                        seen.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+            for v in 1..=10 {
+                // Producers retry on Full — capacity 8 with 3 consumers.
+                let mut item = v;
+                loop {
+                    match q.try_push(item) {
+                        Ok(_) => break,
+                        Err(PushError::Full(t)) => {
+                            item = t;
+                            std::thread::yield_now();
+                        }
+                        Err(PushError::Closed(_)) => unreachable!("not closed yet"),
+                    }
+                }
+            }
+            q.close();
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), (1..=10).sum::<usize>());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q: Bounded<u8> = Bounded::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(q.try_push(2).is_err());
+    }
+}

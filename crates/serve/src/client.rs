@@ -1,0 +1,162 @@
+//! The matching HTTP/1.1 client: `jinjing call`, the integration tests
+//! and the `figures serve` load generator all speak to the daemon
+//! through this one function, so the wire framing assumptions (one
+//! request per connection, read to EOF) live in exactly two places —
+//! here and in [`crate::http`].
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed response: status, headers (names lower-cased) and body.
+#[derive(Debug)]
+pub struct CallResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl CallResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == want)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as (lossy) text.
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Map this response onto the CLI exit-code table. The daemon stamps
+    /// every application-level response with `X-Jinjing-Exit` (0 ok,
+    /// 1 error, 3 check-inconsistent / watch-rejected, 4 lint gate);
+    /// absent the header, any non-2xx status is a generic failure (1).
+    pub fn exit_code(&self) -> i32 {
+        if let Some(v) = self.header("x-jinjing-exit") {
+            if let Ok(code) = v.parse::<i32>() {
+                return code;
+            }
+        }
+        if self.status >= 400 {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// Issue one request and read the full response (the server always
+/// closes, so EOF delimits it). `timeout` bounds connect, each read and
+/// each write individually.
+pub fn call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(String, String)],
+    body: &[u8],
+    timeout: Duration,
+) -> Result<CallResponse, String> {
+    let sock_addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("bad address {addr:?}: {e}"))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("write {addr}: {e}"))?;
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read {addr}: {e}"))?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<CallResponse, String> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| "response has no header terminator".to_string())?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| "response head is not UTF-8".to_string())?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("bad response header {line:?}"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(CallResponse {
+        status,
+        headers,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_response() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nretry-after: 1\r\nX-Jinjing-Exit: 1\r\n\r\n{\"error\":\"queue full\",\"status\":429}\n";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 429);
+        assert_eq!(r.header("Retry-After"), Some("1"));
+        assert!(r.body_text().contains("queue full"));
+        assert_eq!(r.exit_code(), 1);
+    }
+
+    #[test]
+    fn exit_code_prefers_the_header_then_the_status() {
+        let with_header = parse_response(b"HTTP/1.1 200 OK\r\nx-jinjing-exit: 3\r\n\r\n").unwrap();
+        assert_eq!(with_header.exit_code(), 3);
+        let ok = parse_response(b"HTTP/1.1 200 OK\r\n\r\n").unwrap();
+        assert_eq!(ok.exit_code(), 0);
+        let err = parse_response(b"HTTP/1.1 503 Service Unavailable\r\n\r\n").unwrap();
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        assert!(parse_response(b"").is_err());
+        assert!(parse_response(b"HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse_response(b"junk with no terminator").is_err());
+    }
+}

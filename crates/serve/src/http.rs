@@ -1,0 +1,382 @@
+//! A deliberately small HTTP/1.1 wire layer over `std::io`.
+//!
+//! The daemon speaks exactly the subset its clients need: one request per
+//! connection (`Connection: close` on every response), `Content-Length`
+//! bodies, no chunked encoding, no keep-alive, no TLS. That subset is
+//! parsed defensively — the two resource limits a hostile or buggy client
+//! could lean on are enforced *here*, before any engine work happens:
+//!
+//! * the header section is capped at [`MAX_HEAD_BYTES`] (→ 400), and
+//! * the declared body is capped at the server's `max_body` (→ 413 with
+//!   the body left unread — the connection is closing anyway).
+//!
+//! Error payloads are canonical JSON (`{"error":…,"status":…}` through
+//! [`jinjing_obs::json::JsonWriter`], sorted keys, trailing newline) so a
+//! scripted client can parse failures the same way it parses successes.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use jinjing_obs::json::JsonWriter;
+
+/// Upper bound on the request line + headers, in bytes. Generous for any
+/// legitimate client (ours send a handful of short headers) and small
+/// enough that a garbage stream cannot balloon memory.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Why a request could not be read. The variants map onto the response
+/// the server sends before closing the connection.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically broken request (→ 400). The message is safe to echo
+    /// back in the error body.
+    Malformed(String),
+    /// The declared body (or the header section) exceeds a limit (→ 413).
+    TooLarge(String),
+    /// The socket died or timed out mid-read; there is nobody left to
+    /// answer, so the connection is simply dropped.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request: method, path, headers (original order, names
+/// lower-cased) and the raw body bytes.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET` / `POST` / `DELETE` (upper-case, as sent).
+    pub method: String,
+    /// The request target, e.g. `/v1/check`. Query strings are not split
+    /// off — the daemon's API doesn't use them.
+    pub path: String,
+    /// Header name/value pairs; names are lower-cased at parse time.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes (empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names were lower-cased at parse).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == want)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text, or a 400-shaped error.
+    pub fn body_text(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::Malformed("request body is not valid UTF-8".into()))
+    }
+}
+
+/// Read one request from the stream, enforcing the head and body caps.
+///
+/// Blocks until the full head + declared body arrive (bounded by the
+/// stream's read timeout, which the server sets before calling this).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    // Accumulate until the blank line. One-byte reads would be wasteful;
+    // read in chunks and keep whatever spills past the head as the start
+    // of the body.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "header section exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            if buf.is_empty() {
+                // Peer connected and went away: not worth an error body.
+                return Err(HttpError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "closed before any bytes",
+                )));
+            }
+            return Err(HttpError::Malformed("connection closed mid-header".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("header section is not valid UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "bad request line {request_line:?}"
+        )));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::Malformed(format!("bad request target {path:?}")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?,
+    };
+    if content_length > max_body {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {max_body}-byte limit"
+        )));
+    }
+
+    // Body: whatever spilled past the head, then read the remainder.
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::Malformed(
+            "more body bytes than Content-Length declared".into(),
+        ));
+    }
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > content_length {
+            return Err(HttpError::Malformed(
+                "more body bytes than Content-Length declared".into(),
+            ));
+        }
+    }
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One response, ready to serialize. Every response closes the
+/// connection (`Connection: close`), which is what lets clients read to
+/// EOF instead of implementing framing.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the standard set (e.g. `Retry-After`,
+    /// `X-Jinjing-Exit`). Content-Length/Type and Connection are emitted
+    /// automatically.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+    /// `Content-Type` for the body.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response (the daemon's default shape).
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (`/metrics`' Prometheus exposition).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "text/plain; version=0.0.4",
+        }
+    }
+
+    /// The canonical error shape: `{"error":…,"status":…}` plus an
+    /// `X-Jinjing-Exit: 1` so `jinjing call` maps it without guessing.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("error");
+        w.string(message);
+        w.key("status");
+        w.u64(u64::from(status));
+        w.end_object();
+        let mut body = w.finish();
+        body.push('\n');
+        Response::json(status, body).with_header("X-Jinjing-Exit", "1")
+    }
+
+    /// Attach an extra header (builder-style).
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The standard reason phrase for the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize onto the stream. Write errors are returned so the caller
+    /// can count them, but there is nothing else to do — the peer is gone.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trip helper: write `raw` into a loopback socket, parse it on
+    /// the accept side.
+    fn parse_raw(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let got = read_request(&mut stream, max_body);
+        writer.join().unwrap();
+        got
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/check HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = parse_raw(raw, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/check");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"), "lookup is case-insensitive");
+        assert_eq!(req.body_text().unwrap(), "hello");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = parse_raw(b"GET /healthz HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_reading_them() {
+        let raw = b"POST /v1/check HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        match parse_raw(raw, 16) {
+            Err(HttpError::TooLarge(msg)) => assert!(msg.contains("999999"), "{msg}"),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_request_lines() {
+        for raw in [
+            &b"NOT-HTTP\r\n\r\n"[..],
+            &b"GET missing-slash HTTP/1.1\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nbroken header line\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+        ] {
+            match parse_raw(raw, 1024) {
+                Err(HttpError::Malformed(_)) => {}
+                other => panic!("{raw:?}: expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_bodies_are_canonical_json() {
+        let r = Response::error(429, "queue full");
+        let body = String::from_utf8(r.body.clone()).unwrap();
+        assert_eq!(body, "{\"error\":\"queue full\",\"status\":429}\n");
+        assert_eq!(r.reason(), "Too Many Requests");
+        assert!(r
+            .headers
+            .iter()
+            .any(|(n, v)| n == "X-Jinjing-Exit" && v == "1"));
+    }
+
+    #[test]
+    fn responses_serialize_with_framing_headers() {
+        // Serialize through a real socket pair and sanity-check the bytes.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        Response::json(200, "{\"ok\":true}\n".into())
+            .with_header("Retry-After", "1")
+            .write_to(&mut stream)
+            .unwrap();
+        drop(stream);
+        let text = reader.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 12\r\n"), "{text}");
+        assert!(text.contains("connection: close\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}\n"), "{text}");
+    }
+}

@@ -1,0 +1,927 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # jinjing-serve
+//!
+//! The long-running verification daemon: the same engine the `jinjing`
+//! CLI drives, kept resident behind a small HTTP/1.1 JSON API so a
+//! deployment pipeline can ask "is this update safe?" without paying
+//! process start-up and network-spec parsing on every question.
+//!
+//! ```text
+//! POST /v1/check                LAI intent text → canonical plan JSON
+//! POST /v1/fix                  ditto (fix command)
+//! POST /v1/generate             ditto (generate command)
+//! POST /v1/lint                 optional intent text → lint report JSON
+//! POST /v1/sessions             intent text → {"classes":…,"id":"s1"}
+//! POST /v1/sessions/{id}/delta  delta script → watch JSON for the batch
+//! DELETE /v1/sessions/{id}      drop a session
+//! GET  /healthz                 queue/session gauges, canonical JSON
+//! GET  /metrics                 live jinjing-obs snapshot, Prometheus text
+//! GET  /metrics.json            the same snapshot, canonical JSON
+//! POST /v1/shutdown             graceful drain
+//! ```
+//!
+//! **The byte-identity contract.** A response body is byte-identical to
+//! the corresponding CLI output: `/v1/check|fix|generate` return exactly
+//! `jinjing run --format json`, `/v1/lint` exactly
+//! `jinjing lint --format json`, and a session delta batch exactly the
+//! `jinjing watch --format json` document for those steps. Both front
+//! ends call the same renderers in [`jinjing_core::query`], so the golden
+//! files under `tests/golden/` pin the daemon and the CLI at once.
+//!
+//! **Admission control.** The accept thread parses each request (with
+//! head/body caps → 400/413) and answers the cheap introspection routes
+//! inline; engine work is pushed onto a bounded
+//! [`jinjing_par::queue::Bounded`] queue. A full queue sheds load
+//! immediately — HTTP 429 with `Retry-After` — instead of letting latency
+//! grow without bound, and a job that waits past its deadline
+//! (`X-Jinjing-Deadline-Ms` or the server default) is answered 408
+//! without touching the solver. Queue depth, per-endpoint latency
+//! histograms, shed/eviction counters and request events all land in the
+//! daemon's [`jinjing_obs::Collector`], which `/metrics` snapshots live.
+//!
+//! **Sessions.** `POST /v1/sessions` opens a resident
+//! [`jinjing_core::incr::CheckSession`] (fresh per-session query cache,
+//! so generation counters match the CLI's `watch`); deltas are re-checked
+//! incrementally and *rejected* deltas leave the session base untouched —
+//! the same policy as the in-process API. The store is LRU-capped:
+//! opening past `max_sessions` evicts the least-recently-used session
+//! (counted in `serve.sessions_evicted`) and later requests for it get a
+//! clean 404.
+//!
+//! **Drain.** `POST /v1/shutdown` stops accepting, lets the workers
+//! finish every admitted job, flushes a final metrics snapshot to
+//! `--metrics-out` (when configured) and returns from [`Server::run`].
+//! Std can't catch signals, so interactive use gets the same effect from
+//! `drain_on_stdin_eof` (the `jinjing serve --drain-on-stdin-eof` flag):
+//! closing the daemon's stdin triggers a self-POST of `/v1/shutdown`.
+//!
+//! Std-only, like every inner crate: the server is `TcpListener` + the
+//! crate's own [`http`] parser; no runtime, no TLS, one request per
+//! connection.
+
+pub mod client;
+pub mod http;
+pub mod store;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use jinjing_core::engine::{EngineConfig, ReportKind};
+use jinjing_core::incr::CheckSession;
+use jinjing_core::query::{open_intent_session, recheck_steps, run_query, WatchOutput};
+use jinjing_net::{AclConfig, Network};
+use jinjing_obs::json::JsonWriter;
+use jinjing_obs::{Collector, Level};
+use jinjing_par::queue::{Bounded, PushError};
+
+use http::{read_request, HttpError, Request, Response};
+use store::Lru;
+
+/// How long a read on an accepted connection may stall before the
+/// connection is dropped. Bounds the damage a trickling client can do to
+/// the accept thread.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Everything that can go wrong standing the daemon up, as a printable
+/// message.
+#[derive(Debug)]
+pub struct ServeError(pub String);
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError(format!("io error: {e}"))
+    }
+}
+
+/// Daemon configuration: where to listen and how much work to admit.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:8080`; port `0` asks the OS for an
+    /// ephemeral port (read it back via [`Server::local_addr`] or
+    /// `port_file`).
+    pub addr: String,
+    /// Worker threads executing queued jobs (minimum 1).
+    pub workers: usize,
+    /// Bounded-queue capacity; a full queue answers 429.
+    pub queue: usize,
+    /// Default per-request deadline in milliseconds (0 = none). A job
+    /// still queued past its deadline is answered 408 without running.
+    /// Clients may override per request with `X-Jinjing-Deadline-Ms`.
+    pub deadline_ms: u64,
+    /// Largest accepted request body in bytes; larger declares 413.
+    pub max_body: usize,
+    /// LRU cap on resident check sessions.
+    pub max_sessions: usize,
+    /// Engine worker threads per request (the CLI's `--threads`; 0 =
+    /// consult `JINJING_THREADS`, default serial). Responses are
+    /// byte-identical for every value.
+    pub threads: usize,
+    /// Write the final observability snapshot here on drain.
+    pub metrics_out: Option<String>,
+    /// Write the bound address (`host:port`, one line) here once
+    /// listening — how scripts find an ephemeral port.
+    pub port_file: Option<String>,
+    /// Drain when stdin reaches EOF (the ctrl-d / supervisor-pipe story;
+    /// std cannot catch SIGINT). Off by default so daemons started with
+    /// stdin closed don't drain instantly.
+    pub drain_on_stdin_eof: bool,
+    /// Honor the test-only `X-Jinjing-Test-Delay-Ms` header, which makes
+    /// a worker sleep before executing — how the integration tests and
+    /// the bench saturate the queue deterministically. Never enable in
+    /// production.
+    pub allow_test_delay: bool,
+    /// Stream observability events to stderr as they happen.
+    pub trace: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue: 64,
+            deadline_ms: 10_000,
+            max_body: 1 << 20,
+            max_sessions: 8,
+            threads: 0,
+            metrics_out: None,
+            port_file: None,
+            drain_on_stdin_eof: false,
+            allow_test_delay: false,
+            trace: false,
+        }
+    }
+}
+
+/// What a finished daemon reports back to its starter.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// Requests parsed off the wire (including shed and errored ones).
+    pub requests: u64,
+    /// Jobs refused with 429 because the queue was full.
+    pub shed: u64,
+    /// The final observability snapshot (the same data `metrics_out`
+    /// receives).
+    pub snapshot: jinjing_obs::Snapshot,
+}
+
+/// The daemon: a resident network + ACL configuration behind a bound
+/// listener. [`Server::bind`] claims the port (so callers can read
+/// [`Server::local_addr`] before blocking); [`Server::run`] serves until
+/// drained.
+pub struct Server {
+    net: Network,
+    config: AclConfig,
+    cfg: ServeConfig,
+    listener: TcpListener,
+    obs: Collector,
+}
+
+/// A server-resident check session plus the fields the watch renderer
+/// needs that the session itself doesn't expose after opening.
+struct SessionCell<'n> {
+    session: CheckSession<'n>,
+    class_count: usize,
+}
+
+/// What travels from the accept thread to a worker: the parsed request,
+/// the socket to answer on, and admission metadata.
+struct Job {
+    req: Request,
+    stream: TcpStream,
+    route: Route,
+    admitted: Instant,
+    id: u64,
+}
+
+/// The dispatchable POST/DELETE endpoints (GETs and shutdown are
+/// answered inline on the accept thread).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Route {
+    Check,
+    Fix,
+    Generate,
+    Lint,
+    SessionOpen,
+    SessionDelta(String),
+    SessionDelete(String),
+}
+
+impl Route {
+    /// The metrics key for per-endpoint latency histograms.
+    fn key(&self) -> &'static str {
+        match self {
+            Route::Check => "check",
+            Route::Fix => "fix",
+            Route::Generate => "generate",
+            Route::Lint => "lint",
+            Route::SessionOpen => "session_open",
+            Route::SessionDelta(_) => "session_delta",
+            Route::SessionDelete(_) => "session_delete",
+        }
+    }
+}
+
+/// Resolve a method + path to a queueable route, or the error response
+/// to send inline.
+fn route_of(method: &str, path: &str) -> Result<Route, Response> {
+    match (method, path) {
+        ("POST", "/v1/check") => Ok(Route::Check),
+        ("POST", "/v1/fix") => Ok(Route::Fix),
+        ("POST", "/v1/generate") => Ok(Route::Generate),
+        ("POST", "/v1/lint") => Ok(Route::Lint),
+        ("POST", "/v1/sessions") => Ok(Route::SessionOpen),
+        _ => {
+            if let Some(rest) = path.strip_prefix("/v1/sessions/") {
+                if let Some(id) = rest.strip_suffix("/delta") {
+                    return if method == "POST" {
+                        Ok(Route::SessionDelta(id.to_string()))
+                    } else {
+                        Err(Response::error(405, "delta wants POST"))
+                    };
+                }
+                if !rest.is_empty() && !rest.contains('/') {
+                    return if method == "DELETE" {
+                        Ok(Route::SessionDelete(rest.to_string()))
+                    } else {
+                        Err(Response::error(405, "session resources want DELETE"))
+                    };
+                }
+            }
+            Err(Response::error(
+                404,
+                &format!("no route for {method} {path}"),
+            ))
+        }
+    }
+}
+
+/// Shared immutable context for the accept thread and the workers.
+struct Ctx<'a, 'n> {
+    net: &'n Network,
+    config: &'a AclConfig,
+    cfg: &'a ServeConfig,
+    obs: &'a Collector,
+    queue: &'a Bounded<Job>,
+    sessions: &'a Mutex<Lru<SessionCell<'n>>>,
+    next_request: &'a AtomicU64,
+}
+
+impl<'a, 'n> Ctx<'a, 'n> {
+    fn engine_config(&self) -> EngineConfig {
+        // A *fresh* config (and thus a fresh collector + query cache) per
+        // request/session keeps every response byte-identical to a cold
+        // CLI run — the contract the goldens pin.
+        EngineConfig {
+            threads: self.cfg.threads,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn lock_sessions(&self) -> std::sync::MutexGuard<'a, Lru<SessionCell<'n>>> {
+        // The store is plain bookkeeping; recover it from a poisoned lock
+        // rather than taking the whole daemon down with one panic.
+        self.sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Send a response, counting the status class and write failures.
+    fn respond(&self, stream: &mut TcpStream, resp: &Response) {
+        self.obs
+            .counter_add(&format!("serve.http_{}", resp.status), 1);
+        if resp.write_to(stream).is_err() {
+            self.obs.counter_add("serve.write_failures", 1);
+        }
+    }
+}
+
+// Every field is a shared reference, so the context can be handed to
+// each scoped worker by plain copy.
+impl<'a, 'n> Clone for Ctx<'a, 'n> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'a, 'n> Copy for Ctx<'a, 'n> {}
+
+impl Server {
+    /// Bind the listener (so the ephemeral port is knowable) without
+    /// serving yet.
+    pub fn bind(net: Network, config: AclConfig, cfg: ServeConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| ServeError(format!("bind {}: {e}", cfg.addr)))?;
+        let obs = Collector::with_trace(cfg.trace || jinjing_obs::trace_env_enabled());
+        Ok(Server {
+            net,
+            config,
+            cfg,
+            listener,
+            obs,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> Result<SocketAddr, ServeError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Serve until drained: accept + parse on the calling thread, execute
+    /// on `workers` scoped threads, answer introspection inline. Returns
+    /// once a `POST /v1/shutdown` (or stdin EOF with
+    /// [`ServeConfig::drain_on_stdin_eof`]) has been honored and every
+    /// admitted job is answered.
+    pub fn run(self) -> Result<ServeSummary, ServeError> {
+        let Server {
+            net,
+            config,
+            cfg,
+            listener,
+            obs,
+        } = self;
+        let addr = listener.local_addr()?;
+        if let Some(path) = &cfg.port_file {
+            std::fs::write(path, format!("{addr}\n"))
+                .map_err(|e| ServeError(format!("{path}: {e}")))?;
+        }
+        if cfg.drain_on_stdin_eof {
+            // Detached on purpose: if stdin never closes, the thread
+            // parks until process exit.
+            let self_addr = addr.to_string();
+            std::thread::spawn(move || {
+                use std::io::Read;
+                let mut sink = [0u8; 4096];
+                let mut stdin = std::io::stdin();
+                while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+                let _ = client::call(
+                    &self_addr,
+                    "POST",
+                    "/v1/shutdown",
+                    &[],
+                    b"",
+                    Duration::from_secs(5),
+                );
+            });
+        }
+
+        let queue: Bounded<Job> = Bounded::new(cfg.queue);
+        let sessions: Mutex<Lru<SessionCell<'_>>> = Mutex::new(Lru::new(cfg.max_sessions));
+        let next_request = AtomicU64::new(0);
+        obs.gauge_set("serve.queue_capacity", cfg.queue.max(1) as i64);
+        obs.event(Level::Info, "serve.start", &format!("listening on {addr}"));
+
+        std::thread::scope(|s| {
+            let ctx = Ctx {
+                net: &net,
+                config: &config,
+                cfg: &cfg,
+                obs: &obs,
+                queue: &queue,
+                sessions: &sessions,
+                next_request: &next_request,
+            };
+            for _ in 0..cfg.workers.max(1) {
+                s.spawn(move || worker_loop(ctx));
+            }
+            accept_loop(&listener, ctx);
+            // Shutdown observed: admit nothing more, let the workers
+            // drain what's queued and exit on the closed queue.
+            queue.close();
+        });
+
+        obs.event(Level::Info, "serve.stop", "drained");
+        let snapshot = obs.snapshot();
+        if let Some(path) = &cfg.metrics_out {
+            std::fs::write(path, snapshot.to_json())
+                .map_err(|e| ServeError(format!("{path}: {e}")))?;
+        }
+        Ok(ServeSummary {
+            requests: snapshot.counter("serve.requests_total"),
+            shed: snapshot.counter("serve.queue_shed_total"),
+            snapshot,
+        })
+    }
+}
+
+/// Accept + parse until a shutdown request arrives.
+fn accept_loop(listener: &TcpListener, ctx: Ctx<'_, '_>) {
+    for stream in listener.incoming() {
+        let mut stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+        let req = match read_request(&mut stream, ctx.cfg.max_body) {
+            Ok(r) => r,
+            Err(HttpError::Malformed(m)) => {
+                ctx.obs.counter_add("serve.requests_total", 1);
+                ctx.respond(&mut stream, &Response::error(400, &m));
+                drain_rejected(&mut stream);
+                continue;
+            }
+            Err(HttpError::TooLarge(m)) => {
+                ctx.obs.counter_add("serve.requests_total", 1);
+                ctx.respond(&mut stream, &Response::error(413, &m));
+                drain_rejected(&mut stream);
+                continue;
+            }
+            Err(HttpError::Io(_)) => continue, // peer went away mid-read
+        };
+        ctx.obs.counter_add("serve.requests_total", 1);
+        let id = ctx.next_request.fetch_add(1, Ordering::Relaxed) + 1;
+        ctx.obs.event(
+            Level::Debug,
+            "serve.request",
+            &format!("r{id} {} {}", req.method, req.path),
+        );
+
+        // Introspection and shutdown are answered inline: they must work
+        // even when every worker is busy and the queue is full.
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => {
+                let body = healthz_body(ctx);
+                ctx.respond(&mut stream, &Response::json(200, body));
+                continue;
+            }
+            ("GET", "/metrics") => {
+                refresh_gauges(ctx);
+                let body = ctx.obs.snapshot().to_prometheus();
+                ctx.respond(&mut stream, &Response::text(200, body));
+                continue;
+            }
+            ("GET", "/metrics.json") => {
+                refresh_gauges(ctx);
+                let body = ctx.obs.snapshot().to_json();
+                ctx.respond(&mut stream, &Response::json(200, body));
+                continue;
+            }
+            ("POST", "/v1/shutdown") => {
+                let mut w = JsonWriter::new();
+                w.begin_object();
+                w.key("status");
+                w.string("draining");
+                w.end_object();
+                let mut body = w.finish();
+                body.push('\n');
+                ctx.respond(
+                    &mut stream,
+                    &Response::json(200, body).with_header("X-Jinjing-Exit", "0"),
+                );
+                return;
+            }
+            _ => {}
+        }
+
+        let route = match route_of(&req.method, &req.path) {
+            Ok(r) => r,
+            Err(resp) => {
+                ctx.respond(&mut stream, &resp);
+                continue;
+            }
+        };
+        let job = Job {
+            req,
+            stream,
+            route,
+            admitted: Instant::now(),
+            id,
+        };
+        match ctx.queue.try_push(job) {
+            Ok(depth) => ctx.obs.gauge_set("serve.queue_depth", depth as i64),
+            Err(PushError::Full(mut job)) => {
+                ctx.obs.counter_add("serve.queue_shed_total", 1);
+                ctx.respond(
+                    &mut job.stream,
+                    &Response::error(429, "queue full — retry later")
+                        .with_header("Retry-After", "1"),
+                );
+            }
+            Err(PushError::Closed(mut job)) => {
+                ctx.respond(&mut job.stream, &Response::error(503, "draining"));
+            }
+        }
+    }
+}
+
+/// After an early reject (413, malformed head) the peer may still be
+/// writing its body: those unread bytes sit in the kernel buffer, and
+/// closing a socket with pending input sends RST — which can destroy the
+/// already-written response before the client reads it. Half-close our
+/// write side so the client sees EOF, then swallow a bounded amount of
+/// whatever the peer still had in flight before dropping the stream.
+fn drain_rejected(stream: &mut TcpStream) {
+    use std::io::Read;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut budget: usize = 1 << 20;
+    let mut buf = [0u8; 8192];
+    while budget > 0 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
+/// Set the live gauges right before a metrics snapshot.
+fn refresh_gauges(ctx: Ctx<'_, '_>) {
+    ctx.obs
+        .gauge_set("serve.queue_depth", ctx.queue.depth() as i64);
+    ctx.obs
+        .gauge_set("serve.sessions_live", ctx.lock_sessions().len() as i64);
+}
+
+/// The `/healthz` body: cheap liveness + pressure gauges, canonical JSON.
+fn healthz_body(ctx: Ctx<'_, '_>) -> String {
+    let sessions = ctx.lock_sessions().len();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("queue_capacity");
+    w.u64(ctx.queue.capacity() as u64);
+    w.key("queue_depth");
+    w.u64(ctx.queue.depth() as u64);
+    w.key("sessions");
+    w.u64(sessions as u64);
+    w.key("status");
+    w.string("ok");
+    w.end_object();
+    let mut body = w.finish();
+    body.push('\n');
+    body
+}
+
+/// A worker: pop admitted jobs until the queue closes empty.
+fn worker_loop(ctx: Ctx<'_, '_>) {
+    while let Some(mut job) = ctx.queue.pop() {
+        ctx.obs
+            .gauge_set("serve.queue_depth", ctx.queue.depth() as i64);
+        let start = Instant::now();
+        let resp = handle(ctx, &mut job);
+        let elapsed = start.elapsed();
+        ctx.obs.histogram_record(
+            &format!("serve.latency_us.{}", job.route.key()),
+            elapsed.as_micros() as u64,
+        );
+        ctx.obs.record_span("serve.request", 1, elapsed);
+        ctx.obs.event(
+            Level::Debug,
+            "serve.response",
+            &format!("r{} {} -> {}", job.id, job.route.key(), resp.status),
+        );
+        ctx.respond(&mut job.stream, &resp);
+    }
+}
+
+/// Execute one admitted job: deadline check, optional test delay, then
+/// the endpoint body.
+fn handle(ctx: Ctx<'_, '_>, job: &mut Job) -> Response {
+    let deadline_ms = job
+        .req
+        .header("x-jinjing-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(ctx.cfg.deadline_ms);
+    if deadline_ms > 0 && job.admitted.elapsed() >= Duration::from_millis(deadline_ms) {
+        ctx.obs.counter_add("serve.deadline_expired", 1);
+        return Response::error(
+            408,
+            &format!("request queued past its {deadline_ms} ms deadline"),
+        );
+    }
+    if ctx.cfg.allow_test_delay {
+        if let Some(ms) = job
+            .req
+            .header("x-jinjing-test-delay-ms")
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+        }
+    }
+    match job.route.clone() {
+        Route::Check => one_shot(ctx, &job.req, "check"),
+        Route::Fix => one_shot(ctx, &job.req, "fix"),
+        Route::Generate => one_shot(ctx, &job.req, "generate"),
+        Route::Lint => lint_endpoint(ctx, &job.req),
+        Route::SessionOpen => session_open(ctx, &job.req),
+        Route::SessionDelta(id) => session_delta(ctx, &job.req, &id),
+        Route::SessionDelete(id) => session_delete(ctx, &id),
+    }
+}
+
+/// `POST /v1/check|fix|generate`: run the intent, demand its command
+/// matches the endpoint, answer the canonical plan JSON.
+fn one_shot(ctx: Ctx<'_, '_>, req: &Request, endpoint: &str) -> Response {
+    let text = match req.body_text() {
+        Ok(t) => t,
+        Err(HttpError::Malformed(m)) => return Response::error(400, &m),
+        Err(_) => return Response::error(400, "unreadable body"),
+    };
+    match run_query(ctx.net, ctx.config, text, &ctx.engine_config()) {
+        Err(e) => Response::error(400, &e.to_string()),
+        Ok(out) => {
+            if out.plan.command != endpoint {
+                return Response::error(
+                    400,
+                    &format!(
+                        "intent command {:?} does not match endpoint /v1/{endpoint}",
+                        out.plan.command
+                    ),
+                );
+            }
+            // Exit-code parity with `jinjing run`: a failed bare check
+            // gates pipelines with 3.
+            let exit = if endpoint == "check" && out.plan.verdict.starts_with("inconsistent") {
+                3
+            } else {
+                0
+            };
+            Response::json(200, out.plan.to_canonical_json())
+                .with_header("X-Jinjing-Exit", &exit.to_string())
+        }
+    }
+}
+
+/// `POST /v1/lint`: lint the resident network + configuration, with the
+/// body (when non-empty) as the intent program. Byte-identical to
+/// `jinjing lint --format json` on the same inputs.
+fn lint_endpoint(ctx: Ctx<'_, '_>, req: &Request) -> Response {
+    let text = match req.body_text() {
+        Ok(t) => t,
+        Err(HttpError::Malformed(m)) => return Response::error(400, &m),
+        Err(_) => return Response::error(400, "unreadable body"),
+    };
+    let program = if text.trim().is_empty() {
+        None
+    } else {
+        let parsed = match jinjing_lai::parse_program(text) {
+            Ok(p) => p,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        match jinjing_lai::validate(parsed) {
+            Ok(p) => Some(p),
+            Err(e) => return Response::error(400, &e.to_string()),
+        }
+    };
+    let out = jinjing_core::engine::lint(
+        ctx.net,
+        ctx.config,
+        program.as_ref(),
+        &jinjing_lint::LintConfig::default(),
+    );
+    let ReportKind::Lint(report) = out.kind else {
+        return Response::error(500, "engine returned a non-lint report for lint");
+    };
+    // Exit-code parity with `jinjing lint`: error-severity findings gate
+    // with 4.
+    let exit = if report.has_errors() { 4 } else { 0 };
+    let mut body = report.to_json();
+    body.push('\n');
+    Response::json(200, body).with_header("X-Jinjing-Exit", &exit.to_string())
+}
+
+/// `POST /v1/sessions`: open a resident check session over the intent's
+/// scope and the daemon's current configuration.
+fn session_open(ctx: Ctx<'_, '_>, req: &Request) -> Response {
+    let text = match req.body_text() {
+        Ok(t) => t,
+        Err(HttpError::Malformed(m)) => return Response::error(400, &m),
+        Err(_) => return Response::error(400, "unreadable body"),
+    };
+    match open_intent_session(ctx.net, ctx.config, text, &ctx.engine_config()) {
+        Err(e) => Response::error(400, &e.to_string()),
+        Ok(session) => {
+            let class_count = session.class_count();
+            let mut store = ctx.lock_sessions();
+            let r = store.insert(SessionCell {
+                session,
+                class_count,
+            });
+            ctx.obs.counter_add("serve.sessions_opened", 1);
+            if let Some(victim) = &r.evicted {
+                ctx.obs.counter_add("serve.sessions_evicted", 1);
+                ctx.obs.event(
+                    Level::Info,
+                    "serve.session_evicted",
+                    &format!("{victim} evicted by {}", r.id),
+                );
+            }
+            ctx.obs.gauge_set("serve.sessions_live", store.len() as i64);
+            drop(store);
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("classes");
+            w.u64(class_count as u64);
+            w.key("id");
+            w.string(&r.id);
+            w.end_object();
+            let mut body = w.finish();
+            body.push('\n');
+            Response::json(200, body).with_header("X-Jinjing-Exit", "0")
+        }
+    }
+}
+
+/// `POST /v1/sessions/{id}/delta`: re-check one delta batch against a
+/// resident session, answering the canonical watch JSON for the batch.
+fn session_delta(ctx: Ctx<'_, '_>, req: &Request, id: &str) -> Response {
+    let text = match req.body_text() {
+        Ok(t) => t,
+        Err(HttpError::Malformed(m)) => return Response::error(400, &m),
+        Err(_) => return Response::error(400, "unreadable body"),
+    };
+    let deltas = match jinjing_core::incr::parse_delta_script(ctx.net, text) {
+        Ok(d) => d,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let Some(cell) = ctx.lock_sessions().get(id) else {
+        return Response::error(
+            404,
+            &format!("unknown session {id:?} (expired or evicted?)"),
+        );
+    };
+    // Deltas to the *same* session serialize here; other sessions and
+    // one-shot queries proceed in parallel on the other workers.
+    let mut cell = cell
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    match recheck_steps(&mut cell.session, &deltas) {
+        Err(e) => Response::error(400, &e.to_string()),
+        Ok(steps) => {
+            let rejected = steps.iter().filter(|s| !s.applied).count();
+            if rejected > 0 {
+                ctx.obs
+                    .counter_add("serve.deltas_rejected", rejected as u64);
+            }
+            let out = WatchOutput::from_steps(
+                cell.class_count,
+                deltas.len(),
+                steps,
+                jinjing_obs::Snapshot::empty(),
+            );
+            // Exit-code parity with `jinjing watch`: rejected deltas gate
+            // with 3.
+            let exit = if rejected > 0 { 3 } else { 0 };
+            Response::json(200, out.to_canonical_json())
+                .with_header("X-Jinjing-Exit", &exit.to_string())
+        }
+    }
+}
+
+/// `DELETE /v1/sessions/{id}`.
+fn session_delete(ctx: Ctx<'_, '_>, id: &str) -> Response {
+    let mut store = ctx.lock_sessions();
+    if store.remove(id) {
+        ctx.obs.counter_add("serve.sessions_closed", 1);
+        ctx.obs.gauge_set("serve.sessions_live", store.len() as i64);
+        drop(store);
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("deleted");
+        w.string(id);
+        w.end_object();
+        let mut body = w.finish();
+        body.push('\n');
+        Response::json(200, body).with_header("X-Jinjing-Exit", "0")
+    } else {
+        Response::error(404, &format!("unknown session {id:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jinjing_core::figure1::Figure1;
+
+    const CHECK_INTENT: &str = "\
+acl PermitAll { permit all }
+scope A:*, B:*, C:*, D:*
+allow A:*, B:*
+modify D:2 to PermitAll
+check
+";
+
+    fn call(addr: &str, method: &str, path: &str, body: &str) -> client::CallResponse {
+        client::call(
+            addr,
+            method,
+            path,
+            &[],
+            body.as_bytes(),
+            Duration::from_secs(20),
+        )
+        .expect("call")
+    }
+
+    #[test]
+    fn daemon_round_trip_check_sessions_metrics_drain() {
+        let f = Figure1::new();
+        let srv = Server::bind(f.net, f.config, ServeConfig::default()).unwrap();
+        let addr = srv.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || srv.run().unwrap());
+
+        // One-shot check: inconsistent on the Figure 1 opening → exit 3,
+        // canonical plan body.
+        let r = call(&addr, "POST", "/v1/check", CHECK_INTENT);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.exit_code(), 3);
+        let body = r.body_text();
+        assert!(body.starts_with("{\"changes\":["), "{body}");
+        assert!(body.ends_with("}\n"), "{body}");
+        // Byte-identity with the in-process query layer.
+        let f2 = Figure1::new();
+        let direct = run_query(&f2.net, &f2.config, CHECK_INTENT, &EngineConfig::default())
+            .unwrap()
+            .plan
+            .to_canonical_json();
+        assert_eq!(
+            body, direct,
+            "daemon and library must render identical bytes"
+        );
+
+        // Command/endpoint mismatch is a 400, not a silent re-dispatch.
+        let r = call(&addr, "POST", "/v1/fix", CHECK_INTENT);
+        assert_eq!(r.status, 400);
+        assert_eq!(r.exit_code(), 1);
+
+        // Session lifecycle: open, delta, delete.
+        let r = call(&addr, "POST", "/v1/sessions", CHECK_INTENT);
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        let body = r.body_text();
+        assert!(body.contains("\"id\":\"s1\""), "{body}");
+        let r = call(&addr, "POST", "/v1/sessions/s1/delta", "step noop\n");
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        assert!(r.body_text().contains("\"label\":\"noop\""));
+        assert_eq!(r.exit_code(), 0);
+        let r = call(&addr, "DELETE", "/v1/sessions/s1", "");
+        assert_eq!(r.status, 200);
+        let r = call(&addr, "POST", "/v1/sessions/s1/delta", "step x\n");
+        assert_eq!(r.status, 404, "deleted sessions are gone");
+
+        // Introspection.
+        let r = call(&addr, "GET", "/healthz", "");
+        assert_eq!(r.status, 200);
+        assert!(r.body_text().contains("\"status\":\"ok\""));
+        let r = call(&addr, "GET", "/metrics", "");
+        assert_eq!(r.status, 200);
+        let metrics = r.body_text();
+        assert!(
+            metrics.contains("jinjing_serve_requests_total"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("jinjing_serve_latency_us_check"),
+            "{metrics}"
+        );
+
+        // Unknown routes and bad intents.
+        let r = call(&addr, "GET", "/nope", "");
+        assert_eq!(r.status, 404);
+        let r = call(&addr, "POST", "/v1/check", "scope Z:*\ncheck\n");
+        assert_eq!(r.status, 400);
+        assert_eq!(r.exit_code(), 1);
+
+        // Drain and collect the summary.
+        let r = call(&addr, "POST", "/v1/shutdown", "");
+        assert_eq!(r.status, 200);
+        let summary = handle.join().unwrap();
+        assert!(summary.requests >= 10, "{}", summary.requests);
+        assert_eq!(summary.shed, 0);
+        assert_eq!(summary.snapshot.counter("serve.sessions_opened"), 1);
+        assert_eq!(summary.snapshot.counter("serve.sessions_closed"), 1);
+    }
+
+    #[test]
+    fn routes_resolve_and_reject() {
+        assert_eq!(route_of("POST", "/v1/check").unwrap(), Route::Check);
+        assert_eq!(
+            route_of("POST", "/v1/sessions/s7/delta").unwrap(),
+            Route::SessionDelta("s7".into())
+        );
+        assert_eq!(
+            route_of("DELETE", "/v1/sessions/s7").unwrap(),
+            Route::SessionDelete("s7".into())
+        );
+        assert_eq!(route_of("GET", "/v1/check").unwrap_err().status, 404);
+        assert_eq!(
+            route_of("GET", "/v1/sessions/s7/delta").unwrap_err().status,
+            405
+        );
+        assert_eq!(
+            route_of("PATCH", "/v1/sessions/s7").unwrap_err().status,
+            405
+        );
+        assert_eq!(route_of("POST", "/v2/zzz").unwrap_err().status, 404);
+    }
+}

@@ -1,0 +1,181 @@
+//! An LRU-capped store for server-resident state (the daemon's check
+//! sessions), generic so the eviction policy is unit-testable without
+//! dragging a solver in.
+//!
+//! Shape: ids are minted by the store (`s1`, `s2`, …) and values are
+//! handed out as `Arc<Mutex<T>>`, so the store's own lock (held by the
+//! server around every map operation) is never held across a potentially
+//! long-running use of the value — two requests touching *different*
+//! sessions proceed in parallel, while two deltas racing for the *same*
+//! session serialize on the value's mutex, which is exactly the
+//! sequential-consistency story a session needs.
+//!
+//! Capacity is a hard bound on resident values. Inserting past it evicts
+//! the least-recently-*used* entry (any successful `get` refreshes
+//! recency) and reports the evicted id so the server can count it
+//! (`serve.sessions_evicted`) — a client whose session disappears gets a
+//! clean 404, not an OOM'd daemon.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// An insertion receipt: the new value's id, plus the id of whatever got
+/// evicted to make room (if anything).
+#[derive(Debug)]
+pub struct Inserted {
+    /// The id minted for the inserted value (`s<N>`).
+    pub id: String,
+    /// The LRU entry displaced by this insert, if the store was full.
+    pub evicted: Option<String>,
+}
+
+/// A least-recently-used store with server-minted string ids. See the
+/// module docs for the locking discipline.
+#[derive(Debug)]
+pub struct Lru<T> {
+    cap: usize,
+    next_id: u64,
+    /// Recency order, least-recent first. Linear scans are fine: the cap
+    /// is small (a daemon holds tens of sessions, not millions).
+    order: Vec<String>,
+    map: HashMap<String, Arc<Mutex<T>>>,
+    evicted: u64,
+}
+
+impl<T> Lru<T> {
+    /// An empty store holding at most `cap` values (minimum 1).
+    pub fn new(cap: usize) -> Lru<T> {
+        Lru {
+            cap: cap.max(1),
+            next_id: 0,
+            order: Vec::new(),
+            map: HashMap::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Insert a value, evicting the LRU entry when full. The new value is
+    /// most-recent.
+    pub fn insert(&mut self, value: T) -> Inserted {
+        let evicted = if self.map.len() >= self.cap {
+            let victim = self.order.remove(0);
+            self.map.remove(&victim);
+            self.evicted += 1;
+            Some(victim)
+        } else {
+            None
+        };
+        self.next_id += 1;
+        let id = format!("s{}", self.next_id);
+        self.order.push(id.clone());
+        self.map.insert(id.clone(), Arc::new(Mutex::new(value)));
+        Inserted { id, evicted }
+    }
+
+    /// Look up a value and refresh its recency. `None` for unknown (or
+    /// already-evicted) ids.
+    pub fn get(&mut self, id: &str) -> Option<Arc<Mutex<T>>> {
+        let value = self.map.get(id)?.clone();
+        if let Some(pos) = self.order.iter().position(|x| x == id) {
+            let touched = self.order.remove(pos);
+            self.order.push(touched);
+        }
+        Some(value)
+    }
+
+    /// Drop a value by id; `true` if it was present. A request still
+    /// holding the `Arc` keeps the value alive until it finishes.
+    pub fn remove(&mut self, id: &str) -> bool {
+        if self.map.remove(id).is_some() {
+            self.order.retain(|x| x != id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resident values.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `len() == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total evictions since the store was created (monotone).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mints_sequential_ids() {
+        let mut lru: Lru<u32> = Lru::new(4);
+        assert_eq!(lru.insert(10).id, "s1");
+        assert_eq!(lru.insert(20).id, "s2");
+        assert_eq!(lru.len(), 2);
+        assert!(!lru.is_empty());
+        assert_eq!(*lru.get("s1").unwrap().lock().unwrap(), 10);
+        assert!(lru.get("s99").is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        let mut lru: Lru<u32> = Lru::new(2);
+        lru.insert(1); // s1
+        lru.insert(2); // s2
+                       // Touch s1 so s2 becomes the LRU victim.
+        lru.get("s1").unwrap();
+        let r = lru.insert(3); // s3 evicts s2
+        assert_eq!(r.id, "s3");
+        assert_eq!(r.evicted.as_deref(), Some("s2"));
+        assert!(lru.get("s2").is_none());
+        assert!(lru.get("s1").is_some(), "recently-used survives");
+        assert_eq!(lru.evicted(), 1);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn remove_is_idempotent_and_ids_never_recycle() {
+        let mut lru: Lru<u32> = Lru::new(2);
+        lru.insert(1); // s1
+        assert!(lru.remove("s1"));
+        assert!(!lru.remove("s1"), "second remove is a no-op");
+        assert!(lru.is_empty());
+        // A fresh insert after a remove gets a *new* id — a stale client
+        // holding "s1" must see 404, never someone else's session.
+        assert_eq!(lru.insert(2).id, "s2");
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let mut lru: Lru<u32> = Lru::new(0);
+        assert_eq!(lru.capacity(), 1);
+        lru.insert(1); // s1
+        let r = lru.insert(2); // evicts s1
+        assert_eq!(r.evicted.as_deref(), Some("s1"));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn values_outlive_eviction_while_referenced() {
+        let mut lru: Lru<String> = Lru::new(1);
+        lru.insert("held".to_string());
+        let held = lru.get("s1").unwrap();
+        lru.insert("new".to_string()); // evicts s1 from the *map*
+        assert!(lru.get("s1").is_none());
+        // …but the in-flight reference still works.
+        assert_eq!(*held.lock().unwrap(), "held");
+    }
+}

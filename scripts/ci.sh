@@ -78,6 +78,73 @@ else
     echo "ci.sh: python3 not installed — skipping BENCH_incr.json probe" >&2
 fi
 
+echo "==> daemon smoke (serve ⇄ call round trip, threads 1 and 4)"
+# Boot the verification daemon on an ephemeral port, drive it with the
+# `jinjing call` thin client — a check (exit 3: the running example is
+# inconsistent), a session open → rejected delta (exit 3) → delete, a live
+# /metrics scrape — then drain it with /v1/shutdown and require a clean
+# exit. Once single-threaded, once with a 4-wide engine: the wire bytes
+# and exit codes must not care.
+serve_smoke() {
+    local threads="$1" dir pid addr sid rc
+    dir="$(mktemp -d)"
+    printf 'step open-d2\nset D:2 default permit\n' >"$dir/edit.deltas"
+    JINJING_THREADS="$threads" cargo run --release -p jinjing-cli --bin jinjing -- serve \
+        --network examples/data/figure1-network.json \
+        --acls examples/data/figure1-acls.json \
+        --addr 127.0.0.1:0 --port-file "$dir/port" >"$dir/serve.log" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 100); do [ -s "$dir/port" ] && break; sleep 0.1; done
+    [ -s "$dir/port" ] || { cat "$dir/serve.log" >&2; return 1; }
+    addr="$(cat "$dir/port")"
+    jj() { cargo run --release -q -p jinjing-cli --bin jinjing -- call --addr "$addr" "$@"; }
+
+    rc=0
+    jj --path /v1/check --body-file examples/data/running-example.lai \
+        >"$dir/check.json" || rc=$?
+    [ "$rc" -eq 3 ] || { echo "expected exit 3 from /v1/check, got $rc" >&2; return 1; }
+    grep -q '"verdict":"inconsistent' "$dir/check.json"
+
+    jj --path /v1/sessions --body-file examples/data/running-example.lai >"$dir/open.json"
+    sid="$(sed -n 's/.*"id":"\(s[0-9]*\)".*/\1/p' "$dir/open.json")"
+    [ -n "$sid" ] || { echo "no session id in $(cat "$dir/open.json")" >&2; return 1; }
+    rc=0
+    jj --path "/v1/sessions/$sid/delta" --body-file "$dir/edit.deltas" \
+        >"$dir/delta.json" || rc=$?
+    [ "$rc" -eq 3 ] || { echo "expected exit 3 from a rejected delta, got $rc" >&2; return 1; }
+    grep -q '"rejected":1' "$dir/delta.json"
+    jj --method DELETE --path "/v1/sessions/$sid" >/dev/null
+
+    jj --method GET --path /metrics >"$dir/metrics.txt"
+    grep -q '^jinjing_serve_requests_total ' "$dir/metrics.txt"
+    grep -q '^jinjing_serve_deltas_rejected 1' "$dir/metrics.txt"
+
+    jj --path /v1/shutdown >/dev/null
+    wait "$pid" || { echo "daemon exited non-zero after drain" >&2; return 1; }
+    rm -rf "$dir"
+}
+serve_smoke 1
+serve_smoke 4
+
+echo "==> serve-throughput smoke — regenerates BENCH_serve.json"
+# The harness itself asserts every HTTP response body byte-identical to
+# the in-process rendering; the smoke step verifies the artifact's shape
+# and that nothing was shed at the bench's queue depth.
+cargo run --release -p jinjing-bench --bin figures -- serve \
+    --bench-out BENCH_serve.json >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_serve.json"))
+assert d["benchmark"] == "serve" and d["bodies_identical"] is True, d
+assert d["requests"] == d["clients"] * 25 and d["shed"] == 0, d
+print(f"BENCH_serve.json: {d['requests']} requests over {d['clients']} clients, "
+      f"p50 {d['p50_us']}us, {d['throughput_rps']} req/s")
+EOF
+else
+    echo "ci.sh: python3 not installed — skipping BENCH_serve.json probe" >&2
+fi
+
 echo "==> cargo fmt --all --check"
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --all --check

@@ -7,16 +7,18 @@
 # std-only, so on a machine without crates.io access we can still build and
 # test the heart of the system with bare rustc:
 #
-#   rlibs:  acl → obs → par → {solver, lai, net} → lint → core → cli
+#   rlibs:  acl → obs → par → {solver, lai, net} → lint → core → serve → cli
 #           (+ the scripts/stubs/rand.rs facade → wan → bench)
 #   tests:  acl unit, obs unit, par unit, solver unit, lint unit, core unit,
-#           cli unit (offline subset), tests/obs_integration.rs,
+#           serve unit, cli unit (offline subset), tests/obs_integration.rs,
 #           tests/lint_integration.rs, tests/par_determinism.rs,
 #           tests/running_example.rs, tests/wan_integration.rs,
 #           tests/incr_oracle.rs (+ a JINJING_THREADS=4 re-run),
-#           tests/cli_golden.rs (+ a JINJING_THREADS=4 re-run)
+#           tests/cli_golden.rs (+ a JINJING_THREADS=4 re-run),
+#           tests/serve_integration.rs (+ a JINJING_THREADS=4 re-run)
 #   bench:  the `figures` binary's `incr --small` replay, regenerating
-#           BENCH_incr.json into $OUT and sanity-probing its shape
+#           BENCH_incr.json into $OUT and sanity-probing its shape, plus a
+#           `figures serve` loopback daemon smoke writing BENCH_serve.json
 #
 # serde-dependent code (spec JSON, CLI loaders, serde_json round-trips) is
 # compiled out under `--cfg jinjing_offline`; `rand` is satisfied by the
@@ -64,11 +66,18 @@ rlib jinjing_core crates/core/src/lib.rs $A $O \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
     --extern jinjing_lint="$OUT/libjinjing_lint.rlib"
+rlib jinjing_serve crates/serve/src/lib.rs $O \
+    --extern jinjing_par="$OUT/libjinjing_par.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib" \
+    --extern jinjing_lint="$OUT/libjinjing_lint.rlib" \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib"
 rlib jinjing_cli crates/cli/src/lib.rs --cfg jinjing_offline $A $O \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
-    --extern jinjing_lint="$OUT/libjinjing_lint.rlib"
+    --extern jinjing_lint="$OUT/libjinjing_lint.rlib" \
+    --extern jinjing_serve="$OUT/libjinjing_serve.rlib"
 rlib rand scripts/stubs/rand.rs
 rlib jinjing_wan crates/wan/src/lib.rs $A $O \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
@@ -109,11 +118,18 @@ tbin lint_integration tests/lint_integration.rs --cfg jinjing_offline $A \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
     --extern jinjing_lint="$OUT/libjinjing_lint.rlib"
+tbin serve_unit crates/serve/src/lib.rs $O \
+    --extern jinjing_par="$OUT/libjinjing_par.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib" \
+    --extern jinjing_lint="$OUT/libjinjing_lint.rlib" \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib"
 tbin cli_unit crates/cli/src/lib.rs --cfg jinjing_offline $A $O \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
-    --extern jinjing_lint="$OUT/libjinjing_lint.rlib"
+    --extern jinjing_lint="$OUT/libjinjing_lint.rlib" \
+    --extern jinjing_serve="$OUT/libjinjing_serve.rlib"
 tbin running_example tests/running_example.rs $A \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
@@ -132,12 +148,17 @@ tbin cli_golden tests/cli_golden.rs --cfg jinjing_offline $A $O \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_lint="$OUT/libjinjing_lint.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib"
+tbin serve_integration tests/serve_integration.rs $O \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_serve="$OUT/libjinjing_serve.rlib"
 
 # The determinism half of the incremental contract: the oracle suite and
-# the golden files must hold verbatim under a 4-worker default too.
-echo "==> re-run incr_oracle + cli_golden with JINJING_THREADS=4"
+# the golden files must hold verbatim under a 4-worker default too — and
+# the daemon must render the same bytes when the engine runs 4-wide.
+echo "==> re-run incr_oracle + cli_golden + serve_integration with JINJING_THREADS=4"
 JINJING_THREADS=4 "$OUT/incr_oracle" -q
 JINJING_THREADS=4 "$OUT/cli_golden" -q
+JINJING_THREADS=4 "$OUT/serve_integration" -q
 
 # Incremental-replay smoke: regenerate BENCH_incr.json (into $OUT — the
 # committed copy is refreshed by scripts/ci.sh's online path) and check
@@ -151,7 +172,8 @@ echo "==> figures incr --small (BENCH_incr.json smoke)"
     --extern jinjing_wan="$OUT/libjinjing_wan.rlib" \
     --extern jinjing_bench="$OUT/libjinjing_bench.rlib" \
     --extern jinjing_solver="$OUT/libjinjing_solver.rlib" \
-    --extern jinjing_lint="$OUT/libjinjing_lint.rlib"
+    --extern jinjing_lint="$OUT/libjinjing_lint.rlib" \
+    --extern jinjing_serve="$OUT/libjinjing_serve.rlib"
 "$OUT/figures" incr --small --bench-out "$OUT/BENCH_incr.json" >/dev/null
 grep -q '"benchmark":"incr"' "$OUT/BENCH_incr.json"
 if command -v python3 >/dev/null 2>&1; then
@@ -166,6 +188,29 @@ print(f"BENCH_incr.json: {d['steps']} steps, {d['dirty_pairs_total']} dirty pair
 EOF
 else
     echo "offline_check.sh: python3 not installed — skipping BENCH_incr.json probe" >&2
+fi
+
+# Daemon smoke: `figures serve` spins up a loopback jinjing-serve instance,
+# drives 100 concurrent /v1/check requests plus a session delta round, and
+# asserts every response body matches the in-process rendering byte for
+# byte. Run it single- and 4-threaded: the wire bytes must not care how
+# wide the engine runs.
+echo "==> figures serve (loopback daemon smoke, BENCH_serve.json)"
+JINJING_THREADS=1 "$OUT/figures" serve --bench-out "$OUT/BENCH_serve.json" >/dev/null
+grep -q '"bodies_identical":true' "$OUT/BENCH_serve.json"
+JINJING_THREADS=4 "$OUT/figures" serve --bench-out "$OUT/BENCH_serve.json" >/dev/null
+grep -q '"bodies_identical":true' "$OUT/BENCH_serve.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$OUT/BENCH_serve.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["benchmark"] == "serve" and d["bodies_identical"] is True, d
+assert d["requests"] == d["clients"] * 25 and d["shed"] == 0, d
+print(f"BENCH_serve.json: {d['requests']} requests over {d['clients']} clients, "
+      f"p50 {d['p50_us']}us, {d['throughput_rps']} req/s, shed {d['shed']}")
+EOF
+else
+    echo "offline_check.sh: python3 not installed — skipping BENCH_serve.json probe" >&2
 fi
 
 echo "offline_check.sh: all offline checks passed (artifacts in $OUT)"

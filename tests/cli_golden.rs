@@ -100,11 +100,14 @@ fn assert_golden(name: &str, got: &str) {
         std::fs::write(&path, got).expect("bless golden");
         return;
     }
-    let want = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with JINJING_BLESS=1 to create it", path.display()));
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with JINJING_BLESS=1 to create it",
+            path.display()
+        )
+    });
     assert_eq!(
-        got,
-        want,
+        got, want,
         "{name} drifted from its golden file; if the change is intentional, \
          re-bless with JINJING_BLESS=1 and review the diff"
     );
@@ -112,19 +115,25 @@ fn assert_golden(name: &str, got: &str) {
 
 fn run_json(src: &str) -> String {
     let fig = Figure1::new();
-    let out = run_command_with(&fig.net, &fig.config, src, &RunOptions::default())
-        .expect("run_command");
+    let out =
+        run_command_with(&fig.net, &fig.config, src, &RunOptions::default()).expect("run_command");
     out.plan.to_canonical_json()
 }
 
 #[test]
 fn check_plan_json_is_golden() {
-    assert_golden("check.json", &run_json(&format!("{RUNNING_EXAMPLE_BODY}check\n")));
+    assert_golden(
+        "check.json",
+        &run_json(&format!("{RUNNING_EXAMPLE_BODY}check\n")),
+    );
 }
 
 #[test]
 fn fix_plan_json_is_golden() {
-    assert_golden("fix.json", &run_json(&format!("{RUNNING_EXAMPLE_BODY}fix\n")));
+    assert_golden(
+        "fix.json",
+        &run_json(&format!("{RUNNING_EXAMPLE_BODY}fix\n")),
+    );
 }
 
 #[test]
