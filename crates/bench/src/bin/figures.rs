@@ -9,7 +9,7 @@
 //! ```
 //!
 //! Subcommands: `fig4a` `fig4b` `fig4c` `fig4d` `table5` `depth` `spans`
-//! `lint` `par` `incr` `serve` `all`.
+//! `lint` `par` `incr` `serve` `trace` `all`.
 //! `--large` additionally runs the large-network fix (minutes, matching the
 //! paper's ~10-minute ceiling for check+fix).
 //! `par` accepts `--small` (restrict to the small WAN; the CI smoke step)
@@ -767,6 +767,11 @@ struct ServeRun {
     p50_us: u64,
     p90_us: u64,
     p99_us: u64,
+    /// p99 of the flight-recorder pass (`X-Jinjing-Trace: 1` requests);
+    /// the tracing overhead budget is judged against `p99_us`.
+    p99_traced_us: u64,
+    /// How many requests ran with the recorder armed.
+    traced_requests: usize,
     throughput_rps: f64,
     session_delta_us: u64,
 }
@@ -798,6 +803,8 @@ fn serve_json(r: &ServeRun) -> String {
     w.u64(r.p50_us);
     w.key("p90_us");
     w.u64(r.p90_us);
+    w.key("p99_traced_us");
+    w.u64(r.p99_traced_us);
     w.key("p99_us");
     w.u64(r.p99_us);
     w.key("requests");
@@ -808,6 +815,8 @@ fn serve_json(r: &ServeRun) -> String {
     w.u64(r.shed);
     w.key("throughput_rps");
     w.f64((r.throughput_rps * 100.0).round() / 100.0);
+    w.key("traced_requests");
+    w.u64(r.traced_requests as u64);
     w.key("workers");
     w.u64(r.workers as u64);
     w.end_object();
@@ -896,6 +905,48 @@ check
         "a daemon response diverged from the CLI bytes"
     );
 
+    // Traced pass: the same request with the flight recorder armed. The
+    // bytes must not move; only the side-channel capture (and a little
+    // latency, budgeted in scripts/perf_gate.py) may.
+    const TRACED: usize = 25;
+    let trace_header = [("X-Jinjing-Trace".to_string(), "1".to_string())];
+    let mut traced_latencies: Vec<u64> = Vec::with_capacity(TRACED);
+    let mut trace_id = String::new();
+    for _ in 0..TRACED {
+        let t = Instant::now();
+        let r = client::call(
+            &addr,
+            "POST",
+            "/v1/check",
+            &trace_header,
+            INTENT.as_bytes(),
+            Duration::from_secs(60),
+        )
+        .expect("traced call");
+        traced_latencies.push(t.elapsed().as_micros() as u64);
+        assert_eq!(r.status, 200);
+        assert_eq!(
+            r.body_text(),
+            want,
+            "a traced response diverged from the CLI bytes"
+        );
+        trace_id = r.header("x-jinjing-trace-id").expect("trace id").to_string();
+    }
+    let r = client::call(
+        &addr,
+        "GET",
+        &format!("/v1/trace/{trace_id}"),
+        &[],
+        b"",
+        Duration::from_secs(60),
+    )
+    .expect("trace fetch");
+    assert_eq!(r.status, 200, "{}", r.body_text());
+    assert!(
+        r.body_text().contains("\"traceEvents\""),
+        "trace body is not Chrome trace_event JSON"
+    );
+
     // One session round: open → delta batch → delete.
     let t = Instant::now();
     let r = client::call(
@@ -947,6 +998,7 @@ check
     let summary = handle.join().expect("daemon thread");
 
     all_latencies.sort_unstable();
+    traced_latencies.sort_unstable();
     let run = ServeRun {
         clients: CLIENTS,
         requests: CLIENTS * PER_CLIENT,
@@ -956,25 +1008,65 @@ check
         p50_us: percentile(&all_latencies, 0.50),
         p90_us: percentile(&all_latencies, 0.90),
         p99_us: percentile(&all_latencies, 0.99),
+        p99_traced_us: percentile(&traced_latencies, 0.99),
+        traced_requests: TRACED,
         throughput_rps: (CLIENTS * PER_CLIENT) as f64 / wall.as_secs_f64().max(1e-9),
         session_delta_us,
     };
-    println!("| clients | requests | workers | p50 µs | p90 µs | p99 µs | rps | shed |");
-    println!("|---------|----------|---------|--------|--------|--------|-----|------|");
+    println!("| clients | requests | workers | p50 µs | p90 µs | p99 µs | traced p99 µs | rps | shed |");
+    println!("|---------|----------|---------|--------|--------|--------|---------------|-----|------|");
     println!(
-        "| {} | {} | {} | {} | {} | {} | {:.1} | {} |",
+        "| {} | {} | {} | {} | {} | {} | {} | {:.1} | {} |",
         run.clients,
         run.requests,
         run.workers,
         run.p50_us,
         run.p90_us,
         run.p99_us,
+        run.p99_traced_us,
         run.throughput_rps,
         run.shed,
     );
     if let Some(path) = bench_out {
         let json = serve_json(&run);
         std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\n(wrote {path})");
+    }
+}
+
+/// Flight-recorder smoke: run the Figure 1 check with the recorder armed
+/// (4-wide), assert the plan bytes match an untraced run, print the span
+/// summary, and dump the Chrome `trace_event` JSON to `--trace-out`.
+fn trace_dump(out_path: Option<&str>) {
+    const INTENT: &str = "\
+acl PermitAll { permit all }
+scope A:*, B:*, C:*, D:*
+allow A:*, B:*
+modify D:2 to PermitAll
+check
+";
+    println!("\n## Flight recorder — Figure 1 check capture\n");
+    let f = jinjing_core::figure1::Figure1::new();
+    let plain =
+        jinjing_core::query::run_query(&f.net, &f.config, INTENT, &EngineConfig::default())
+            .expect("reference run")
+            .plan
+            .to_canonical_json();
+    let cfg = EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    };
+    let tctx = jinjing_obs::TraceCtx::new(&jinjing_obs::trace_id_of(INTENT));
+    cfg.obs.attach_trace_ctx(tctx.clone());
+    let traced = jinjing_core::query::run_query(&f.net, &f.config, INTENT, &cfg)
+        .expect("traced run")
+        .plan
+        .to_canonical_json();
+    assert_eq!(plain, traced, "tracing must not perturb the plan bytes");
+    print!("{}", tctx.summary());
+    if let Some(path) = out_path {
+        std::fs::write(path, tctx.to_chrome_json())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("\n(wrote {path})");
     }
 }
@@ -989,7 +1081,7 @@ fn main() {
         .map(|i| args.get(i + 1).cloned().expect("--bench-out needs a path"));
     let wants = |name: &str| args.iter().any(|a| a == name) || args.iter().any(|a| a == "all");
     if args.is_empty() {
-        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [lint] [par] [incr] [serve] [all] [--large] [--small] [--bench-out <path>]");
+        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [lint] [par] [incr] [serve] [trace] [all] [--large] [--small] [--bench-out <path>] [--trace-out <path>]");
         std::process::exit(2);
     }
     println!("# Jinjing evaluation — regenerated tables");
@@ -1025,6 +1117,13 @@ fn main() {
     }
     if wants("serve") {
         serve_bench(bench_out.as_deref());
+    }
+    if wants("trace") {
+        let trace_out = args
+            .iter()
+            .position(|a| a == "--trace-out")
+            .map(|i| args.get(i + 1).cloned().expect("--trace-out needs a path"));
+        trace_dump(trace_out.as_deref());
     }
 }
 

@@ -137,6 +137,51 @@ pub fn run_command_with(
     jinjing_core::query::run_query(net, config, intent_text, &opts.engine_config()).map_err(err)
 }
 
+/// Everything a `jinjing trace` run produces: the normal run output plus
+/// the rendered flight recording.
+#[derive(Debug)]
+pub struct TraceOutput {
+    /// The underlying run (report text, plan, metrics snapshot) —
+    /// byte-identical to the same run without tracing.
+    pub run: RunOutput,
+    /// The capture rendered as Chrome `trace_event` JSON (load it in
+    /// `chrome://tracing` or Perfetto).
+    pub chrome_json: String,
+    /// The human-readable span summary (slowest spans first, with
+    /// self-time attribution).
+    pub summary: String,
+    /// The deterministic trace id (FNV-1a over the intent text).
+    pub trace_id: String,
+    /// Events the bounded flight-recorder ring could not record.
+    pub events_dropped: u64,
+}
+
+/// Run an LAI program with the flight recorder armed (`jinjing trace`):
+/// the same [`run_command_with`] query path, plus a request-scoped
+/// [`jinjing_obs::TraceCtx`] capturing timestamped spans from the engine,
+/// the worker pool, and the solver. The report/plan bytes are identical
+/// to an untraced run — only the side-channel capture differs.
+pub fn trace_command(
+    net: &Network,
+    config: &AclConfig,
+    intent_text: &str,
+    opts: &RunOptions,
+) -> Result<TraceOutput, CliError> {
+    let cfg = opts.engine_config();
+    let tctx = jinjing_obs::TraceCtx::new(&jinjing_obs::trace_id_of(intent_text));
+    cfg.obs.attach_trace_ctx(tctx.clone());
+    let root = tctx.span(0, "cli.trace");
+    let run = jinjing_core::query::run_query(net, config, intent_text, &cfg).map_err(err)?;
+    drop(root);
+    Ok(TraceOutput {
+        run,
+        chrome_json: tctx.to_chrome_json(),
+        summary: tctx.summary(),
+        trace_id: tctx.id().unwrap_or("").to_string(),
+        events_dropped: tctx.events_dropped(),
+    })
+}
+
 /// Run an incremental check session (`jinjing watch`, a.k.a.
 /// `run --session`): bind the intent's scope/controls and the current
 /// configuration into a [`jinjing_core::incr::CheckSession`], then feed it
@@ -184,6 +229,7 @@ pub fn serve_config_from_args(args: &[String]) -> Result<jinjing_serve::ServeCon
         deadline_ms: parse_num("--deadline-ms", defaults.deadline_ms as usize)? as u64,
         max_body: parse_num("--max-body", defaults.max_body)?,
         max_sessions: parse_num("--max-sessions", defaults.max_sessions)?,
+        max_traces: parse_num("--max-traces", defaults.max_traces)?,
         threads: parse_num("--threads", 0)?,
         metrics_out: arg_value(args, "--metrics-out"),
         port_file: arg_value(args, "--port-file"),
@@ -260,7 +306,15 @@ pub fn call_command(args: &[String]) -> Result<i32, CliError> {
     .map_err(CliError)?;
     print!("{}", resp.body_text());
     if resp.status >= 400 {
-        eprintln!("error: HTTP {} from {addr}{path}", resp.status);
+        // Surface the daemon's backpressure hint: a shed request (429)
+        // carries Retry-After, and scripts deserve to see it.
+        match resp.header("retry-after") {
+            Some(after) => eprintln!(
+                "error: HTTP {} from {addr}{path} (Retry-After: {after}s)",
+                resp.status
+            ),
+            None => eprintln!("error: HTTP {} from {addr}{path}", resp.status),
+        }
     }
     Ok(resp.exit_code())
 }
@@ -720,6 +774,43 @@ step noop
         assert!(call_command(&["call".to_string()]).is_err());
         assert_eq!(call_command(&args("/v1/shutdown", "")).unwrap(), 0);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn trace_command_captures_without_perturbing_output() {
+        let f = Figure1::new();
+        let plain = run_command_with(&f.net, &f.config, CHECK_INTENT, &RunOptions::default())
+            .unwrap()
+            .plan
+            .to_canonical_json();
+        let traced = trace_command(&f.net, &f.config, CHECK_INTENT, &RunOptions::default()).unwrap();
+        assert_eq!(
+            traced.run.plan.to_canonical_json(),
+            plain,
+            "tracing must not perturb the plan bytes"
+        );
+        assert_eq!(traced.trace_id, jinjing_obs::trace_id_of(CHECK_INTENT));
+        assert_eq!(traced.events_dropped, 0);
+        for needle in ["\"traceEvents\"", "cli.trace", "engine.run", "solver.query"] {
+            assert!(traced.chrome_json.contains(needle), "missing {needle}");
+        }
+        assert!(
+            traced.summary.contains(&traced.trace_id),
+            "{}",
+            traced.summary
+        );
+        // Same bytes when the engine runs 4-wide under the recorder.
+        let wide = trace_command(
+            &f.net,
+            &f.config,
+            CHECK_INTENT,
+            &RunOptions {
+                threads: 4,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(wide.run.plan.to_canonical_json(), plain);
     }
 
     #[test]

@@ -20,6 +20,8 @@ USAGE:
     jinjing watch --network <net.json> --acls <acls.json> --intent <prog.lai>
                 --deltas <deltas.txt> [--format text|json]
                 [--metrics-out <metrics.json>] [--trace] [--threads <N>]
+    jinjing trace --network <net.json> --acls <acls.json> --intent <prog.lai>
+                [--trace-out <trace.json>] [--threads <N>]
     jinjing lint --network <net.json> --acls <acls.json> [--intent <prog.lai>]
                 [--format text|json] [--deny <CODE>] ...
                 [--metrics-out <metrics.json>] [--trace]
@@ -31,7 +33,8 @@ USAGE:
     jinjing serve --network <net.json> --acls <acls.json>
                 [--addr <host:port>] [--workers <N>] [--queue <N>]
                 [--deadline-ms <N>] [--max-body <BYTES>] [--max-sessions <N>]
-                [--threads <N>] [--metrics-out <m.json>] [--port-file <p>]
+                [--max-traces <N>] [--threads <N>]
+                [--metrics-out <m.json>] [--port-file <p>]
                 [--drain-on-stdin-eof] [--trace]
     jinjing call [--addr <host:port>] --path </v1/check>
                 [--method POST|GET|DELETE] [--body-file <f> | --body <text>]
@@ -48,6 +51,13 @@ COMMANDS:
                FECs each delta dirties are re-solved; verdicts are
                byte-identical to cold per-step checks. Exits 3 when any
                delta is rejected as inconsistent
+    trace      Flight-recorder run: execute the intent like `run`, capturing
+               timestamped spans from the engine, the worker pool, and the
+               solver; write the capture as Chrome trace_event JSON
+               (--trace-out, default trace.json — load it in
+               chrome://tracing or Perfetto) and print a span summary
+               (slowest spans first, with self time). Report bytes are
+               identical to an untraced run; exits 3 on a failed check
     lint       Static analysis: shadowed/redundant/conflicting rules (JL0xx),
                contradictory or vacuous intent clauses (JL1xx), dangling
                references and silent-allow paths (JL2xx). Exits 4 when any
@@ -214,6 +224,42 @@ fn real_main(args: &[String]) -> Result<(), String> {
                 threads,
             };
             run_watch(&net, &config, &intent, &deltas_path, &opts, args)
+        }
+        "trace" => {
+            let net_path = require(args, "--network")?;
+            let acl_path = require(args, "--acls")?;
+            let intent_path = require(args, "--intent")?;
+            let net = load_network(&net_path).map_err(|e| e.to_string())?;
+            let config = load_acls(&acl_path, &net).map_err(|e| e.to_string())?;
+            let intent =
+                std::fs::read_to_string(&intent_path).map_err(|e| format!("{intent_path}: {e}"))?;
+            let threads = match arg_value(args, "--threads") {
+                Some(n) => n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--threads wants a number, got {n:?}"))?,
+                None => 0,
+            };
+            let opts = RunOptions {
+                trace: args.iter().any(|a| a == "--trace"),
+                threads,
+            };
+            let out = jinjing_cli::trace_command(&net, &config, &intent, &opts)
+                .map_err(|e| e.to_string())?;
+            let path = arg_value(args, "--trace-out").unwrap_or_else(|| "trace.json".to_string());
+            std::fs::write(&path, &out.chrome_json).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", out.summary);
+            eprintln!("trace {} written to {path}", out.trace_id);
+            if out.events_dropped > 0 {
+                eprintln!(
+                    "warning: {} event(s) dropped (flight-recorder ring full)",
+                    out.events_dropped
+                );
+            }
+            // Exit parity with `run`: a failed bare check gates with 3.
+            if out.run.plan.command == "check" && out.run.plan.verdict.starts_with("inconsistent") {
+                std::process::exit(3);
+            }
+            Ok(())
         }
         "lint" => {
             let net_path = require(args, "--network")?;

@@ -503,8 +503,18 @@ pub(crate) fn check_inner(
 
     let region = if cfg.differential { Some(&cover) } else { None };
     let cancel = Cancel::new();
+    // Flight recorder: workers emit onto their own track (`1 + slot`; the
+    // serial path uses track 1) so a trace shows per-worker solver
+    // timelines. A disabled context makes every call below a no-op.
+    let tr = cfg.obs.trace_ctx();
     let results = pool.par_map_cancel(&jobs, &cancel, |i, job| {
         let t0 = Instant::now();
+        let tid = 1 + jinjing_par::current_worker().unwrap_or(0) as u64;
+        let pair_span = tr.span_with(
+            tid,
+            "check.pair",
+            &[("class", job.class_idx as u64), ("path", job.path_idx as u64)],
+        );
         let path = &enumerated[job.class_idx].0[job.path_idx];
         let chain: Vec<(&Acl, &Acl)> = path
             .slots
@@ -516,7 +526,9 @@ pub(crate) fn check_inner(
         // Stage 1: ∃h (∈ cover): desired chain ≠ updated chain. The
         // class constraint is deliberately absent so the query is shared
         // verbatim by every FEC routed through the same ACL chain.
+        let s1_span = tr.span_with(tid, "solver.query", &[("stage", 1)]);
         let stage1 = cached_query(cfg, &chain, job.verb, region, None);
+        stage1.stats.trace_query(s1_span, stage1.vars, stage1.clauses);
         let witness = match stage1.result {
             SolveResult::Unsat => {
                 // No disagreeing packet anywhere in the cover ⇒ none in
@@ -535,7 +547,9 @@ pub(crate) fn check_inner(
                 } else {
                     // Stage 2: re-ask with the witness pinned inside the
                     // class. Never cached (class sets rarely recur).
+                    let s2_span = tr.span_with(tid, "solver.query", &[("stage", 2)]);
                     let s2 = run_query(&chain, job.verb, cfg.encoding, region, Some(job.class_set));
+                    s2.stats.trace_query(s2_span, s2.vars, s2.clauses);
                     let w = match s2.result {
                         SolveResult::Sat => Some(s2.model.expect("Sat query stores its model")),
                         SolveResult::Unsat => None,
@@ -548,6 +562,7 @@ pub(crate) fn check_inner(
         if witness.is_some() {
             cancel.cut(i);
         }
+        drop(pair_span);
         PairResult {
             queries,
             t_solve: t0.elapsed(),
@@ -784,11 +799,15 @@ pub fn check_per_acl(before: &AclConfig, after: &AclConfig, cfg: &CheckConfig) -
     let region = if cfg.differential { Some(&cover) } else { None };
     // One per-slot equivalence query per work item; identical ACL
     // templates on different slots share a cache entry.
+    let tr = cfg.obs.trace_ctx();
     let results = pool.par_map_cancel(&slots, &cancel, |i, slot| {
         let pair = &pairs[slot];
         let t0 = Instant::now();
+        let tid = 1 + jinjing_par::current_worker().unwrap_or(0) as u64;
+        let q_span = tr.span_with(tid, "solver.query", &[("slot", i as u64)]);
         let chain = [(&pair.before, &pair.after)];
         let solved = cached_query(cfg, &chain, None, region, None);
+        solved.stats.trace_query(q_span, solved.vars, solved.clauses);
         if solved.result == SolveResult::Sat {
             cancel.cut(i);
         }

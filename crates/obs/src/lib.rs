@@ -40,10 +40,12 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use event::{Event, Level};
 pub use metrics::Histogram;
 pub use span::SpanGuard;
+pub use trace::{trace_id_of, TraceCtx, TraceSpan};
 
 use json::JsonWriter;
 use metrics::{Counter, Gauge};
@@ -78,6 +80,10 @@ struct Inner {
     trace: bool,
     /// Event-timestamp origin.
     epoch: Instant,
+    /// Per-request flight recorder; disabled (no-op) by default. When
+    /// enabled, guard spans and events are mirrored onto its driver
+    /// track (tid 0).
+    trace_ctx: TraceCtx,
 }
 
 impl Inner {
@@ -92,6 +98,7 @@ impl Inner {
             events_dropped: 0,
             trace,
             epoch: Instant::now(),
+            trace_ctx: TraceCtx::disabled(),
         }
     }
 }
@@ -140,13 +147,27 @@ impl Collector {
         self.lock().trace = on;
     }
 
+    /// Attach a per-request flight recorder (see [`trace::TraceCtx`]).
+    /// Guard spans ([`Collector::span`]) and events mirror onto its
+    /// driver track (tid 0) from then on; a disabled context detaches.
+    pub fn attach_trace_ctx(&self, ctx: TraceCtx) {
+        self.lock().trace_ctx = ctx;
+    }
+
+    /// The attached flight-recorder context (disabled no-op by default).
+    /// Cloning is cheap; callers hand clones to worker threads to emit
+    /// worker-track events.
+    pub fn trace_ctx(&self) -> TraceCtx {
+        self.lock().trace_ctx.clone()
+    }
+
     // ---- Spans. ----
 
     /// Enter a span named `name` under the currently open span. Returns the
     /// RAII guard; the span closes (and records) when the guard drops or
     /// [`SpanGuard::finish`] is called.
     pub fn span(&self, name: &str) -> SpanGuard {
-        let idx = {
+        let (idx, tc) = {
             let mut g = self.lock();
             let parent = *g.stack.last().expect("root is never popped");
             let existing = g.spans[parent]
@@ -165,27 +186,44 @@ impl Collector {
             };
             g.spans[idx].open += 1;
             g.stack.push(idx);
-            idx
+            let tc = g.trace_ctx.enabled().then(|| g.trace_ctx.clone());
+            (idx, tc)
         };
+        if let Some(tc) = tc {
+            tc.begin(0, name);
+        }
         SpanGuard::new(self.clone(), idx)
     }
 
     /// Close a span opened by [`Collector::span`] (called by the guard).
     pub(crate) fn exit_span(&self, idx: usize, elapsed: Duration) {
-        let mut g = self.lock();
-        g.spans[idx].count = g.spans[idx].count.saturating_add(1);
-        g.spans[idx].total += elapsed;
-        g.spans[idx].open = g.spans[idx].open.saturating_sub(1);
-        // Pop the stack down to (and including) this span. Guards are RAII
-        // so this is normally the top entry; tolerate skipped pops from
-        // early returns that dropped guards out of declaration order.
-        while let Some(&top) = g.stack.last() {
-            if top == 0 {
-                break; // never pop the root
+        let tc = {
+            let mut g = self.lock();
+            g.spans[idx].count = g.spans[idx].count.saturating_add(1);
+            g.spans[idx].total += elapsed;
+            g.spans[idx].open = g.spans[idx].open.saturating_sub(1);
+            // Pop the stack down to (and including) this span. Guards are
+            // RAII so this is normally the top entry; tolerate skipped pops
+            // from early returns that dropped guards out of declaration
+            // order.
+            let mut pops = 0u32;
+            while let Some(&top) = g.stack.last() {
+                if top == 0 {
+                    break; // never pop the root
+                }
+                g.stack.pop();
+                pops += 1;
+                if top == idx {
+                    break;
+                }
             }
-            g.stack.pop();
-            if top == idx {
-                break;
+            (pops > 0 && g.trace_ctx.enabled()).then(|| (g.trace_ctx.clone(), pops))
+        };
+        if let Some((tc, pops)) = tc {
+            // Mirror every popped guard so the recorder's driver-track
+            // stack stays aligned with the span stack.
+            for _ in 0..pops {
+                tc.end(0);
             }
         }
     }
@@ -281,26 +319,33 @@ impl Collector {
 
     // ---- Events. ----
 
-    /// Record a structured event; mirrored to stderr when tracing is on.
+    /// Record a structured event; mirrored to stderr when tracing is on,
+    /// and onto the flight recorder's driver track when one is attached.
     pub fn event(&self, level: Level, name: &str, message: &str) {
-        let mut g = self.lock();
-        let t_ns = g.epoch.elapsed().as_nanos() as u64;
-        if g.trace {
-            eprintln!(
-                "[jinjing {:>5} +{:>9.3}ms] {name}: {message}",
-                level,
-                t_ns as f64 / 1e6
-            );
-        }
-        if g.events.len() < MAX_EVENTS {
-            g.events.push(Event {
-                t_ns,
-                level,
-                name: name.to_string(),
-                message: message.to_string(),
-            });
-        } else {
-            g.events_dropped = g.events_dropped.saturating_add(1);
+        let tc = {
+            let mut g = self.lock();
+            let t_ns = g.epoch.elapsed().as_nanos() as u64;
+            if g.trace {
+                eprintln!(
+                    "[jinjing {:>5} +{:>9.3}ms] {name}: {message}",
+                    level,
+                    t_ns as f64 / 1e6
+                );
+            }
+            if g.events.len() < MAX_EVENTS {
+                g.events.push(Event {
+                    t_ns,
+                    level,
+                    name: name.to_string(),
+                    message: message.to_string(),
+                });
+            } else {
+                g.events_dropped = g.events_dropped.saturating_add(1);
+            }
+            g.trace_ctx.enabled().then(|| g.trace_ctx.clone())
+        };
+        if let Some(tc) = tc {
+            tc.instant_msg(0, name, message);
         }
     }
 
@@ -324,8 +369,20 @@ impl Collector {
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
+        let mut synthetic = false;
         if g.events_dropped > 0 {
             counters.push(("obs.events_dropped".to_string(), g.events_dropped));
+            synthetic = true;
+        }
+        // Same saturation accounting for the flight-recorder ring: a
+        // truncated trace must be visible wherever the snapshot lands
+        // (`--metrics-out`, the daemon's `/metrics`).
+        let trace_dropped = g.trace_ctx.events_dropped();
+        if trace_dropped > 0 {
+            counters.push(("obs.trace_events_dropped".to_string(), trace_dropped));
+            synthetic = true;
+        }
+        if synthetic {
             counters.sort();
         }
         Snapshot {
@@ -504,8 +561,11 @@ impl Snapshot {
     /// Mapping:
     /// - counters → `jinjing_<name> <v>` with `# TYPE … counter`;
     /// - gauges → the same with `# TYPE … gauge`;
-    /// - histograms → a summary: `{quantile="0.5|0.9|0.99"}` sample
-    ///   lines plus `_sum` and `_count`;
+    /// - histograms → a conformant Prometheus histogram: cumulative
+    ///   `_bucket{le="…"}` series derived from the log₂ buckets (each
+    ///   `le` is the bucket's inclusive upper bound), a closing
+    ///   `_bucket{le="+Inf"}`, then `_sum` and `_count` — so server-side
+    ///   quantile functions (`histogram_quantile`) work;
     /// - spans → two metric families, `jinjing_span_seconds_total` and
     ///   `jinjing_span_entries_total`, one sample per tree node with the
     ///   node's `root/…` path as the `path` label.
@@ -542,10 +602,18 @@ impl Snapshot {
         }
         for (k, h) in &self.histograms {
             let n = format!("jinjing_{}", sanitize(k));
-            let _ = writeln!(out, "# TYPE {n} summary");
-            for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
-                let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for &(i, c) in &h.buckets {
+                cumulative += c;
+                let le = metrics::bucket_upper(i);
+                if le == u64::MAX {
+                    // The open-ended top bucket folds into +Inf below.
+                    continue;
+                }
+                let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
             }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{n}_sum {}", h.sum);
             let _ = writeln!(out, "{n}_count {}", h.count);
         }
@@ -838,5 +906,85 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json
             .contains("\"spans\":{\"children\":[],\"count\":0,\"name\":\"root\",\"total_ns\":0}"));
+    }
+
+    #[test]
+    fn prometheus_histograms_emit_cumulative_buckets() {
+        let c = Collector::with_trace(false);
+        // Samples land in log₂ buckets: 0 → bucket 0 (le 0), 1 → bucket
+        // 1 (le 1), 5 → bucket 3 (le 7), 1000 → bucket 10 (le 1023).
+        for v in [0u64, 1, 5, 1000] {
+            c.histogram_record("solver.decisions", v);
+        }
+        let text = c.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE jinjing_solver_decisions histogram"));
+        assert!(text.contains("jinjing_solver_decisions_bucket{le=\"0\"} 1"));
+        assert!(text.contains("jinjing_solver_decisions_bucket{le=\"1\"} 2"));
+        assert!(text.contains("jinjing_solver_decisions_bucket{le=\"7\"} 3"));
+        assert!(text.contains("jinjing_solver_decisions_bucket{le=\"1023\"} 4"));
+        assert!(text.contains("jinjing_solver_decisions_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("jinjing_solver_decisions_sum 1006"));
+        assert!(text.contains("jinjing_solver_decisions_count 4"));
+        assert!(
+            !text.contains("quantile="),
+            "summary quantiles replaced by buckets: {text}"
+        );
+    }
+
+    #[test]
+    fn collector_mirrors_spans_and_events_onto_the_recorder() {
+        let c = Collector::with_trace(false);
+        let ctx = TraceCtx::new("tmirror");
+        c.attach_trace_ctx(ctx.clone());
+        assert!(c.trace_ctx().enabled());
+        {
+            let _outer = c.span("engine.run");
+            let _inner = c.span("check");
+            c.event(Level::Info, "check.verdict", "consistent");
+        }
+        c.record_span("check.solve", 3, Duration::from_nanos(30)); // not mirrored
+        let json = ctx.to_chrome_json();
+        assert!(json.contains("\"name\":\"engine.run\""), "{json}");
+        assert!(json.contains("\"name\":\"check\""), "{json}");
+        assert!(json.contains("\"check.verdict\""), "{json}");
+        assert!(json.contains("\"msg\":\"consistent\""), "{json}");
+        assert!(!json.contains("check.solve"), "record_span is aggregate-only");
+        assert_eq!(
+            json.matches("\"ph\":\"B\"").count(),
+            json.matches("\"ph\":\"E\"").count()
+        );
+        // The aggregate side is untouched by mirroring.
+        let snap = c.snapshot();
+        assert_eq!(snap.spans.child("engine.run").unwrap().count, 1);
+    }
+
+    #[test]
+    fn snapshot_reports_trace_ring_drops() {
+        let c = Collector::with_trace(false);
+        c.attach_trace_ctx(TraceCtx::with_capacity("tdrop", 2));
+        for _ in 0..4 {
+            c.span("s").finish();
+        }
+        // The first span fills the 2-slot ring (B+E); the three later
+        // Begins drop (their Ends are skipped, not double-counted).
+        let snap = c.snapshot();
+        assert_eq!(snap.counter("obs.trace_events_dropped"), 3);
+        // And it renders into /metrics like any counter.
+        assert!(snap
+            .to_prometheus()
+            .contains("jinjing_obs_trace_events_dropped 3"));
+    }
+
+    #[test]
+    fn detached_collector_records_no_trace() {
+        let c = Collector::with_trace(false);
+        let ctx = TraceCtx::new("tdetach");
+        c.attach_trace_ctx(ctx.clone());
+        c.span("a").finish();
+        c.attach_trace_ctx(TraceCtx::disabled());
+        c.span("b").finish();
+        let json = ctx.to_chrome_json();
+        assert!(json.contains("\"name\":\"a\""));
+        assert!(!json.contains("\"name\":\"b\""));
     }
 }

@@ -49,6 +49,26 @@ use std::thread;
 /// requested. Invalid or missing values resolve to `1` (serial).
 pub const THREADS_ENV: &str = "JINJING_THREADS";
 
+thread_local! {
+    /// Worker slot of the calling thread when it was spawned by a
+    /// [`Pool`] fan-out; `None` on the driver and on foreign threads.
+    static CURRENT_WORKER: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The pool-worker slot index (`0..workers`) of the calling thread, or
+/// `None` outside a [`Pool`] fan-out (including the serial `threads <= 1`
+/// path, which runs on the caller's thread).
+///
+/// This is observability plumbing, not scheduling state: per-request
+/// flight recorders use it to tag trace events with the worker track
+/// that produced them. Pool threads live only for the duration of one
+/// `par_map` call, so the tag never leaks across fan-outs.
+#[must_use]
+pub fn current_worker() -> Option<usize> {
+    CURRENT_WORKER.with(std::cell::Cell::get)
+}
+
 /// Upper bound on worker threads; guards against absurd env values.
 const MAX_THREADS: usize = 256;
 
@@ -251,6 +271,7 @@ impl Pool {
             let buckets = &buckets;
             for w in 0..workers {
                 s.spawn(move || {
+                    CURRENT_WORKER.with(|c| c.set(Some(w)));
                     let mut local: Vec<(usize, R)> = Vec::new();
                     while let Some(i) = next_index(deques, w) {
                         if !cancel.is_beyond(i) {
@@ -313,6 +334,21 @@ fn next_index(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn current_worker_is_tagged_in_parallel_and_absent_serially() {
+        assert_eq!(current_worker(), None, "driver thread has no slot");
+        let items: Vec<usize> = (0..64).collect();
+        // Serial path: runs on the caller's thread, no slot.
+        let serial = Pool::new(1).par_map(&items, |_, _| current_worker());
+        assert!(serial.iter().all(Option::is_none));
+        // Parallel path: every item sees some worker slot within range.
+        let workers = 4;
+        let par = Pool::new(workers).par_map(&items, |_, _| current_worker());
+        assert!(par
+            .iter()
+            .all(|w| w.is_some_and(|w| w < workers)));
+    }
 
     #[test]
     fn chunks_cover_range_exactly() {

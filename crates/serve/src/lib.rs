@@ -19,8 +19,18 @@
 //! GET  /healthz                 queue/session gauges, canonical JSON
 //! GET  /metrics                 live jinjing-obs snapshot, Prometheus text
 //! GET  /metrics.json            the same snapshot, canonical JSON
+//! GET  /v1/trace/{id}           captured flight-recorder trace, Chrome JSON
 //! POST /v1/shutdown             graceful drain
 //! ```
+//!
+//! **Tracing.** A one-shot request carrying `X-Jinjing-Trace: 1` runs
+//! with a per-request flight recorder attached: the response gains an
+//! `X-Jinjing-Trace-Id` header (deterministic —
+//! [`jinjing_obs::trace_id_of`] over the intent text) and the rendered
+//! Chrome `trace_event` JSON is parked in a bounded FIFO
+//! ([`store::TraceStore`], capacity [`ServeConfig::max_traces`]) for
+//! `GET /v1/trace/{id}`. Tracing is off by default and never changes
+//! response bodies — the byte-identity contract below holds with it on.
 //!
 //! **The byte-identity contract.** A response body is byte-identical to
 //! the corresponding CLI output: `/v1/check|fix|generate` return exactly
@@ -79,7 +89,7 @@ use jinjing_obs::{Collector, Level};
 use jinjing_par::queue::{Bounded, PushError};
 
 use http::{read_request, HttpError, Request, Response};
-use store::Lru;
+use store::{Lru, TraceStore};
 
 /// How long a read on an accepted connection may stall before the
 /// connection is dropped. Bounds the damage a trickling client can do to
@@ -124,6 +134,9 @@ pub struct ServeConfig {
     pub max_body: usize,
     /// LRU cap on resident check sessions.
     pub max_sessions: usize,
+    /// FIFO cap on captured flight-recorder traces (`X-Jinjing-Trace`
+    /// opt-in; fetched via `GET /v1/trace/{id}`).
+    pub max_traces: usize,
     /// Engine worker threads per request (the CLI's `--threads`; 0 =
     /// consult `JINJING_THREADS`, default serial). Responses are
     /// byte-identical for every value.
@@ -155,6 +168,7 @@ impl Default for ServeConfig {
             deadline_ms: 10_000,
             max_body: 1 << 20,
             max_sessions: 8,
+            max_traces: 16,
             threads: 0,
             metrics_out: None,
             port_file: None,
@@ -276,6 +290,7 @@ struct Ctx<'a, 'n> {
     obs: &'a Collector,
     queue: &'a Bounded<Job>,
     sessions: &'a Mutex<Lru<SessionCell<'n>>>,
+    traces: &'a Mutex<TraceStore>,
     next_request: &'a AtomicU64,
 }
 
@@ -294,6 +309,12 @@ impl<'a, 'n> Ctx<'a, 'n> {
         // The store is plain bookkeeping; recover it from a poisoned lock
         // rather than taking the whole daemon down with one panic.
         self.sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_traces(&self) -> std::sync::MutexGuard<'a, TraceStore> {
+        self.traces
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
@@ -378,6 +399,7 @@ impl Server {
 
         let queue: Bounded<Job> = Bounded::new(cfg.queue);
         let sessions: Mutex<Lru<SessionCell<'_>>> = Mutex::new(Lru::new(cfg.max_sessions));
+        let traces: Mutex<TraceStore> = Mutex::new(TraceStore::new(cfg.max_traces));
         let next_request = AtomicU64::new(0);
         obs.gauge_set("serve.queue_capacity", cfg.queue.max(1) as i64);
         obs.event(Level::Info, "serve.start", &format!("listening on {addr}"));
@@ -390,6 +412,7 @@ impl Server {
                 obs: &obs,
                 queue: &queue,
                 sessions: &sessions,
+                traces: &traces,
                 next_request: &next_request,
             };
             for _ in 0..cfg.workers.max(1) {
@@ -466,6 +489,15 @@ fn accept_loop(listener: &TcpListener, ctx: Ctx<'_, '_>) {
                 refresh_gauges(ctx);
                 let body = ctx.obs.snapshot().to_json();
                 ctx.respond(&mut stream, &Response::json(200, body));
+                continue;
+            }
+            ("GET", p) if p.starts_with("/v1/trace/") => {
+                let id = &p["/v1/trace/".len()..];
+                let resp = match ctx.lock_traces().get(id) {
+                    Some(body) => Response::json(200, body.to_string()),
+                    None => Response::error(404, &format!("unknown trace {id:?}")),
+                };
+                ctx.respond(&mut stream, &resp);
                 continue;
             }
             ("POST", "/v1/shutdown") => {
@@ -628,28 +660,59 @@ fn one_shot(ctx: Ctx<'_, '_>, req: &Request, endpoint: &str) -> Response {
         Err(HttpError::Malformed(m)) => return Response::error(400, &m),
         Err(_) => return Response::error(400, "unreadable body"),
     };
-    match run_query(ctx.net, ctx.config, text, &ctx.engine_config()) {
+    let ecfg = ctx.engine_config();
+    // Flight-recorder opt-in: any non-empty, non-"0" header value arms a
+    // request-scoped recorder on this request's private collector. The
+    // trace id is deterministic in the intent text, so re-tracing the
+    // same query replaces its old capture rather than duplicating it.
+    let tctx = req
+        .header("x-jinjing-trace")
+        .filter(|v| !v.is_empty() && *v != "0")
+        .map(|_| {
+            let t = jinjing_obs::TraceCtx::new(&jinjing_obs::trace_id_of(text));
+            ecfg.obs.attach_trace_ctx(t.clone());
+            t
+        });
+    let req_span = tctx.as_ref().map(|t| t.span(0, "serve.request"));
+    let result = run_query(ctx.net, ctx.config, text, &ecfg);
+    drop(req_span);
+    let trace_id = tctx.map(|t| {
+        let id = t.id().unwrap_or("").to_string();
+        ctx.lock_traces().insert(&id, t.to_chrome_json());
+        ctx.obs.counter_add("serve.traces_captured", 1);
+        let dropped = t.events_dropped();
+        if dropped > 0 {
+            ctx.obs.counter_add("serve.trace_events_dropped", dropped);
+        }
+        id
+    });
+    let resp = match result {
         Err(e) => Response::error(400, &e.to_string()),
         Ok(out) => {
             if out.plan.command != endpoint {
-                return Response::error(
+                Response::error(
                     400,
                     &format!(
                         "intent command {:?} does not match endpoint /v1/{endpoint}",
                         out.plan.command
                     ),
-                );
-            }
-            // Exit-code parity with `jinjing run`: a failed bare check
-            // gates pipelines with 3.
-            let exit = if endpoint == "check" && out.plan.verdict.starts_with("inconsistent") {
-                3
+                )
             } else {
-                0
-            };
-            Response::json(200, out.plan.to_canonical_json())
-                .with_header("X-Jinjing-Exit", &exit.to_string())
+                // Exit-code parity with `jinjing run`: a failed bare check
+                // gates pipelines with 3.
+                let exit = if endpoint == "check" && out.plan.verdict.starts_with("inconsistent") {
+                    3
+                } else {
+                    0
+                };
+                Response::json(200, out.plan.to_canonical_json())
+                    .with_header("X-Jinjing-Exit", &exit.to_string())
+            }
         }
+    };
+    match trace_id {
+        Some(id) => resp.with_header("X-Jinjing-Trace-Id", &id),
+        None => resp,
     }
 }
 
@@ -900,6 +963,65 @@ check
         assert_eq!(summary.shed, 0);
         assert_eq!(summary.snapshot.counter("serve.sessions_opened"), 1);
         assert_eq!(summary.snapshot.counter("serve.sessions_closed"), 1);
+    }
+
+    #[test]
+    fn traced_request_captures_and_serves_a_flight_record() {
+        let f = Figure1::new();
+        let srv = Server::bind(f.net, f.config, ServeConfig::default()).unwrap();
+        let addr = srv.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || srv.run().unwrap());
+
+        // Baseline body without tracing: no trace id is stamped.
+        let plain = call(&addr, "POST", "/v1/check", CHECK_INTENT);
+        assert_eq!(plain.status, 200);
+        assert!(plain.header("x-jinjing-trace-id").is_none());
+
+        // Opt in via header: identical bytes, plus a deterministic id.
+        let traced = client::call(
+            &addr,
+            "POST",
+            "/v1/check",
+            &[("X-Jinjing-Trace".to_string(), "1".to_string())],
+            CHECK_INTENT.as_bytes(),
+            Duration::from_secs(20),
+        )
+        .expect("traced call");
+        assert_eq!(traced.status, 200);
+        assert_eq!(
+            traced.body_text(),
+            plain.body_text(),
+            "tracing must not perturb response bytes"
+        );
+        let id = traced
+            .header("x-jinjing-trace-id")
+            .expect("trace id")
+            .to_string();
+        assert_eq!(id, jinjing_obs::trace_id_of(CHECK_INTENT));
+
+        // The capture is fetchable and holds spans from every layer:
+        // serve, engine, a pool worker track, and the solver.
+        let r = call(&addr, "GET", &format!("/v1/trace/{id}"), "");
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        let trace = r.body_text();
+        for needle in [
+            "\"traceEvents\"",
+            "serve.request",
+            "engine.run",
+            "worker-0",
+            "solver.query",
+        ] {
+            assert!(trace.contains(needle), "missing {needle} in {trace}");
+        }
+
+        // Unknown ids are a clean 404.
+        let r = call(&addr, "GET", "/v1/trace/tdeadbeef", "");
+        assert_eq!(r.status, 404);
+
+        let r = call(&addr, "POST", "/v1/shutdown", "");
+        assert_eq!(r.status, 200);
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.snapshot.counter("serve.traces_captured"), 1);
     }
 
     #[test]

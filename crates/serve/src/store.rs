@@ -115,9 +115,98 @@ impl<T> Lru<T> {
     }
 }
 
+/// A bounded FIFO store for captured flight-recorder traces, keyed by
+/// the request's *deterministic* trace id (so the same query re-traced
+/// replaces its old capture instead of duplicating it). Unlike [`Lru`],
+/// ids come from the caller — they are part of the serve API
+/// (`GET /v1/trace/{id}`) and must be predictable from the request body.
+#[derive(Debug)]
+pub struct TraceStore {
+    cap: usize,
+    /// Insertion order, oldest first; values are rendered Chrome JSON.
+    entries: Vec<(String, String)>,
+    evicted: u64,
+}
+
+impl TraceStore {
+    /// An empty store holding at most `cap` traces (minimum 1).
+    pub fn new(cap: usize) -> TraceStore {
+        TraceStore {
+            cap: cap.max(1),
+            entries: Vec::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Insert (or replace) a trace body under a caller-chosen id,
+    /// evicting the oldest capture when the store is full. Replacement
+    /// refreshes insertion order — the re-traced request is the newest.
+    pub fn insert(&mut self, id: &str, body: String) {
+        self.entries.retain(|(k, _)| k != id);
+        self.entries.push((id.to_string(), body));
+        while self.entries.len() > self.cap {
+            self.entries.remove(0);
+            self.evicted += 1;
+        }
+    }
+
+    /// Look up a trace body; capture order is unaffected.
+    pub fn get(&self, id: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == id)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Resident traces.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `len() == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total captures displaced by newer ones (monotone).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_store_is_fifo_bounded_and_keyed() {
+        let mut ts = TraceStore::new(2);
+        ts.insert("ta", "{a}".to_string());
+        ts.insert("tb", "{b}".to_string());
+        assert_eq!(ts.get("ta"), Some("{a}"));
+        // Same id replaces in place (deterministic ids recur) and
+        // refreshes order, so "tb" is now the oldest…
+        ts.insert("ta", "{a2}".to_string());
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.get("ta"), Some("{a2}"));
+        // …and a third distinct id evicts it.
+        ts.insert("tc", "{c}".to_string());
+        assert_eq!(ts.get("tb"), None);
+        assert_eq!(ts.get("ta"), Some("{a2}"));
+        assert_eq!(ts.get("tc"), Some("{c}"));
+        assert_eq!(ts.evicted(), 1);
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn trace_store_capacity_clamps_to_one() {
+        let mut ts = TraceStore::new(0);
+        ts.insert("ta", "{a}".to_string());
+        ts.insert("tb", "{b}".to_string());
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.get("ta"), None);
+        assert_eq!(ts.get("tb"), Some("{b}"));
+    }
 
     #[test]
     fn mints_sequential_ids() {

@@ -88,6 +88,33 @@ impl SolverStats {
         obs.histogram_record("solver.vars", vars as u64);
         obs.histogram_record("solver.clauses", clauses as u64);
     }
+
+    /// Close a per-query flight-recorder span with this stats delta as
+    /// its arguments, and drop `solver.*` counter samples on the span's
+    /// track so trace viewers plot the conflict / restart /
+    /// learned-clause timeline across queries. The aggregate-side twin
+    /// of [`SolverStats::record_query`]; a no-op when the span's context
+    /// is disabled.
+    pub fn trace_query(&self, span: jinjing_obs::trace::TraceSpan, vars: usize, clauses: usize) {
+        let ctx = span.ctx().clone();
+        let tid = span.tid();
+        if !ctx.enabled() {
+            return;
+        }
+        span.end_with(&[
+            ("clauses", clauses as u64),
+            ("conflicts", self.conflicts),
+            ("decisions", self.decisions),
+            ("learned", self.learned),
+            ("max_depth", self.max_depth),
+            ("propagations", self.propagations),
+            ("restarts", self.restarts),
+            ("vars", vars as u64),
+        ]);
+        ctx.counter(tid, "solver.conflicts", self.conflicts);
+        ctx.counter(tid, "solver.restarts", self.restarts);
+        ctx.counter(tid, "solver.learned", self.learned);
+    }
 }
 
 impl std::ops::AddAssign<SolverStats> for SolverStats {

@@ -145,6 +145,17 @@ else
     echo "ci.sh: python3 not installed — skipping BENCH_serve.json probe" >&2
 fi
 
+echo "==> perf regression gate (vs committed BENCH_*.json)"
+# Compare this run's regenerated bench artifacts against the committed
+# baselines (read back out of git — the working-tree copies were just
+# overwritten above). >25% slower fails CI; locally (CI unset, no
+# --strict) it only warns, because laptops are noisy.
+if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/perf_gate.py
+else
+    echo "ci.sh: python3 not installed — skipping perf gate" >&2
+fi
+
 echo "==> cargo fmt --all --check"
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --all --check

@@ -15,7 +15,8 @@
 #           tests/running_example.rs, tests/wan_integration.rs,
 #           tests/incr_oracle.rs (+ a JINJING_THREADS=4 re-run),
 #           tests/cli_golden.rs (+ a JINJING_THREADS=4 re-run),
-#           tests/serve_integration.rs (+ a JINJING_THREADS=4 re-run)
+#           tests/serve_integration.rs (+ a JINJING_THREADS=4 re-run),
+#           tests/trace_export.rs
 #   bench:  the `figures` binary's `incr --small` replay, regenerating
 #           BENCH_incr.json into $OUT and sanity-probing its shape, plus a
 #           `figures serve` loopback daemon smoke writing BENCH_serve.json
@@ -151,6 +152,8 @@ tbin cli_golden tests/cli_golden.rs --cfg jinjing_offline $A $O \
 tbin serve_integration tests/serve_integration.rs $O \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
     --extern jinjing_serve="$OUT/libjinjing_serve.rlib"
+tbin trace_export tests/trace_export.rs --cfg jinjing_offline $O \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib"
 
 # The determinism half of the incremental contract: the oracle suite and
 # the golden files must hold verbatim under a 4-worker default too — and
@@ -211,6 +214,43 @@ print(f"BENCH_serve.json: {d['requests']} requests over {d['clients']} clients, 
 EOF
 else
     echo "offline_check.sh: python3 not installed — skipping BENCH_serve.json probe" >&2
+fi
+
+# Flight-recorder smoke: `figures trace` runs the Figure 1 check with the
+# recorder armed (asserting the plan bytes match an untraced run) and
+# dumps the Chrome trace_event JSON; the probe checks the export is
+# strict JSON with balanced B/E spans and monotone timestamps per track.
+echo "==> figures trace (flight-recorder Chrome export smoke)"
+"$OUT/figures" trace --trace-out "$OUT/trace_smoke.json" >/dev/null
+grep -q '"traceEvents"' "$OUT/trace_smoke.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$OUT/trace_smoke.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["displayTimeUnit"] == "ms", d
+assert d["otherData"]["dropped_events"] == 0, d
+evs = d["traceEvents"]
+assert evs, "empty capture"
+open_spans, last_ts = {}, {}
+for e in evs:
+    tid, ph = e["tid"], e["ph"]
+    assert e["pid"] == 1, e
+    if ph == "B":
+        open_spans[tid] = open_spans.get(tid, 0) + 1
+    elif ph == "E":
+        assert open_spans.get(tid, 0) > 0, f"E without B on tid {tid}"
+        open_spans[tid] -= 1
+    if "ts" in e:
+        assert e["ts"] >= last_ts.get(tid, -1.0), f"ts not monotone on tid {tid}"
+        last_ts[tid] = e["ts"]
+assert all(n == 0 for n in open_spans.values()), f"unbalanced: {open_spans}"
+spans = {e["name"] for e in evs if e["ph"] == "B"}
+assert {"engine.run", "check.pair", "solver.query"} <= spans, spans
+print(f"trace_smoke.json: {len(evs)} events over {len(last_ts)} track(s), "
+      f"balanced and monotone")
+EOF
+else
+    echo "offline_check.sh: python3 not installed — skipping trace probe" >&2
 fi
 
 echo "offline_check.sh: all offline checks passed (artifacts in $OUT)"
