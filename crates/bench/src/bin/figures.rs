@@ -359,6 +359,43 @@ fn lint() {
             report.obs.counter("lint.solver_confirmed"),
         );
     }
+
+    println!("\n## Cross-tenant lint — 4 seeded tenants, 6 controls each (seed 7)\n");
+    println!(
+        "| network | stmt pairs | conflicts | certified | resolved | unresolved | wall ms |"
+    );
+    println!(
+        "|---------|------------|-----------|-----------|----------|------------|---------|"
+    );
+    for size in NetSize::ALL {
+        let net = wan(size);
+        let tenants: Vec<jinjing_lint::TenantIntent> =
+            jinjing_wan::multi_tenant_intents(&net, 4, 6, 7)
+                .into_iter()
+                .map(|(name, program)| jinjing_lint::TenantIntent::new(name, program))
+                .collect();
+        // Rank the first two tenants so the preview has both resolved and
+        // unresolved contests to report.
+        let priority: Vec<String> = tenants.iter().take(2).map(|t| t.tenant.clone()).collect();
+        let timing_cfg = jinjing_lint::LintConfig::default();
+        let (t, _) = timed(|| jinjing_lint::lint_multi(&tenants, &priority, &timing_cfg));
+        // Fresh collector for the counters: `timed` may rerun its closure,
+        // which would multiply them.
+        let cfg = jinjing_lint::LintConfig::default();
+        let mut report = jinjing_lint::lint_multi(&tenants, &priority, &cfg);
+        report.sort();
+        let snap = cfg.obs.snapshot();
+        println!(
+            "| {} | {:>10} | {:>9} | {:>9} | {:>8} | {:>10} | {:>7} |",
+            size.label(),
+            snap.counter("lint.multi.stmt_pairs"),
+            snap.counter("lint.multi.conflicts"),
+            snap.counter("lint.multi.certified"),
+            snap.counter("lint.multi.resolved"),
+            snap.counter("lint.multi.unresolved"),
+            ms(t),
+        );
+    }
 }
 
 /// Everything in a check report except wall-clock durations. The scaling

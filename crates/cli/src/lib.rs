@@ -380,6 +380,104 @@ pub fn lint_command(
     })
 }
 
+/// Run the multi-tenant static analysis pass (`jinjing lint --intent
+/// tenant=FILE ...`) over raw spec texts and a set of named tenant
+/// intents.
+///
+/// The spec layer runs first exactly as in [`lint_command`]; if it errors
+/// the network cannot be built and that report is returned alone. Otherwise
+/// each tenant's text is parsed and validated (errors name the tenant) and
+/// the whole set goes through [`jinjing_core::engine::lint_multi`] — the
+/// per-tenant single-program layers plus the cross-tenant JL3xx layer with
+/// the given `priority` order. Tenant names must be unique and every name
+/// in `priority` must belong to a tenant.
+#[cfg(not(jinjing_offline))]
+pub fn lint_multi_command(
+    net_text: &str,
+    acls_text: &str,
+    tenants: &[(String, String)],
+    priority: &[String],
+    opts: &RunOptions,
+) -> Result<LintOutput, CliError> {
+    for (i, (name, _)) in tenants.iter().enumerate() {
+        if tenants[..i].iter().any(|(n, _)| n == name) {
+            return Err(CliError(format!("duplicate tenant name {name:?}")));
+        }
+    }
+    for p in priority {
+        if !tenants.iter().any(|(n, _)| n == p) {
+            return Err(CliError(format!(
+                "--priority names unknown tenant {p:?}"
+            )));
+        }
+    }
+    let net_spec: NetworkSpec =
+        serde_json::from_str(net_text).map_err(|e| CliError(format!("network spec: {e}")))?;
+    let acl_spec: AclConfigSpec =
+        serde_json::from_str(acls_text).map_err(|e| CliError(format!("acl spec: {e}")))?;
+    let mut cfg = jinjing_lint::LintConfig {
+        threads: opts.threads,
+        ..jinjing_lint::LintConfig::default()
+    };
+    if opts.trace {
+        cfg.obs = jinjing_obs::Collector::with_trace(true);
+    }
+    let mut spec_report = jinjing_lint::lint_specs(&net_spec, &acl_spec, &cfg);
+    if spec_report.has_errors() {
+        spec_report.sort();
+        return Ok(LintOutput {
+            report: spec_report,
+            obs: cfg.obs.snapshot(),
+        });
+    }
+    let net = net_spec.build().map_err(err)?;
+    let config = acl_spec.build(&net).map_err(err)?;
+    let mut intents = Vec::with_capacity(tenants.len());
+    for (name, text) in tenants {
+        let program = validate(
+            parse_program(text).map_err(|e| CliError(format!("tenant {name}: {e}")))?,
+        )
+        .map_err(|e| CliError(format!("tenant {name}: {e}")))?;
+        intents.push(jinjing_lint::TenantIntent::new(name.clone(), program));
+    }
+    let out = jinjing_core::engine::lint_multi(&net, &config, &intents, priority, &cfg);
+    let ReportKind::Lint(mut report) = out.kind else {
+        return Err(CliError(
+            "engine returned a non-lint report for lint".into(),
+        ));
+    };
+    report.merge(spec_report);
+    report.sort();
+    Ok(LintOutput {
+        report,
+        obs: out.obs,
+    })
+}
+
+/// Does a `--deny` pattern select a diagnostic code? Three forms:
+/// `all` selects every code, a trailing `*` makes a prefix glob
+/// (`JL3*` selects the whole cross-tenant family), anything else is an
+/// exact code match.
+pub fn deny_matches(pattern: &str, code: &str) -> bool {
+    if pattern == "all" {
+        return true;
+    }
+    match pattern.strip_suffix('*') {
+        Some(prefix) => code.starts_with(prefix),
+        None => pattern == code,
+    }
+}
+
+/// Should the lint gate fire (exit 4)? Always on errors; otherwise when
+/// any diagnostic's code is selected by any `--deny` pattern.
+pub fn lint_gate(report: &jinjing_lint::LintReport, deny: &[String]) -> bool {
+    report.has_errors()
+        || report
+            .diagnostics()
+            .iter()
+            .any(|d| deny.iter().any(|p| deny_matches(p, d.code)))
+}
+
 /// Standalone ACL simplification (the §4.2 extension as a utility).
 pub fn simplify_acl_text(text: &str) -> Result<String, CliError> {
     let acl = jinjing_acl::parse::parse_acl(text).map_err(err)?;
@@ -632,6 +730,33 @@ allow A:*, B:*
 modify D:2 to PermitAll
 check
 ";
+
+    #[test]
+    fn deny_patterns_match_exact_glob_and_all() {
+        assert!(deny_matches("JL301", "JL301"));
+        assert!(!deny_matches("JL301", "JL302"));
+        assert!(deny_matches("JL3*", "JL301"));
+        assert!(deny_matches("JL3*", "JL304"));
+        assert!(!deny_matches("JL3*", "JL203"));
+        assert!(deny_matches("all", "JL001"));
+        assert!(deny_matches("*", "JL001"));
+        assert!(!deny_matches("", "JL001"));
+    }
+
+    #[test]
+    fn lint_gate_fires_on_errors_and_denied_codes() {
+        use jinjing_lint::{Diagnostic, LintReport, Severity};
+        let mut warn = LintReport::new();
+        warn.push(Diagnostic::new("JL301", Severity::Warning, "multi:x", "m"));
+        assert!(!lint_gate(&warn, &[]));
+        assert!(lint_gate(&warn, &["JL301".to_string()]));
+        assert!(lint_gate(&warn, &["JL3*".to_string()]));
+        assert!(lint_gate(&warn, &["all".to_string()]));
+        assert!(!lint_gate(&warn, &["JL0*".to_string()]));
+        let mut err = LintReport::new();
+        err.push(Diagnostic::new("JL201", Severity::Error, "spec:x", "m"));
+        assert!(lint_gate(&err, &[]));
+    }
 
     #[test]
     fn plan_document_canonical_json_is_stable() {

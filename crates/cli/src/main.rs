@@ -23,8 +23,9 @@ USAGE:
     jinjing trace --network <net.json> --acls <acls.json> --intent <prog.lai>
                 [--trace-out <trace.json>] [--threads <N>]
     jinjing lint --network <net.json> --acls <acls.json> [--intent <prog.lai>]
-                [--format text|json] [--deny <CODE>] ...
-                [--metrics-out <metrics.json>] [--trace]
+                [--intent <tenant>=<prog.lai>] ... [--priority <a,b,...>]
+                [--format text|json|sarif] [--deny <CODE|JL3*|all>] ...
+                [--metrics-out <metrics.json>] [--trace] [--threads <N>]
     jinjing show --network <net.json>
     jinjing audit --network <net.json> --acls <acls.json>
     jinjing simplify --acl-file <acl.txt>
@@ -60,8 +61,15 @@ COMMANDS:
                identical to an untraced run; exits 3 on a failed check
     lint       Static analysis: shadowed/redundant/conflicting rules (JL0xx),
                contradictory or vacuous intent clauses (JL1xx), dangling
-               references and silent-allow paths (JL2xx). Exits 4 when any
-               error-severity diagnostic (or a --deny'd code) is reported.
+               references and silent-allow paths (JL2xx). With repeated
+               --intent tenant=FILE flags it runs the cross-tenant pass
+               (JL3xx): solver-certified conflicts between tenants' intents
+               with witness packets, cross-tenant subsumption, and — given
+               --priority a,b,... — a merge preview of who wins each
+               contested region. --format sarif emits SARIF 2.1.0 for
+               code-scanning CI. Exits 4 when any error-severity diagnostic
+               (or a --deny'd code; globs like JL3* and `all` work) is
+               reported.
     show       Print the topology and announcements of a network spec
     audit      Report data-quality anomalies (unrouted prefixes, black holes,
                unused ACLs, shadowed rules)
@@ -69,7 +77,7 @@ COMMANDS:
     convert    Translate Cisco IOS extended access lists into an ACL spec,
                binding each list to an interface slot via --map
     serve      Long-running verification daemon: keep the network resident
-               and answer POST /v1/check|fix|generate|lint, session
+               and answer POST /v1/check|fix|generate|lint|lint/multi, session
                endpoints (POST /v1/sessions, POST /v1/sessions/{id}/delta,
                DELETE /v1/sessions/{id}) and GET /healthz|/metrics over
                HTTP. Response bodies are byte-identical to the CLI's
@@ -268,39 +276,82 @@ fn real_main(args: &[String]) -> Result<(), String> {
                 std::fs::read_to_string(&net_path).map_err(|e| format!("{net_path}: {e}"))?;
             let acls_text =
                 std::fs::read_to_string(&acl_path).map_err(|e| format!("{acl_path}: {e}"))?;
-            let intent_text = match arg_value(args, "--intent") {
-                Some(p) => Some(std::fs::read_to_string(&p).map_err(|e| format!("{p}: {e}"))?),
-                None => None,
+            // Repeatable --intent. Plain FILE is a single-program run;
+            // tenant=FILE values select the multi-tenant pass (all values
+            // must then carry a tenant name).
+            let intent_args: Vec<String> = args
+                .windows(2)
+                .filter(|w| w[0] == "--intent")
+                .map(|w| w[1].clone())
+                .collect();
+            let threads = match arg_value(args, "--threads") {
+                Some(n) => n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--threads wants a number, got {n:?}"))?,
+                None => 0,
             };
             let opts = RunOptions {
                 trace: args.iter().any(|a| a == "--trace"),
-                ..RunOptions::default()
+                threads,
             };
-            let out = lint_command(&net_text, &acls_text, intent_text.as_deref(), &opts)
-                .map_err(|e| e.to_string())?;
+            let multi = intent_args.iter().any(|v| v.contains('='));
+            let out = if multi {
+                let mut tenants = Vec::with_capacity(intent_args.len());
+                for v in &intent_args {
+                    let Some((tenant, path)) = v.split_once('=') else {
+                        return Err(format!(
+                            "--intent {v:?}: multi-tenant lint needs tenant=FILE for every intent"
+                        ));
+                    };
+                    if tenant.is_empty() {
+                        return Err(format!("--intent {v:?}: empty tenant name"));
+                    }
+                    let text =
+                        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                    tenants.push((tenant.to_string(), text));
+                }
+                let priority: Vec<String> = arg_value(args, "--priority")
+                    .map(|p| p.split(',').map(str::to_string).collect())
+                    .unwrap_or_default();
+                jinjing_cli::lint_multi_command(&net_text, &acls_text, &tenants, &priority, &opts)
+                    .map_err(|e| e.to_string())?
+            } else {
+                if intent_args.len() > 1 {
+                    return Err(
+                        "multiple --intent flags need tenant=FILE form (multi-tenant lint)"
+                            .to_string(),
+                    );
+                }
+                let intent_text = match intent_args.first() {
+                    Some(p) => {
+                        Some(std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?)
+                    }
+                    None => None,
+                };
+                lint_command(&net_text, &acls_text, intent_text.as_deref(), &opts)
+                    .map_err(|e| e.to_string())?
+            };
             match arg_value(args, "--format").as_deref() {
                 Some("json") => println!("{}", out.report.to_json()),
+                Some("sarif") => println!("{}", jinjing_lint::to_sarif(&out.report)),
                 None | Some("text") => print!("{}", out.report.render_text()),
-                Some(other) => return Err(format!("unknown --format {other:?} (text|json)")),
+                Some(other) => {
+                    return Err(format!("unknown --format {other:?} (text|json|sarif)"))
+                }
             }
             if let Some(path) = arg_value(args, "--metrics-out") {
                 std::fs::write(&path, out.obs.to_json()).map_err(|e| format!("{path}: {e}"))?;
                 eprintln!("metrics written to {path}");
             }
             // Exit-code policy: error-severity findings always gate;
-            // --deny CODE escalates specific codes (repeatable).
+            // --deny escalates codes (repeatable; exact `JL301`, family
+            // glob `JL3*`, or `all`).
             let denied: Vec<String> = args
                 .windows(2)
                 .filter(|w| w[0] == "--deny")
                 .map(|w| w[1].clone())
                 .collect();
-            let gate = out.report.has_errors()
-                || out
-                    .report
-                    .diagnostics()
-                    .iter()
-                    .any(|d| denied.iter().any(|c| c.as_str() == d.code));
-            if gate {
+            if jinjing_cli::lint_gate(&out.report, &denied) {
                 std::process::exit(4);
             }
             Ok(())

@@ -235,6 +235,43 @@ pub fn lint(
     }
 }
 
+/// Run the multi-tenant static analysis pass: single-program lint for each
+/// tenant's intent (findings attributed to that tenant) plus the
+/// cross-tenant JL3xx layer ([`jinjing_lint::lint_multi`]) — solver-
+/// certified conflicts with witness packets, cross-tenant subsumption, and
+/// the priority-merge preview for the given tenant `priority` order.
+/// Network/config findings are reported once, unattributed. The merged
+/// report is sorted, so the bytes are independent of tenant input order
+/// and thread count.
+pub fn lint_multi(
+    net: &Network,
+    config: &AclConfig,
+    tenants: &[jinjing_lint::TenantIntent],
+    priority: &[String],
+    cfg: &jinjing_lint::LintConfig,
+) -> Report {
+    let obs = cfg.obs.clone();
+    obs.event(
+        jinjing_obs::Level::Info,
+        "engine.start",
+        "running multi-tenant lint",
+    );
+    let run_span = obs.span("lint.run");
+    let mut report = jinjing_lint::lint_config(net, config, cfg);
+    for t in tenants {
+        let mut r = jinjing_lint::lint_program(&t.program, cfg);
+        r.attribute_tenant(&t.tenant);
+        report.merge(r);
+    }
+    report.merge(jinjing_lint::lint_multi(tenants, priority, cfg));
+    report.sort();
+    run_span.finish();
+    Report {
+        kind: ReportKind::Lint(report),
+        obs: obs.snapshot(),
+    }
+}
+
 /// The roll-back plan for an applied update: the inverse rendering that
 /// restores `from` after `to` was deployed. §1 notes operators spend weeks
 /// preparing "migration and roll-back plans"; with declarative configs the
@@ -364,6 +401,58 @@ generate
         assert_eq!(locs, sorted);
         // The run's spans landed in the snapshot under lint.run.
         assert!(report.obs.to_json().contains("lint.run"));
+    }
+
+    #[test]
+    fn engine_lint_multi_attributes_and_cross_checks() {
+        let f = Figure1::new();
+        let alpha = "acl Unused { permit all }\nscope A:*, D:*\n\
+                     control A:* -> D:* isolate dst 1.0.0.0/8\ncheck\n";
+        let beta = "scope A:*, D:*\ncontrol A:1 -> D:* open dst 1.2.0.0/16\ncheck\n";
+        let tenants = [
+            jinjing_lint::TenantIntent::new(
+                "alpha",
+                validate(parse_program(alpha).unwrap()).unwrap(),
+            ),
+            jinjing_lint::TenantIntent::new("beta", validate(parse_program(beta).unwrap()).unwrap()),
+        ];
+        let cfg = jinjing_lint::LintConfig::default();
+        let report = lint_multi(&f.net, &f.config, &tenants, &["alpha".into(), "beta".into()], &cfg);
+        let ReportKind::Lint(r) = &report.kind else {
+            panic!("expected a lint report")
+        };
+        // Cross-tenant conflict, solver-certified, with both spans.
+        let conflict = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "JL301")
+            .expect("JL301 present");
+        assert_eq!(conflict.tenant.as_deref(), Some("alpha,beta"));
+        assert!(conflict.location.contains("alpha:control:0"));
+        assert!(conflict.location.contains("beta:control:0"));
+        // Alpha's single-program finding is attributed to alpha.
+        let unused = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "JL104")
+            .expect("JL104 present");
+        assert_eq!(unused.tenant.as_deref(), Some("alpha"));
+        // Priority order covers both tenants: merge is total.
+        assert!(r.has_code("JL303"));
+        assert!(!r.has_code("JL304"));
+        // Input order does not change the bytes.
+        let swapped = [tenants[1].clone(), tenants[0].clone()];
+        let report2 = lint_multi(
+            &f.net,
+            &f.config,
+            &swapped,
+            &["alpha".into(), "beta".into()],
+            &jinjing_lint::LintConfig::default(),
+        );
+        let ReportKind::Lint(r2) = &report2.kind else {
+            panic!("expected a lint report")
+        };
+        assert_eq!(r.to_json(), r2.to_json());
     }
 
     #[test]

@@ -10,6 +10,13 @@
 use jinjing_obs::json::JsonWriter;
 use std::fmt;
 
+/// Version of the machine-readable lint report format, rendered as the
+/// top-level `schema_version` key of [`LintReport::to_json`] so downstream
+/// parsers can gate on format changes. Bumped to `"2"` when diagnostics
+/// gained the optional `tenant` attribution field and the JL3xx
+/// cross-tenant family.
+pub const SCHEMA_VERSION: &str = "2";
+
 /// How serious a finding is.
 ///
 /// `Error` means the input is broken (e.g. a dangling reference) and later
@@ -90,6 +97,10 @@ pub struct Diagnostic {
     pub message: String,
     /// Suggested fix, when one exists.
     pub suggestion: Option<String>,
+    /// Tenant attribution for multi-intent runs: which tenant's intent the
+    /// finding belongs to, or a comma-joined pair (`"alpha,beta"`) for
+    /// cross-tenant findings. `None` on single-program runs.
+    pub tenant: Option<String>,
 }
 
 impl Diagnostic {
@@ -107,6 +118,7 @@ impl Diagnostic {
             location: location.into(),
             message: message.into(),
             suggestion: None,
+            tenant: None,
         }
     }
 
@@ -121,6 +133,12 @@ impl Diagnostic {
         self.certainty = Some(c);
         self
     }
+
+    /// Attach tenant attribution (multi-intent runs).
+    pub fn with_tenant(mut self, t: impl Into<String>) -> Diagnostic {
+        self.tenant = Some(t.into());
+        self
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -130,6 +148,9 @@ impl fmt::Display for Diagnostic {
             "{}[{}]: {}\n  --> {}",
             self.severity, self.code, self.message, self.location
         )?;
+        if let Some(t) = &self.tenant {
+            write!(f, "\n  = note: tenant: {t}")?;
+        }
         if let Some(c) = self.certainty {
             write!(f, "\n  = note: certainty: {c}")?;
         }
@@ -171,15 +192,28 @@ impl LintReport {
         self.diagnostics.extend(other.diagnostics);
     }
 
-    /// Sort findings by `(location, code, message)` so output is stable no
-    /// matter which analysis layer ran first. Call once before rendering.
+    /// Sort findings by `(location, code, tenant, message)` so output is
+    /// stable no matter which analysis layer — or which tenant's program —
+    /// ran first. Call once before rendering.
     pub fn sort(&mut self) {
         self.diagnostics.sort_by(|a, b| {
             a.location
                 .cmp(&b.location)
                 .then_with(|| a.code.cmp(b.code))
+                .then_with(|| a.tenant.cmp(&b.tenant))
                 .then_with(|| a.message.cmp(&b.message))
         });
+    }
+
+    /// Attribute every not-yet-attributed finding to `tenant`. Used by the
+    /// multi-intent engine entry point to tag each tenant's single-program
+    /// findings before merging the per-tenant reports.
+    pub fn attribute_tenant(&mut self, tenant: &str) {
+        for d in &mut self.diagnostics {
+            if d.tenant.is_none() {
+                d.tenant = Some(tenant.to_string());
+            }
+        }
     }
 
     /// The findings, in current order.
@@ -216,8 +250,9 @@ impl LintReport {
     }
 
     /// Deterministic JSON rendering: diagnostics in report order (sort
-    /// first!) with alphabetically ordered keys, plus a severity summary.
-    /// Byte-stable across runs — no timestamps, no addresses.
+    /// first!) with alphabetically ordered keys, plus the
+    /// [`SCHEMA_VERSION`] marker and a severity summary. Byte-stable
+    /// across runs — no timestamps, no addresses.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
@@ -241,9 +276,15 @@ impl LintReport {
                 w.key("suggestion");
                 w.string(s);
             }
+            if let Some(t) = &d.tenant {
+                w.key("tenant");
+                w.string(t);
+            }
             w.end_object();
         }
         w.end_array();
+        w.key("schema_version");
+        w.string(SCHEMA_VERSION);
         w.key("summary");
         w.begin_object();
         w.key("error");
@@ -324,6 +365,7 @@ mod tests {
         assert!(a.starts_with(
             "{\"diagnostics\":[{\"certainty\":\"solver-confirmed\",\"code\":\"JL001\""
         ));
+        assert!(a.contains("\"schema_version\":\"2\""));
         assert!(a.ends_with("\"summary\":{\"error\":1,\"note\":1,\"total\":3,\"warning\":1}}"));
     }
 
@@ -346,9 +388,29 @@ mod tests {
         assert!(r.is_empty());
         assert_eq!(
             r.to_json(),
-            "{\"diagnostics\":[],\"summary\":{\"error\":0,\"note\":0,\"total\":0,\"warning\":0}}"
+            "{\"diagnostics\":[],\"schema_version\":\"2\",\
+             \"summary\":{\"error\":0,\"note\":0,\"total\":0,\"warning\":0}}"
         );
         assert!(r.render_text().contains("clean"));
+    }
+
+    #[test]
+    fn tenant_attribution_renders_and_sorts() {
+        let mut r = LintReport::new();
+        r.push(Diagnostic::new("JL301", Severity::Warning, "multi:x", "conflict").with_tenant("b"));
+        r.push(Diagnostic::new("JL301", Severity::Warning, "multi:x", "conflict").with_tenant("a"));
+        r.sort();
+        assert_eq!(r.diagnostics()[0].tenant.as_deref(), Some("a"));
+        let json = r.to_json();
+        assert!(json.contains("\"tenant\":\"a\""), "{json}");
+        assert!(r.render_text().contains("= note: tenant: a"));
+        // attribute_tenant only fills the blanks.
+        let mut r = LintReport::new();
+        r.push(Diagnostic::new("JL101", Severity::Warning, "lai:control:0", "m"));
+        r.push(Diagnostic::new("JL301", Severity::Warning, "multi:x", "m").with_tenant("a,b"));
+        r.attribute_tenant("alpha");
+        assert_eq!(r.diagnostics()[0].tenant.as_deref(), Some("alpha"));
+        assert_eq!(r.diagnostics()[1].tenant.as_deref(), Some("a,b"));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use jinjing_acl::{MatchSpec, PacketSet};
 use jinjing_lai::{ControlStmt, ControlVerb, HeaderSel, IfaceSel, Program, SlotPattern};
 
 /// Do two slot patterns select at least one common slot (on any network)?
-fn pat_overlaps(a: &SlotPattern, b: &SlotPattern) -> bool {
+pub(crate) fn pat_overlaps(a: &SlotPattern, b: &SlotPattern) -> bool {
     a.device == b.device
         && match (&a.iface, &b.iface) {
             (IfaceSel::Star, _) | (_, IfaceSel::Star) => true,
@@ -29,7 +29,7 @@ fn pat_overlaps(a: &SlotPattern, b: &SlotPattern) -> bool {
 }
 
 /// Does `outer` select every slot `inner` selects (on every network)?
-fn pat_covers(outer: &SlotPattern, inner: &SlotPattern) -> bool {
+pub(crate) fn pat_covers(outer: &SlotPattern, inner: &SlotPattern) -> bool {
     outer.device == inner.device
         && match (&outer.iface, &inner.iface) {
             (IfaceSel::Star, _) => true,
@@ -43,16 +43,16 @@ fn pat_covers(outer: &SlotPattern, inner: &SlotPattern) -> bool {
         }
 }
 
-fn pats_overlap(a: &[SlotPattern], b: &[SlotPattern]) -> bool {
+pub(crate) fn pats_overlap(a: &[SlotPattern], b: &[SlotPattern]) -> bool {
     a.iter().any(|x| b.iter().any(|y| pat_overlaps(x, y)))
 }
 
-fn pats_cover(outer: &[SlotPattern], inner: &[SlotPattern]) -> bool {
+pub(crate) fn pats_cover(outer: &[SlotPattern], inner: &[SlotPattern]) -> bool {
     inner.iter().all(|y| outer.iter().any(|x| pat_covers(x, y)))
 }
 
 /// The exact packet region a header selector names.
-fn header_set(h: &HeaderSel) -> PacketSet {
+pub(crate) fn header_set(h: &HeaderSel) -> PacketSet {
     match h {
         HeaderSel::Src(p) => PacketSet::from_cube(MatchSpec::src(*p).cube()),
         HeaderSel::Dst(p) => PacketSet::from_cube(MatchSpec::dst(*p).cube()),
@@ -60,7 +60,7 @@ fn header_set(h: &HeaderSel) -> PacketSet {
     }
 }
 
-fn verbs_conflict(a: ControlVerb, b: ControlVerb) -> bool {
+pub(crate) fn verbs_conflict(a: ControlVerb, b: ControlVerb) -> bool {
     matches!(
         (a, b),
         (ControlVerb::Isolate, ControlVerb::Open) | (ControlVerb::Open, ControlVerb::Isolate)
@@ -72,7 +72,7 @@ fn join_pats(ps: &[SlotPattern]) -> String {
     parts.join(", ")
 }
 
-fn control_summary(c: &ControlStmt) -> String {
+pub(crate) fn control_summary(c: &ControlStmt) -> String {
     format!(
         "{} -> {} {} {}",
         join_pats(&c.from),

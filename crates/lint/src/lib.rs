@@ -19,6 +19,7 @@
 //! | rule ([`rules`]) | `JL001`–`JL004` | full shadow (solver-confirmed), partial shadow, redundancy, action conflicts |
 //! | intent ([`intent`]) | `JL101`–`JL104` | contradictory controls, vacuous clauses, subsumed clauses, unused ACL defs |
 //! | network ([`network`], [`spec`]) | `JL201`–`JL203` | dangling references, invalid bindings, silent-allow paths |
+//! | multi-tenant ([`multi`]) | `JL301`–`JL304` | cross-tenant conflicts (solver-certified with witness packets), cross-tenant subsumption, priority previews, unresolved contests |
 //!
 //! The rule layer reuses the seed's substrates end to end: candidate search
 //! through the §5.5 [`jinjing_acl::rtree::RuleTree`], exact decisions from
@@ -28,15 +29,19 @@
 
 pub mod diag;
 pub mod intent;
+pub mod multi;
 pub mod network;
 pub mod rules;
+pub mod sarif;
 #[cfg(feature = "spec")]
 pub mod spec;
 
-pub use crate::diag::{Certainty, Diagnostic, LintReport, Severity};
+pub use crate::diag::{Certainty, Diagnostic, LintReport, Severity, SCHEMA_VERSION};
 pub use crate::intent::lint_program;
+pub use crate::multi::{cross_conflicts, lint_multi, Conflict, TenantIntent};
 pub use crate::network::lint_config;
 pub use crate::rules::lint_acl;
+pub use crate::sarif::to_sarif;
 #[cfg(feature = "spec")]
 pub use crate::spec::lint_specs;
 
@@ -52,6 +57,11 @@ pub struct LintConfig {
     /// keeping the output readable on rule sets with systematic overlap.
     /// The kept pairs are the largest by exact overlap volume.
     pub max_conflicts_per_acl: usize,
+    /// Worker threads for the cross-tenant certification fan-out
+    /// ([`multi::cross_conflicts`]): `0` defers to `JINJING_THREADS` (then
+    /// serial), exactly like [`jinjing_par::Pool::new`]. Output bytes are
+    /// identical at every thread count.
+    pub threads: usize,
     /// The run's observability collector: `lint.*` spans and counters land
     /// here.
     pub obs: jinjing_obs::Collector,
@@ -62,6 +72,7 @@ impl Default for LintConfig {
         LintConfig {
             solver_confirm: true,
             max_conflicts_per_acl: 5,
+            threads: 0,
             obs: jinjing_obs::Collector::default(),
         }
     }
@@ -76,6 +87,7 @@ mod tests {
         let cfg = LintConfig::default();
         assert!(cfg.solver_confirm);
         assert_eq!(cfg.max_conflicts_per_acl, 5);
+        assert_eq!(cfg.threads, 0);
     }
 
     #[test]

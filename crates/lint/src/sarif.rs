@@ -1,0 +1,217 @@
+//! SARIF 2.1.0 rendering of a [`LintReport`], for GitHub-code-scanning
+//! style CI integration (`jinjing lint --format sarif`).
+//!
+//! The output is a minimal, strictly valid SARIF log: one run, one tool
+//! driver (`jinjing-lint`) whose rule table lists exactly the codes that
+//! appear in the report, and one `result` per diagnostic. Locations are
+//! logical (`fullyQualifiedName` carries the same location string as the
+//! canonical JSON) because lint findings point into parsed configurations
+//! and intent programs, not physical files. Certainty, suggestion, and
+//! tenant attribution ride along in each result's property bag.
+//!
+//! Rendering shares the canonical [`JsonWriter`] with
+//! [`LintReport::to_json`]: keys are written in alphabetical order (`$`
+//! sorts before letters, so `$schema` is first), strings are escaped the
+//! same way, and the bytes are stable across runs and thread counts.
+
+use crate::diag::{LintReport, Severity, SCHEMA_VERSION};
+use jinjing_obs::json::JsonWriter;
+
+/// One-line description of a diagnostic code, used for the SARIF rule
+/// table. Unknown codes get a generic fallback so the renderer is total.
+pub fn describe(code: &str) -> &'static str {
+    match code {
+        "JL001" => "rule is fully shadowed by earlier rules",
+        "JL002" => "rule partially shadows a later rule with the opposite action",
+        "JL003" => "rule is redundant: removing it leaves the ACL semantics unchanged",
+        "JL004" => "permit/deny conflict: overlapping rules disagree on an action",
+        "JL101" => "contradictory controls: two statements request opposite reachability",
+        "JL102" => "vacuous control: the statement matches no traffic or no endpoints",
+        "JL103" => "subsumed control: a statement is entirely covered by another",
+        "JL104" => "unused acl definition: defined but never referenced",
+        "JL201" => "dangling reference: the spec names an unknown device, slot, or interface",
+        "JL202" => "invalid binding: the spec binds an ACL inconsistently",
+        "JL203" => "silent-allow path: traffic crosses the network unfiltered",
+        "JL301" => "cross-tenant conflict: two tenants request opposite reachability on an overlapping flow space",
+        "JL302" => "cross-tenant subsumption: one tenant's control duplicates or is covered by another tenant's",
+        "JL303" => "priority preview: which tenant wins a contested region under the given priority order",
+        "JL304" => "unresolved contest: a contested region between tenants with no relative priority",
+        _ => "jinjing lint diagnostic",
+    }
+}
+
+/// SARIF `level` for a severity. SARIF has no separate `info`-vs-`note`
+/// split at this granularity; our `Note` maps to SARIF's `note`.
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Note => "note",
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+/// Render a report as a SARIF 2.1.0 log. Sort the report first — results
+/// are emitted in report order, and the rule table lists each distinct
+/// code once, in ascending code order. Byte-stable: same report, same
+/// bytes, regardless of thread count or platform.
+pub fn to_sarif(report: &LintReport) -> String {
+    let mut codes: Vec<&'static str> = report.diagnostics().iter().map(|d| d.code).collect();
+    codes.sort_unstable();
+    codes.dedup();
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("$schema");
+    w.string("https://json.schemastore.org/sarif-2.1.0.json");
+    w.key("runs");
+    w.begin_array();
+    w.begin_object();
+    w.key("results");
+    w.begin_array();
+    for d in report.diagnostics() {
+        w.begin_object();
+        w.key("level");
+        w.string(level(d.severity));
+        w.key("locations");
+        w.begin_array();
+        w.begin_object();
+        w.key("logicalLocations");
+        w.begin_array();
+        w.begin_object();
+        w.key("fullyQualifiedName");
+        w.string(&d.location);
+        w.end_object();
+        w.end_array();
+        w.end_object();
+        w.end_array();
+        w.key("message");
+        w.begin_object();
+        w.key("text");
+        w.string(&d.message);
+        w.end_object();
+        let has_props = d.certainty.is_some() || d.suggestion.is_some() || d.tenant.is_some();
+        if has_props {
+            w.key("properties");
+            w.begin_object();
+            if let Some(c) = d.certainty {
+                w.key("certainty");
+                w.string(c.as_str());
+            }
+            if let Some(s) = &d.suggestion {
+                w.key("suggestion");
+                w.string(s);
+            }
+            if let Some(t) = &d.tenant {
+                w.key("tenant");
+                w.string(t);
+            }
+            w.end_object();
+        }
+        w.key("ruleId");
+        w.string(d.code);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("tool");
+    w.begin_object();
+    w.key("driver");
+    w.begin_object();
+    w.key("name");
+    w.string("jinjing-lint");
+    w.key("rules");
+    w.begin_array();
+    for code in codes {
+        w.begin_object();
+        w.key("id");
+        w.string(code);
+        w.key("shortDescription");
+        w.begin_object();
+        w.key("text");
+        w.string(describe(code));
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("version");
+    w.string(SCHEMA_VERSION);
+    w.end_object();
+    w.end_object();
+    w.end_object();
+    w.end_array();
+    w.key("version");
+    w.string("2.1.0");
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Certainty, Diagnostic};
+
+    fn sample() -> LintReport {
+        let mut r = LintReport::new();
+        r.push(
+            Diagnostic::new(
+                "JL301",
+                Severity::Warning,
+                "multi:alpha:control:0<->beta:control:0",
+                "opposite reachability",
+            )
+            .with_certainty(Certainty::SolverConfirmed)
+            .with_tenant("alpha,beta")
+            .with_suggestion("partition the flow space"),
+        );
+        r.push(Diagnostic::new(
+            "JL003",
+            Severity::Note,
+            "A:1-in:rule:2",
+            "redundant rule",
+        ));
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn sarif_shape_and_byte_stability() {
+        let s = to_sarif(&sample());
+        assert!(s.starts_with("{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(s.ends_with("\"version\":\"2.1.0\"}"));
+        assert!(s.contains("\"ruleId\":\"JL301\""));
+        assert!(s.contains("\"fullyQualifiedName\":\"A:1-in:rule:2\""));
+        assert!(s.contains("\"tenant\":\"alpha,beta\""));
+        assert!(s.contains("\"certainty\":\"solver-confirmed\""));
+        // Rule table: each distinct code once, ascending.
+        let jl003 = s.find("\"id\":\"JL003\"").unwrap();
+        let jl301 = s.find("\"id\":\"JL301\"").unwrap();
+        assert!(jl003 < jl301);
+        assert_eq!(s.matches("\"id\":\"JL301\"").count(), 1);
+        assert_eq!(s, to_sarif(&sample()));
+    }
+
+    #[test]
+    fn empty_report_has_empty_results_and_rules() {
+        let s = to_sarif(&LintReport::new());
+        assert!(s.contains("\"results\":[]"));
+        assert!(s.contains("\"rules\":[]"));
+    }
+
+    #[test]
+    fn every_registered_code_has_a_description() {
+        for code in [
+            "JL001", "JL002", "JL003", "JL004", "JL101", "JL102", "JL103", "JL104", "JL201",
+            "JL202", "JL203", "JL301", "JL302", "JL303", "JL304",
+        ] {
+            assert_ne!(describe(code), "jinjing lint diagnostic", "{code}");
+        }
+        assert_eq!(describe("JL999"), "jinjing lint diagnostic");
+    }
+
+    #[test]
+    fn results_follow_report_order() {
+        let s = to_sarif(&sample());
+        let first = s.find("\"ruleId\":\"JL003\"").unwrap();
+        let second = s.find("\"ruleId\":\"JL301\"").unwrap();
+        assert!(first < second);
+    }
+}

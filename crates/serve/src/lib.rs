@@ -13,6 +13,7 @@
 //! POST /v1/fix                  ditto (fix command)
 //! POST /v1/generate             ditto (generate command)
 //! POST /v1/lint                 optional intent text → lint report JSON
+//! POST /v1/lint/multi           #tenant-sectioned intents → lint report JSON
 //! POST /v1/sessions             intent text → {"classes":…,"id":"s1"}
 //! POST /v1/sessions/{id}/delta  delta script → watch JSON for the batch
 //! DELETE /v1/sessions/{id}      drop a session
@@ -228,6 +229,7 @@ enum Route {
     Fix,
     Generate,
     Lint,
+    LintMulti,
     SessionOpen,
     SessionDelta(String),
     SessionDelete(String),
@@ -241,6 +243,7 @@ impl Route {
             Route::Fix => "fix",
             Route::Generate => "generate",
             Route::Lint => "lint",
+            Route::LintMulti => "lint_multi",
             Route::SessionOpen => "session_open",
             Route::SessionDelta(_) => "session_delta",
             Route::SessionDelete(_) => "session_delete",
@@ -256,6 +259,7 @@ fn route_of(method: &str, path: &str) -> Result<Route, Response> {
         ("POST", "/v1/fix") => Ok(Route::Fix),
         ("POST", "/v1/generate") => Ok(Route::Generate),
         ("POST", "/v1/lint") => Ok(Route::Lint),
+        ("POST", "/v1/lint/multi") => Ok(Route::LintMulti),
         ("POST", "/v1/sessions") => Ok(Route::SessionOpen),
         _ => {
             if let Some(rest) = path.strip_prefix("/v1/sessions/") {
@@ -646,6 +650,7 @@ fn handle(ctx: Ctx<'_, '_>, job: &mut Job) -> Response {
         Route::Fix => one_shot(ctx, &job.req, "fix"),
         Route::Generate => one_shot(ctx, &job.req, "generate"),
         Route::Lint => lint_endpoint(ctx, &job.req),
+        Route::LintMulti => lint_multi_endpoint(ctx, &job.req),
         Route::SessionOpen => session_open(ctx, &job.req),
         Route::SessionDelta(id) => session_delta(ctx, &job.req, &id),
         Route::SessionDelete(id) => session_delete(ctx, &id),
@@ -748,6 +753,109 @@ fn lint_endpoint(ctx: Ctx<'_, '_>, req: &Request) -> Response {
     };
     // Exit-code parity with `jinjing lint`: error-severity findings gate
     // with 4.
+    let exit = if report.has_errors() { 4 } else { 0 };
+    let mut body = report.to_json();
+    body.push('\n');
+    Response::json(200, body).with_header("X-Jinjing-Exit", &exit.to_string())
+}
+
+/// Parse the `POST /v1/lint/multi` wire body into `(tenant, program-text)`
+/// pairs and a priority order.
+///
+/// The body is plain text sectioned by directives (chosen so the
+/// serde-free daemon needs no JSON body): a `#tenant NAME` line starts
+/// that tenant's intent program, and an optional `#priority a,b,c` line
+/// (anywhere) gives the tenant priority order. `#` already starts a
+/// comment in LAI, so the directives are invisible to the intent parser;
+/// everything else is passed through verbatim.
+fn parse_multi_lint_body(text: &str) -> Result<(Vec<(String, String)>, Vec<String>), String> {
+    let mut tenants: Vec<(String, String)> = Vec::new();
+    let mut priority: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed == "#tenant" {
+            return Err("#tenant wants a name".to_string());
+        } else if let Some(name) = trimmed.strip_prefix("#tenant ") {
+            let name = name.trim();
+            if tenants.iter().any(|(n, _)| n == name) {
+                return Err(format!("duplicate tenant {name:?}"));
+            }
+            tenants.push((name.to_string(), String::new()));
+        } else if let Some(order) = trimmed.strip_prefix("#priority ") {
+            if !priority.is_empty() {
+                return Err("more than one #priority line".to_string());
+            }
+            priority = order
+                .split(',')
+                .map(|t| t.trim().to_string())
+                .filter(|t| !t.is_empty())
+                .collect();
+            if priority.is_empty() {
+                return Err("#priority wants a comma-separated tenant list".to_string());
+            }
+        } else {
+            match tenants.last_mut() {
+                Some((_, body)) => {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+                None if trimmed.is_empty() => {}
+                None => {
+                    return Err(format!(
+                        "intent text before the first #tenant line: {trimmed:?}"
+                    ))
+                }
+            }
+        }
+    }
+    if tenants.is_empty() {
+        return Err("no #tenant sections in body".to_string());
+    }
+    for p in &priority {
+        if !tenants.iter().any(|(n, _)| n == p) {
+            return Err(format!("#priority names unknown tenant {p:?}"));
+        }
+    }
+    Ok((tenants, priority))
+}
+
+/// `POST /v1/lint/multi`: the cross-tenant lint pass (JL3xx) over a set
+/// of tenant intents against the resident network + configuration. The
+/// body is sectioned by `#tenant NAME` lines with an optional
+/// `#priority a,b,c` order (see [`parse_multi_lint_body`]). Byte-identical
+/// to `jinjing lint --intent tenant=FILE ... --format json` on the same
+/// inputs.
+fn lint_multi_endpoint(ctx: Ctx<'_, '_>, req: &Request) -> Response {
+    let text = match req.body_text() {
+        Ok(t) => t,
+        Err(HttpError::Malformed(m)) => return Response::error(400, &m),
+        Err(_) => return Response::error(400, "unreadable body"),
+    };
+    let (sections, priority) = match parse_multi_lint_body(text) {
+        Ok(parts) => parts,
+        Err(e) => return Response::error(400, &e),
+    };
+    let mut tenants = Vec::with_capacity(sections.len());
+    for (name, body) in &sections {
+        let parsed = match jinjing_lai::parse_program(body) {
+            Ok(p) => p,
+            Err(e) => return Response::error(400, &format!("tenant {name}: {e}")),
+        };
+        match jinjing_lai::validate(parsed) {
+            Ok(p) => tenants.push(jinjing_lint::TenantIntent::new(name.clone(), p)),
+            Err(e) => return Response::error(400, &format!("tenant {name}: {e}")),
+        }
+    }
+    let out = jinjing_core::engine::lint_multi(
+        ctx.net,
+        ctx.config,
+        &tenants,
+        &priority,
+        &jinjing_lint::LintConfig::default(),
+    );
+    let ReportKind::Lint(report) = out.kind else {
+        return Response::error(500, "engine returned a non-lint report for lint");
+    };
     let exit = if report.has_errors() { 4 } else { 0 };
     let mut body = report.to_json();
     body.push('\n');
@@ -1045,5 +1153,44 @@ check
             405
         );
         assert_eq!(route_of("POST", "/v2/zzz").unwrap_err().status, 404);
+        assert_eq!(route_of("POST", "/v1/lint/multi").unwrap(), Route::LintMulti);
+        assert_eq!(Route::LintMulti.key(), "lint_multi");
+        assert_eq!(route_of("GET", "/v1/lint/multi").unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn multi_lint_body_parses_sections_and_priority() {
+        let body = "#priority alpha,beta\n\
+                    #tenant alpha\nscope A:*\ncontrol A:* -> A:* isolate all\ncheck\n\
+                    #tenant beta\nscope B:*\ncheck\n";
+        let (tenants, priority) = parse_multi_lint_body(body).unwrap();
+        assert_eq!(priority, vec!["alpha".to_string(), "beta".to_string()]);
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(tenants[0].0, "alpha");
+        assert!(tenants[0].1.contains("isolate all"));
+        assert_eq!(tenants[1].0, "beta");
+        assert_eq!(tenants[1].1, "scope B:*\ncheck\n");
+    }
+
+    #[test]
+    fn multi_lint_body_rejects_malformed_inputs() {
+        assert!(parse_multi_lint_body("").unwrap_err().contains("no #tenant"));
+        assert!(parse_multi_lint_body("scope A:*\n")
+            .unwrap_err()
+            .contains("before the first #tenant"));
+        assert!(parse_multi_lint_body("#tenant a\ncheck\n#tenant a\ncheck\n")
+            .unwrap_err()
+            .contains("duplicate tenant"));
+        assert!(parse_multi_lint_body("#tenant a\ncheck\n#priority b\n")
+            .unwrap_err()
+            .contains("unknown tenant"));
+        assert!(parse_multi_lint_body("#tenant\ncheck\n")
+            .unwrap_err()
+            .contains("wants a name"));
+        assert!(
+            parse_multi_lint_body("#tenant a\n#priority a\n#priority a\ncheck\n")
+                .unwrap_err()
+                .contains("more than one")
+        );
     }
 }

@@ -37,10 +37,12 @@
 //!   programs for the Table 5 line counts.
 
 pub mod build;
+pub mod multi;
 pub mod params;
 pub mod perturb;
 pub mod scenarios;
 
 pub use crate::build::{build_wan, build_wan_observed, Wan};
+pub use crate::multi::multi_tenant_intents;
 pub use crate::params::{NetSize, WanParams};
 pub use crate::perturb::{perturb, Perturbation};

@@ -37,6 +37,29 @@ cargo run --release -p jinjing-cli --bin jinjing -- lint \
     --intent examples/data/running-example.lai \
     --format json >/dev/null
 
+echo "==> jinjing lint --intent tenant=FILE (cross-tenant examples)"
+# The disjoint pair is clean: gating on JL301 must still exit 0.
+cargo run --release -p jinjing-cli --bin jinjing -- lint \
+    --network examples/data/figure1-network.json \
+    --acls examples/data/figure1-acls.json \
+    --intent alpha=examples/data/tenant-alpha.lai \
+    --intent gamma=examples/data/tenant-gamma.lai \
+    --deny JL301 --format json >/dev/null
+# The conflicting pair carries a solver-certified JL301: denying the
+# JL3xx family must gate with exit 4 (any other exit fails CI).
+rc=0
+cargo run --release -p jinjing-cli --bin jinjing -- lint \
+    --network examples/data/figure1-network.json \
+    --acls examples/data/figure1-acls.json \
+    --intent alpha=examples/data/tenant-alpha.lai \
+    --intent beta=examples/data/tenant-beta.lai \
+    --priority alpha,beta \
+    --deny 'JL3*' --format sarif >/dev/null || rc=$?
+if [ "$rc" -ne 4 ]; then
+    echo "ci.sh: expected the conflicting tenant pair to gate with exit 4, got $rc" >&2
+    exit 1
+fi
+
 echo "==> parallel-scaling smoke (small WAN) — regenerates BENCH_check.json"
 # The scaling harness itself asserts byte-identical check reports across
 # 1/2/4/8 threads and cold/warm caches; the smoke step additionally

@@ -11,7 +11,8 @@
 #           (+ the scripts/stubs/rand.rs facade → wan → bench)
 #   tests:  acl unit, obs unit, par unit, solver unit, lint unit, core unit,
 #           serve unit, cli unit (offline subset), tests/obs_integration.rs,
-#           tests/lint_integration.rs, tests/par_determinism.rs,
+#           tests/lint_integration.rs, tests/lint_multi.rs,
+#           tests/par_determinism.rs,
 #           tests/running_example.rs, tests/wan_integration.rs,
 #           tests/incr_oracle.rs (+ a JINJING_THREADS=4 re-run),
 #           tests/cli_golden.rs (+ a JINJING_THREADS=4 re-run),
@@ -60,7 +61,8 @@ rlib jinjing_net crates/net/src/lib.rs $A # no --cfg feature="spec": serde-free
 rlib jinjing_lint crates/lint/src/lib.rs $A $O \
     --extern jinjing_solver="$OUT/libjinjing_solver.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
-    --extern jinjing_net="$OUT/libjinjing_net.rlib" # no `spec` feature
+    --extern jinjing_net="$OUT/libjinjing_net.rlib" \
+    --extern jinjing_par="$OUT/libjinjing_par.rlib" # no `spec` feature
 rlib jinjing_core crates/core/src/lib.rs $A $O \
     --extern jinjing_par="$OUT/libjinjing_par.rlib" \
     --extern jinjing_solver="$OUT/libjinjing_solver.rlib" \
@@ -99,7 +101,8 @@ tbin solver_unit crates/solver/src/lib.rs $A $O
 tbin lint_unit crates/lint/src/lib.rs $A $O \
     --extern jinjing_solver="$OUT/libjinjing_solver.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
-    --extern jinjing_net="$OUT/libjinjing_net.rlib"
+    --extern jinjing_net="$OUT/libjinjing_net.rlib" \
+    --extern jinjing_par="$OUT/libjinjing_par.rlib"
 tbin core_unit crates/core/src/lib.rs $A $O \
     --extern jinjing_par="$OUT/libjinjing_par.rlib" \
     --extern jinjing_solver="$OUT/libjinjing_solver.rlib" \
@@ -115,6 +118,11 @@ tbin par_determinism tests/par_determinism.rs $A $O \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib"
 tbin lint_integration tests/lint_integration.rs --cfg jinjing_offline $A \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib" \
+    --extern jinjing_lint="$OUT/libjinjing_lint.rlib"
+tbin lint_multi tests/lint_multi.rs $A $O \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
@@ -158,10 +166,15 @@ tbin trace_export tests/trace_export.rs --cfg jinjing_offline $O \
 # The determinism half of the incremental contract: the oracle suite and
 # the golden files must hold verbatim under a 4-worker default too — and
 # the daemon must render the same bytes when the engine runs 4-wide.
-echo "==> re-run incr_oracle + cli_golden + serve_integration with JINJING_THREADS=4"
+echo "==> re-run incr_oracle + cli_golden + serve_integration + lint_multi with JINJING_THREADS=4"
 JINJING_THREADS=4 "$OUT/incr_oracle" -q
 JINJING_THREADS=4 "$OUT/cli_golden" -q
 JINJING_THREADS=4 "$OUT/serve_integration" -q
+# The cross-tenant gate equivalent of ci.sh's two-tenant CLI step: the
+# committed example pair runs through engine::lint_multi inside this
+# suite (the real `jinjing lint --intent tenant=FILE` binary needs the
+# serde-backed loaders, which the offline build compiles out).
+JINJING_THREADS=4 "$OUT/lint_multi" -q
 
 # Incremental-replay smoke: regenerate BENCH_incr.json (into $OUT — the
 # committed copy is refreshed by scripts/ci.sh's online path) and check

@@ -21,9 +21,10 @@
 //! and review the diff like any other code change.
 
 use jinjing_cli::{run_command_with, watch_command, RunOptions};
-use jinjing_core::engine::{lint, ReportKind};
+use jinjing_core::engine::{lint, lint_multi, ReportKind};
 use jinjing_core::figure1::Figure1;
 use jinjing_lai::{parse_program, validate};
+use jinjing_lint::TenantIntent;
 use std::path::PathBuf;
 
 /// The paper's running-example update (§3.2): opens traffic 1 and 2 on
@@ -163,6 +164,59 @@ fn lint_report_json_is_golden() {
     assert_golden("lint.json", &json);
 }
 
+/// Locate `examples/data/` alongside `tests/golden/` (both layouts).
+fn examples_dir() -> PathBuf {
+    for cand in ["examples/data", "../../examples/data"] {
+        let p = PathBuf::from(cand);
+        if p.is_dir() {
+            return p;
+        }
+    }
+    panic!("examples/data not found from {:?}", std::env::current_dir());
+}
+
+/// The committed two-tenant example (`tenant-alpha.lai` + `tenant-beta.lai`)
+/// rendered through the multi-tenant engine entry point — the same report
+/// `jinjing lint --intent alpha=… --intent beta=… --priority alpha,beta`
+/// and `POST /v1/lint/multi` must produce byte-for-byte.
+fn multi_lint_report(threads: usize) -> jinjing_lint::LintReport {
+    let fig = Figure1::new();
+    let tenants: Vec<TenantIntent> = ["alpha", "beta"]
+        .iter()
+        .map(|name| {
+            let path = examples_dir().join(format!("tenant-{name}.lai"));
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+            let program = validate(parse_program(&text).expect("parse")).expect("validate");
+            TenantIntent::new(*name, program)
+        })
+        .collect();
+    let priority = vec!["alpha".to_string(), "beta".to_string()];
+    let cfg = jinjing_lint::LintConfig {
+        threads,
+        ..jinjing_lint::LintConfig::default()
+    };
+    let out = lint_multi(&fig.net, &fig.config, &tenants, &priority, &cfg);
+    let ReportKind::Lint(report) = out.kind else {
+        panic!("expected a lint report")
+    };
+    report
+}
+
+#[test]
+fn multi_lint_report_json_is_golden() {
+    let mut json = multi_lint_report(0).to_json();
+    json.push('\n');
+    assert_golden("lint_multi.json", &json);
+}
+
+#[test]
+fn multi_lint_report_sarif_is_golden() {
+    let mut sarif = jinjing_lint::to_sarif(&multi_lint_report(0));
+    sarif.push('\n');
+    assert_golden("lint_multi.sarif", &sarif);
+}
+
 #[test]
 fn watch_session_json_is_golden() {
     let fig = Figure1::new();
@@ -207,4 +261,11 @@ fn goldens_hold_at_four_threads() {
     )
     .expect("watch_command");
     assert_golden("watch.json", &out.to_canonical_json());
+
+    let mut json = multi_lint_report(4).to_json();
+    json.push('\n');
+    assert_golden("lint_multi.json", &json);
+    let mut sarif = jinjing_lint::to_sarif(&multi_lint_report(4));
+    sarif.push('\n');
+    assert_golden("lint_multi.sarif", &sarif);
 }

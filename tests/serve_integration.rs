@@ -517,3 +517,62 @@ fn session_store_evicts_lru_past_the_cap() {
     let summary = shutdown(&addr, handle);
     assert_eq!(summary.snapshot.counter("serve.sessions_evicted"), 1);
 }
+
+/// `POST /v1/lint/multi` renders the committed multi-tenant golden
+/// byte-for-byte from the same example pair the CLI goldens use: the
+/// tenant-sectioned wire body is just another front end over
+/// `engine::lint_multi`. A conflicting pair gates with exit 4; malformed
+/// bodies 400 without wounding the daemon.
+#[test]
+fn multi_tenant_lint_renders_the_cli_golden_byte_for_byte() {
+    let (addr, handle) = start(ServeConfig::default());
+
+    let examples = {
+        let mut found = None;
+        for cand in ["examples/data", "../../examples/data"] {
+            if PathBuf::from(cand).is_dir() {
+                found = Some(PathBuf::from(cand));
+                break;
+            }
+        }
+        found.expect("examples/data not found")
+    };
+    let read = |name: &str| {
+        let path = examples.join(format!("tenant-{name}.lai"));
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+    };
+    let body = format!(
+        "#priority alpha,beta\n#tenant alpha\n{}#tenant beta\n{}",
+        read("alpha"),
+        read("beta")
+    );
+
+    let r = post(&addr, "/v1/lint/multi", &body);
+    assert_eq!(r.status, 200, "{}", r.body_text());
+    assert_eq!(
+        r.body_text(),
+        golden("lint_multi.json"),
+        "multi-tenant lint drifted from golden"
+    );
+    // JL301 is a warning, not an error: the report itself exits 0.
+    assert_eq!(r.exit_code(), 0);
+
+    // Malformed bodies are a client error, not a daemon wound.
+    for bad in [
+        "check\n",                          // content before any #tenant
+        "#tenant\ncheck\n",                 // nameless section
+        "#tenant a\ncheck\n#tenant a\n",    // duplicate tenant
+        "#priority nosuch\n#tenant a\nscope A:*\ncheck\n", // unknown priority name
+    ] {
+        let r = post(&addr, "/v1/lint/multi", bad);
+        assert_eq!(r.status, 400, "body {bad:?}: {}", r.body_text());
+    }
+
+    // The daemon is still healthy afterwards.
+    let r = post(&addr, "/v1/lint/multi", &body);
+    assert_eq!(r.status, 200, "{}", r.body_text());
+
+    let summary = shutdown(&addr, handle);
+    assert_eq!(summary.shed, 0, "nothing should have been shed");
+}
