@@ -79,6 +79,15 @@ pub struct CheckConfig {
     /// observationally identical to re-solving, so reports do not depend
     /// on this setting.
     pub cache: Option<Arc<QueryCache>>,
+    /// Warm solver layer: persistent per-scope solver families
+    /// ([`crate::warm::ScopeSolver`]) absorb the stage-1 circuit
+    /// constructions — each distinct ACL chain is encoded once and its
+    /// canonical first solve memoized, so repeat queries (across paths,
+    /// FECs, engine phases and session re-checks) replay instead of
+    /// rebuilding. `None` disables the layer; a warm answer is
+    /// byte-identical to a cold one by construction, so reports do not
+    /// depend on this setting either.
+    pub warm: Option<Arc<crate::warm::ScopeSolver>>,
     /// Observability sink: phase spans, solver histograms, events. A fresh
     /// (private) collector by default; the engine shares one per run.
     pub obs: jinjing_obs::Collector,
@@ -92,6 +101,7 @@ impl Default for CheckConfig {
             refine_limits: RefineLimits::default(),
             threads: 0,
             cache: Some(Arc::new(QueryCache::new())),
+            warm: Some(Arc::new(crate::warm::ScopeSolver::new())),
             obs: jinjing_obs::Collector::new(),
         }
     }
@@ -654,7 +664,13 @@ struct PairResult {
 }
 
 /// Run one decision-model comparison through the cache (when enabled),
-/// bumping the `check.cache_hit` / `check.cache_miss` counters.
+/// bumping the `check.cache_hit` / `check.cache_miss` counters. A cache
+/// miss lands on the warm solver layer (when enabled): the family for
+/// this chain is built once, canonically, and every later miss on the
+/// same key replays its memoized first solve instead of rebuilding the
+/// circuit (`check.warm_hit` / `check.warm_miss`). Because the cache and
+/// the warm layer key by the same dimension-free [`crate::qcache::QueryKey`]
+/// material, the answer is identical wherever it came from.
 fn cached_query(
     cfg: &CheckConfig,
     chain: &[(&Acl, &Acl)],
@@ -662,12 +678,25 @@ fn cached_query(
     region: Option<&PacketSet>,
     class_set: Option<&PacketSet>,
 ) -> CachedSolve {
+    let solve = || match (&cfg.warm, class_set) {
+        (Some(warm), None) => {
+            let (v, warmed) = warm.query(chain, verb, cfg.encoding, region);
+            cfg.obs.counter_add(
+                if warmed {
+                    "check.warm_hit"
+                } else {
+                    "check.warm_miss"
+                },
+                1,
+            );
+            v
+        }
+        _ => run_query(chain, verb, cfg.encoding, region, class_set),
+    };
     match &cfg.cache {
         Some(cache) => {
             let key = cache.key(chain, verb, cfg.encoding, region);
-            let (v, hit) = cache.get_or_solve(key, || {
-                run_query(chain, verb, cfg.encoding, region, class_set)
-            });
+            let (v, hit) = cache.get_or_solve(key, solve);
             cfg.obs.counter_add(
                 if hit {
                     "check.cache_hit"
@@ -678,7 +707,7 @@ fn cached_query(
             );
             v
         }
-        None => run_query(chain, verb, cfg.encoding, region, class_set),
+        None => solve(),
     }
 }
 

@@ -152,8 +152,11 @@ pub fn run(net: &Network, task: &Task, cfg: &EngineConfig) -> Result<Report, Eng
     }
     // One solver-query cache per run: the counterexample search inside fix
     // and its final certification check hit the same decision-model
-    // comparisons, so they share the engine-level cache.
+    // comparisons, so they share the engine-level cache — and the warm
+    // solver layer, for the same reason (its families are keyed by the
+    // same dimension-free query material).
     cfg.fix.check.cache = cfg.check.cache.clone();
+    cfg.fix.check.warm = cfg.check.warm.clone();
     obs.event(
         jinjing_obs::Level::Info,
         "engine.start",

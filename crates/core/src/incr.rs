@@ -290,6 +290,12 @@ impl<'n> CheckSession<'n> {
             Some(c) => c.advance_generation(),
             None => 0,
         };
+        // The warm solver layer ticks in lockstep with the cache: its
+        // families (and class pins) are stamped per re-check, so stale
+        // chains can be retracted below on the same window.
+        if let Some(w) = &self.cfg.warm {
+            w.advance_generation();
+        }
         let (report, incr) = check_inner(
             self.net,
             &self.scope,
@@ -303,6 +309,20 @@ impl<'n> CheckSession<'n> {
             Some(c) => c.evict_stale(self.incr.keep_generations),
             None => 0,
         };
+        // Retract warm families whose chains no recent delta queried
+        // (dropping their solvers) and flip the selectors of stale class
+        // pins, bounding resident solver state exactly like the cache's
+        // eviction bounds entries. Retraction only ever costs a rebuild —
+        // the canonical construction is deterministic — never an answer.
+        if let Some(w) = &self.cfg.warm {
+            let (fams, pins) = w.retract_stale(self.incr.keep_generations);
+            self.cfg
+                .obs
+                .counter_add("incr.warm_retracted_families", fams as u64);
+            self.cfg
+                .obs
+                .counter_add("incr.warm_retracted_pins", pins as u64);
+        }
         let applied = report.outcome.is_consistent() || self.incr.apply_inconsistent;
         if applied {
             self.base = after;
@@ -339,6 +359,11 @@ impl<'n> CheckSession<'n> {
     /// Handle to the persistent query cache, when caching is enabled.
     pub fn cache(&self) -> Option<&std::sync::Arc<QueryCache>> {
         self.cfg.cache.as_ref()
+    }
+
+    /// Handle to the persistent warm solver layer, when enabled.
+    pub fn warm(&self) -> Option<&std::sync::Arc<crate::warm::ScopeSolver>> {
+        self.cfg.warm.as_ref()
     }
 }
 

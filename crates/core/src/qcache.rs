@@ -63,7 +63,7 @@ fn fnv_mix(h: &mut u64, v: u64) {
     }
 }
 
-fn region_fingerprint(set: &PacketSet) -> u64 {
+pub(crate) fn region_fingerprint(set: &PacketSet) -> u64 {
     let mut h = FNV_OFFSET;
     fnv_mix(&mut h, set.cubes().len() as u64);
     for cube in set.cubes() {
@@ -102,6 +102,74 @@ impl QueryKey {
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         self.hash
+    }
+
+    /// Build a key with the default ACL fingerprint ([`acl_fingerprint`]).
+    ///
+    /// Key material is *dimension-free* with respect to execution
+    /// strategy: warm/cold solver layer, thread count and cache settings
+    /// never enter the key — only the structural query inputs do — so a
+    /// hit stored by any execution path replays byte-identically on every
+    /// other. The warm layer ([`crate::warm::ScopeSolver`]) keys its
+    /// solver families with exactly these keys for the same reason.
+    #[must_use]
+    pub fn build(
+        chain: &[(&Acl, &Acl)],
+        verb: Option<ControlVerb>,
+        encoding: Encoding,
+        region: Option<&PacketSet>,
+    ) -> QueryKey {
+        make_key(acl_fingerprint, chain, verb, encoding, region)
+    }
+}
+
+/// Shared key constructor: fingerprint every structural component with
+/// `fingerprint`, then store the full structure for collision-safe `Eq`.
+fn make_key(
+    fingerprint: fn(&Acl) -> u64,
+    chain: &[(&Acl, &Acl)],
+    verb: Option<ControlVerb>,
+    encoding: Encoding,
+    region: Option<&PacketSet>,
+) -> QueryKey {
+    let mut h = FNV_OFFSET;
+    fnv_mix(&mut h, chain.len() as u64);
+    for (b, a) in chain {
+        fnv_mix(&mut h, fingerprint(b));
+        fnv_mix(&mut h, fingerprint(a));
+    }
+    fnv_mix(
+        &mut h,
+        match verb {
+            None => 0,
+            Some(ControlVerb::Maintain) => 1,
+            Some(ControlVerb::Isolate) => 2,
+            Some(ControlVerb::Open) => 3,
+        },
+    );
+    fnv_mix(
+        &mut h,
+        match encoding {
+            Encoding::Sequential => 0,
+            Encoding::Tree => 1,
+        },
+    );
+    match region {
+        None => fnv_mix(&mut h, 0),
+        Some(set) => {
+            fnv_mix(&mut h, 1);
+            fnv_mix(&mut h, region_fingerprint(set));
+        }
+    }
+    QueryKey {
+        hash: h,
+        chain: chain
+            .iter()
+            .map(|(b, a)| ((*b).clone(), (*a).clone()))
+            .collect(),
+        verb,
+        encoding,
+        region: region.cloned(),
     }
 }
 
@@ -218,45 +286,7 @@ impl QueryCache {
         encoding: Encoding,
         region: Option<&PacketSet>,
     ) -> QueryKey {
-        let mut h = FNV_OFFSET;
-        fnv_mix(&mut h, chain.len() as u64);
-        for (b, a) in chain {
-            fnv_mix(&mut h, (self.fingerprint)(b));
-            fnv_mix(&mut h, (self.fingerprint)(a));
-        }
-        fnv_mix(
-            &mut h,
-            match verb {
-                None => 0,
-                Some(ControlVerb::Maintain) => 1,
-                Some(ControlVerb::Isolate) => 2,
-                Some(ControlVerb::Open) => 3,
-            },
-        );
-        fnv_mix(
-            &mut h,
-            match encoding {
-                Encoding::Sequential => 0,
-                Encoding::Tree => 1,
-            },
-        );
-        match region {
-            None => fnv_mix(&mut h, 0),
-            Some(set) => {
-                fnv_mix(&mut h, 1);
-                fnv_mix(&mut h, region_fingerprint(set));
-            }
-        }
-        QueryKey {
-            hash: h,
-            chain: chain
-                .iter()
-                .map(|(b, a)| ((*b).clone(), (*a).clone()))
-                .collect(),
-            verb,
-            encoding,
-            region: region.cloned(),
-        }
+        make_key(self.fingerprint, chain, verb, encoding, region)
     }
 
     fn shard(&self, key: &QueryKey) -> &Mutex<HashMap<QueryKey, Entry>> {

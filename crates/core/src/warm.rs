@@ -1,0 +1,550 @@
+//! The **warm solver layer**: persistent per-scope CDCL instances.
+//!
+//! Every Eq. 3 query the cold path runs ([`crate::check`]'s `run_query`)
+//! builds a fresh [`CircuitBuilder`], re-encodes the slot ACL chain,
+//! solves once and throws the solver away. WAN scopes route many FECs
+//! through few distinct chains, so across one check — and especially
+//! across an incremental session's re-checks — the same circuit is
+//! rebuilt over and over. A [`ScopeSolver`] keeps one persistent solver
+//! *family* per distinct query shape instead:
+//!
+//! - **Families.** A family is keyed by the same dimension-free
+//!   [`QueryKey`] the query cache uses (ordered reduced ACL chain ×
+//!   verb × encoding × region — never the execution strategy), and holds
+//!   a live [`CircuitBuilder`] in which the chain is encoded **once**.
+//! - **Canonical first solve.** The family's construction replays the
+//!   cold path's construction *instruction for instruction* — same
+//!   variable order, same clause order, region asserted at the root — so
+//!   its first solve produces the same verdict, the same model, and the
+//!   same [`SolverStats`](jinjing_solver::SolverStats) delta a cold
+//!   `run_query` would. That result is memoized; answering the base
+//!   query again replays the memo. This is what keeps reports
+//!   byte-identical to the cold path at any thread count, warm on or
+//!   off, cache on or off: a warm answer *is* the cold answer.
+//! - **Assumption-scoped extensions.** Narrower questions against a warm
+//!   family — "does the disagreement fall inside *this* class?" — are
+//!   asked via [`ScopeSolver::query_in_class`]: a fresh **selector
+//!   literal** `g` guards the class constraint (`g → in_class`) and the
+//!   query runs as `solve_with([g])`. The encoding is never rebuilt;
+//!   learned clauses, VSIDS activities and saved phases carry over
+//!   between queries, and the solver's clause-database reduction (LBD /
+//!   glucose-style, see `jinjing-solver`) keeps the long-lived instance
+//!   healthy. Retracting a pin permanently asserts `¬g`, which
+//!   deactivates every clause the selector guards.
+//! - **Generations.** Like the query cache, families and pins carry
+//!   generation tags; [`ScopeSolver::advance_generation`] +
+//!   [`ScopeSolver::retract_stale`] let a long-lived
+//!   [`CheckSession`](crate::incr::CheckSession) drop families whose
+//!   chains no recent delta touched and flip the selectors of stale
+//!   class pins, bounding the resident solver state.
+//!
+//! Concurrency mirrors [`crate::qcache`]: a sharded map, shard locks
+//! never held across a solve, first family writer wins (benign — the
+//! construction is deterministic, so racing builders produce identical
+//! families). Each family's live solver is behind its own `Mutex`;
+//! distinct chains never contend.
+
+use crate::qcache::{region_fingerprint, CachedSolve, QueryKey};
+use jinjing_acl::{Acl, PacketSet};
+use jinjing_lai::ControlVerb;
+use jinjing_solver::aclenc::{encode, Encoding};
+use jinjing_solver::cdcl::SolveResult;
+use jinjing_solver::lit::Lit;
+use jinjing_solver::{CircuitBuilder, HeaderVars};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked family shards (power of two).
+const SHARDS: usize = 16;
+
+/// A class pin inside a family's live solver: the selector literal
+/// guarding one `in_class` constraint, plus the structural set (collision
+/// safety, as in the query cache) and the last generation that used it.
+struct Pin {
+    fp: u64,
+    set: PacketSet,
+    guard: Lit,
+    last_used: u64,
+}
+
+/// The mutable half of a family: the persistent solver and its pins.
+struct Live {
+    builder: CircuitBuilder,
+    h: HeaderVars,
+    pins: Vec<Pin>,
+}
+
+/// One persistent solver family: the memoized canonical first solve and
+/// the live instance that answers assumption-scoped extensions.
+struct Family {
+    memo: CachedSolve,
+    live: Mutex<Live>,
+    last_used: AtomicU64,
+}
+
+/// Aggregate counters of a [`ScopeSolver`], for benches and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Resident families.
+    pub families: usize,
+    /// Families constructed (cold builds absorbed by the layer).
+    pub builds: u64,
+    /// Base queries answered by memo replay (no solver work at all).
+    pub replays: u64,
+    /// Class pins encoded into live solvers.
+    pub pin_encodes: u64,
+    /// Class-pinned queries that reused an existing pin's selector.
+    pub pin_reuses: u64,
+    /// Families dropped by [`ScopeSolver::retract_stale`].
+    pub retracted_families: u64,
+    /// Pins retracted (selector flipped) by [`ScopeSolver::retract_stale`].
+    pub retracted_pins: u64,
+}
+
+/// Persistent per-scope warm solver families. See the module docs for the
+/// determinism contract.
+pub struct ScopeSolver {
+    shards: Vec<Mutex<HashMap<QueryKey, Arc<Family>>>>,
+    generation: AtomicU64,
+    builds: AtomicU64,
+    replays: AtomicU64,
+    pin_encodes: AtomicU64,
+    pin_reuses: AtomicU64,
+    retracted_families: AtomicU64,
+    retracted_pins: AtomicU64,
+}
+
+impl std::fmt::Debug for ScopeSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopeSolver")
+            .field("families", &self.len())
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+impl Default for ScopeSolver {
+    fn default() -> ScopeSolver {
+        ScopeSolver::new()
+    }
+}
+
+impl ScopeSolver {
+    /// Fresh, empty warm layer.
+    #[must_use]
+    pub fn new() -> ScopeSolver {
+        ScopeSolver {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            generation: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            replays: AtomicU64::new(0),
+            pin_encodes: AtomicU64::new(0),
+            pin_reuses: AtomicU64::new(0),
+            retracted_families: AtomicU64::new(0),
+            retracted_pins: AtomicU64::new(0),
+        }
+    }
+
+    /// The current generation (epoch).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Start a new generation and return it (one per session `recheck`).
+    pub fn advance_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn shard(&self, key: &QueryKey) -> &Mutex<HashMap<QueryKey, Arc<Family>>> {
+        &self.shards[(key.fingerprint() as usize) & (SHARDS - 1)]
+    }
+
+    /// Fetch the family for a query shape, constructing it (canonically,
+    /// outside any shard lock) on first sight. Returns `(family, warm)`
+    /// where `warm` is `true` when the family already existed.
+    fn family(
+        &self,
+        chain: &[(&Acl, &Acl)],
+        verb: Option<ControlVerb>,
+        encoding: Encoding,
+        region: Option<&PacketSet>,
+    ) -> (Arc<Family>, bool) {
+        let key = QueryKey::build(chain, verb, encoding, region);
+        let generation = self.generation();
+        if let Some(fam) = self
+            .shard(&key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            fam.last_used.store(generation, Ordering::Relaxed);
+            return (Arc::clone(fam), true);
+        }
+        // Build without holding the shard lock; racing builders produce
+        // identical families (the construction is deterministic), so the
+        // first writer winning is invisible.
+        let (memo, live) = build_family(chain, verb, encoding, region);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let mut map = self
+            .shard(&key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let fam = map.entry(key).or_insert_with(|| {
+            Arc::new(Family {
+                memo,
+                live: Mutex::new(live),
+                last_used: AtomicU64::new(generation),
+            })
+        });
+        fam.last_used.store(generation, Ordering::Relaxed);
+        (Arc::clone(fam), false)
+    }
+
+    /// Answer the base (class-free) query for a chain: the canonical
+    /// first solve on a miss, a memo replay on a hit. Returns
+    /// `(result, warm)` where `warm` is `true` for a replay. The result
+    /// is byte-identical to the cold path's in either case.
+    pub fn query(
+        &self,
+        chain: &[(&Acl, &Acl)],
+        verb: Option<ControlVerb>,
+        encoding: Encoding,
+        region: Option<&PacketSet>,
+    ) -> (CachedSolve, bool) {
+        let (fam, warm) = self.family(chain, verb, encoding, region);
+        if warm {
+            self.replays.fetch_add(1, Ordering::Relaxed);
+        }
+        (fam.memo.clone(), warm)
+    }
+
+    /// Answer a class-pinned query against the warm family:
+    /// `∃h ∈ region ∩ class_set` with a decision disagreement. The class
+    /// constraint enters the live solver once, guarded by a fresh
+    /// selector literal, and the query runs as `solve_with([selector])` —
+    /// no re-encoding, learned clauses and heuristic state carried over.
+    ///
+    /// The returned stats are the solve's delta, as a cold query's would
+    /// be — but unlike [`ScopeSolver::query`] they reflect the warm
+    /// search history, so callers that fold stats into deterministic
+    /// reports must not route those queries here (the check hot path
+    /// keeps stage 2 cold for exactly this reason).
+    pub fn query_in_class(
+        &self,
+        chain: &[(&Acl, &Acl)],
+        verb: Option<ControlVerb>,
+        encoding: Encoding,
+        region: Option<&PacketSet>,
+        class_set: &PacketSet,
+    ) -> CachedSolve {
+        let (fam, _) = self.family(chain, verb, encoding, region);
+        let generation = self.generation();
+        let mut live = fam
+            .live
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let fp = region_fingerprint(class_set);
+        let guard = match live
+            .pins
+            .iter()
+            .position(|p| p.fp == fp && p.set == *class_set)
+        {
+            Some(i) => {
+                live.pins[i].last_used = generation;
+                self.pin_reuses.fetch_add(1, Ordering::Relaxed);
+                live.pins[i].guard
+            }
+            None => {
+                let Live { builder, h, pins } = &mut *live;
+                let g = builder.input();
+                let in_class = h.in_set(builder, class_set);
+                builder.assert_clause(&[!g, in_class]);
+                pins.push(Pin {
+                    fp,
+                    set: class_set.clone(),
+                    guard: g,
+                    last_used: generation,
+                });
+                self.pin_encodes.fetch_add(1, Ordering::Relaxed);
+                g
+            }
+        };
+        let before = live.builder.solver().stats();
+        let result = live.builder.solve_with(&[guard]);
+        let stats = live.builder.solver().stats().delta_since(&before);
+        let model = (result == SolveResult::Sat).then(|| live.h.decode(&live.builder));
+        CachedSolve {
+            result,
+            model,
+            stats,
+            vars: live.builder.solver().num_vars(),
+            clauses: live.builder.solver().num_clauses(),
+        }
+    }
+
+    /// Drop families unused for more than `keep` generations and flip the
+    /// selectors of equally stale class pins inside surviving families
+    /// (permanently asserting `¬guard`, which vacuates the pin's
+    /// clauses). Returns `(families_dropped, pins_retracted)`.
+    pub fn retract_stale(&self, keep: u64) -> (usize, usize) {
+        let current = self.generation();
+        let mut families = 0usize;
+        let mut pins = 0usize;
+        for s in &self.shards {
+            let mut map = s.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let before = map.len();
+            map.retain(|_, f| {
+                f.last_used.load(Ordering::Relaxed).saturating_add(keep) >= current
+            });
+            families += before - map.len();
+            for f in map.values() {
+                let mut live = f
+                    .live
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let Live { builder, pins: ps, .. } = &mut *live;
+                let mut i = 0;
+                while i < ps.len() {
+                    if ps[i].last_used.saturating_add(keep) < current {
+                        let g = ps[i].guard;
+                        builder.assert(!g);
+                        ps.swap_remove(i);
+                        pins += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        self.retracted_families
+            .fetch_add(families as u64, Ordering::Relaxed);
+        self.retracted_pins.fetch_add(pins as u64, Ordering::Relaxed);
+        (families, pins)
+    }
+
+    /// Resident family count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
+            .sum()
+    }
+
+    /// `true` when no family is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every family.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
+        }
+    }
+
+    /// Aggregate counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> WarmStats {
+        WarmStats {
+            families: self.len(),
+            builds: self.builds.load(Ordering::Relaxed),
+            replays: self.replays.load(Ordering::Relaxed),
+            pin_encodes: self.pin_encodes.load(Ordering::Relaxed),
+            pin_reuses: self.pin_reuses.load(Ordering::Relaxed),
+            retracted_families: self.retracted_families.load(Ordering::Relaxed),
+            retracted_pins: self.retracted_pins.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Construct one family: **instruction-for-instruction the cold path's
+/// `run_query` construction** (same variable order, same clause order,
+/// region asserted at the root, no class constraint), then the canonical
+/// first solve. Any drift here breaks the byte-identity contract — the
+/// warm-layer property tests and the goldens pin it.
+fn build_family(
+    chain: &[(&Acl, &Acl)],
+    verb: Option<ControlVerb>,
+    encoding: Encoding,
+    region: Option<&PacketSet>,
+) -> (CachedSolve, Live) {
+    let mut builder = CircuitBuilder::new();
+    let h = HeaderVars::new(&mut builder);
+    let mut c_before = Vec::with_capacity(chain.len());
+    let mut c_after = Vec::with_capacity(chain.len());
+    for (b, a) in chain {
+        c_before.push(encode(&mut builder, &h, b, encoding));
+        c_after.push(encode(&mut builder, &h, a, encoding));
+    }
+    let cp = builder.and(&c_before);
+    let cp2 = builder.and(&c_after);
+    let desired = match verb {
+        Some(ControlVerb::Isolate) => builder.f(),
+        Some(ControlVerb::Open) => builder.t(),
+        Some(ControlVerb::Maintain) | None => cp,
+    };
+    let eq = builder.iff(desired, cp2);
+    builder.assert(!eq);
+    if let Some(set) = region {
+        let in_region = h.in_set(&mut builder, set);
+        builder.assert(in_region);
+    }
+    let result = builder.solve();
+    let model = (result == SolveResult::Sat).then(|| h.decode(&builder));
+    let memo = CachedSolve {
+        result,
+        model,
+        stats: builder.solver().stats(),
+        vars: builder.solver().num_vars(),
+        clauses: builder.solver().num_clauses(),
+    };
+    (
+        memo,
+        Live {
+            builder,
+            h,
+            pins: Vec::new(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jinjing_acl::AclBuilder;
+
+    fn acl_a() -> Acl {
+        AclBuilder::default_permit().deny_dst("1.0.0.0/8").build()
+    }
+
+    fn acl_b() -> Acl {
+        AclBuilder::default_permit().deny_dst("2.0.0.0/8").build()
+    }
+
+    /// The packet region `dst ∈ prefix`, as a class stand-in.
+    fn dst_class(prefix: &str) -> PacketSet {
+        let p = jinjing_acl::parse::parse_prefix(prefix).unwrap();
+        PacketSet::from_cube(jinjing_acl::MatchSpec::dst(p).cube())
+    }
+
+    #[test]
+    fn replay_matches_first_solve() {
+        let ws = ScopeSolver::new();
+        let a = acl_a();
+        let b = acl_b();
+        let chain = [(&a, &b)];
+        let (first, warm1) = ws.query(&chain, None, Encoding::Tree, None);
+        assert!(!warm1);
+        let (again, warm2) = ws.query(&chain, None, Encoding::Tree, None);
+        assert!(warm2);
+        assert_eq!(first.result, again.result);
+        assert_eq!(first.model, again.model);
+        assert_eq!(format!("{:?}", first.stats), format!("{:?}", again.stats));
+        assert_eq!((first.vars, first.clauses), (again.vars, again.clauses));
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws.stats().builds, 1);
+        assert_eq!(ws.stats().replays, 1);
+    }
+
+    #[test]
+    fn distinct_shapes_get_distinct_families() {
+        let ws = ScopeSolver::new();
+        let a = acl_a();
+        let b = acl_b();
+        ws.query(&[(&a, &b)], None, Encoding::Tree, None);
+        ws.query(&[(&b, &a)], None, Encoding::Tree, None);
+        ws.query(&[(&a, &b)], Some(ControlVerb::Isolate), Encoding::Tree, None);
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws.stats().builds, 3);
+    }
+
+    #[test]
+    fn class_pins_reuse_their_selector() {
+        let ws = ScopeSolver::new();
+        let a = acl_a();
+        let b = acl_b();
+        let chain = [(&a, &b)];
+        // The a→b edit opens 1/8 and closes 2/8: a disagreement exists.
+        let (base, _) = ws.query(&chain, None, Encoding::Tree, None);
+        assert_eq!(base.result, SolveResult::Sat);
+        let class = dst_class("1.0.0.0/8");
+        let pinned = ws.query_in_class(&chain, None, Encoding::Tree, None, &class);
+        assert_eq!(pinned.result, SolveResult::Sat);
+        let m = pinned.model.expect("Sat stores a model");
+        assert!(class.contains(&m), "model must respect the pinned class");
+        // Second ask: same selector, no new pin encoded.
+        let again = ws.query_in_class(&chain, None, Encoding::Tree, None, &class);
+        assert_eq!(again.result, SolveResult::Sat);
+        assert_eq!(ws.stats().pin_encodes, 1);
+        assert_eq!(ws.stats().pin_reuses, 1);
+        // A disjoint clean class: Unsat under its pin, on the same family.
+        let clean = dst_class("9.0.0.0/8");
+        let none = ws.query_in_class(&chain, None, Encoding::Tree, None, &clean);
+        assert_eq!(none.result, SolveResult::Unsat);
+        assert_eq!(ws.len(), 1, "all pins share one family");
+    }
+
+    #[test]
+    fn retract_stale_drops_families_and_flips_pins() {
+        let ws = ScopeSolver::new();
+        let a = acl_a();
+        let b = acl_b();
+        let hot = [(&a, &b)];
+        let cold = [(&b, &a)];
+        ws.query(&hot, None, Encoding::Tree, None); // gen 0
+        ws.query(&cold, None, Encoding::Tree, None); // gen 0
+        let class = dst_class("1.0.0.0/8");
+        for _ in 0..3 {
+            ws.advance_generation();
+            // Touch `hot` (and one pin on it) each generation.
+            ws.query(&hot, None, Encoding::Tree, None);
+            ws.query_in_class(&hot, None, Encoding::Tree, None, &class);
+        }
+        // Encode a second pin on `hot`, then let it go stale.
+        let other = dst_class("2.0.0.0/8");
+        ws.query_in_class(&hot, None, Encoding::Tree, None, &other);
+        ws.advance_generation();
+        ws.advance_generation();
+        ws.query(&hot, None, Encoding::Tree, None);
+        ws.query_in_class(&hot, None, Encoding::Tree, None, &class);
+        let (families, pins) = ws.retract_stale(1);
+        assert_eq!(families, 1, "the cold family is dropped");
+        assert_eq!(pins, 1, "the stale pin's selector is flipped");
+        assert_eq!(ws.len(), 1);
+        // The surviving pin still answers, and the retracted one can be
+        // re-encoded with a fresh selector — same verdicts as before.
+        let live = ws.query_in_class(&hot, None, Encoding::Tree, None, &class);
+        assert_eq!(live.result, SolveResult::Sat);
+        let back = ws.query_in_class(&hot, None, Encoding::Tree, None, &other);
+        assert_eq!(back.result, SolveResult::Sat);
+    }
+
+    #[test]
+    fn family_memo_matches_an_independent_cold_build() {
+        // The canonical-first-solve contract, directly: two independent
+        // ScopeSolvers (and thus two independent cold constructions)
+        // produce byte-identical memos.
+        let a = acl_a();
+        let b = acl_b();
+        let chain = [(&a, &b)];
+        let full = PacketSet::full();
+        for region in [None, Some(&full)] {
+            let (x, _) = ScopeSolver::new().query(&chain, None, Encoding::Tree, region);
+            let (y, _) = ScopeSolver::new().query(&chain, None, Encoding::Tree, region);
+            assert_eq!(x.result, y.result);
+            assert_eq!(x.model, y.model);
+            assert_eq!(format!("{:?}", x.stats), format!("{:?}", y.stats));
+            assert_eq!((x.vars, x.clauses), (y.vars, y.clauses));
+        }
+    }
+}

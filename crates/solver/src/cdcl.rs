@@ -4,7 +4,10 @@
 //! analysis with clause learning and non-chronological backjumping,
 //! VSIDS-style exponential variable activities with an indexed max-heap,
 //! phase saving, Luby-sequence restarts, incremental clause addition
-//! between solves, and solving under assumptions.
+//! between solves, solving under assumptions, and glucose-style learned
+//! clause-database reduction (LBD-tagged learned clauses, periodic
+//! deletion of high-LBD/stale clauses with watched-literal compaction)
+//! so long-lived warm solvers stay healthy across thousands of queries.
 //!
 //! The solver exposes [`SolverStats`] — decisions, propagations, conflicts
 //! and the maximum decision depth reached — because the paper's §9 argues
@@ -42,6 +45,13 @@ pub struct SolverStats {
     pub learned: u64,
     /// Maximum decision level ever reached — the "search depth" of §9.
     pub max_depth: u64,
+    /// Summed literal-block distance (LBD) over all learned clauses — the
+    /// glucose quality measure; `lbd / learned` is the mean glue.
+    pub lbd: u64,
+    /// Learned clauses deleted by database reductions.
+    pub deleted: u64,
+    /// Clause-database reduction passes performed.
+    pub db_reductions: u64,
 }
 
 impl SolverStats {
@@ -56,6 +66,9 @@ impl SolverStats {
         self.restarts = self.restarts.saturating_add(other.restarts);
         self.learned = self.learned.saturating_add(other.learned);
         self.max_depth = self.max_depth.max(other.max_depth);
+        self.lbd = self.lbd.saturating_add(other.lbd);
+        self.deleted = self.deleted.saturating_add(other.deleted);
+        self.db_reductions = self.db_reductions.saturating_add(other.db_reductions);
     }
 
     /// The work done since `earlier` was captured from the *same* solver.
@@ -70,6 +83,9 @@ impl SolverStats {
             restarts: self.restarts.saturating_sub(earlier.restarts),
             learned: self.learned.saturating_sub(earlier.learned),
             max_depth: self.max_depth,
+            lbd: self.lbd.saturating_sub(earlier.lbd),
+            deleted: self.deleted.saturating_sub(earlier.deleted),
+            db_reductions: self.db_reductions.saturating_sub(earlier.db_reductions),
         }
     }
 
@@ -87,6 +103,9 @@ impl SolverStats {
         obs.histogram_record("solver.max_depth", self.max_depth);
         obs.histogram_record("solver.vars", vars as u64);
         obs.histogram_record("solver.clauses", clauses as u64);
+        obs.histogram_record("solver.lbd", self.lbd);
+        obs.counter_add("solver.clauses_deleted", self.deleted);
+        obs.counter_add("solver.db_reductions", self.db_reductions);
     }
 
     /// Close a per-query flight-recorder span with this stats delta as
@@ -104,7 +123,10 @@ impl SolverStats {
         span.end_with(&[
             ("clauses", clauses as u64),
             ("conflicts", self.conflicts),
+            ("db_reductions", self.db_reductions),
             ("decisions", self.decisions),
+            ("deleted", self.deleted),
+            ("lbd", self.lbd),
             ("learned", self.learned),
             ("max_depth", self.max_depth),
             ("propagations", self.propagations),
@@ -132,6 +154,12 @@ impl std::ops::AddAssign<&SolverStats> for SolverStats {
 #[derive(Debug)]
 struct Clause {
     lits: Vec<Lit>,
+    /// Learned (vs original) — only learned clauses are ever deleted.
+    learnt: bool,
+    /// Literal block distance at learn time (distinct decision levels).
+    lbd: u32,
+    /// Conflict count at the last use in conflict analysis (recency).
+    used: u64,
 }
 
 /// Indexed max-heap over variable activities (MiniSat's `VarOrder`).
@@ -240,6 +268,12 @@ pub struct Solver {
     /// Assignment snapshot from the last `Sat` answer.
     model: Vec<i8>,
     stats: SolverStats,
+    /// Learned clauses attached since the last database reduction.
+    learnt_since_reduce: u64,
+    /// Reduction trigger: reduce once `learnt_since_reduce` reaches this.
+    reduce_interval: u64,
+    /// Interval growth per reduction (glucose-style ramp).
+    reduce_step: u64,
 }
 
 impl Default for Solver {
@@ -268,7 +302,20 @@ impl Solver {
             seen: Vec::new(),
             model: Vec::new(),
             stats: SolverStats::default(),
+            learnt_since_reduce: 0,
+            reduce_interval: 2000,
+            reduce_step: 500,
         }
+    }
+
+    /// Override the clause-DB reduction trigger: reduce after `first`
+    /// learned clauses, then every `first + i·step`. The defaults (2000,
+    /// +500) never fire on the small per-query instances of the cold
+    /// check path; tests and long-lived warm solvers lower them to
+    /// exercise (or accelerate) reduction.
+    pub fn set_reduce_interval(&mut self, first: u64, step: u64) {
+        self.reduce_interval = first;
+        self.reduce_step = step;
     }
 
     /// Allocate a fresh variable.
@@ -354,18 +401,37 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_clause(filtered);
+                self.attach_clause(filtered, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>) -> u32 {
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
         let idx = self.clauses.len() as u32;
         self.watches[lits[0].code()].push(idx);
         self.watches[lits[1].code()].push(idx);
-        self.clauses.push(Clause { lits });
+        let used = self.stats.conflicts;
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            lbd,
+            used,
+        });
         idx
+    }
+
+    /// Literal block distance of a (learnt) clause: the number of distinct
+    /// decision levels among its literals, computed while those levels are
+    /// still current (i.e. before backjumping).
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
     }
 
     fn enqueue(&mut self, l: Lit, reason: u32) {
@@ -483,6 +549,14 @@ impl Solver {
         let mut index = self.trail.len();
         let cur_level = self.decision_level();
         loop {
+            {
+                // Recency stamp: clauses driving conflicts are kept across
+                // database reductions.
+                let c = &mut self.clauses[clause as usize];
+                if c.learnt {
+                    c.used = self.stats.conflicts;
+                }
+            }
             let start = if p.is_none() { 0 } else { 1 };
             // Walk the literals of the reason clause (skipping the
             // propagated literal itself at slot 0 when applicable).
@@ -578,15 +652,18 @@ impl Solver {
                 // trail: analyze normally; if the backjump would strip an
                 // assumption we simply re-assume on the way back down.
                 let (learnt, bt) = self.analyze(confl);
+                let lbd = self.compute_lbd(&learnt);
                 self.backtrack_to(bt);
                 let asserting = learnt[0];
                 if learnt.len() == 1 {
                     self.enqueue(asserting, NO_REASON);
                 } else {
-                    let ci = self.attach_clause(learnt);
+                    let ci = self.attach_clause(learnt, true, lbd);
                     self.enqueue(asserting, ci);
+                    self.learnt_since_reduce += 1;
                 }
                 self.stats.learned += 1;
+                self.stats.lbd += u64::from(lbd);
                 self.var_inc /= 0.95;
                 continue;
             }
@@ -597,6 +674,13 @@ impl Solver {
                 conflicts_since_restart = 0;
                 restart_budget = luby(self.stats.restarts) * 64;
                 self.backtrack_to(assumptions.len() as u32);
+                if self.learnt_since_reduce >= self.reduce_interval {
+                    // Reduce at the restart point, from the root: any
+                    // assumption levels are rebuilt by the loop below and
+                    // the rescan after the watch rebuild.
+                    self.backtrack_to(0);
+                    self.reduce_db();
+                }
                 continue;
             }
             // Establish pending assumptions first.
@@ -631,6 +715,78 @@ impl Solver {
         }
         self.backtrack_to(0);
         result
+    }
+
+    /// Glucose-style learned-clause database reduction. Must run at
+    /// decision level 0. Keeps every original clause, every *locked*
+    /// clause (the reason of a currently assigned variable — deleting one
+    /// would orphan conflict analysis), and every glue clause (LBD ≤ 2);
+    /// of the remaining learned clauses the worse half — highest LBD,
+    /// then least recently used — is deleted. The clause arena is
+    /// compacted with an index remap (watches and reasons hold raw
+    /// indices) and every watch list is rebuilt from scratch, which is
+    /// also the watched-literal compaction: deletion leaves no dangling
+    /// watch entries behind.
+    fn reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0, "reduce only at the root");
+        self.stats.db_reductions += 1;
+        self.learnt_since_reduce = 0;
+        self.reduce_interval += self.reduce_step;
+        let mut locked = vec![false; self.clauses.len()];
+        for &l in &self.trail {
+            let r = self.reason[l.var().index()];
+            if r != NO_REASON {
+                locked[r as usize] = true;
+            }
+        }
+        let mut cands: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                c.learnt && !locked[i as usize] && c.lbd > 2
+            })
+            .collect();
+        // Worst first: highest LBD, then oldest use, then index — a total,
+        // deterministic order.
+        cands.sort_by_key(|&i| {
+            let c = &self.clauses[i as usize];
+            (std::cmp::Reverse(c.lbd), c.used, i)
+        });
+        let drop_n = cands.len() / 2;
+        let mut delete = vec![false; self.clauses.len()];
+        for &i in &cands[..drop_n] {
+            delete[i as usize] = true;
+        }
+        // Compact the arena, recording the old → new index remap.
+        let mut remap = vec![NO_REASON; self.clauses.len()];
+        let mut kept = Vec::with_capacity(self.clauses.len() - drop_n);
+        for (old, c) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
+            if delete[old] {
+                continue;
+            }
+            remap[old] = kept.len() as u32;
+            kept.push(c);
+        }
+        self.clauses = kept;
+        // Only assigned variables carry live reasons (backtracking clears
+        // them), and locked clauses were kept, so every remap hit exists.
+        for &l in &self.trail {
+            let r = &mut self.reason[l.var().index()];
+            if *r != NO_REASON {
+                *r = remap[*r as usize];
+            }
+        }
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for i in 0..self.clauses.len() {
+            let (w0, w1) = (self.clauses[i].lits[0], self.clauses[i].lits[1]);
+            self.watches[w0.code()].push(i as u32);
+            self.watches[w1.code()].push(i as u32);
+        }
+        // Rescan the root trail: rebuilt watch pairs may sit on false
+        // literals, so deferred propagations must be re-derived.
+        self.qhead = 0;
+        self.stats.deleted += drop_n as u64;
     }
 
     fn snapshot_model(&mut self) {
@@ -867,6 +1023,130 @@ mod tests {
         for (i, &e) in expect.iter().enumerate() {
             assert_eq!(luby(i as u64), e, "luby({i})");
         }
+    }
+
+    /// Pigeonhole clauses: `pigeons` into `holes` (unsat when p > h).
+    fn pigeonhole(pigeons: usize, holes: usize) -> (usize, Vec<Vec<i32>>) {
+        let v = |i: usize, j: usize| (i * holes + j + 1) as i32;
+        let mut cls = Vec::new();
+        for i in 0..pigeons {
+            cls.push((0..holes).map(|j| v(i, j)).collect());
+        }
+        for j in 0..holes {
+            for a in 0..pigeons {
+                for b in (a + 1)..pigeons {
+                    cls.push(vec![-v(a, j), -v(b, j)]);
+                }
+            }
+        }
+        (pigeons * holes, cls)
+    }
+
+    #[test]
+    fn db_reduction_fires_and_preserves_unsat() {
+        let (n, cls) = pigeonhole(7, 6);
+        let mut s = Solver::new();
+        s.set_reduce_interval(20, 10);
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        for c in &cls {
+            s.add_clause(&lits(&vars, c));
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let st = s.stats();
+        assert!(st.db_reductions > 0, "reduction must fire: {st:?}");
+        assert!(st.deleted > 0, "clauses must be deleted: {st:?}");
+        assert!(st.learned > 0 && st.lbd >= st.learned, "lbd ≥ 1 per clause");
+    }
+
+    #[test]
+    fn db_reduction_agrees_with_brute_force() {
+        // Aggressive trigger (reduce at every restart) over random 3-SAT;
+        // deletion must never flip an answer or corrupt a model.
+        let mut state = 0xfeed_f00d_dead_beefu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..40 {
+            let n = 5 + (next() % 5) as usize; // 5..9 vars
+            let m = n * 5;
+            let mut clauses = Vec::with_capacity(m);
+            for _ in 0..m {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let var = (next() % n as u64) as i32 + 1;
+                    let sign = if next() % 2 == 0 { 1 } else { -1 };
+                    c.push(var * sign);
+                }
+                clauses.push(c);
+            }
+            let expected = brute_force(n, &clauses);
+            let mut s = Solver::new();
+            s.set_reduce_interval(1, 0);
+            let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+            for c in &clauses {
+                s.add_clause(&lits(&vars, c));
+            }
+            let r = s.solve();
+            assert_eq!(r == SolveResult::Sat, expected, "round {round}");
+            if r == SolveResult::Sat {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&spec| s.model_value(lits(&vars, &[spec])[0])),
+                        "round {round}: model violates {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn db_reduction_keeps_incremental_solving_sound() {
+        // Reduce hard during an unsat proof, then keep using the same
+        // instance incrementally: assumptions and later clause additions
+        // must still behave.
+        let (n, cls) = pigeonhole(7, 6);
+        let mut s = Solver::new();
+        s.set_reduce_interval(10, 0);
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        // Leave out the last pigeon's hole clause so the instance is sat.
+        for c in &cls[1..] {
+            s.add_clause(&lits(&vars, c));
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Assume the missing clause's literals all false: still sat
+        // (pigeon 0 simply goes unplaced).
+        let assume: Vec<Lit> = lits(&vars, &cls[0]).iter().map(|&l| !l).collect();
+        assert_eq!(s.solve_with(&assume), SolveResult::Sat);
+        // Re-adding the clause restores full PHP(7,6): unsat.
+        s.add_clause(&lits(&vars, &cls[0]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().db_reductions > 0, "{:?}", s.stats());
+    }
+
+    #[test]
+    fn stats_new_fields_merge_and_delta() {
+        let a = SolverStats {
+            learned: 10,
+            lbd: 25,
+            deleted: 4,
+            db_reductions: 1,
+            ..SolverStats::default()
+        };
+        let b = SolverStats {
+            learned: 2,
+            lbd: 3,
+            deleted: 1,
+            db_reductions: 1,
+            ..SolverStats::default()
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!((m.lbd, m.deleted, m.db_reductions), (28, 5, 2));
+        let d = m.delta_since(&a);
+        assert_eq!((d.lbd, d.deleted, d.db_reductions), (3, 1, 1));
     }
 
     #[test]

@@ -24,10 +24,15 @@
 //!   depth).
 //! - [`card`] — sequential-counter cardinality outputs used for the fix
 //!   primitive's "minimize the number of interfaces changed" objective.
+//! - [`totaliser`] — the generalised totaliser cardinality encoding whose
+//!   `at_most(k)` bound is a single assumption literal, letting fix's
+//!   minimal-change search tighten k incrementally on one warm solver.
 //!
-//! The solver is deliberately complete and unoptimized in places — clause
-//! deletion, blocking-literal tricks and preprocessing are omitted — but on
-//! the problem sizes Jinjing produces (after the differential-rule
+//! The solver is deliberately simple in places — blocking-literal tricks
+//! and preprocessing are omitted — but it keeps long-lived instances
+//! healthy with glucose-style learned-clause database reduction
+//! (LBD-tagged clauses, periodic deletion of high-LBD/stale clauses), and
+//! on the problem sizes Jinjing produces (after the differential-rule
 //! reduction) it solves every query in this repository in milliseconds.
 
 pub mod aclenc;
@@ -36,6 +41,7 @@ pub mod cdcl;
 pub mod circuit;
 pub mod header;
 pub mod lit;
+pub mod totaliser;
 
 pub use crate::aclenc::acl_fingerprint;
 pub use crate::cdcl::{SolveResult, Solver, SolverStats};

@@ -1,0 +1,216 @@
+//! Generalised totaliser cardinality encoding.
+//!
+//! [`totaliser_outputs`] builds the Bailleux–Boufkhad totaliser over a list
+//! of literals: a balanced binary tree whose every node carries unary
+//! counter outputs, with `out[j] ⇔ at least j+1 inputs are true` at the
+//! root — the same contract as [`crate::card::counter_outputs`], so the
+//! two encoders are drop-in interchangeable.
+//!
+//! The totaliser's advantage for *incremental* bounds is that the `at
+//! most k` constraint is a single assumption literal (`¬out[k]`) over a
+//! formula that never changes: fix's minimal-change search can tighten
+//! `k` query after query on one warm solver, descending from the current
+//! model's change count instead of probing every bound from zero with a
+//! fresh encoding. Tightening only ever *adds* an assumption, so every
+//! learned clause from the looser bound remains sound for the tighter
+//! one.
+
+use crate::circuit::CircuitBuilder;
+use crate::lit::Lit;
+
+/// Build totaliser outputs for `inputs`.
+///
+/// Returns `out` with `out.len() == inputs.len()` where `out[j]` is a
+/// literal equivalent to "at least `j+1` of the inputs are true". Empty
+/// input yields an empty output.
+pub fn totaliser_outputs(c: &mut CircuitBuilder, inputs: &[Lit]) -> Vec<Lit> {
+    match inputs.len() {
+        0 => Vec::new(),
+        1 => vec![inputs[0]],
+        n => {
+            let mid = n / 2;
+            let left = totaliser_outputs(c, &inputs[..mid]);
+            let right = totaliser_outputs(c, &inputs[mid..]);
+            merge(c, &left, &right)
+        }
+    }
+}
+
+/// Merge two child unary counters into a parent counter of width
+/// `left.len() + right.len()`, with both implication directions so the
+/// parent outputs are model-exact (like the sequential counter's).
+fn merge(c: &mut CircuitBuilder, left: &[Lit], right: &[Lit]) -> Vec<Lit> {
+    let (la, lb) = (left.len(), right.len());
+    let outs: Vec<Lit> = (0..la + lb).map(|_| c.input()).collect();
+    for i in 0..=la {
+        for j in 0..=lb {
+            let s = i + j;
+            // (≥i left) ∧ (≥j right) → (≥i+j total); i=0 / j=0 terms are ⊤.
+            if s >= 1 {
+                let mut clause = Vec::with_capacity(3);
+                if i >= 1 {
+                    clause.push(!left[i - 1]);
+                }
+                if j >= 1 {
+                    clause.push(!right[j - 1]);
+                }
+                clause.push(outs[s - 1]);
+                c.assert_clause(&clause);
+            }
+            // (≥s+1 total) → (≥i+1 left) ∨ (≥j+1 right) for every split
+            // i+j = s; the i=la / j=lb edges drop the saturated side.
+            if s < la + lb && i <= la && j <= lb {
+                let mut clause = Vec::with_capacity(3);
+                clause.push(!outs[s]);
+                if i < la {
+                    clause.push(left[i]);
+                }
+                if j < lb {
+                    clause.push(right[j]);
+                }
+                c.assert_clause(&clause);
+            }
+        }
+    }
+    outs
+}
+
+/// Convenience: assert "at most `k` of `inputs` are true" permanently.
+pub fn assert_at_most(c: &mut CircuitBuilder, inputs: &[Lit], k: usize) {
+    let outs = totaliser_outputs(c, inputs);
+    if k < outs.len() {
+        let l = outs[k];
+        c.assert(!l);
+    }
+}
+
+/// The assumption literal enforcing "at most `k`" given totaliser outputs
+/// (from [`totaliser_outputs`]); `None` when the bound is vacuous. Same
+/// shape as [`crate::card::at_most_assumption`].
+pub fn at_most_assumption(outputs: &[Lit], k: usize) -> Option<Lit> {
+    outputs.get(k).map(|&l| !l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdcl::SolveResult;
+
+    /// Exhaustively validate totaliser outputs for n inputs against the
+    /// naive popcount oracle.
+    fn check_totaliser(n: usize) {
+        for bits in 0u32..(1 << n) {
+            let mut c = CircuitBuilder::new();
+            let inputs: Vec<Lit> = (0..n).map(|_| c.input()).collect();
+            let outs = totaliser_outputs(&mut c, &inputs);
+            assert_eq!(outs.len(), n);
+            for (i, &l) in inputs.iter().enumerate() {
+                let v = (bits >> i) & 1 == 1;
+                c.assert(if v { l } else { !l });
+            }
+            assert_eq!(c.solve(), SolveResult::Sat);
+            let true_count = bits.count_ones() as usize;
+            for (j, &o) in outs.iter().enumerate() {
+                assert_eq!(
+                    c.model_value(o),
+                    true_count > j,
+                    "n={n} bits={bits:b} out[{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn totaliser_exhaustive_small() {
+        for n in 1..=6 {
+            check_totaliser(n);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut c = CircuitBuilder::new();
+        let outs = totaliser_outputs(&mut c, &[]);
+        assert!(outs.is_empty());
+        assert_eq!(at_most_assumption(&outs, 0), None);
+    }
+
+    #[test]
+    fn agrees_with_sequential_counter() {
+        // Same builder, both encoders over the same inputs: every output
+        // pair must be equivalent (the negated iff is unsat).
+        for n in 1..=5 {
+            let mut c = CircuitBuilder::new();
+            let inputs: Vec<Lit> = (0..n).map(|_| c.input()).collect();
+            let tot = totaliser_outputs(&mut c, &inputs);
+            let seq = crate::card::counter_outputs(&mut c, &inputs);
+            for (j, (&a, &b)) in tot.iter().zip(seq.iter()).enumerate() {
+                let eq = c.iff(a, b);
+                assert_eq!(
+                    c.solve_with(&[!eq]),
+                    SolveResult::Unsat,
+                    "n={n} out[{j}] differs between encoders"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_assumption_bounds_models() {
+        let mut c = CircuitBuilder::new();
+        let inputs: Vec<Lit> = (0..6).map(|_| c.input()).collect();
+        let outs = totaliser_outputs(&mut c, &inputs);
+        let l3 = outs[2];
+        c.assert(l3); // at least 3 true
+        let a = at_most_assumption(&outs, 2).unwrap();
+        assert_eq!(c.solve_with(&[a]), SolveResult::Unsat);
+        let a = at_most_assumption(&outs, 3).unwrap();
+        assert_eq!(c.solve_with(&[a]), SolveResult::Sat);
+        let count = inputs.iter().filter(|&&l| c.model_value(l)).count();
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn assert_at_most_zero_forces_all_false() {
+        let mut c = CircuitBuilder::new();
+        let inputs: Vec<Lit> = (0..4).map(|_| c.input()).collect();
+        assert_at_most(&mut c, &inputs, 0);
+        assert_eq!(c.solve(), SolveResult::Sat);
+        for &l in &inputs {
+            assert!(!c.model_value(l));
+        }
+        c.assert(inputs[2]);
+        assert_eq!(c.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn descending_k_on_one_solver() {
+        // The fix primitive's warm descent: start from a model's change
+        // count and tighten `at_most` by assumption until Unsat.
+        let mut c = CircuitBuilder::new();
+        let inputs: Vec<Lit> = (0..5).map(|_| c.input()).collect();
+        let outs = totaliser_outputs(&mut c, &inputs);
+        // Constraint: input0 ∨ input1, and input3 ∧ input4 (minimum = 3).
+        c.assert_clause(&[inputs[0], inputs[1]]);
+        c.assert(inputs[3]);
+        c.assert(inputs[4]);
+        assert_eq!(c.solve(), SolveResult::Sat);
+        let mut best = inputs.iter().filter(|&&l| c.model_value(l)).count();
+        let mut solves = 1usize;
+        while best > 0 {
+            match at_most_assumption(&outs, best - 1) {
+                None => break,
+                Some(a) => {
+                    solves += 1;
+                    if c.solve_with(&[a]) == SolveResult::Sat {
+                        best = inputs.iter().filter(|&&l| c.model_value(l)).count();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(best, 3);
+        assert!(solves <= 3, "descent should need few solves, got {solves}");
+    }
+}
