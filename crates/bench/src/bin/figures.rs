@@ -28,6 +28,9 @@
 //! concurrent `/v1/check` load at it, asserting every response
 //! byte-identical to the CLI rendering (`--bench-out` writes
 //! `BENCH_serve.json`).
+//! `plan` synthesizes certified rollout plans for the seeded update
+//! campaigns ([`jinjing_wan::rollout`]), asserting the rendered bytes
+//! are thread-count-independent (`--bench-out` writes `BENCH_plan.json`).
 
 use jinjing_acl::{Acl, MatchSpec, PacketSet};
 use jinjing_bench::{checkfix_scenario, control_open_task, migration_task, wan, PERTURBATIONS};
@@ -1513,6 +1516,184 @@ check
     }
 }
 
+/// Aggregates of one planner run (one rollout scenario).
+struct PlanRun {
+    kind: &'static str,
+    feasible: bool,
+    steps: usize,
+    waves: usize,
+    certificates: usize,
+    core: usize,
+    prefix_attempts: usize,
+    prefix_checks: usize,
+    pruned_witness: usize,
+    pruned_memo: usize,
+    dirty_pairs: usize,
+    pairs_ceiling: usize,
+    wall: Duration,
+}
+
+/// Serialize the planner bench as `BENCH_plan.json` (sorted keys, strict
+/// JSON, byte-stable shape — see [`bench_json`]). `plan_wall_ms` is the
+/// perf-gate headline; `dirty_pairs_total` vs `pairs_ceiling_total` is
+/// the session-probe pruning claim (every prefix state re-verified cold
+/// would pay the full ceiling).
+fn plan_json(network: &str, runs: &[PlanRun], wall: Duration) -> String {
+    let mut w = jinjing_obs::json::JsonWriter::new();
+    let wall_ms = |d: Duration| (d.as_secs_f64() * 1e6).round() / 1e3; // µs-rounded ms
+    let sum = |f: fn(&PlanRun) -> usize| runs.iter().map(f).sum::<usize>() as u64;
+    w.begin_object();
+    w.key("benchmark");
+    w.string("plan");
+    w.key("certificates");
+    w.u64(sum(|r| r.certificates));
+    w.key("dirty_pairs_total");
+    w.u64(sum(|r| r.dirty_pairs));
+    w.key("network");
+    w.string(network);
+    w.key("pairs_ceiling_total");
+    w.u64(sum(|r| r.pairs_ceiling));
+    w.key("plan_wall_ms");
+    w.f64(wall_ms(wall));
+    w.key("prefix_attempts_total");
+    w.u64(sum(|r| r.prefix_attempts));
+    w.key("prefix_checks_total");
+    w.u64(sum(|r| r.prefix_checks));
+    w.key("pruned_total");
+    w.u64(sum(|r| r.pruned_witness + r.pruned_memo));
+    w.key("scenarios");
+    w.begin_array();
+    for r in runs {
+        w.begin_object();
+        w.key("certificates");
+        w.u64(r.certificates as u64);
+        w.key("core");
+        w.u64(r.core as u64);
+        w.key("dirty_pairs");
+        w.u64(r.dirty_pairs as u64);
+        w.key("feasible");
+        w.bool(r.feasible);
+        w.key("kind");
+        w.string(r.kind);
+        w.key("pairs_ceiling");
+        w.u64(r.pairs_ceiling as u64);
+        w.key("prefix_attempts");
+        w.u64(r.prefix_attempts as u64);
+        w.key("prefix_checks");
+        w.u64(r.prefix_checks as u64);
+        w.key("pruned_memo");
+        w.u64(r.pruned_memo as u64);
+        w.key("pruned_witness");
+        w.u64(r.pruned_witness as u64);
+        w.key("steps");
+        w.u64(r.steps as u64);
+        w.key("wall_ms");
+        w.f64(wall_ms(r.wall));
+        w.key("waves");
+        w.u64(r.waves as u64);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("steps");
+    w.u64(sum(|r| r.steps));
+    w.key("waves");
+    w.u64(sum(|r| r.waves));
+    w.end_object();
+    let mut json = w.finish();
+    json.push('\n');
+    json
+}
+
+/// Rollout planning over the seeded update campaigns: synthesize a
+/// certified plan for each [`RolloutKind`] on the small WAN, assert the
+/// rendered plan bytes are thread-count-independent, and tabulate the
+/// search effort (prefix states probed vs attempts pruned by witnesses
+/// and the dead-set memo). `--bench-out` writes `BENCH_plan.json`.
+fn plan_bench(bench_out: Option<&str>) {
+    use jinjing_core::plan::{synthesize, PlanConfig, PlanOutcome};
+    use jinjing_wan::{rollout_scenario, RolloutKind};
+    println!("\n## Rollout planner — certified waves over the update campaigns\n");
+    println!("| scenario | steps | waves | verdict | probes/attempts | pruned | dirty pairs | ceiling | wall ms |");
+    println!("|----------|-------|-------|---------|-----------------|--------|-------------|---------|---------|");
+    let mut runs = Vec::new();
+    let t_all = Instant::now();
+    for kind in RolloutKind::ALL {
+        let sc = rollout_scenario(NetSize::Small, kind, 17);
+        let synth = |threads: usize| {
+            let cfg = CheckConfig {
+                threads,
+                ..CheckConfig::default()
+            };
+            synthesize(
+                &sc.wan.net,
+                &sc.wan.scope(),
+                &sc.controls,
+                &sc.base,
+                &sc.target,
+                &cfg,
+                &PlanConfig::default(),
+            )
+            .expect("plan")
+        };
+        let (wall, rp) = timed(|| synth(1));
+        let wide = synth(4);
+        assert_eq!(
+            jinjing_core::query::render_rollout_json(&sc.wan.net, &rp),
+            jinjing_core::query::render_rollout_json(&sc.wan.net, &wide),
+            "{}: plan bytes diverged at 4 threads",
+            kind.label()
+        );
+        assert_eq!(
+            sc.feasible,
+            matches!(rp.outcome, PlanOutcome::Feasible { .. }),
+            "{}: unexpected verdict",
+            kind.label()
+        );
+        let (waves, certificates, core) = match &rp.outcome {
+            PlanOutcome::Feasible {
+                waves,
+                certificates,
+            } => (waves.len(), certificates.len(), 0),
+            PlanOutcome::Infeasible { core } => (0, 0, core.len()),
+        };
+        let run = PlanRun {
+            kind: kind.label(),
+            feasible: sc.feasible,
+            steps: rp.steps.len(),
+            waves,
+            certificates,
+            core,
+            prefix_attempts: rp.stats.prefix_attempts,
+            prefix_checks: rp.stats.prefix_checks,
+            pruned_witness: rp.stats.pruned_witness,
+            pruned_memo: rp.stats.pruned_memo,
+            dirty_pairs: rp.stats.dirty_pairs,
+            pairs_ceiling: rp.stats.pairs_ceiling,
+            wall,
+        };
+        println!(
+            "| {} | {:>5} | {:>5} | {} | {:>6}/{:>6} | {:>6} | {:>11} | {:>7} | {:>7} |",
+            run.kind,
+            run.steps,
+            run.waves,
+            rp.verdict(),
+            run.prefix_checks,
+            run.prefix_attempts,
+            run.pruned_witness + run.pruned_memo,
+            run.dirty_pairs,
+            run.pairs_ceiling,
+            ms(run.wall),
+        );
+        runs.push(run);
+    }
+    let wall = t_all.elapsed();
+    if let Some(path) = bench_out {
+        let json = plan_json(NetSize::Small.label(), &runs, wall);
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\n(wrote {path})");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let include_large = args.iter().any(|a| a == "--large");
@@ -1523,7 +1704,7 @@ fn main() {
         .map(|i| args.get(i + 1).cloned().expect("--bench-out needs a path"));
     let wants = |name: &str| args.iter().any(|a| a == name) || args.iter().any(|a| a == "all");
     if args.is_empty() {
-        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [lint] [par] [incr] [solve] [serve] [trace] [all] [--large] [--small] [--bench-out <path>] [--trace-out <path>]");
+        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [lint] [par] [incr] [solve] [serve] [trace] [plan] [all] [--large] [--small] [--bench-out <path>] [--trace-out <path>]");
         std::process::exit(2);
     }
     println!("# Jinjing evaluation — regenerated tables");
@@ -1562,6 +1743,9 @@ fn main() {
     }
     if wants("serve") {
         serve_bench(bench_out.as_deref());
+    }
+    if wants("plan") {
+        plan_bench(bench_out.as_deref());
     }
     if wants("trace") {
         let trace_out = args
@@ -1705,5 +1889,62 @@ mod tests {
         );
         assert!((v["speedup"].as_f64().unwrap() - 3.0).abs() < 1e-9);
         assert_eq!(json, incr_json("small", &run), "byte-stable");
+    }
+
+    /// Same contract for `BENCH_plan.json`: strict JSON, sorted keys,
+    /// byte-stable, and the aggregate arithmetic is what CI's probe and
+    /// the perf gate assume.
+    #[test]
+    fn plan_json_is_strict_and_stable() {
+        let runs = vec![
+            PlanRun {
+                kind: "drain",
+                feasible: true,
+                steps: 6,
+                waves: 4,
+                certificates: 4,
+                core: 0,
+                prefix_attempts: 30,
+                prefix_checks: 12,
+                pruned_witness: 14,
+                pruned_memo: 4,
+                dirty_pairs: 80,
+                pairs_ceiling: 3000,
+                wall: Duration::from_millis(70),
+            },
+            PlanRun {
+                kind: "no_order",
+                feasible: false,
+                steps: 2,
+                waves: 0,
+                certificates: 0,
+                core: 1,
+                prefix_attempts: 5,
+                prefix_checks: 4,
+                pruned_witness: 1,
+                pruned_memo: 0,
+                dirty_pairs: 10,
+                pairs_ceiling: 60,
+                wall: Duration::from_millis(8),
+            },
+        ];
+        let json = plan_json("small", &runs, Duration::from_millis(78));
+        let v: serde_json::Value = serde_json::from_str(&json).expect("strict JSON");
+        assert_eq!(v["benchmark"], "plan");
+        assert_eq!(v["network"], "small");
+        assert_eq!(v["steps"].as_u64().unwrap(), 8);
+        assert_eq!(v["waves"].as_u64().unwrap(), 4);
+        assert_eq!(v["certificates"].as_u64().unwrap(), 4);
+        assert_eq!(v["prefix_checks_total"].as_u64().unwrap(), 16);
+        assert_eq!(v["pruned_total"].as_u64().unwrap(), 19);
+        assert!((v["plan_wall_ms"].as_f64().unwrap() - 78.0).abs() < 1e-9);
+        assert!(
+            v["dirty_pairs_total"].as_u64().unwrap() * 2
+                <= v["pairs_ceiling_total"].as_u64().unwrap()
+        );
+        assert_eq!(v["scenarios"][0]["kind"], "drain");
+        assert_eq!(v["scenarios"][1]["feasible"], false);
+        assert_eq!(v["scenarios"][1]["core"].as_u64().unwrap(), 1);
+        assert_eq!(json, plan_json("small", &runs, Duration::from_millis(78)), "byte-stable");
     }
 }

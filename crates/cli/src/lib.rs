@@ -202,6 +202,28 @@ pub fn watch_command(
         .map_err(err)
 }
 
+/// Synthesize a certified rollout plan (`jinjing plan`): decompose the
+/// diff between the current configuration and the target into per-device
+/// steps, order them so every intermediate state satisfies the intent,
+/// and batch provably-commuting steps into waves — or report a minimal
+/// infeasibility core. The target is the intent's own update, or the
+/// current configuration with `target_text` (a delta script) applied.
+/// Thin wrapper over [`jinjing_core::query::plan_query`] — the daemon's
+/// `POST /v1/plan` runs the same path, so outputs are byte-identical
+/// across front ends.
+pub fn plan_command(
+    net: &Network,
+    config: &AclConfig,
+    intent_text: &str,
+    target_text: Option<&str>,
+    max_waves: usize,
+    opts: &RunOptions,
+) -> Result<jinjing_core::query::PlanRunOutput, CliError> {
+    let mut cfg = opts.engine_config();
+    cfg.plan.max_waves = max_waves;
+    jinjing_core::query::plan_query(net, config, intent_text, target_text, &cfg).map_err(err)
+}
+
 /// Parse the `jinjing serve` flags (listen address, admission-control
 /// knobs, drain hooks) into a [`jinjing_serve::ServeConfig`]. Spec paths
 /// are handled by the caller — this half is serde-free so the offline

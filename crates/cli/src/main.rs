@@ -22,6 +22,10 @@ USAGE:
                 [--metrics-out <metrics.json>] [--trace] [--threads <N>]
     jinjing trace --network <net.json> --acls <acls.json> --intent <prog.lai>
                 [--trace-out <trace.json>] [--threads <N>]
+    jinjing plan --network <net.json> --acls <acls.json> --intent <prog.lai>
+                [--target <deltas.txt>] [--max-waves <N>]
+                [--format text|json] [--metrics-out <metrics.json>]
+                [--trace] [--threads <N>]
     jinjing lint --network <net.json> --acls <acls.json> [--intent <prog.lai>]
                 [--intent <tenant>=<prog.lai>] ... [--priority <a,b,...>]
                 [--format text|json|sarif] [--deny <CODE|JL3*|all>] ...
@@ -59,6 +63,17 @@ COMMANDS:
                chrome://tracing or Perfetto) and print a span summary
                (slowest spans first, with self time). Report bytes are
                identical to an untraced run; exits 3 on a failed check
+    plan       Safe update sequencing: decompose the diff between the current
+               ACLs and the target (the intent's update, or --target
+               <deltas.txt> applied to the current ACLs) into per-device
+               steps, and synthesize an ordering whose every intermediate
+               state satisfies the intent, verifying each prefix state
+               through a warm incremental session. Provably-commuting steps
+               (disjoint differential covers) are batched into parallel
+               waves, each certified by the wave-boundary state's check;
+               --max-waves caps the wave count. When no safe ordering
+               exists the output carries a minimal infeasibility core and
+               the command exits 3
     lint       Static analysis: shadowed/redundant/conflicting rules (JL0xx),
                contradictory or vacuous intent clauses (JL1xx), dangling
                references and silent-allow paths (JL2xx). With repeated
@@ -265,6 +280,52 @@ fn real_main(args: &[String]) -> Result<(), String> {
             }
             // Exit parity with `run`: a failed bare check gates with 3.
             if out.run.plan.command == "check" && out.run.plan.verdict.starts_with("inconsistent") {
+                std::process::exit(3);
+            }
+            Ok(())
+        }
+        "plan" => {
+            let net_path = require(args, "--network")?;
+            let acl_path = require(args, "--acls")?;
+            let intent_path = require(args, "--intent")?;
+            let net = load_network(&net_path).map_err(|e| e.to_string())?;
+            let config = load_acls(&acl_path, &net).map_err(|e| e.to_string())?;
+            let intent =
+                std::fs::read_to_string(&intent_path).map_err(|e| format!("{intent_path}: {e}"))?;
+            let target = match arg_value(args, "--target") {
+                Some(p) => Some(std::fs::read_to_string(&p).map_err(|e| format!("{p}: {e}"))?),
+                None => None,
+            };
+            let max_waves = match arg_value(args, "--max-waves") {
+                Some(n) => n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--max-waves wants a number, got {n:?}"))?,
+                None => 0,
+            };
+            let threads = match arg_value(args, "--threads") {
+                Some(n) => n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--threads wants a number, got {n:?}"))?,
+                None => 0,
+            };
+            let opts = RunOptions {
+                trace: args.iter().any(|a| a == "--trace"),
+                threads,
+            };
+            let out =
+                jinjing_cli::plan_command(&net, &config, &intent, target.as_deref(), max_waves, &opts)
+                    .map_err(|e| e.to_string())?;
+            match arg_value(args, "--format").as_deref() {
+                Some("json") => print!("{}", out.json),
+                None | Some("text") => print!("{}", out.text),
+                Some(other) => return Err(format!("unknown --format {other:?} (text|json)")),
+            }
+            if let Some(path) = arg_value(args, "--metrics-out") {
+                std::fs::write(&path, out.obs.to_json()).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("metrics written to {path}");
+            }
+            // Pipelines gate on an unorderable update, like a failed check.
+            if !out.feasible {
                 std::process::exit(3);
             }
             Ok(())

@@ -181,12 +181,20 @@ pub(crate) struct SlotPair {
 ///
 /// Per §6, `isolate`/`open` control regions join both the relatedness test
 /// and the cover (their packets can be inconsistent without any ACL edit).
+///
+/// The fourth return value counts the `AclDiff::compute` invocations pass 1
+/// actually performed. Under a session the per-slot diffs are memoized in
+/// the [`SessionMemo`] (keyed by the exact ACL pair), so a stream of
+/// re-checks or plan probes touching the same `(before, after)` pair at a
+/// slot diffs it once; the count surfaces as the session-only
+/// `incr.cover_rebuilds` counter.
 pub(crate) fn preprocess(
     before: &AclConfig,
     after: &AclConfig,
     controls: &[ResolvedControl],
     differential: bool,
-) -> (HashMap<Slot, SlotPair>, PacketSet, usize) {
+    session: Option<&SessionMemo>,
+) -> (HashMap<Slot, SlotPair>, PacketSet, usize, usize) {
     let mut slots: Vec<Slot> = before.slots();
     for s in after.slots() {
         if !slots.contains(&s) {
@@ -195,6 +203,7 @@ pub(crate) fn preprocess(
     }
     let mut pairs = HashMap::new();
     let mut encoded_rules = 0usize;
+    let mut cover_rebuilds = 0usize;
     if !differential {
         for slot in slots {
             let b = before.get(slot).cloned().unwrap_or_else(Acl::permit_all);
@@ -208,7 +217,7 @@ pub(crate) fn preprocess(
                 },
             );
         }
-        return (pairs, PacketSet::full(), encoded_rules);
+        return (pairs, PacketSet::full(), encoded_rules, cover_rebuilds);
     }
     // Pass 1: global differential rules and their packet cover. Untouched
     // slots (`b == a`) are skipped outright — a self-diff has no
@@ -223,11 +232,17 @@ pub(crate) fn preprocess(
         if b == a {
             continue;
         }
-        let d = AclDiff::compute(&b, &a);
+        let d: Arc<AclDiff> = match session {
+            Some(memo) => memo.diff_for(slot, &b, &a, &mut cover_rebuilds),
+            None => {
+                cover_rebuilds += 1;
+                Arc::new(AclDiff::compute(&b, &a))
+            }
+        };
         cover = cover.union(&d.cover);
-        for r in d.diff {
-            if !global_diff.contains(&r) {
-                global_diff.push(r);
+        for r in &d.diff {
+            if !global_diff.contains(r) {
+                global_diff.push(*r);
             }
         }
     }
@@ -263,7 +278,7 @@ pub(crate) fn preprocess(
             },
         );
     }
-    (pairs, cover, encoded_rules)
+    (pairs, cover, encoded_rules, cover_rebuilds)
 }
 
 /// Run check on a resolved task.
@@ -308,13 +323,24 @@ pub struct IncrStats {
     pub dirty_pairs: usize,
 }
 
+/// One memoized per-slot differential: the exact ACL pair it was computed
+/// for, and the shared diff.
+struct CoverEntry {
+    before: Acl,
+    after: Acl,
+    diff: Arc<AclDiff>,
+}
+
 /// Config-independent state a [`crate::incr::CheckSession`] keeps alive
 /// across re-checks: the scope's FEC partition and, per class, the lazily
 /// enumerated (and then memoized) path set.
 ///
-/// Everything in here is a pure function of `(net, scope, controls,
-/// refine_limits)` — never of the ACL configurations — so replaying it
-/// under a different before/after pair is exact, not approximate.
+/// The partition and paths are pure functions of `(net, scope, controls,
+/// refine_limits)` — never of the ACL configurations — so replaying them
+/// under a different before/after pair is exact, not approximate. The
+/// `covers` memo *is* keyed by ACL content (the exact pair diffed), which
+/// keeps it equally exact: a lookup only ever replays the diff of the very
+/// ACLs being preprocessed.
 pub(crate) struct SessionMemo {
     /// `derive_classes` output, computed once per session.
     pub(crate) classes: Vec<jinjing_acl::atoms::AtomClass>,
@@ -322,10 +348,15 @@ pub(crate) struct SessionMemo {
     /// filled on first use (a class disjoint from every cover so far has
     /// never needed its paths).
     pub(crate) paths: Vec<std::sync::Mutex<Option<Arc<Vec<Path>>>>>,
+    /// Per-slot `AclDiff` memo (one entry per slot: the last pair seen).
+    /// A re-check stream — and, above all, a plan search probing many
+    /// subsets of the same step set — diffs the same `(before, after)`
+    /// pair at a slot over and over; this collapses those to one compute.
+    covers: std::sync::Mutex<HashMap<Slot, CoverEntry>>,
 }
 
 impl SessionMemo {
-    /// Derive the FEC partition and empty path memos.
+    /// Derive the FEC partition and empty path/cover memos.
     pub(crate) fn build(
         net: &Network,
         scope: &Scope,
@@ -337,7 +368,36 @@ impl SessionMemo {
             .iter()
             .map(|_| std::sync::Mutex::new(None))
             .collect();
-        Ok(SessionMemo { classes, paths })
+        Ok(SessionMemo {
+            classes,
+            paths,
+            covers: std::sync::Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The differential of `(b, a)` at `slot`, replayed from the memo when
+    /// the exact pair was diffed before; `rebuilds` counts actual computes.
+    fn diff_for(&self, slot: Slot, b: &Acl, a: &Acl, rebuilds: &mut usize) -> Arc<AclDiff> {
+        let mut map = self
+            .covers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(e) = map.get(&slot) {
+            if &e.before == b && &e.after == a {
+                return Arc::clone(&e.diff);
+            }
+        }
+        *rebuilds += 1;
+        let diff = Arc::new(AclDiff::compute(b, a));
+        map.insert(
+            slot,
+            CoverEntry {
+                before: b.clone(),
+                after: a.clone(),
+                diff: Arc::clone(&diff),
+            },
+        );
+        diff
     }
 
     /// Paths for class `i`, enumerating and memoizing on first use.
@@ -398,9 +458,17 @@ pub(crate) fn check_inner(
     let total_rules = before.total_rules() + after.total_rules();
     let _check_span = cfg.obs.span("check");
     let sp = cfg.obs.span("check.preprocess");
-    let (pairs, cover, encoded_rules) = preprocess(before, after, controls, cfg.differential);
+    let (pairs, cover, encoded_rules, cover_rebuilds) =
+        preprocess(before, after, controls, cfg.differential, session);
     let t_preprocess = sp.finish();
     cfg.obs.counter_add("check.runs", 1);
+    // Session-only ledger: how many per-slot diffs pass 1 actually had to
+    // compute (misses of the session's cover memo). Cold runs never emit
+    // it, keeping cold obs snapshots free of `incr`-family counters.
+    if session.is_some() {
+        cfg.obs
+            .counter_add("incr.cover_rebuilds", cover_rebuilds as u64);
+    }
     cfg.obs
         .histogram_record("check.encoded_rules", encoded_rules as u64);
     let mut report = CheckReport {
@@ -804,7 +872,7 @@ pub fn check_per_acl(before: &AclConfig, after: &AclConfig, cfg: &CheckConfig) -
     let total_rules = before.total_rules() + after.total_rules();
     let _check_span = cfg.obs.span("check");
     let sp = cfg.obs.span("check.preprocess");
-    let (pairs, cover, encoded_rules) = preprocess(before, after, &[], cfg.differential);
+    let (pairs, cover, encoded_rules, _) = preprocess(before, after, &[], cfg.differential, None);
     let t_preprocess = sp.finish();
     let mut report = CheckReport {
         outcome: CheckOutcome::Consistent,

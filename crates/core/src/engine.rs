@@ -8,6 +8,7 @@ use crate::check::{check, CheckConfig, CheckOutcome, CheckReport};
 use crate::fix::{fix, FixConfig, FixError, FixPlan};
 use crate::generate::{generate, GenerateConfig, GenerateError, GenerateReport};
 use crate::incr::{CheckSession, IncrConfig};
+use crate::plan::{PlanConfig, PlanError, RolloutPlan};
 use crate::task::Task;
 use jinjing_acl::atoms::ClassExplosion;
 use jinjing_lai::Command;
@@ -26,6 +27,9 @@ pub struct EngineConfig {
     /// Incremental-session tunables (cache-eviction window, base-advance
     /// policy) for sessions opened through [`open_session`].
     pub incr: IncrConfig,
+    /// Rollout-planner tunables (wave budget, step ceiling) for
+    /// [`plan`].
+    pub plan: PlanConfig,
     /// Run-level worker-thread override. When non-zero, [`run`] pushes it
     /// into every primitive's `threads` knob (check's query fan-out, batch
     /// fix's placement fan-out, generate's AEC sweep). `0` leaves the
@@ -60,6 +64,9 @@ pub enum ReportKind {
     Generate(GenerateReport),
     /// `lint` ran (static analysis; produces diagnostics, never a plan).
     Lint(jinjing_lint::LintReport),
+    /// `plan` ran (safe update sequencing; produces a certified rollout
+    /// ordering, or a minimal infeasibility core).
+    Plan(RolloutPlan),
 }
 
 impl Report {
@@ -68,7 +75,9 @@ impl Report {
     /// as written", returned as `None`).
     pub fn deployable(&self) -> Option<&AclConfig> {
         match &self.kind {
-            ReportKind::Check(_) | ReportKind::Lint(_) => None,
+            // A plan sequences a target the operator already holds; it
+            // does not introduce a new configuration.
+            ReportKind::Check(_) | ReportKind::Lint(_) | ReportKind::Plan(_) => None,
             ReportKind::Fix(p) => Some(&p.fixed),
             ReportKind::Generate(g) => Some(&g.generated),
         }
@@ -106,6 +115,7 @@ impl Report {
                     )
                 }
             }
+            ReportKind::Plan(p) => p.verdict(),
         }
     }
 }
@@ -119,6 +129,8 @@ pub enum EngineError {
     Fix(FixError),
     /// Generate failed.
     Generate(GenerateError),
+    /// Plan synthesis failed (infeasibility is a *result*, not an error).
+    Plan(PlanError),
 }
 
 impl fmt::Display for EngineError {
@@ -127,6 +139,7 @@ impl fmt::Display for EngineError {
             EngineError::Classes(e) => write!(f, "{e}"),
             EngineError::Fix(e) => write!(f, "{e}"),
             EngineError::Generate(e) => write!(f, "{e}"),
+            EngineError::Plan(e) => write!(f, "{e}"),
         }
     }
 }
@@ -206,6 +219,45 @@ pub fn open_session<'n>(
         check_cfg.threads = cfg.threads;
     }
     CheckSession::for_task(net, task, check_cfg, cfg.incr.clone()).map_err(EngineError::Classes)
+}
+
+/// Synthesize a certified rollout plan from the task's current
+/// configuration (`task.before`) to `target`, under the task's scope and
+/// controls, packaged like every other primitive: a [`Report`] carrying a
+/// [`RolloutPlan`] plus the run's observability snapshot.
+///
+/// The same configuration pushdown as [`run`] applies: the engine's
+/// collector and run-level thread override land in the planner's check
+/// configuration, and its solver-query cache + warm families back every
+/// prefix-state probe. The target usually comes from the task's own
+/// update (`task.after`) or from a delta script applied on top of it.
+pub fn plan(
+    net: &Network,
+    task: &Task,
+    target: &AclConfig,
+    cfg: &EngineConfig,
+) -> Result<Report, EngineError> {
+    let obs = cfg.obs.clone();
+    let mut check_cfg = cfg.check.clone();
+    check_cfg.obs = obs.clone();
+    if cfg.threads != 0 {
+        check_cfg.threads = cfg.threads;
+    }
+    obs.event(jinjing_obs::Level::Info, "engine.start", "running plan");
+    let rollout = crate::plan::synthesize(
+        net,
+        &task.scope,
+        &task.controls,
+        &task.before,
+        target,
+        &check_cfg,
+        &cfg.plan,
+    )
+    .map_err(EngineError::Plan)?;
+    Ok(Report {
+        kind: ReportKind::Plan(rollout),
+        obs: obs.snapshot(),
+    })
 }
 
 /// Run the static analysis pass (jinjing-lint) over a built network, its

@@ -232,8 +232,8 @@ fn fix_configs(
     // violations to the differential cover, and fixing rules only ever
     // rewrite decisions inside already-repaired (blocked) neighborhoods, so
     // the cover never grows during the loop.
-    let (pairs, cover, _) =
-        crate::check::preprocess(before, after, controls, cfg.check.differential);
+    let (pairs, cover, _, _) =
+        crate::check::preprocess(before, after, controls, cfg.check.differential, None);
     let mut universe = PacketSet::empty();
     for (_, t) in net.entering_traffic(&task.scope) {
         universe = universe.union(&t);

@@ -356,6 +356,32 @@ impl<'n> CheckSession<'n> {
         })
     }
 
+    /// Check the session base against an arbitrary candidate configuration
+    /// **without advancing the session**: the base is never folded, the
+    /// step counter and cache/warm generations stay put, and nothing is
+    /// evicted. The report is byte-identical to a cold
+    /// `check_configs(net, scope, base, after, controls, cfg)` — the same
+    /// shared body runs, merely replaying the session memo — which is the
+    /// contract `crate::plan`'s prefix-state certification leans on: every
+    /// intermediate rollout state is judged against the *fixed* deployed
+    /// base, not against a previously probed candidate.
+    ///
+    /// Sound to interleave freely with [`CheckSession::recheck`]: the query
+    /// cache and warm solver families key on ACL-chain *content*, so
+    /// entries recorded under one candidate configuration can never answer
+    /// for a different one.
+    pub fn probe(&self, after: &AclConfig) -> Result<(CheckReport, IncrStats), ClassExplosion> {
+        check_inner(
+            self.net,
+            &self.scope,
+            &self.base,
+            after,
+            &self.controls,
+            &self.cfg,
+            Some(&self.memo),
+        )
+    }
+
     /// Handle to the persistent query cache, when caching is enabled.
     pub fn cache(&self) -> Option<&std::sync::Arc<QueryCache>> {
         self.cfg.cache.as_ref()

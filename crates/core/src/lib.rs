@@ -37,6 +37,11 @@
 //!   per-class paths and a generation-tagged query cache alive across a
 //!   stream of deltas, re-solving only the (class, path) pairs each
 //!   delta dirties while staying byte-identical to a cold check.
+//! - [`mod@plan`] — safe update sequencing: decompose a base→target diff
+//!   into per-device steps, search for an ordering whose every
+//!   intermediate state satisfies the intent (session probes + CEGIS
+//!   witness pruning), batch provably-commuting steps into certified
+//!   waves, or return a deletion-minimal infeasibility core.
 //! - [`mod@query`] — the query layer shared by every front end (CLI and
 //!   the `jinjing-serve` daemon): run an LAI intent or a watch-session
 //!   delta batch and render the result as canonical, byte-stable JSON
@@ -56,6 +61,7 @@ pub mod figure1;
 pub mod fix;
 pub mod generate;
 pub mod incr;
+pub mod plan;
 pub mod qcache;
 pub mod query;
 pub mod resolve;
@@ -70,10 +76,14 @@ pub use crate::engine::{open_session, run, EngineConfig, Report, ReportKind};
 pub use crate::fix::{fix, FixConfig, FixError, FixPhases, FixPlan, FixStrategy, MinimizeSearch};
 pub use crate::generate::{generate, GenerateConfig, GenerateError, GenerateReport};
 pub use crate::incr::{CheckSession, Delta, DeltaEdit, IncrConfig, RecheckReport};
+pub use crate::plan::{
+    synthesize, PlanConfig, PlanError, PlanOutcome, PlanStats, PlanStep, RolloutPlan,
+    WaveCertificate,
+};
 pub use crate::qcache::{CachedSolve, QueryCache, QueryKey};
 pub use crate::query::{
-    open_intent_session, recheck_steps, run_query, watch_query, PlanDocument, PlanEntry,
-    QueryError, RunOutput, WatchOutput, WatchStep,
+    open_intent_session, plan_query, recheck_steps, render_rollout_json, run_query, watch_query,
+    PlanDocument, PlanEntry, PlanRunOutput, QueryError, RunOutput, WatchOutput, WatchStep,
 };
 pub use crate::resolve::{resolve, ResolveError};
 pub use crate::task::Task;

@@ -172,9 +172,9 @@ pub fn run_query(
                 g.aec_count, g.aecs_split, g.dec_count, g.rows
             );
         }
-        // `engine::run` never yields a lint report (lint has its own entry
-        // point), but the match must stay exhaustive.
-        ReportKind::Lint(_) => {}
+        // `engine::run` never yields a lint or plan report (both have
+        // their own entry points), but the match must stay exhaustive.
+        ReportKind::Lint(_) | ReportKind::Plan(_) => {}
     }
 
     let changes = match report.deployable() {
@@ -204,6 +204,211 @@ pub fn run_query(
     Ok(RunOutput {
         text,
         plan,
+        obs: report.obs,
+    })
+}
+
+/// Everything one rollout-plan query produces.
+#[derive(Debug)]
+pub struct PlanRunOutput {
+    /// Human-readable report text.
+    pub text: String,
+    /// Canonical JSON body (the `jinjing plan --format json` output and
+    /// the `POST /v1/plan` response, byte-identical).
+    pub json: String,
+    /// `false` when no safe ordering exists (CLI exit 3, and the
+    /// daemon's `X-Jinjing-Exit: 3`).
+    pub feasible: bool,
+    /// The run's observability snapshot (`plan.*` spans and counters).
+    pub obs: jinjing_obs::Snapshot,
+}
+
+/// Render a [`RolloutPlan`](crate::plan::RolloutPlan) as canonical JSON:
+/// strict JSON, keys in sorted order, no wall-clock — byte-stable across
+/// runs, thread counts, cache settings and warm solvers.
+pub fn render_rollout_json(net: &Network, rollout: &crate::plan::RolloutPlan) -> String {
+    use crate::plan::PlanOutcome;
+    let topo = net.topology();
+    let acl_lines = |acl: &jinjing_acl::Acl| -> Vec<String> {
+        acl.to_string()
+            .lines()
+            .map(|l| l.trim().to_string())
+            .map(|l| l.replace("(default ", "default ").replace(')', ""))
+            .collect()
+    };
+    let (waves, certificates, core): (&[Vec<usize>], &[crate::plan::WaveCertificate], &[usize]) =
+        match &rollout.outcome {
+            PlanOutcome::Feasible {
+                waves,
+                certificates,
+            } => (waves, certificates, &[]),
+            PlanOutcome::Infeasible { core } => (&[], &[], core),
+        };
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("certificates");
+    w.begin_array();
+    for c in certificates {
+        w.begin_object();
+        w.key("commuting");
+        w.bool(c.commuting);
+        w.key("dirty_pairs");
+        w.u64(c.dirty_pairs as u64);
+        w.key("fec_count");
+        w.u64(c.fec_count as u64);
+        w.key("paths_checked");
+        w.u64(c.paths_checked as u64);
+        w.key("state");
+        w.begin_array();
+        for d in &c.state {
+            w.string(d);
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("command");
+    w.string("plan");
+    w.key("core");
+    w.begin_array();
+    for &i in core {
+        w.string(&rollout.steps[i].device);
+    }
+    w.end_array();
+    w.key("stats");
+    w.begin_object();
+    w.key("dirty_pairs");
+    w.u64(rollout.stats.dirty_pairs as u64);
+    w.key("pairs_ceiling");
+    w.u64(rollout.stats.pairs_ceiling as u64);
+    w.key("prefix_attempts");
+    w.u64(rollout.stats.prefix_attempts as u64);
+    w.key("prefix_checks");
+    w.u64(rollout.stats.prefix_checks as u64);
+    w.key("pruned_memo");
+    w.u64(rollout.stats.pruned_memo as u64);
+    w.key("pruned_witness");
+    w.u64(rollout.stats.pruned_witness as u64);
+    w.end_object();
+    w.key("steps");
+    w.begin_array();
+    for s in &rollout.steps {
+        w.begin_object();
+        w.key("device");
+        w.string(&s.device);
+        w.key("slots");
+        w.begin_array();
+        for (slot, acl) in &s.edits {
+            w.begin_object();
+            w.key("acl");
+            w.begin_array();
+            let effective = acl
+                .clone()
+                .unwrap_or_else(jinjing_acl::Acl::permit_all);
+            for line in acl_lines(&effective) {
+                w.string(&line);
+            }
+            w.end_array();
+            w.key("direction");
+            w.string(&slot.dir.to_string());
+            w.key("interface");
+            w.string(&topo.iface_name(slot.iface));
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("verdict");
+    w.string(&rollout.verdict());
+    w.key("waves");
+    w.begin_array();
+    for wave in waves {
+        w.begin_array();
+        for &i in wave {
+            w.string(&rollout.steps[i].device);
+        }
+        w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+    let mut out = w.finish();
+    out.push('\n');
+    out
+}
+
+/// Synthesize a certified rollout plan from an LAI intent: parse +
+/// validate the program, resolve it, derive the target configuration —
+/// the current configuration with `target_text` (a delta script) applied,
+/// or the intent's own update when `target_text` is `None` — and run
+/// [`engine::plan`](crate::engine::plan). The one code path behind
+/// `jinjing plan` and the daemon's `POST /v1/plan`.
+pub fn plan_query(
+    net: &Network,
+    config: &AclConfig,
+    intent_text: &str,
+    target_text: Option<&str>,
+    cfg: &EngineConfig,
+) -> Result<PlanRunOutput, QueryError> {
+    use crate::plan::PlanOutcome;
+    // With an explicit target the intent may be a bare scope (+controls):
+    // the update arrives as a delta script, not as modifies.
+    let parsed = parse_program(intent_text).map_err(err)?;
+    let program = match target_text {
+        Some(_) => jinjing_lai::validate_plan_intent(parsed).map_err(err)?,
+        None => validate(parsed).map_err(err)?,
+    };
+    let task = crate::resolve::resolve(net, &program, config).map_err(err)?;
+    let target = match target_text {
+        Some(text) => {
+            let deltas = crate::incr::parse_delta_script(net, text).map_err(err)?;
+            let mut t = config.clone();
+            for (_label, d) in &deltas {
+                t = d.applied_to(&t);
+            }
+            t
+        }
+        None => task.after.clone(),
+    };
+    let report = crate::engine::plan(net, &task, &target, cfg).map_err(err)?;
+    let ReportKind::Plan(rollout) = &report.kind else {
+        unreachable!("engine::plan yields a plan report")
+    };
+
+    use std::fmt::Write;
+    let mut text = String::new();
+    let _ = writeln!(text, "command : plan");
+    let _ = writeln!(text, "verdict : {}", rollout.verdict());
+    for s in &rollout.steps {
+        let _ = writeln!(text, "step    : {} — {} slot(s)", s.device, s.edits.len());
+    }
+    match &rollout.outcome {
+        PlanOutcome::Feasible { waves, .. } => {
+            for (k, wave) in waves.iter().enumerate() {
+                let devices: Vec<&str> =
+                    wave.iter().map(|&i| rollout.steps[i].device.as_str()).collect();
+                let _ = writeln!(text, "wave {:<3}: {}", k + 1, devices.join(", "));
+            }
+        }
+        PlanOutcome::Infeasible { core } => {
+            let devices: Vec<&str> =
+                core.iter().map(|&i| rollout.steps[i].device.as_str()).collect();
+            let _ = writeln!(text, "core    : {}", devices.join(", "));
+        }
+    }
+    let _ = writeln!(
+        text,
+        "checks  : {} probed / {} attempted, {} dirty pairs vs ceiling {}",
+        rollout.stats.prefix_checks,
+        rollout.stats.prefix_attempts,
+        rollout.stats.dirty_pairs,
+        rollout.stats.pairs_ceiling
+    );
+
+    Ok(PlanRunOutput {
+        text,
+        json: render_rollout_json(net, rollout),
+        feasible: rollout.is_feasible(),
         obs: report.obs,
     })
 }

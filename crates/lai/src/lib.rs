@@ -62,4 +62,4 @@ pub use crate::ast::{
 };
 pub use crate::parse::{parse_program, LaiError};
 pub use crate::printer::print_program;
-pub use crate::validate::validate;
+pub use crate::validate::{validate, validate_plan_intent};

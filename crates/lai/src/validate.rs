@@ -13,6 +13,20 @@ use std::collections::HashSet;
 /// Validate a program. Returns the (unchanged) program on success so calls
 /// chain nicely with `parse_program`.
 pub fn validate(prog: Program) -> Result<Program, LaiError> {
+    validate_inner(prog, true)
+}
+
+/// Validation for planner intents whose update arrives out of band
+/// (`jinjing plan --target` / the daemon's `#target` section): the
+/// modify-or-control arity rule for `check`/`fix` is waived — a bare
+/// scope program is the "keep reachability as it is" invariant. Every
+/// other rule (ACL references, allow-within-scope, generate/fix arity)
+/// still applies.
+pub fn validate_plan_intent(prog: Program) -> Result<Program, LaiError> {
+    validate_inner(prog, false)
+}
+
+fn validate_inner(prog: Program, require_update: bool) -> Result<Program, LaiError> {
     let command = prog
         .command
         .ok_or_else(|| LaiError::at(0, "program needs a command (check / fix / generate)"))?;
@@ -43,7 +57,7 @@ pub fn validate(prog: Program) -> Result<Program, LaiError> {
     }
     match command {
         Command::Check | Command::Fix => {
-            if prog.modifies.is_empty() && prog.controls.is_empty() {
+            if require_update && prog.modifies.is_empty() && prog.controls.is_empty() {
                 return Err(LaiError::at(
                     0,
                     format!("{command} needs at least one modify or control requirement"),
@@ -110,6 +124,20 @@ mod tests {
     fn check_without_requirements_rejected() {
         let e = check("scope A:*\nallow A:*\ncheck\n").unwrap_err();
         assert!(e.message.contains("requirement"));
+    }
+
+    #[test]
+    fn plan_intent_waives_the_update_arity_rule_only() {
+        // A bare scope+check intent: rejected by `validate`, legal as a
+        // planner intent (the update arrives as a delta script).
+        let src = "scope A:*\ncheck\n";
+        assert!(check(src).is_err());
+        assert!(validate_plan_intent(parse_program(src).unwrap()).is_ok());
+        // Every other rule still applies.
+        assert!(validate_plan_intent(parse_program("check\n").unwrap()).is_err());
+        let e = validate_plan_intent(parse_program("scope A:*\nallow B:*\ncheck\n").unwrap())
+            .unwrap_err();
+        assert!(e.message.contains("outside the scope"));
     }
 
     #[test]

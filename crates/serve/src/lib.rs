@@ -14,6 +14,7 @@
 //! POST /v1/generate             ditto (generate command)
 //! POST /v1/lint                 optional intent text → lint report JSON
 //! POST /v1/lint/multi           #tenant-sectioned intents → lint report JSON
+//! POST /v1/plan                 intent [+ #target deltas] → rollout plan JSON
 //! POST /v1/sessions             intent text → {"classes":…,"id":"s1"}
 //! POST /v1/sessions/{id}/delta  delta script → watch JSON for the batch
 //! DELETE /v1/sessions/{id}      drop a session
@@ -36,7 +37,8 @@
 //! **The byte-identity contract.** A response body is byte-identical to
 //! the corresponding CLI output: `/v1/check|fix|generate` return exactly
 //! `jinjing run --format json`, `/v1/lint` exactly
-//! `jinjing lint --format json`, and a session delta batch exactly the
+//! `jinjing lint --format json`, `/v1/plan` exactly
+//! `jinjing plan --format json`, and a session delta batch exactly the
 //! `jinjing watch --format json` document for those steps. Both front
 //! ends call the same renderers in [`jinjing_core::query`], so the golden
 //! files under `tests/golden/` pin the daemon and the CLI at once.
@@ -83,7 +85,7 @@ use std::time::{Duration, Instant};
 
 use jinjing_core::engine::{EngineConfig, ReportKind};
 use jinjing_core::incr::CheckSession;
-use jinjing_core::query::{open_intent_session, recheck_steps, run_query, WatchOutput};
+use jinjing_core::query::{open_intent_session, plan_query, recheck_steps, run_query, WatchOutput};
 use jinjing_net::{AclConfig, Network};
 use jinjing_obs::json::JsonWriter;
 use jinjing_obs::{Collector, Level};
@@ -230,6 +232,7 @@ enum Route {
     Generate,
     Lint,
     LintMulti,
+    Plan,
     SessionOpen,
     SessionDelta(String),
     SessionDelete(String),
@@ -244,6 +247,7 @@ impl Route {
             Route::Generate => "generate",
             Route::Lint => "lint",
             Route::LintMulti => "lint_multi",
+            Route::Plan => "plan",
             Route::SessionOpen => "session_open",
             Route::SessionDelta(_) => "session_delta",
             Route::SessionDelete(_) => "session_delete",
@@ -260,6 +264,7 @@ fn route_of(method: &str, path: &str) -> Result<Route, Response> {
         ("POST", "/v1/generate") => Ok(Route::Generate),
         ("POST", "/v1/lint") => Ok(Route::Lint),
         ("POST", "/v1/lint/multi") => Ok(Route::LintMulti),
+        ("POST", "/v1/plan") => Ok(Route::Plan),
         ("POST", "/v1/sessions") => Ok(Route::SessionOpen),
         _ => {
             if let Some(rest) = path.strip_prefix("/v1/sessions/") {
@@ -651,6 +656,7 @@ fn handle(ctx: Ctx<'_, '_>, job: &mut Job) -> Response {
         Route::Generate => one_shot(ctx, &job.req, "generate"),
         Route::Lint => lint_endpoint(ctx, &job.req),
         Route::LintMulti => lint_multi_endpoint(ctx, &job.req),
+        Route::Plan => plan_endpoint(ctx, &job.req),
         Route::SessionOpen => session_open(ctx, &job.req),
         Route::SessionDelta(id) => session_delta(ctx, &job.req, &id),
         Route::SessionDelete(id) => session_delete(ctx, &id),
@@ -860,6 +866,74 @@ fn lint_multi_endpoint(ctx: Ctx<'_, '_>, req: &Request) -> Response {
     let mut body = report.to_json();
     body.push('\n');
     Response::json(200, body).with_header("X-Jinjing-Exit", &exit.to_string())
+}
+
+/// Parse the `POST /v1/plan` wire body into the intent program text and
+/// the optional target delta script.
+///
+/// Like `/v1/lint/multi`, the body is plain text sectioned by directives
+/// so the serde-free daemon needs no JSON body: everything up to an
+/// optional `#target` line is the intent program; everything after it is
+/// a delta script describing the target configuration (the same syntax
+/// `jinjing plan --target` reads). An optional `#max-waves N` line caps
+/// the wave count. `#` already starts a comment in LAI, so the
+/// directives are invisible to the intent parser.
+fn parse_plan_body(text: &str) -> Result<(String, Option<String>, usize), String> {
+    let mut intent = String::new();
+    let mut target: Option<String> = None;
+    let mut max_waves = 0usize;
+    let mut saw_max_waves = false;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed == "#target" {
+            if target.is_some() {
+                return Err("more than one #target line".to_string());
+            }
+            target = Some(String::new());
+        } else if let Some(n) = trimmed.strip_prefix("#max-waves ") {
+            if saw_max_waves {
+                return Err("more than one #max-waves line".to_string());
+            }
+            max_waves = n
+                .trim()
+                .parse()
+                .map_err(|_| format!("#max-waves wants a number, got {:?}", n.trim()))?;
+            saw_max_waves = true;
+        } else {
+            let sink = target.as_mut().unwrap_or(&mut intent);
+            sink.push_str(line);
+            sink.push('\n');
+        }
+    }
+    Ok((intent, target, max_waves))
+}
+
+/// `POST /v1/plan`: synthesize a certified rollout plan from the
+/// resident configuration to a target described by the body's `#target`
+/// delta script (or the intent's own after-state when absent).
+/// Byte-identical to `jinjing plan --format json` on the same inputs;
+/// `X-Jinjing-Exit` is 3 when no safe ordering exists.
+fn plan_endpoint(ctx: Ctx<'_, '_>, req: &Request) -> Response {
+    let text = match req.body_text() {
+        Ok(t) => t,
+        Err(HttpError::Malformed(m)) => return Response::error(400, &m),
+        Err(_) => return Response::error(400, "unreadable body"),
+    };
+    let (intent, target, max_waves) = match parse_plan_body(text) {
+        Ok(parts) => parts,
+        Err(e) => return Response::error(400, &e),
+    };
+    let mut ecfg = ctx.engine_config();
+    ecfg.plan.max_waves = max_waves;
+    match plan_query(ctx.net, ctx.config, &intent, target.as_deref(), &ecfg) {
+        Err(e) => Response::error(400, &e.to_string()),
+        Ok(out) => {
+            // Exit-code parity with `jinjing plan`: infeasibility gates
+            // pipelines with 3.
+            let exit = if out.feasible { 0 } else { 3 };
+            Response::json(200, out.json).with_header("X-Jinjing-Exit", &exit.to_string())
+        }
+    }
 }
 
 /// `POST /v1/sessions`: open a resident check session over the intent's
@@ -1156,6 +1230,34 @@ check
         assert_eq!(route_of("POST", "/v1/lint/multi").unwrap(), Route::LintMulti);
         assert_eq!(Route::LintMulti.key(), "lint_multi");
         assert_eq!(route_of("GET", "/v1/lint/multi").unwrap_err().status, 404);
+        assert_eq!(route_of("POST", "/v1/plan").unwrap(), Route::Plan);
+        assert_eq!(Route::Plan.key(), "plan");
+        assert_eq!(route_of("GET", "/v1/plan").unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn plan_body_parses_sections() {
+        let body = "scope A:*\ncheck\n#max-waves 2\n#target\nclear C1 in\n";
+        let (intent, target, max_waves) = parse_plan_body(body).unwrap();
+        assert_eq!(intent, "scope A:*\ncheck\n");
+        assert_eq!(target.as_deref(), Some("clear C1 in\n"));
+        assert_eq!(max_waves, 2);
+
+        // No directives: the whole body is the intent, target defaults.
+        let (intent, target, max_waves) = parse_plan_body("scope A:*\ncheck\n").unwrap();
+        assert_eq!(intent, "scope A:*\ncheck\n");
+        assert_eq!(target, None);
+        assert_eq!(max_waves, 0);
+
+        assert!(parse_plan_body("check\n#target\n#target\n")
+            .unwrap_err()
+            .contains("more than one #target"));
+        assert!(parse_plan_body("check\n#max-waves 1\n#max-waves 2\n")
+            .unwrap_err()
+            .contains("more than one #max-waves"));
+        assert!(parse_plan_body("check\n#max-waves zebra\n")
+            .unwrap_err()
+            .contains("wants a number"));
     }
 
     #[test]

@@ -35,14 +35,19 @@
 //! - [`scenarios`] — resolved [`Task`](jinjing_core::Task)s for each
 //!   experiment (check/fix, migration, control-open) plus their LAI
 //!   programs for the Table 5 line counts.
+//! - [`rollout`] — seeded base→target rollout campaigns for the planner
+//!   (maintenance-window drains, staged rule swaps, and a no-safe-order
+//!   swap that must yield an infeasibility core).
 
 pub mod build;
 pub mod multi;
 pub mod params;
 pub mod perturb;
+pub mod rollout;
 pub mod scenarios;
 
 pub use crate::build::{build_wan, build_wan_observed, Wan};
 pub use crate::multi::multi_tenant_intents;
 pub use crate::params::{NetSize, WanParams};
 pub use crate::perturb::{perturb, Perturbation};
+pub use crate::rollout::{rollout_scenario, RolloutKind, RolloutScenario};

@@ -28,7 +28,7 @@ pub struct Scenario {
     pub program: Program,
 }
 
-fn pattern_for_iface(wan: &Wan, iface: IfaceId, dir: Option<DirSpec>) -> SlotPattern {
+pub(crate) fn pattern_for_iface(wan: &Wan, iface: IfaceId, dir: Option<DirSpec>) -> SlotPattern {
     let topo = wan.net.topology();
     let name = topo.iface_name(iface);
     let (dev, ifname) = name.split_once(':').expect("iface_name is dev:iface");
@@ -39,7 +39,7 @@ fn pattern_for_iface(wan: &Wan, iface: IfaceId, dir: Option<DirSpec>) -> SlotPat
     }
 }
 
-fn scope_patterns(wan: &Wan) -> Vec<SlotPattern> {
+pub(crate) fn scope_patterns(wan: &Wan) -> Vec<SlotPattern> {
     wan.net
         .topology()
         .devices()

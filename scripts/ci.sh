@@ -101,6 +101,75 @@ else
     echo "ci.sh: python3 not installed — skipping BENCH_incr.json probe" >&2
 fi
 
+echo "==> rollout-plan smoke (certified update sequencing)"
+# The committed relocation target is feasible but order-sensitive
+# (A:3-out must tighten before C:1 clears): `plan` must exit 0 and emit
+# one wave certificate per wave, with every decomposed step scheduled.
+plan_dir="$(mktemp -d)"
+cargo run --release -q -p jinjing-cli --bin jinjing -- plan \
+    --network examples/data/figure1-network.json \
+    --acls examples/data/figure1-acls.json \
+    --intent examples/data/rollout-scope.lai \
+    --target examples/data/rollout-target.deltas \
+    --format json >"$plan_dir/plan.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$plan_dir/plan.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["command"] == "plan" and not d["core"], d
+assert len(d["certificates"]) == len(d["waves"]) >= 1, d
+scheduled = sorted(dev for wave in d["waves"] for dev in wave)
+assert scheduled == sorted(s["device"] for s in d["steps"]), d
+assert all(c["commuting"] for c in d["certificates"]), d
+print(f"plan.json: {len(d['steps'])} steps in {len(d['waves'])} waves, "
+      f"all certificates commuting")
+EOF
+else
+    grep -q '"command":"plan"' "$plan_dir/plan.json"
+fi
+# The impossible target (clear D:2 leaks traffic 1/2 in any order) must
+# gate with exit 3 and name the infeasibility core.
+rc=0
+cargo run --release -q -p jinjing-cli --bin jinjing -- plan \
+    --network examples/data/figure1-network.json \
+    --acls examples/data/figure1-acls.json \
+    --intent examples/data/rollout-scope.lai \
+    --target examples/data/rollout-impossible.deltas \
+    --format json >"$plan_dir/impossible.json" || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "ci.sh: expected the impossible rollout to exit 3, got $rc" >&2
+    exit 1
+fi
+grep -q '"core":\["D"\]' "$plan_dir/impossible.json"
+rm -rf "$plan_dir"
+
+echo "==> rollout-synthesis smoke (small WAN) — regenerates BENCH_plan.json"
+# The generator itself cold-replays every certified prefix state; the
+# smoke step additionally verifies the artifact's shape and the headline
+# claim: the planner's probe work stays well under the cold per-prefix
+# ceiling, and every wave in a feasible scenario carries a certificate.
+cargo run --release -p jinjing-bench --bin figures -- plan \
+    --bench-out BENCH_plan.json >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_plan.json"))
+assert d["benchmark"] == "plan" and d["network"] == "small", d
+assert d["dirty_pairs_total"] * 2 <= d["pairs_ceiling_total"], \
+    f"plan probe pruning regressed: {d['dirty_pairs_total']} dirty vs ceiling {d['pairs_ceiling_total']}"
+for s in d["scenarios"]:
+    if s["feasible"]:
+        assert s["certificates"] == s["waves"] >= 1, s
+    else:
+        assert s["core"] >= 1 and s["waves"] == 0, s
+assert any(not s["feasible"] for s in d["scenarios"]), "no infeasible scenario"
+print(f"BENCH_plan.json: {d['steps']} steps over {len(d['scenarios'])} scenarios, "
+      f"{d['dirty_pairs_total']} dirty pairs vs ceiling {d['pairs_ceiling_total']}")
+EOF
+else
+    echo "ci.sh: python3 not installed — skipping BENCH_plan.json probe" >&2
+fi
+
 echo "==> daemon smoke (serve ⇄ call round trip, threads 1 and 4)"
 # Boot the verification daemon on an ephemeral port, drive it with the
 # `jinjing call` thin client — a check (exit 3: the running example is

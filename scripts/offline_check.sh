@@ -10,7 +10,8 @@
 #   rlibs:  acl → obs → par → {solver, lai, net} → lint → core → serve → cli
 #           (+ the scripts/stubs/rand.rs facade → wan → bench)
 #   tests:  acl unit, obs unit, par unit, solver unit, lint unit, core unit,
-#           serve unit, cli unit (offline subset), tests/obs_integration.rs,
+#           serve unit, cli unit (offline subset), wan unit,
+#           tests/obs_integration.rs,
 #           tests/lint_integration.rs, tests/lint_multi.rs,
 #           tests/par_determinism.rs,
 #           tests/running_example.rs, tests/wan_integration.rs,
@@ -18,12 +19,14 @@
 #           tests/cli_golden.rs (+ a JINJING_THREADS=4 re-run),
 #           tests/serve_integration.rs (+ a JINJING_THREADS=4 re-run),
 #           tests/trace_export.rs,
-#           tests/warm_solver.rs (+ a JINJING_THREADS=4 re-run)
+#           tests/warm_solver.rs (+ a JINJING_THREADS=4 re-run),
+#           tests/plan_oracle.rs (+ a JINJING_THREADS=4 re-run)
 #   bench:  the `figures` binary's `incr --small` replay, regenerating
 #           BENCH_incr.json into $OUT and sanity-probing its shape, plus a
-#           `figures serve` loopback daemon smoke writing BENCH_serve.json
-#           and a `figures solve --small` warm-solver smoke writing
-#           BENCH_solve.json
+#           `figures serve` loopback daemon smoke writing BENCH_serve.json,
+#           a `figures solve --small` warm-solver smoke writing
+#           BENCH_solve.json, and a `figures plan` rollout-synthesis smoke
+#           writing BENCH_plan.json
 #
 # serde-dependent code (spec JSON, CLI loaders, serde_json round-trips) is
 # compiled out under `--cfg jinjing_offline`; `rand` is satisfied by the
@@ -146,12 +149,20 @@ tbin running_example tests/running_example.rs $A \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib"
+tbin wan_unit crates/wan/src/lib.rs $A $O \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib" \
+    --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern rand="$OUT/librand.rlib"
 tbin wan_integration tests/wan_integration.rs $A $O \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
     --extern jinjing_wan="$OUT/libjinjing_wan.rlib"
 tbin incr_oracle tests/incr_oracle.rs $A $O \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib"
+tbin plan_oracle tests/plan_oracle.rs $A \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib"
 tbin cli_golden tests/cli_golden.rs --cfg jinjing_offline $A $O \
@@ -169,11 +180,12 @@ tbin warm_solver tests/warm_solver.rs \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
     --extern jinjing_solver="$OUT/libjinjing_solver.rlib"
 
-# The determinism half of the incremental contract: the oracle suite and
+# The determinism half of the incremental contract: the oracle suites and
 # the golden files must hold verbatim under a 4-worker default too — and
 # the daemon must render the same bytes when the engine runs 4-wide.
-echo "==> re-run incr_oracle + cli_golden + serve_integration + warm_solver + lint_multi with JINJING_THREADS=4"
+echo "==> re-run incr_oracle + plan_oracle + cli_golden + serve_integration + warm_solver + lint_multi with JINJING_THREADS=4"
 JINJING_THREADS=4 "$OUT/incr_oracle" -q
+JINJING_THREADS=4 "$OUT/plan_oracle" -q
 JINJING_THREADS=4 "$OUT/cli_golden" -q
 JINJING_THREADS=4 "$OUT/serve_integration" -q
 JINJING_THREADS=4 "$OUT/warm_solver" -q
@@ -297,6 +309,35 @@ print(f"BENCH_solve.json: {d['queries']} queries over {d['chains']} chains, "
 EOF
 else
     echo "offline_check.sh: python3 not installed — skipping BENCH_solve.json probe" >&2
+fi
+
+# Rollout-synthesis smoke: `figures plan` synthesizes certified plans for
+# the seeded update campaigns (drain / staged_swap / no_order), asserting
+# internally that the rendered plan bytes are thread-count-independent;
+# the probe checks the headline claims — every wave of a feasible plan
+# carries a certificate, the no-order campaign reports a core, and the
+# planner's probe work stays within half the cold per-prefix ceiling.
+echo "==> figures plan (rollout-synthesis smoke, BENCH_plan.json)"
+"$OUT/figures" plan --bench-out "$OUT/BENCH_plan.json" >/dev/null
+grep -q '"benchmark":"plan"' "$OUT/BENCH_plan.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$OUT/BENCH_plan.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["benchmark"] == "plan" and d["network"] == "small", d
+assert d["dirty_pairs_total"] * 2 <= d["pairs_ceiling_total"], \
+    f"plan probe pruning regressed: {d['dirty_pairs_total']} dirty vs ceiling {d['pairs_ceiling_total']}"
+for s in d["scenarios"]:
+    if s["feasible"]:
+        assert s["certificates"] == s["waves"] >= 1, s
+    else:
+        assert s["core"] >= 1 and s["waves"] == 0, s
+assert any(not s["feasible"] for s in d["scenarios"]), "no infeasible scenario"
+print(f"BENCH_plan.json: {d['steps']} steps over {len(d['scenarios'])} scenarios, "
+      f"{d['dirty_pairs_total']} dirty pairs vs ceiling {d['pairs_ceiling_total']}")
+EOF
+else
+    echo "offline_check.sh: python3 not installed — skipping BENCH_plan.json probe" >&2
 fi
 
 echo "offline_check.sh: all offline checks passed (artifacts in $OUT)"

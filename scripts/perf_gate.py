@@ -2,7 +2,8 @@
 """Performance regression gate over the committed BENCH_*.json baselines.
 
 The CI pipeline regenerates BENCH_check.json / BENCH_incr.json /
-BENCH_serve.json / BENCH_solve.json in the working tree (scripts/ci.sh),
+BENCH_serve.json / BENCH_solve.json / BENCH_plan.json in the working
+tree (scripts/ci.sh),
 which means the files on disk are *this run's* numbers. The honest
 baseline is whatever the repository last committed, so this gate reads
 the old numbers out of git (`git show <ref>:BENCH_x.json`, default ref
@@ -12,6 +13,7 @@ HEAD) and compares:
     incr   -> incr_wall_ms (the session replay)
     serve  -> p99_us (untraced request latency)
     solve  -> warm_wall_ms (steady-state warm re-query pass)
+    plan   -> plan_wall_ms (rollout synthesis over all campaigns)
 
 A metric regresses when it is more than 25% slower than the baseline
 (and slower by more than a small absolute epsilon, so microsecond jitter
@@ -43,6 +45,8 @@ GATES = [
      lambda d: d["p99_us"], 1000.0),
     ("BENCH_solve.json", "solve warm_wall_ms",
      lambda d: d["warm_wall_ms"], 1.0),
+    ("BENCH_plan.json", "plan plan_wall_ms",
+     lambda d: d["plan_wall_ms"], 1.0),
 ]
 
 

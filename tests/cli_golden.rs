@@ -20,7 +20,7 @@
 //!
 //! and review the diff like any other code change.
 
-use jinjing_cli::{run_command_with, watch_command, RunOptions};
+use jinjing_cli::{plan_command, run_command_with, watch_command, RunOptions};
 use jinjing_core::engine::{lint, lint_multi, ReportKind};
 use jinjing_core::figure1::Figure1;
 use jinjing_lai::{parse_program, validate};
@@ -217,6 +217,48 @@ fn multi_lint_report_sarif_is_golden() {
     assert_golden("lint_multi.sarif", &sarif);
 }
 
+/// Intent for the `jinjing plan` goldens: pure scope + check, the target
+/// comes from a committed delta script (`--target`).
+const PLAN_INTENT: &str = "scope A:*, B:*, C:*, D:*\ncheck\n";
+
+/// Render `jinjing plan --format json` for a committed target script.
+fn plan_json(target_file: &str, expect_feasible: bool) -> String {
+    let fig = Figure1::new();
+    let path = examples_dir().join(target_file);
+    let target =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let out = plan_command(
+        &fig.net,
+        &fig.config,
+        PLAN_INTENT,
+        Some(&target),
+        0,
+        &RunOptions::default(),
+    )
+    .expect("plan_command");
+    assert_eq!(
+        out.feasible, expect_feasible,
+        "{target_file}: unexpected feasibility"
+    );
+    out.json
+}
+
+#[test]
+fn plan_feasible_json_is_golden() {
+    assert_golden(
+        "plan_feasible.json",
+        &plan_json("rollout-target.deltas", true),
+    );
+}
+
+#[test]
+fn plan_infeasible_json_is_golden() {
+    assert_golden(
+        "plan_infeasible.json",
+        &plan_json("rollout-impossible.deltas", false),
+    );
+}
+
 #[test]
 fn watch_session_json_is_golden() {
     let fig = Figure1::new();
@@ -268,4 +310,17 @@ fn goldens_hold_at_four_threads() {
     let mut sarif = jinjing_lint::to_sarif(&multi_lint_report(4));
     sarif.push('\n');
     assert_golden("lint_multi.sarif", &sarif);
+
+    for (name, file, feasible) in [
+        ("plan_feasible.json", "rollout-target.deltas", true),
+        ("plan_infeasible.json", "rollout-impossible.deltas", false),
+    ] {
+        let path = examples_dir().join(file);
+        let target = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let out = plan_command(&fig.net, &fig.config, PLAN_INTENT, Some(&target), 0, &opts)
+            .expect("plan_command");
+        assert_eq!(out.feasible, feasible);
+        assert_golden(name, &out.json);
+    }
 }

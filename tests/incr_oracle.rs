@@ -453,3 +453,58 @@ fn session_span_tree_matches_cold_check_modulo_incr() {
         "every dirty class contributes at least one (class, path) pair"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Cover-memo contract: per-slot differential covers are hoisted into the
+// session (`SessionMemo`), so re-probing a state with the same per-slot
+// `(before, after)` ACL pairs must not recompute any diff — pinned by the
+// session-only `incr.cover_rebuilds` counter.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn probe_covers_are_hoisted_into_the_session() {
+    let mut rng = Rng::new(123);
+    let sc = diamond(&mut rng);
+    let scope = Scope::whole(sc.net.topology());
+    let base = random_config(&mut rng, &sc);
+    let after = loop {
+        let d = random_delta(&mut rng, &sc);
+        let a = d.applied_to(&base);
+        if a != base {
+            break a;
+        }
+    };
+
+    let cfg = CheckConfig::default();
+    let session = CheckSession::with_configs(
+        &sc.net,
+        scope.clone(),
+        Vec::new(),
+        base.clone(),
+        cfg.clone(),
+        IncrConfig::default(),
+    )
+    .expect("session opens");
+
+    let (r1, _) = session.probe(&after).expect("first probe");
+    let first = cfg.obs.snapshot().counter("incr.cover_rebuilds");
+    assert!(first > 0, "the first probe must compute per-slot covers");
+
+    // Same state again: every (slot, before, after) pair hits the memo.
+    let (r2, _) = session.probe(&after).expect("second probe");
+    let second = cfg.obs.snapshot().counter("incr.cover_rebuilds");
+    assert_eq!(
+        second, first,
+        "re-probing the same state must replay hoisted covers, not rebuild them"
+    );
+    assert_eq!(canon(&r1), canon(&r2), "probe reports are deterministic");
+
+    // Cold snapshots stay free of the incr counter family entirely.
+    let cold_cfg = CheckConfig::default();
+    let _ = check_configs(&sc.net, &scope, &base, &after, &[], &cold_cfg).expect("cold");
+    assert_eq!(
+        cold_cfg.obs.snapshot().counter("incr.cover_rebuilds"),
+        0,
+        "cold checks never emit incr.cover_rebuilds"
+    );
+}

@@ -576,3 +576,78 @@ fn multi_tenant_lint_renders_the_cli_golden_byte_for_byte() {
     let summary = shutdown(&addr, handle);
     assert_eq!(summary.shed, 0, "nothing should have been shed");
 }
+
+/// `POST /v1/plan` is byte-identical to `jinjing plan --format json` on
+/// the committed fixtures: the feasible relocation golden with exit 0,
+/// the infeasible drop with `X-Jinjing-Exit: 3`, and malformed bodies
+/// answered 400 without wounding the daemon.
+#[test]
+fn plan_endpoint_renders_the_cli_goldens_byte_for_byte() {
+    let (addr, handle) = start(ServeConfig::default());
+
+    let examples = {
+        let mut found = None;
+        for cand in ["examples/data", "../../examples/data"] {
+            if PathBuf::from(cand).is_dir() {
+                found = Some(PathBuf::from(cand));
+                break;
+            }
+        }
+        found.expect("examples/data not found")
+    };
+    let read = |name: &str| {
+        let path = examples.join(name);
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+    };
+    // Mirrors `tests/cli_golden.rs` (PLAN_INTENT + the --target fixtures).
+    let intent = "scope A:*, B:*, C:*, D:*\ncheck\n";
+
+    let body = format!("{intent}#target\n{}", read("rollout-target.deltas"));
+    let r = post(&addr, "/v1/plan", &body);
+    assert_eq!(r.status, 200, "{}", r.body_text());
+    assert_eq!(
+        r.body_text(),
+        golden("plan_feasible.json"),
+        "feasible plan drifted from golden"
+    );
+    assert_eq!(r.exit_code(), 0);
+
+    let body = format!("{intent}#target\n{}", read("rollout-impossible.deltas"));
+    let r = post(&addr, "/v1/plan", &body);
+    assert_eq!(r.status, 200, "{}", r.body_text());
+    assert_eq!(
+        r.body_text(),
+        golden("plan_infeasible.json"),
+        "infeasible plan drifted from golden"
+    );
+    assert_eq!(r.exit_code(), 3, "unorderable update gates like a failed check");
+
+    // A wave budget is honored: one wave cannot host the ordered pair.
+    let body = format!(
+        "{intent}#max-waves 1\n#target\n{}",
+        read("rollout-target.deltas")
+    );
+    let r = post(&addr, "/v1/plan", &body);
+    assert_eq!(r.status, 200, "{}", r.body_text());
+    assert_eq!(r.exit_code(), 3);
+
+    // Malformed bodies are a client error, not a daemon wound.
+    for bad in [
+        "",                                        // no intent at all
+        "scope A:*\ncheck\n#target\n#target\n",    // duplicate #target
+        "scope A:*\ncheck\n#max-waves x\n",        // bad number
+        "scope A:*\ncheck\n#target\nset nosuch:1 default permit\n", // bad delta
+    ] {
+        let r = post(&addr, "/v1/plan", bad);
+        assert_eq!(r.status, 400, "body {bad:?}: {}", r.body_text());
+    }
+
+    // The daemon is still healthy afterwards.
+    let body = format!("{intent}#target\n{}", read("rollout-target.deltas"));
+    let r = post(&addr, "/v1/plan", &body);
+    assert_eq!(r.status, 200, "{}", r.body_text());
+
+    let summary = shutdown(&addr, handle);
+    assert_eq!(summary.shed, 0, "nothing should have been shed");
+}
