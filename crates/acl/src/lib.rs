@@ -38,6 +38,8 @@
 //!   derivation (§4.1, §5.1, §5.3).
 //! - [`rtree`] — the §5.5 \"ACL search tree\": an interval tree answering
 //!   rule-overlap queries in O(log n + hits).
+//! - [`shard`] — consistent-hash partitioning of the class space across
+//!   shard backends (deterministic, content-keyed, process-independent).
 
 pub mod acl;
 pub mod atoms;
@@ -51,6 +53,7 @@ pub mod parse;
 pub mod rtree;
 pub mod rule;
 pub mod set;
+pub mod shard;
 pub mod simplify;
 
 pub use crate::acl::{Acl, AclBuilder};

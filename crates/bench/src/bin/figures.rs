@@ -9,7 +9,7 @@
 //! ```
 //!
 //! Subcommands: `fig4a` `fig4b` `fig4c` `fig4d` `table5` `depth` `spans`
-//! `lint` `par` `incr` `solve` `serve` `trace` `all`.
+//! `lint` `par` `incr` `solve` `serve` `trace` `plan` `shard` `all`.
 //! `--large` additionally runs the large-network fix (minutes, matching the
 //! paper's ~10-minute ceiling for check+fix).
 //! `par` accepts `--small` (restrict to the small WAN; the CI smoke step)
@@ -31,6 +31,12 @@
 //! `plan` synthesizes certified rollout plans for the seeded update
 //! campaigns ([`jinjing_wan::rollout`]), asserting the rendered bytes
 //! are thread-count-independent (`--bench-out` writes `BENCH_plan.json`).
+//! `shard` runs the class-space partition table behind the sharded
+//! coordinator: one full-scan check split over 1/2/4/8 consistent-hash
+//! shards ([`jinjing_acl::shard::ShardSpec`]), proving the per-shard
+//! dirty-pair and solver-query counts sum *exactly* to the single-process
+//! baseline — zero duplicated queries at any width (`--bench-out` writes
+//! `BENCH_shard.json`).
 
 use jinjing_acl::{Acl, MatchSpec, PacketSet};
 use jinjing_bench::{checkfix_scenario, control_open_task, migration_task, wan, PERTURBATIONS};
@@ -1694,6 +1700,207 @@ fn plan_bench(bench_out: Option<&str>) {
     }
 }
 
+/// One fan-out width of the shard partition table: per-shard dirty-pair
+/// counts, solver-query counts, and walls.
+struct ShardRow {
+    shards: usize,
+    dirty_pairs: Vec<usize>,
+    queries: Vec<u64>,
+    walls: Vec<Duration>,
+}
+
+/// Serialize the shard partition table as `BENCH_shard.json` (sorted
+/// keys, strict JSON — see [`incr_json`]). `shard_wall_ms` — the perf
+/// gate's metric — is the slowest shard's wall at width 4: the modeled
+/// parallel wall with four backends. The partition counts are
+/// machine-independent; the walls are not.
+fn shard_json(
+    network: &str,
+    baseline_pairs: usize,
+    baseline_queries: u64,
+    baseline_wall: Duration,
+    rows: &[ShardRow],
+) -> String {
+    let wall_ms = |d: Duration| (d.as_secs_f64() * 1e6).round() / 1e3; // µs-rounded ms
+    let exact = rows.iter().all(|r| {
+        r.dirty_pairs.iter().sum::<usize>() == baseline_pairs
+            && r.queries.iter().sum::<u64>() == baseline_queries
+    });
+    let shard_wall = rows
+        .iter()
+        .find(|r| r.shards == 4)
+        .or_else(|| rows.last())
+        .map(|r| r.walls.iter().max().copied().unwrap_or_default())
+        .unwrap_or_default();
+    let mut w = jinjing_obs::json::JsonWriter::new();
+    w.begin_object();
+    w.key("baseline");
+    w.begin_object();
+    w.key("dirty_pairs");
+    w.u64(baseline_pairs as u64);
+    w.key("queries");
+    w.u64(baseline_queries);
+    w.key("wall_ms");
+    w.f64(wall_ms(baseline_wall));
+    w.end_object();
+    w.key("benchmark");
+    w.string("shard");
+    w.key("network");
+    w.string(network);
+    w.key("partition_exact");
+    w.bool(exact);
+    w.key("shard_wall_ms");
+    w.f64(wall_ms(shard_wall));
+    w.key("widths");
+    w.begin_array();
+    for r in rows {
+        w.begin_object();
+        w.key("dirty_pairs_max");
+        w.u64(r.dirty_pairs.iter().max().copied().unwrap_or(0) as u64);
+        w.key("dirty_pairs_sum");
+        w.u64(r.dirty_pairs.iter().sum::<usize>() as u64);
+        w.key("queries_sum");
+        w.u64(r.queries.iter().sum::<u64>());
+        w.key("shards");
+        w.u64(r.shards as u64);
+        w.key("wall_ms_max");
+        w.f64(wall_ms(r.walls.iter().max().copied().unwrap_or_default()));
+        w.key("wall_ms_sum");
+        w.f64(wall_ms(r.walls.iter().sum::<Duration>()));
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let mut json = w.finish();
+    json.push('\n');
+    json
+}
+
+/// A full-scan *consistent* check workload: the perturbation scenario's
+/// modified slots rewritten so each differs from `before` syntactically
+/// (two adjacent same-action rules swapped — decision-preserving) but not
+/// semantically. Consistency matters for the partition proof: an
+/// inconsistent check short-circuits at its first violation, so a shard
+/// that owns no violation scans *more* of its slice than the unsharded
+/// run did and the per-shard sums would not reconcile. A consistent check
+/// scans everything everywhere, making the sums exact.
+fn shard_workload(net: &jinjing_wan::Wan) -> jinjing_core::Task {
+    use jinjing_lai::Command;
+    let sc = checkfix_scenario(net, 0.03, Command::Check);
+    let mut task = sc.task;
+    let mut after = task.before.clone();
+    let mut modified = Vec::new();
+    for &slot in &task.modified {
+        let Some(acl) = task.before.get(slot) else {
+            continue;
+        };
+        let mut rules = acl.rules().to_vec();
+        let Some(i) = (1..rules.len()).find(|&i| rules[i - 1].action == rules[i].action) else {
+            continue;
+        };
+        rules.swap(i - 1, i);
+        after.set(slot, Acl::new(rules, acl.default_action()));
+        modified.push(slot);
+    }
+    assert!(
+        !modified.is_empty(),
+        "no modified slot had two adjacent same-action rules to swap"
+    );
+    task.after = after;
+    task.modified = modified;
+    task
+}
+
+/// The class-space partition table behind `jinjing-shard`: run one
+/// full-scan check unsharded, then split the same workload over 1/2/4/8
+/// consistent-hash shards (each shard a separate [`CheckConfig`] carrying
+/// a [`ShardSpec`], exactly what a backend daemon evaluates) and prove
+/// the per-shard dirty-pair and solver-query counts sum to the baseline —
+/// the "zero duplicated solver queries" certificate for the coordinator's
+/// fan-out. `--bench-out` writes `BENCH_shard.json`.
+fn shard_bench(bench_out: Option<&str>) {
+    use jinjing_acl::shard::ShardSpec;
+    println!("\n## Sharded check — consistent-hash partition of the class space (small WAN)\n");
+    let net = wan(NetSize::Small);
+    let task = shard_workload(&net);
+
+    let run_one = |shard: Option<ShardSpec>| -> (CheckReport, u64, Duration) {
+        let cfg = CheckConfig {
+            shard,
+            ..CheckConfig::default()
+        };
+        let t = Instant::now();
+        let r = check(&net.net, &task, &cfg).expect("check");
+        let wall = t.elapsed();
+        assert!(
+            r.outcome.is_consistent(),
+            "the shard workload must be consistent (full scan)"
+        );
+        (r, cfg.obs.snapshot().counter("solver.queries"), wall)
+    };
+
+    let (base, base_queries, base_wall) = run_one(None);
+    assert!(base.paths_checked > 0, "workload dirties no pairs");
+    assert!(base_queries > 0, "workload asks no solver queries");
+    println!(
+        "baseline: {} dirty pairs, {} solver queries, {} FECs, {} ms\n",
+        base.paths_checked,
+        base_queries,
+        base.fec_count,
+        ms(base_wall)
+    );
+    println!("| shards | pairs sum | queries sum | max shard pairs | wall ms (max) | wall ms (sum) |");
+    println!("|--------|-----------|-------------|-----------------|---------------|---------------|");
+
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 4, 8] {
+        let mut row = ShardRow {
+            shards: n,
+            dirty_pairs: Vec::with_capacity(n),
+            queries: Vec::with_capacity(n),
+            walls: Vec::with_capacity(n),
+        };
+        for i in 0..n {
+            let (r, q, wall) = run_one(Some(ShardSpec::new(i, n)));
+            row.dirty_pairs.push(r.paths_checked);
+            row.queries.push(q);
+            row.walls.push(wall);
+        }
+        let pairs_sum: usize = row.dirty_pairs.iter().sum();
+        let queries_sum: u64 = row.queries.iter().sum();
+        assert_eq!(
+            pairs_sum, base.paths_checked,
+            "{n} shards: dirty pairs were duplicated or dropped"
+        );
+        assert_eq!(
+            queries_sum, base_queries,
+            "{n} shards: solver queries were duplicated or dropped"
+        );
+        println!(
+            "| {:>6} | {:>9} | {:>11} | {:>15} | {:>13} | {:>13} |",
+            n,
+            pairs_sum,
+            queries_sum,
+            row.dirty_pairs.iter().max().unwrap(),
+            ms(row.walls.iter().max().copied().unwrap()),
+            ms(row.walls.iter().sum::<Duration>()),
+        );
+        rows.push(row);
+    }
+    println!("\npartition exact at every width: zero duplicated solver queries");
+    if let Some(path) = bench_out {
+        let json = shard_json(
+            NetSize::Small.label(),
+            base.paths_checked,
+            base_queries,
+            base_wall,
+            &rows,
+        );
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("(wrote {path})");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let include_large = args.iter().any(|a| a == "--large");
@@ -1704,7 +1911,7 @@ fn main() {
         .map(|i| args.get(i + 1).cloned().expect("--bench-out needs a path"));
     let wants = |name: &str| args.iter().any(|a| a == name) || args.iter().any(|a| a == "all");
     if args.is_empty() {
-        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [lint] [par] [incr] [solve] [serve] [trace] [plan] [all] [--large] [--small] [--bench-out <path>] [--trace-out <path>]");
+        eprintln!("usage: figures [fig4a] [fig4b] [fig4c] [fig4d] [table5] [depth] [spans] [lint] [par] [incr] [solve] [serve] [trace] [plan] [shard] [all] [--large] [--small] [--bench-out <path>] [--trace-out <path>]");
         std::process::exit(2);
     }
     println!("# Jinjing evaluation — regenerated tables");
@@ -1746,6 +1953,9 @@ fn main() {
     }
     if wants("plan") {
         plan_bench(bench_out.as_deref());
+    }
+    if wants("shard") {
+        shard_bench(bench_out.as_deref());
     }
     if wants("trace") {
         let trace_out = args
@@ -1889,6 +2099,65 @@ mod tests {
         );
         assert!((v["speedup"].as_f64().unwrap() - 3.0).abs() < 1e-9);
         assert_eq!(json, incr_json("small", &run), "byte-stable");
+    }
+
+    /// Same contract for `BENCH_shard.json`: strict JSON, sorted keys,
+    /// byte-stable, and the partition-exactness flag plus the gate metric
+    /// (`shard_wall_ms`, slowest shard at width 4) are what CI and
+    /// scripts/perf_gate.py assume.
+    #[test]
+    fn shard_json_is_strict_and_stable() {
+        let rows = vec![
+            ShardRow {
+                shards: 1,
+                dirty_pairs: vec![120],
+                queries: vec![240],
+                walls: vec![Duration::from_millis(100)],
+            },
+            ShardRow {
+                shards: 4,
+                dirty_pairs: vec![40, 30, 20, 30],
+                queries: vec![80, 60, 40, 60],
+                walls: vec![
+                    Duration::from_millis(34),
+                    Duration::from_millis(25),
+                    Duration::from_millis(18),
+                    Duration::from_millis(25),
+                ],
+            },
+        ];
+        let json = shard_json("small", 120, 240, Duration::from_millis(100), &rows);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("strict JSON");
+        assert_eq!(v["benchmark"], "shard");
+        assert_eq!(v["network"], "small");
+        assert_eq!(v["partition_exact"], true);
+        assert_eq!(v["baseline"]["dirty_pairs"].as_u64().unwrap(), 120);
+        assert_eq!(v["widths"][1]["shards"].as_u64().unwrap(), 4);
+        assert_eq!(v["widths"][1]["dirty_pairs_sum"].as_u64().unwrap(), 120);
+        assert_eq!(v["widths"][1]["queries_sum"].as_u64().unwrap(), 240);
+        assert_eq!(v["widths"][1]["dirty_pairs_max"].as_u64().unwrap(), 40);
+        assert!((v["shard_wall_ms"].as_f64().unwrap() - 34.0).abs() < 1e-9);
+        assert_eq!(
+            json,
+            shard_json("small", 120, 240, Duration::from_millis(100), &rows),
+            "byte-stable"
+        );
+        // A duplicated query flips the exactness flag.
+        let dup = vec![ShardRow {
+            shards: 2,
+            dirty_pairs: vec![70, 60],
+            queries: vec![140, 120],
+            walls: vec![Duration::from_millis(50), Duration::from_millis(40)],
+        }];
+        let v: serde_json::Value = serde_json::from_str(&shard_json(
+            "small",
+            120,
+            240,
+            Duration::from_millis(100),
+            &dup,
+        ))
+        .unwrap();
+        assert_eq!(v["partition_exact"], false);
     }
 
     /// Same contract for `BENCH_plan.json`: strict JSON, sorted keys,

@@ -249,7 +249,12 @@ pub fn serve_config_from_args(args: &[String]) -> Result<jinjing_serve::ServeCon
         workers: parse_num("--workers", defaults.workers)?,
         queue: parse_num("--queue", defaults.queue)?,
         deadline_ms: parse_num("--deadline-ms", defaults.deadline_ms as usize)? as u64,
-        max_body: parse_num("--max-body", defaults.max_body)?,
+        // `--max-body-bytes` is the documented spelling (coordinator-sized
+        // fan-in payloads need the cap raised); `--max-body` stays accepted.
+        max_body: parse_num(
+            "--max-body-bytes",
+            parse_num("--max-body", defaults.max_body)?,
+        )?,
         max_sessions: parse_num("--max-sessions", defaults.max_sessions)?,
         max_traces: parse_num("--max-traces", defaults.max_traces)?,
         threads: parse_num("--threads", 0)?,
@@ -279,6 +284,113 @@ pub fn serve_command(
         summary.requests, summary.shed
     );
     Ok(())
+}
+
+/// Parse the `jinjing shard` flags into a
+/// [`jinjing_shard::ShardConfig`]. Spec paths are handled by the caller —
+/// this half is serde-free so the offline build verifies it.
+pub fn shard_config_from_args(args: &[String]) -> Result<jinjing_shard::ShardConfig, CliError> {
+    fn arg_value(args: &[String], name: &str) -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    }
+    let parse_num = |flag: &str, default: usize| -> Result<usize, CliError> {
+        match arg_value(args, flag) {
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| CliError(format!("{flag} wants a number, got {v:?}"))),
+            None => Ok(default),
+        }
+    };
+    let backends: Vec<String> = arg_value(args, "--backends")
+        .ok_or_else(|| CliError("missing required flag --backends".to_string()))?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if backends.is_empty() {
+        return Err(CliError("--backends wants host:port[,host:port...]".to_string()));
+    }
+    let defaults = jinjing_shard::ShardConfig::default();
+    Ok(jinjing_shard::ShardConfig {
+        addr: arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:8090".to_string()),
+        backends,
+        threads: parse_num("--threads", 0)?,
+        max_body: parse_num(
+            "--max-body-bytes",
+            parse_num("--max-body", defaults.max_body)?,
+        )?,
+        timeout_ms: parse_num("--timeout-ms", defaults.timeout_ms as usize)? as u64,
+        port_file: arg_value(args, "--port-file"),
+        metrics_out: arg_value(args, "--metrics-out"),
+        trace: args.iter().any(|a| a == "--trace"),
+    })
+}
+
+/// Run the sharded-verification coordinator over an already-loaded
+/// network + configuration until drained (`jinjing shard`). The backends
+/// must serve the *same* network and configuration; responses are
+/// byte-identical to a single-process run at any backend count.
+pub fn shard_command(
+    net: Network,
+    config: AclConfig,
+    cfg: jinjing_shard::ShardConfig,
+) -> Result<(), CliError> {
+    let backends = cfg.backends.len();
+    let coord = jinjing_shard::Coordinator::bind(net, config, cfg).map_err(err)?;
+    let addr = coord.local_addr().map_err(err)?;
+    eprintln!("jinjing-shard coordinating {backends} backend(s) on {addr}");
+    let summary = coord.run().map_err(err)?;
+    eprintln!("jinjing-shard drained: {} request(s)", summary.requests);
+    Ok(())
+}
+
+/// The `jinjing call --shards` path: fan one lint request out over the
+/// given backends (kept-alive connection each, `X-Jinjing-Shard: i/n`),
+/// merge the partitioned reports, and print the merged JSON — the same
+/// bytes an unsharded `jinjing lint --format json` renders. Only
+/// `/v1/lint` is mergeable client-side; stateful or verdict-bearing
+/// endpoints need the coordinator (`jinjing shard`).
+fn call_sharded(
+    backends: &[String],
+    path: &str,
+    body: &[u8],
+    timeout: std::time::Duration,
+) -> Result<i32, CliError> {
+    if path != "/v1/lint" {
+        return Err(CliError(format!(
+            "--shards supports only --path /v1/lint (got {path:?}); \
+             run a `jinjing shard` coordinator for check/plan"
+        )));
+    }
+    let n = backends.len();
+    let mut merged = jinjing_lint::LintReport::new();
+    for (i, addr) in backends.iter().enumerate() {
+        let mut conn = jinjing_serve::client::Conn::new(addr, timeout).map_err(CliError)?;
+        let resp = conn
+            .call(
+                "POST",
+                path,
+                &[("X-Jinjing-Shard".to_string(), format!("{i}/{n}"))],
+                body,
+            )
+            .map_err(|e| CliError(format!("backend {addr}: {e}")))?;
+        if resp.status != 200 {
+            return Err(CliError(format!(
+                "backend {addr} answered HTTP {}: {}",
+                resp.status,
+                resp.body_text().trim()
+            )));
+        }
+        let report = jinjing_lint::LintReport::from_json(&resp.body_text())
+            .map_err(|e| CliError(format!("backend {addr}: bad lint report: {e}")))?;
+        merged.merge(report);
+    }
+    merged.sort();
+    println!("{}", merged.to_json());
+    Ok(if merged.has_errors() { 4 } else { 0 })
 }
 
 /// The `jinjing call` subcommand: one HTTP request to a running daemon.
@@ -317,6 +429,24 @@ pub fn call_command(args: &[String]) -> Result<i32, CliError> {
                 .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
         })
         .collect();
+    if let Some(list) = arg_value(args, "--shards") {
+        let backends: Vec<String> = list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if backends.is_empty() {
+            return Err(CliError(
+                "--shards wants host:port[,host:port...]".to_string(),
+            ));
+        }
+        return call_sharded(
+            &backends,
+            &path,
+            &body,
+            std::time::Duration::from_millis(timeout_ms),
+        );
+    }
     let resp = jinjing_serve::client::call(
         &addr,
         &method,
@@ -884,6 +1014,110 @@ step noop
             .map(|s| s.to_string())
             .collect();
         assert!(serve_config_from_args(&bad).is_err());
+    }
+
+    #[test]
+    fn serve_config_accepts_max_body_bytes_spelling() {
+        let args: Vec<String> = ["serve", "--max-body-bytes", "4194304"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cfg = serve_config_from_args(&args).unwrap();
+        assert_eq!(cfg.max_body, 4 << 20);
+        // The new spelling wins when both are given.
+        let both: Vec<String> = ["serve", "--max-body", "1024", "--max-body-bytes", "2048"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(serve_config_from_args(&both).unwrap().max_body, 2048);
+    }
+
+    #[test]
+    fn shard_config_parses_backends_and_rejects_garbage() {
+        let args: Vec<String> = [
+            "shard",
+            "--addr",
+            "127.0.0.1:0",
+            "--backends",
+            "127.0.0.1:9001, 127.0.0.1:9002",
+            "--threads",
+            "2",
+            "--timeout-ms",
+            "5000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = shard_config_from_args(&args).unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.backends, vec!["127.0.0.1:9001", "127.0.0.1:9002"]);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.timeout_ms, 5000);
+        assert!(!cfg.trace);
+
+        let missing: Vec<String> = ["shard"].iter().map(|s| s.to_string()).collect();
+        assert!(shard_config_from_args(&missing).is_err());
+        let empty: Vec<String> = ["shard", "--backends", " , "]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(shard_config_from_args(&empty).is_err());
+    }
+
+    #[test]
+    fn call_shards_merges_lint_and_rejects_other_paths() {
+        let mk_backend = || {
+            let f = Figure1::new();
+            let srv = jinjing_serve::Server::bind(
+                f.net,
+                f.config,
+                jinjing_serve::ServeConfig::default(),
+            )
+            .unwrap();
+            let addr = srv.local_addr().unwrap().to_string();
+            let h = std::thread::spawn(move || srv.run().unwrap());
+            (addr, h)
+        };
+        let (a1, h1) = mk_backend();
+        let (a2, h2) = mk_backend();
+        let args: Vec<String> = [
+            "call",
+            "--path",
+            "/v1/lint",
+            "--shards",
+            &format!("{a1},{a2}"),
+            "--timeout-ms",
+            "20000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(call_command(&args).unwrap(), 0);
+        // Verdict-bearing endpoints need the coordinator.
+        let bad: Vec<String> = [
+            "call",
+            "--path",
+            "/v1/check",
+            "--shards",
+            &format!("{a1},{a2}"),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let e = call_command(&bad).unwrap_err();
+        assert!(e.to_string().contains("only --path /v1/lint"), "{e}");
+        for (addr, h) in [(a1, h1), (a2, h2)] {
+            let _ = jinjing_serve::client::call(
+                &addr,
+                "POST",
+                "/v1/shutdown",
+                &[],
+                b"",
+                std::time::Duration::from_secs(10),
+            )
+            .unwrap();
+            h.join().unwrap();
+        }
     }
 
     #[test]

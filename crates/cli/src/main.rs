@@ -37,13 +37,18 @@ USAGE:
                 [--out <acls.json>]
     jinjing serve --network <net.json> --acls <acls.json>
                 [--addr <host:port>] [--workers <N>] [--queue <N>]
-                [--deadline-ms <N>] [--max-body <BYTES>] [--max-sessions <N>]
-                [--max-traces <N>] [--threads <N>]
+                [--deadline-ms <N>] [--max-body-bytes <BYTES>]
+                [--max-sessions <N>] [--max-traces <N>] [--threads <N>]
                 [--metrics-out <m.json>] [--port-file <p>]
                 [--drain-on-stdin-eof] [--trace]
+    jinjing shard --network <net.json> --acls <acls.json>
+                --backends <host:port,host:port,...> [--addr <host:port>]
+                [--threads <N>] [--max-body-bytes <BYTES>] [--timeout-ms <N>]
+                [--metrics-out <m.json>] [--port-file <p>] [--trace]
     jinjing call [--addr <host:port>] --path </v1/check>
                 [--method POST|GET|DELETE] [--body-file <f> | --body <text>]
                 [--timeout-ms <N>] [--header <Name: value>] ...
+                [--shards <host:port,host:port,...>]
 
 COMMANDS:
     run        Parse the LAI intent and execute its command (check/fix/generate).
@@ -99,11 +104,22 @@ COMMANDS:
                --format json output. A full queue answers 429; POST
                /v1/shutdown (or stdin EOF with --drain-on-stdin-eof)
                drains gracefully
+    shard      Sharded-verification coordinator: keep the network resident
+               and fan POST /v1/check|lint|plan out over the --backends
+               daemons, each evaluating only the equivalence-class slice
+               its X-Jinjing-Shard header names. Merged responses are
+               byte-identical to a single-process run at any backend
+               count. A request carrying an X-Jinjing-Stream header is
+               answered as a chunked stream: progress documents as shards
+               report, then the complete canonical body
     call       Thin HTTP client for the daemon: sends one request, prints
                the response body, and exits with the server's
                X-Jinjing-Exit code (0 ok, 1 error, 3 check-inconsistent /
                watch-rejected, 4 lint gate) — pipelines gate on a remote
-               daemon exactly as on a local run
+               daemon exactly as on a local run. The connection is reused
+               (HTTP/1.1 keep-alive) when the server allows it. With
+               --shards a,b,... a lint request fans out over the listed
+               backends directly and prints the merged report
 
 The plan JSON written by --plan-out lists every changed slot with its full
 replacement ACL, ready for a deployment pipeline to consume.
@@ -470,6 +486,14 @@ fn real_main(args: &[String]) -> Result<(), String> {
             let config = load_acls(&acl_path, &net).map_err(|e| e.to_string())?;
             let cfg = jinjing_cli::serve_config_from_args(args).map_err(|e| e.to_string())?;
             jinjing_cli::serve_command(net, config, cfg).map_err(|e| e.to_string())
+        }
+        "shard" => {
+            let net_path = require(args, "--network")?;
+            let acl_path = require(args, "--acls")?;
+            let net = load_network(&net_path).map_err(|e| e.to_string())?;
+            let config = load_acls(&acl_path, &net).map_err(|e| e.to_string())?;
+            let cfg = jinjing_cli::shard_config_from_args(args).map_err(|e| e.to_string())?;
+            jinjing_cli::shard_command(net, config, cfg).map_err(|e| e.to_string())
         }
         "call" => {
             // Exit with the daemon's X-Jinjing-Exit code so pipelines can

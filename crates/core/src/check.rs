@@ -91,6 +91,19 @@ pub struct CheckConfig {
     /// Observability sink: phase spans, solver histograms, events. A fresh
     /// (private) collector by default; the engine shares one per run.
     pub obs: jinjing_obs::Collector,
+    /// Restrict this run to the equivalence classes owned by one shard of
+    /// a consistent-hash partition (see [`jinjing_acl::shard`]). `None` —
+    /// the default — checks every class. The filter composes *after*
+    /// candidate enumeration, so per-class indices stay global and
+    /// per-shard verdicts are directly comparable across shards.
+    pub shard: Option<jinjing_acl::shard::ShardSpec>,
+    /// Distributed solving hook: when set, the per-pair solver fan-out is
+    /// replaced by one [`CheckDelegate::check`] call (the shard
+    /// coordinator's remote fan-out). Everything else — preprocessing,
+    /// refinement, path enumeration, violation materialization — still
+    /// runs locally, which is what makes the delegated report
+    /// byte-identical to a single-process run.
+    pub delegate: Option<Arc<dyn CheckDelegate>>,
 }
 
 impl Default for CheckConfig {
@@ -103,9 +116,55 @@ impl Default for CheckConfig {
             cache: Some(Arc::new(QueryCache::new())),
             warm: Some(Arc::new(crate::warm::ScopeSolver::new())),
             obs: jinjing_obs::Collector::new(),
+            shard: None,
+            delegate: None,
         }
     }
 }
+
+/// A remote solving backend for check: given the exact before/after
+/// configurations, return the **global** `(class index, path index)` of
+/// the minimal violating pair, or `None` when every pair is consistent.
+///
+/// The contract mirrors the deterministic fold: "minimal" means first in
+/// class-major, path-minor order over the global candidate list, which is
+/// exactly what a coordinator gets by taking the lexicographic minimum of
+/// per-shard minima (shard filters preserve global indices and order).
+/// The caller re-solves the named pair locally to materialize the witness
+/// packet, so a delegate never ships packets or models — only indices.
+pub trait CheckDelegate: std::fmt::Debug + Send + Sync {
+    /// Solve the fan-out for `before → after`; `Err` strings surface as
+    /// [`CheckError::Shard`].
+    fn check(&self, before: &AclConfig, after: &AclConfig) -> Result<Option<(usize, usize)>, String>;
+}
+
+/// Why a check run failed to produce a verdict.
+#[derive(Debug, Clone)]
+pub enum CheckError {
+    /// Equivalence-class refinement exceeded its configured caps.
+    Classes(ClassExplosion),
+    /// The shard fan-out failed: a backend was unreachable, replied with a
+    /// malformed shard report, or named a verdict that did not reproduce
+    /// locally. Never a partial result — a failed fan-out fails the run.
+    Shard(String),
+}
+
+impl From<ClassExplosion> for CheckError {
+    fn from(e: ClassExplosion) -> CheckError {
+        CheckError::Classes(e)
+    }
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Classes(e) => write!(f, "{e}"),
+            CheckError::Shard(msg) => write!(f, "shard fan-out failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
 
 /// One witnessed inconsistency.
 #[derive(Debug, Clone)]
@@ -159,6 +218,12 @@ pub struct CheckReport {
     pub t_paths: std::time::Duration,
     /// Wall-clock split: circuit construction + solving.
     pub t_solve: std::time::Duration,
+    /// The violating pair's **global** `(class index, path index)`, when
+    /// inconsistent. This is the coordinate a shard backend reports over
+    /// the wire (the witness packet is re-derived locally by whoever needs
+    /// it), and it is `None` for [`check_per_acl`], whose synthetic paths
+    /// have no global coordinates.
+    pub violation_pair: Option<(usize, usize)>,
 }
 
 /// Per-slot preprocessed encoding inputs.
@@ -282,7 +347,7 @@ pub(crate) fn preprocess(
 }
 
 /// Run check on a resolved task.
-pub fn check(net: &Network, task: &Task, cfg: &CheckConfig) -> Result<CheckReport, ClassExplosion> {
+pub fn check(net: &Network, task: &Task, cfg: &CheckConfig) -> Result<CheckReport, CheckError> {
     check_configs(
         net,
         &task.scope,
@@ -301,7 +366,7 @@ pub fn check_configs(
     after: &AclConfig,
     controls: &[ResolvedControl],
     cfg: &CheckConfig,
-) -> Result<CheckReport, ClassExplosion> {
+) -> Result<CheckReport, CheckError> {
     check_inner(net, scope, before, after, controls, cfg, None).map(|(r, _)| r)
 }
 
@@ -454,7 +519,7 @@ pub(crate) fn check_inner(
     controls: &[ResolvedControl],
     cfg: &CheckConfig,
     session: Option<&SessionMemo>,
-) -> Result<(CheckReport, IncrStats), ClassExplosion> {
+) -> Result<(CheckReport, IncrStats), CheckError> {
     let total_rules = before.total_rules() + after.total_rules();
     let _check_span = cfg.obs.span("check");
     let sp = cfg.obs.span("check.preprocess");
@@ -482,6 +547,7 @@ pub(crate) fn check_inner(
         t_refine: Default::default(),
         t_paths: Default::default(),
         t_solve: Default::default(),
+        violation_pair: None,
     };
     // Fast path: nothing changed and nothing is controlled.
     if cfg.differential && cover.is_empty() {
@@ -521,10 +587,16 @@ pub(crate) fn check_inner(
     // Theorem 4.1: classes disjoint from the differential cover meet
     // identical rule subsequences before and after — skip them outright.
     // Under a session these are the *clean* classes of the delta.
+    //
+    // The shard filter composes after enumeration, so the `usize` in each
+    // candidate stays the *global* class index whatever slice this process
+    // owns — per-shard verdicts therefore name coordinates every other
+    // shard (and the coordinator) agrees on.
     let candidates: Vec<(usize, &jinjing_acl::atoms::AtomClass)> = classes
         .iter()
         .enumerate()
         .filter(|(_, class)| !cfg.differential || class.set.intersects(&cover))
+        .filter(|(_, class)| cfg.shard.as_ref().map_or(true, |s| s.owns_class(&class.set)))
         .collect();
 
     let pool = Pool::new(cfg.threads);
@@ -580,14 +652,15 @@ pub(crate) fn check_inner(
     }
 
     let region = if cfg.differential { Some(&cover) } else { None };
-    let cancel = Cancel::new();
     // Flight recorder: workers emit onto their own track (`1 + slot`; the
     // serial path uses track 1) so a trace shows per-worker solver
     // timelines. A disabled context makes every call below a no-op.
     let tr = cfg.obs.trace_ctx();
-    let results = pool.par_map_cancel(&jobs, &cancel, |i, job| {
-        let t0 = Instant::now();
-        let tid = 1 + jinjing_par::current_worker().unwrap_or(0) as u64;
+    // The two-stage query for one pair, shared verbatim by the local pool
+    // fan-out and the delegate path's single re-solve — which is why a
+    // remote verdict materializes into the exact witness a single-process
+    // run would have found.
+    let solve_pair = |job: &PairJob<'_>, tid: u64| -> (Vec<CachedSolve>, Option<Packet>) {
         let pair_span = tr.span_with(
             tid,
             "check.pair",
@@ -637,10 +710,77 @@ pub(crate) fn check_inner(
                 }
             }
         };
+        drop(pair_span);
+        (queries, witness)
+    };
+
+    // Delegate path: one remote fan-out call stands in for the whole pool
+    // dispatch. The verdict comes back as a *global* (class, path)
+    // coordinate; everything observable about the run — the witness, the
+    // violation, the verdict rendering — is still produced by this
+    // process's own deterministic machinery.
+    if let Some(delegate) = &cfg.delegate {
+        let sp = cfg.obs.span("check.fanout");
+        let verdict = delegate.check(before, after).map_err(CheckError::Shard)?;
+        sp.finish();
+        match verdict {
+            None => {
+                for (paths, t) in &enumerated {
+                    report.t_paths += *t;
+                    report.paths_checked += paths.len();
+                }
+                cfg.obs
+                    .event(jinjing_obs::Level::Info, "check.verdict", "consistent");
+                return Ok((report, incr));
+            }
+            Some((gi, pi)) => {
+                let i = jobs
+                    .iter()
+                    .position(|j| candidates[j.class_idx].0 == gi && j.path_idx == pi)
+                    .ok_or_else(|| {
+                        CheckError::Shard(format!(
+                            "remote verdict names unknown pair (class {gi}, path {pi})"
+                        ))
+                    })?;
+                let t0 = Instant::now();
+                let (queries, witness) = solve_pair(&jobs[i], 1);
+                for q in &queries {
+                    report.solver_stats.merge(&q.stats);
+                    q.stats.record_query(&cfg.obs, q.vars, q.clauses);
+                }
+                report.t_solve = t0.elapsed();
+                let packet = witness.ok_or_else(|| {
+                    CheckError::Shard(format!(
+                        "remote verdict (class {gi}, path {pi}) did not reproduce locally"
+                    ))
+                })?;
+                for (paths, t) in enumerated.iter().take(jobs[i].class_idx + 1) {
+                    report.t_paths += *t;
+                    report.paths_checked += paths.len();
+                }
+                let paths = &enumerated[jobs[i].class_idx].0;
+                let violation = locate_violation(before, after, controls, paths, &packet)
+                    .expect("solver model must correspond to a concrete violation");
+                cfg.obs.event(
+                    jinjing_obs::Level::Info,
+                    "check.verdict",
+                    &format!("inconsistent: witness {}", violation.packet),
+                );
+                report.violation_pair = Some((gi, pi));
+                report.outcome = CheckOutcome::Inconsistent(violation);
+                return Ok((report, incr));
+            }
+        }
+    }
+
+    let cancel = Cancel::new();
+    let results = pool.par_map_cancel(&jobs, &cancel, |i, job| {
+        let t0 = Instant::now();
+        let tid = 1 + jinjing_par::current_worker().unwrap_or(0) as u64;
+        let (queries, witness) = solve_pair(job, tid);
         if witness.is_some() {
             cancel.cut(i);
         }
-        drop(pair_span);
         PairResult {
             queries,
             t_solve: t0.elapsed(),
@@ -700,6 +840,7 @@ pub(crate) fn check_inner(
             "check.verdict",
             &format!("inconsistent: witness {}", violation.packet),
         );
+        report.violation_pair = Some((candidates[jobs[i].class_idx].0, jobs[i].path_idx));
         report.outcome = CheckOutcome::Inconsistent(violation);
         return Ok((report, incr));
     }
@@ -885,6 +1026,7 @@ pub fn check_per_acl(before: &AclConfig, after: &AclConfig, cfg: &CheckConfig) -
         t_refine: Default::default(),
         t_paths: Default::default(),
         t_solve: Default::default(),
+        violation_pair: None,
     };
     if cfg.differential && cover.is_empty() {
         return report;

@@ -125,6 +125,8 @@ impl Report {
 pub enum EngineError {
     /// Equivalence-class explosion during check.
     Classes(ClassExplosion),
+    /// The shard fan-out behind a delegated check failed.
+    Shard(String),
     /// Fix failed.
     Fix(FixError),
     /// Generate failed.
@@ -137,6 +139,7 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Classes(e) => write!(f, "{e}"),
+            EngineError::Shard(msg) => write!(f, "shard fan-out failed: {msg}"),
             EngineError::Fix(e) => write!(f, "{e}"),
             EngineError::Generate(e) => write!(f, "{e}"),
             EngineError::Plan(e) => write!(f, "{e}"),
@@ -145,6 +148,15 @@ impl fmt::Display for EngineError {
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<crate::check::CheckError> for EngineError {
+    fn from(e: crate::check::CheckError) -> EngineError {
+        match e {
+            crate::check::CheckError::Classes(c) => EngineError::Classes(c),
+            crate::check::CheckError::Shard(msg) => EngineError::Shard(msg),
+        }
+    }
+}
 
 /// Execute a task.
 ///
@@ -179,7 +191,7 @@ pub fn run(net: &Network, task: &Task, cfg: &EngineConfig) -> Result<Report, Eng
     let kind = match task.command {
         Command::Check => check(net, task, &cfg.check)
             .map(ReportKind::Check)
-            .map_err(EngineError::Classes),
+            .map_err(EngineError::from),
         Command::Fix => fix(net, task, &cfg.fix)
             .map(ReportKind::Fix)
             .map_err(EngineError::Fix),

@@ -134,6 +134,8 @@ pub enum FixError {
     TooManyNeighborhoods,
     /// Equivalence-class explosion during checking.
     Classes(ClassExplosion),
+    /// A nested check's shard fan-out failed (delegated solving).
+    Shard(String),
 }
 
 impl std::fmt::Display for FixError {
@@ -144,6 +146,7 @@ impl std::fmt::Display for FixError {
             }
             FixError::TooManyNeighborhoods => write!(f, "neighborhood budget exhausted"),
             FixError::Classes(e) => write!(f, "{e}"),
+            FixError::Shard(msg) => write!(f, "shard fan-out failed: {msg}"),
         }
     }
 }
@@ -153,6 +156,15 @@ impl std::error::Error for FixError {}
 impl From<ClassExplosion> for FixError {
     fn from(e: ClassExplosion) -> FixError {
         FixError::Classes(e)
+    }
+}
+
+impl From<crate::check::CheckError> for FixError {
+    fn from(e: crate::check::CheckError) -> FixError {
+        match e {
+            crate::check::CheckError::Classes(c) => FixError::Classes(c),
+            crate::check::CheckError::Shard(msg) => FixError::Shard(msg),
+        }
     }
 }
 

@@ -284,7 +284,7 @@ impl<'n> CheckSession<'n> {
     /// from the persistent cache where possible), evicts stale cache
     /// entries, and — when the delta is accepted — folds it into the base
     /// so the next `recheck` is measured against it.
-    pub fn recheck(&mut self, delta: &Delta) -> Result<RecheckReport, ClassExplosion> {
+    pub fn recheck(&mut self, delta: &Delta) -> Result<RecheckReport, crate::check::CheckError> {
         let after = delta.applied_to(&self.base);
         let generation = match &self.cfg.cache {
             Some(c) => c.advance_generation(),
@@ -370,7 +370,7 @@ impl<'n> CheckSession<'n> {
     /// cache and warm solver families key on ACL-chain *content*, so
     /// entries recorded under one candidate configuration can never answer
     /// for a different one.
-    pub fn probe(&self, after: &AclConfig) -> Result<(CheckReport, IncrStats), ClassExplosion> {
+    pub fn probe(&self, after: &AclConfig) -> Result<(CheckReport, IncrStats), crate::check::CheckError> {
         check_inner(
             self.net,
             &self.scope,

@@ -200,6 +200,8 @@ pub enum PlanError {
         /// Configured ceiling.
         max: usize,
     },
+    /// A prefix-state probe's shard fan-out failed (delegated solving).
+    Shard(String),
 }
 
 impl fmt::Display for PlanError {
@@ -209,6 +211,7 @@ impl fmt::Display for PlanError {
             PlanError::TooManySteps { count, max } => {
                 write!(f, "plan has {count} per-device steps, max is {max}")
             }
+            PlanError::Shard(msg) => write!(f, "shard fan-out failed: {msg}"),
         }
     }
 }
@@ -216,6 +219,15 @@ impl fmt::Display for PlanError {
 impl From<ClassExplosion> for PlanError {
     fn from(e: ClassExplosion) -> PlanError {
         PlanError::Classes(e)
+    }
+}
+
+impl From<crate::check::CheckError> for PlanError {
+    fn from(e: crate::check::CheckError) -> PlanError {
+        match e {
+            crate::check::CheckError::Classes(c) => PlanError::Classes(c),
+            crate::check::CheckError::Shard(msg) => PlanError::Shard(msg),
+        }
     }
 }
 
@@ -311,7 +323,7 @@ struct Search<'a, 'n> {
 impl Search<'_, '_> {
     /// Is the prefix set `mask` safe? The empty set is the status quo the
     /// plan starts from, never a state the plan creates, and is exempt.
-    fn safe(&mut self, mask: u32) -> Result<bool, ClassExplosion> {
+    fn safe(&mut self, mask: u32) -> Result<bool, crate::check::CheckError> {
         self.stats.prefix_attempts += 1;
         if mask == 0 {
             return Ok(true);
@@ -367,7 +379,7 @@ impl Search<'_, '_> {
         universe: u32,
         applied: u32,
         waves: &mut Vec<Vec<usize>>,
-    ) -> Result<bool, ClassExplosion> {
+    ) -> Result<bool, crate::check::CheckError> {
         if applied == universe {
             return Ok(true);
         }
@@ -428,7 +440,7 @@ impl Search<'_, '_> {
     /// Can the steps in `universe` be ordered safely (within the wave
     /// budget)? Used by the infeasibility-core deletion filter; shares
     /// the safety memo and witness store with the main search.
-    fn feasible(&mut self, universe: u32) -> Result<bool, ClassExplosion> {
+    fn feasible(&mut self, universe: u32) -> Result<bool, crate::check::CheckError> {
         let mut waves = Vec::new();
         self.dfs(universe, 0, &mut waves)
     }

@@ -170,6 +170,18 @@ pub(crate) fn record(obs: &jinjing_obs::Collector, d: &Diagnostic) {
     obs.counter_add(&format!("lint.code.{}", d.code), 1);
 }
 
+/// Intern a code string to its registry `&'static str`. [`Diagnostic`]
+/// stores codes as static strings (they come from a closed registry), so
+/// anything parsing diagnostics off a wire must map back through this
+/// table; an unknown code is a schema violation, not a new finding.
+pub fn static_code(code: &str) -> Option<&'static str> {
+    const CODES: [&str; 15] = [
+        "JL001", "JL002", "JL003", "JL004", "JL101", "JL102", "JL103", "JL104", "JL201", "JL202",
+        "JL203", "JL301", "JL302", "JL303", "JL304",
+    ];
+    CODES.iter().copied().find(|c| *c == code)
+}
+
 /// An ordered collection of findings with deterministic serialization.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LintReport {
@@ -300,6 +312,55 @@ impl LintReport {
         w.finish()
     }
 
+    /// Parse a report back from its [`LintReport::to_json`] rendering —
+    /// the wire format a shard backend returns to the coordinator. The
+    /// summary and schema blocks are derived data and are not consulted;
+    /// re-rendering the parsed report reproduces them (and the full
+    /// document) byte-identically. Unknown codes, severities or
+    /// certainties are schema violations and fail the parse.
+    pub fn from_json(text: &str) -> Result<LintReport, String> {
+        let root = jinjing_obs::json::parse(text)?;
+        let diags = root
+            .get("diagnostics")
+            .ok_or_else(|| "lint report: missing \"diagnostics\"".to_string())?;
+        let mut report = LintReport::new();
+        for d in diags.elements() {
+            let str_field = |key: &str| -> Result<String, String> {
+                d.get(key)
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("lint diagnostic: missing \"{key}\""))
+            };
+            let code_raw = str_field("code")?;
+            let code = static_code(&code_raw)
+                .ok_or_else(|| format!("lint diagnostic: unknown code {code_raw:?}"))?;
+            let severity = match str_field("severity")?.as_str() {
+                "note" => Severity::Note,
+                "warning" => Severity::Warning,
+                "error" => Severity::Error,
+                other => return Err(format!("lint diagnostic: unknown severity {other:?}")),
+            };
+            let mut diag =
+                Diagnostic::new(code, severity, str_field("location")?, str_field("message")?);
+            match d.get("certainty").and_then(|v| v.as_str()) {
+                Some("solver-confirmed") => diag.certainty = Some(Certainty::SolverConfirmed),
+                Some("heuristic") => diag.certainty = Some(Certainty::Heuristic),
+                Some(other) => {
+                    return Err(format!("lint diagnostic: unknown certainty {other:?}"))
+                }
+                None => {}
+            }
+            if let Some(s) = d.get("suggestion").and_then(|v| v.as_str()) {
+                diag.suggestion = Some(s.to_string());
+            }
+            if let Some(t) = d.get("tenant").and_then(|v| v.as_str()) {
+                diag.tenant = Some(t.to_string());
+            }
+            report.push(diag);
+        }
+        Ok(report)
+    }
+
     /// Rustc-style text rendering, one block per finding plus a summary
     /// line.
     pub fn render_text(&self) -> String {
@@ -411,6 +472,45 @@ mod tests {
         r.attribute_tenant("alpha");
         assert_eq!(r.diagnostics()[0].tenant.as_deref(), Some("alpha"));
         assert_eq!(r.diagnostics()[1].tenant.as_deref(), Some("a,b"));
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json() {
+        let mut r = sample();
+        r.push(Diagnostic::new("JL301", Severity::Warning, "multi:x", "conflict").with_tenant("a"));
+        r.sort();
+        let json = r.to_json();
+        let back = LintReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), json, "re-render must be byte-identical");
+        // Empty reports round-trip too.
+        let empty = LintReport::new();
+        assert_eq!(
+            LintReport::from_json(&empty.to_json()).unwrap().to_json(),
+            empty.to_json()
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_schema_violations() {
+        assert!(LintReport::from_json("{}").is_err(), "missing diagnostics");
+        assert!(
+            LintReport::from_json(
+                "{\"diagnostics\":[{\"code\":\"JL999\",\"location\":\"x\",\
+                 \"message\":\"m\",\"severity\":\"note\"}]}"
+            )
+            .is_err(),
+            "unknown code"
+        );
+        assert!(
+            LintReport::from_json(
+                "{\"diagnostics\":[{\"code\":\"JL001\",\"location\":\"x\",\
+                 \"message\":\"m\",\"severity\":\"fatal\"}]}"
+            )
+            .is_err(),
+            "unknown severity"
+        );
+        assert!(LintReport::from_json("not json").is_err());
     }
 
     #[test]

@@ -98,6 +98,11 @@ pub(crate) fn control_summary(c: &ControlStmt) -> String {
 /// - All **JL0xx** rule-level findings for each defined ACL (located at
 ///   `lai:acl:{name}:rule:{i}`).
 pub fn lint_program(prog: &Program, cfg: &LintConfig) -> LintReport {
+    // Program-level lint is partition-global work: under a shard spec it
+    // runs only on the primary so the merged report is not duplicated.
+    if cfg.shard.as_ref().is_some_and(|s| !s.is_primary()) {
+        return LintReport::new();
+    }
     let span = cfg.obs.span("lint.intent");
     let mut report = LintReport::new();
 

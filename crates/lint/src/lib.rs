@@ -65,6 +65,13 @@ pub struct LintConfig {
     /// The run's observability collector: `lint.*` spans and counters land
     /// here.
     pub obs: jinjing_obs::Collector,
+    /// Restrict this run to the work owned by one shard of a
+    /// consistent-hash partition. Per-slot analysis is keyed by slot name
+    /// ([`jinjing_acl::shard::ShardSpec::owns_str`]); partition-global
+    /// passes (the JL203 silent-allow sweep, intent-program lint) run only
+    /// on the primary shard so they are emitted exactly once. `None` — the
+    /// default — lints everything.
+    pub shard: Option<jinjing_acl::shard::ShardSpec>,
 }
 
 impl Default for LintConfig {
@@ -74,6 +81,7 @@ impl Default for LintConfig {
             max_conflicts_per_acl: 5,
             threads: 0,
             obs: jinjing_obs::Collector::default(),
+            shard: None,
         }
     }
 }

@@ -30,15 +30,24 @@ pub fn lint_config(net: &Network, config: &AclConfig, cfg: &LintConfig) -> LintR
     let topo = net.topology();
 
     // Rule-level lint of every configured slot, in deterministic slot
-    // order.
+    // order. Under a shard spec each slot is linted by exactly the shard
+    // that owns its name, so the per-shard reports partition this pass.
     for slot in config.slots() {
         if let Some(acl) = config.get(slot) {
             let name = format!("{}-{}", topo.iface_name(slot.iface), slot.dir);
-            report.merge(lint_acl(&name, acl, cfg));
+            if cfg.shard.as_ref().map_or(true, |s| s.owns_str(&name)) {
+                report.merge(lint_acl(&name, acl, cfg));
+            }
         }
     }
 
-    // JL203: silent-allow paths across the whole-network scope.
+    // JL203: silent-allow paths across the whole-network scope. A
+    // network-wide pass: under a shard spec only the primary emits it,
+    // so the merged report carries each finding exactly once.
+    if cfg.shard.as_ref().is_some_and(|s| !s.is_primary()) {
+        span.finish();
+        return report;
+    }
     let scope = Scope::whole(topo);
     let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
     for (iface, traffic) in net.entering_traffic(&scope) {

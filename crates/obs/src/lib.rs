@@ -696,6 +696,211 @@ impl Snapshot {
         w.end_object();
         w.finish()
     }
+
+    /// Fold `other` into `self`, as if both collectors had recorded into
+    /// one store:
+    ///
+    /// - **counters** add (saturating), union of names;
+    /// - **gauges** take the maximum — gauges are last-write-wins level
+    ///   readings, and the peak across shards is the only combination
+    ///   that stays associative and order-insensitive;
+    /// - **histograms** merge bucket-wise (equivalent to replaying every
+    ///   sample), with the derived stats (mean, percentiles) recomputed
+    ///   from the merged buckets;
+    /// - **spans** take the disjoint-union of the trees: same-named
+    ///   children under the same parent merge recursively (counts and
+    ///   totals add), and children are re-ordered by name so the result
+    ///   does not depend on merge order;
+    /// - **events** union as a multiset, ordered by `(t_ns, level, name,
+    ///   message)`.
+    ///
+    /// Merge is associative and order-insensitive on the canonical
+    /// [`Snapshot::to_json`] rendering — the contract the shard
+    /// coordinator's fan-in relies on (and that the integration suite
+    /// property-tests).
+    pub fn merge(&mut self, other: &Snapshot) {
+        fn merge_span(into: &mut SpanSnapshot, from: &SpanSnapshot) {
+            into.count = into.count.saturating_add(from.count);
+            into.total_ns = into.total_ns.saturating_add(from.total_ns);
+            for fc in &from.children {
+                match into.children.iter_mut().find(|c| c.name == fc.name) {
+                    Some(mine) => merge_span(mine, fc),
+                    None => into.children.push(fc.clone()),
+                }
+            }
+        }
+        fn sort_all(node: &mut SpanSnapshot) {
+            node.children.sort_by(|a, b| a.name.cmp(&b.name));
+            for c in &mut node.children {
+                sort_all(c);
+            }
+        }
+        merge_span(&mut self.spans, &other.spans);
+        // Normalize the whole tree (including subtrees cloned from `other`)
+        // so the result is independent of merge order.
+        sort_all(&mut self.spans);
+
+        let mut counters: BTreeMap<String, u64> = self.counters.drain(..).collect();
+        for (k, v) in &other.counters {
+            let slot = counters.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        self.counters = counters.into_iter().collect();
+
+        let mut gauges: BTreeMap<String, i64> = self.gauges.drain(..).collect();
+        for (k, v) in &other.gauges {
+            let slot = gauges.entry(k.clone()).or_insert(i64::MIN);
+            *slot = (*slot).max(*v);
+        }
+        self.gauges = gauges.into_iter().collect();
+
+        let mut histograms: BTreeMap<String, Histogram> = self
+            .histograms
+            .drain(..)
+            .map(|(k, h)| {
+                (
+                    k,
+                    Histogram::from_sparse(&h.buckets, h.sum, h.min, h.max),
+                )
+            })
+            .collect();
+        for (k, h) in &other.histograms {
+            let theirs = Histogram::from_sparse(&h.buckets, h.sum, h.min, h.max);
+            histograms
+                .entry(k.clone())
+                .or_default()
+                .merge(&theirs);
+        }
+        self.histograms = histograms
+            .into_iter()
+            .map(|(k, h)| (k, HistogramSnapshot::of(&h)))
+            .collect();
+
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by(|a, b| {
+            (a.t_ns, a.level, &a.name, &a.message).cmp(&(b.t_ns, b.level, &b.name, &b.message))
+        });
+    }
+
+    /// Parse a snapshot back from its [`Snapshot::to_json`] rendering.
+    ///
+    /// The inverse the shard coordinator needs: each backend ships its
+    /// snapshot as canonical JSON; the coordinator parses and
+    /// [`Snapshot::merge`]s them. Unknown keys are ignored so snapshots
+    /// can gain fields without breaking older coordinators.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        Snapshot::from_json_value(&json::parse(text)?)
+    }
+
+    /// [`Snapshot::from_json`] over an already-parsed [`json::Json`]
+    /// value — what the shard coordinator uses when the snapshot is
+    /// embedded inside a larger wire document.
+    pub fn from_json_value(doc: &json::Json) -> Result<Snapshot, String> {
+        fn span_of(v: &json::Json) -> Result<SpanSnapshot, String> {
+            Ok(SpanSnapshot {
+                name: v
+                    .get("name")
+                    .and_then(|x| x.as_str())
+                    .ok_or("span missing name")?
+                    .to_string(),
+                count: v.get("count").and_then(json::Json::as_u64).unwrap_or(0),
+                total_ns: v.get("total_ns").and_then(json::Json::as_u64).unwrap_or(0),
+                children: v
+                    .get("children")
+                    .map(json::Json::elements)
+                    .unwrap_or_default()
+                    .iter()
+                    .map(span_of)
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        let spans = match doc.get("spans") {
+            Some(v) => span_of(v)?,
+            None => Snapshot::empty().spans,
+        };
+        let counters = doc
+            .get("counters")
+            .map(json::Json::members)
+            .unwrap_or_default()
+            .iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("counter {k} is not a u64"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let gauges = doc
+            .get("gauges")
+            .map(json::Json::members)
+            .unwrap_or_default()
+            .iter()
+            .map(|(k, v)| {
+                v.as_i64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("gauge {k} is not an i64"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let histograms = doc
+            .get("histograms")
+            .map(json::Json::members)
+            .unwrap_or_default()
+            .iter()
+            .map(|(k, v)| {
+                let buckets = v
+                    .get("buckets")
+                    .map(json::Json::elements)
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|pair| {
+                        let xs = pair.elements();
+                        match (
+                            xs.first().and_then(json::Json::as_u64),
+                            xs.get(1).and_then(json::Json::as_u64),
+                        ) {
+                            (Some(i), Some(c)) => Ok((i as usize, c)),
+                            _ => Err(format!("histogram {k} has a malformed bucket")),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                let grab = |key: &str| v.get(key).and_then(json::Json::as_u64).unwrap_or(0);
+                let h = Histogram::from_sparse(&buckets, grab("sum"), grab("min"), grab("max"));
+                Ok((k.clone(), HistogramSnapshot::of(&h)))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let events = doc
+            .get("events")
+            .map(json::Json::elements)
+            .unwrap_or_default()
+            .iter()
+            .map(|e| {
+                Ok(Event {
+                    t_ns: e.get("t_ns").and_then(json::Json::as_u64).unwrap_or(0),
+                    level: e
+                        .get("level")
+                        .and_then(|x| x.as_str())
+                        .and_then(Level::parse)
+                        .ok_or("event missing level")?,
+                    name: e
+                        .get("name")
+                        .and_then(|x| x.as_str())
+                        .unwrap_or_default()
+                        .to_string(),
+                    message: e
+                        .get("message")
+                        .and_then(|x| x.as_str())
+                        .unwrap_or_default()
+                        .to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Snapshot {
+            spans,
+            counters,
+            gauges,
+            histograms,
+            events,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -973,6 +1178,143 @@ mod tests {
         assert!(snap
             .to_prometheus()
             .contains("jinjing_obs_trace_events_dropped 3"));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_unions_names() {
+        let a = Collector::with_trace(false);
+        a.counter_add("shared", 2);
+        a.counter_add("only_a", 1);
+        let b = Collector::with_trace(false);
+        b.counter_add("shared", 5);
+        b.counter_add("only_b", 7);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counter("shared"), 7);
+        assert_eq!(m.counter("only_a"), 1);
+        assert_eq!(m.counter("only_b"), 7);
+        // Result stays name-sorted.
+        let names: Vec<&str> = m.counters.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn merge_gauges_take_the_peak() {
+        let a = Collector::with_trace(false);
+        a.gauge_set("depth", 3);
+        let b = Collector::with_trace(false);
+        b.gauge_set("depth", -1);
+        b.gauge_set("other", -5);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.gauges, vec![("depth".to_string(), 3), ("other".to_string(), -5)]);
+    }
+
+    #[test]
+    fn merge_histograms_equals_one_collector() {
+        let a = Collector::with_trace(false);
+        let b = Collector::with_trace(false);
+        let all = Collector::with_trace(false);
+        for v in [1u64, 5, 9] {
+            a.histogram_record("h", v);
+            all.histogram_record("h", v);
+        }
+        for v in [0u64, 1000, 3] {
+            b.histogram_record("h", v);
+            all.histogram_record("h", v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        let merged = m.histogram("h").unwrap();
+        let expect = all.snapshot();
+        let expect = expect.histogram("h").unwrap();
+        assert_eq!(merged.buckets, expect.buckets);
+        assert_eq!(merged.count, expect.count);
+        assert_eq!(merged.sum, expect.sum);
+        assert_eq!(merged.min, expect.min);
+        assert_eq!(merged.max, expect.max);
+        assert_eq!(merged.p99, expect.p99);
+        assert!((merged.mean - expect.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_spans_disjoint_union() {
+        let a = Collector::with_trace(false);
+        {
+            let _r = a.span("run");
+            a.span("check").finish();
+            a.record_span("check.solve", 2, Duration::from_nanos(20));
+        }
+        let b = Collector::with_trace(false);
+        {
+            let _r = b.span("run");
+            b.span("check").finish();
+            b.span("lint").finish();
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        let run = m.spans.child("run").expect("run under root");
+        assert_eq!(run.count, 2, "same-named spans aggregate");
+        let names: Vec<&str> = run.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["check", "check.solve", "lint"], "name-sorted union");
+        assert_eq!(run.child("check").unwrap().count, 2);
+        assert_eq!(run.child("lint").unwrap().count, 1);
+        assert_eq!(run.child("check.solve").unwrap().total_ns, 20);
+    }
+
+    #[test]
+    fn merge_events_union_in_time_order() {
+        let a = Collector::with_trace(false);
+        a.event(Level::Info, "a", "first");
+        let b = Collector::with_trace(false);
+        b.event(Level::Warn, "b", "second");
+        let mut ab = a.snapshot();
+        ab.merge(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot());
+        assert_eq!(ab.events.len(), 2);
+        assert_eq!(ab.to_json(), ba.to_json(), "event order is merge-order-free");
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_from_json() {
+        let c = Collector::with_trace(false);
+        c.counter_add("solver.queries", 7);
+        c.gauge_set("wan.devices", 40);
+        for v in [1u64, 2, 3, 1000] {
+            c.histogram_record("solver.decisions", v);
+        }
+        c.event(Level::Info, "check.verdict", "consistent \"quoted\"");
+        {
+            let _g = c.span("engine.run");
+            c.span("check").finish();
+        }
+        let snap = c.snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).expect("parse");
+        assert_eq!(back.to_json(), snap.to_json(), "byte-exact round trip");
+        assert!(Snapshot::from_json("{]").is_err());
+    }
+
+    #[test]
+    fn merge_with_empty_is_canonical_identity() {
+        let c = Collector::with_trace(false);
+        {
+            let _r = c.span("run");
+            // Enter children out of name order: merge must normalize.
+            c.span("zeta").finish();
+            c.span("alpha").finish();
+        }
+        let mut m = c.snapshot();
+        m.merge(&Snapshot::empty());
+        let run = m.spans.child("run").unwrap();
+        let names: Vec<&str> = run.children.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        // And merging empty the other way around gives the same bytes.
+        let mut other = Snapshot::empty();
+        other.merge(&c.snapshot());
+        assert_eq!(other.to_json(), m.to_json());
     }
 
     #[test]

@@ -151,6 +151,40 @@ impl Histogram {
         self.max
     }
 
+    /// Rebuild a histogram from snapshot parts: the sparse non-empty
+    /// buckets plus the exact `sum`/`min`/`max` (which buckets alone
+    /// cannot recover). `min` uses the snapshot convention of 0-when-empty.
+    /// The inverse of [`Histogram::nonzero_buckets`] plus the aggregate
+    /// accessors, used when merging snapshots that crossed a wire.
+    pub fn from_sparse(buckets: &[(usize, u64)], sum: u64, min: u64, max: u64) -> Histogram {
+        let mut h = Histogram::default();
+        for &(i, c) in buckets {
+            if i < BUCKETS {
+                h.buckets[i] = h.buckets[i].saturating_add(c);
+                h.count = h.count.saturating_add(c);
+            }
+        }
+        h.sum = sum;
+        h.max = max;
+        h.min = if h.count == 0 { u64::MAX } else { min };
+        h
+    }
+
+    /// Fold `other`'s samples into `self`: buckets and totals add
+    /// (saturating), `min`/`max` widen. Equivalent to replaying every
+    /// sample of `other` into `self`, so merge is associative and
+    /// commutative — the property the shard coordinator's snapshot
+    /// fan-in relies on.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Non-empty buckets as `(bucket index, sample count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
         self.buckets
@@ -240,6 +274,46 @@ mod tests {
             assert!(p >= last, "percentile must be monotone");
             last = p;
         }
+    }
+
+    #[test]
+    fn merge_equals_replaying_samples() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut all = Histogram::default();
+        for v in [0u64, 1, 5, 100] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3u64, 1000, 2] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.nonzero_buckets(), all.nonzero_buckets());
+        assert_eq!(a.percentile(0.9), all.percentile(0.9));
+    }
+
+    #[test]
+    fn from_sparse_round_trips() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        let back = Histogram::from_sparse(&h.nonzero_buckets(), h.sum(), h.min(), h.max());
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sum(), h.sum());
+        assert_eq!(back.min(), h.min());
+        assert_eq!(back.max(), h.max());
+        assert_eq!(back.nonzero_buckets(), h.nonzero_buckets());
+        // Empty round-trip keeps the 0-when-empty min convention.
+        let empty = Histogram::from_sparse(&[], 0, 0, 0);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.min(), 0);
     }
 
     #[test]

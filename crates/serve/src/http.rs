@@ -1,10 +1,13 @@
 //! A deliberately small HTTP/1.1 wire layer over `std::io`.
 //!
-//! The daemon speaks exactly the subset its clients need: one request per
-//! connection (`Connection: close` on every response), `Content-Length`
-//! bodies, no chunked encoding, no keep-alive, no TLS. That subset is
-//! parsed defensively — the two resource limits a hostile or buggy client
-//! could lean on are enforced *here*, before any engine work happens:
+//! The daemon speaks exactly the subset its clients need:
+//! `Content-Length` bodies, opt-in keep-alive (a request carrying
+//! `Connection: keep-alive` may be answered with the connection held
+//! open — see [`Response::write_with`]), and opt-in chunked responses
+//! for streamed partial results ([`ChunkedWriter`]); no TLS. That
+//! subset is parsed defensively — the two resource limits a hostile or
+//! buggy client could lean on are enforced *here*, before any engine
+//! work happens:
 //!
 //! * the header section is capped at [`MAX_HEAD_BYTES`] (→ 400), and
 //! * the declared body is capped at the server's `max_body` (→ 413 with
@@ -73,6 +76,14 @@ impl Request {
     pub fn body_text(&self) -> Result<&str, HttpError> {
         std::str::from_utf8(&self.body)
             .map_err(|_| HttpError::Malformed("request body is not valid UTF-8".into()))
+    }
+
+    /// Did the client ask to reuse this connection (`Connection:
+    /// keep-alive`)? The daemon defaults to close-per-request; only an
+    /// explicit opt-in pins a worker to the connection.
+    pub fn wants_keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
     }
 }
 
@@ -181,9 +192,28 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// One response, ready to serialize. Every response closes the
-/// connection (`Connection: close`), which is what lets clients read to
-/// EOF instead of implementing framing.
+/// The standard reason phrase for a status code.
+pub fn reason_of(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// One response, ready to serialize. By default every response closes
+/// the connection (`Connection: close`), which is what lets one-shot
+/// clients read to EOF instead of implementing framing; a keep-alive
+/// server answers with [`Response::write_with`] instead, and the client
+/// frames by `Content-Length` (always emitted).
 #[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
@@ -242,25 +272,24 @@ impl Response {
 
     /// The standard reason phrase for the status code.
     pub fn reason(&self) -> &'static str {
-        match self.status {
-            200 => "OK",
-            400 => "Bad Request",
-            404 => "Not Found",
-            405 => "Method Not Allowed",
-            408 => "Request Timeout",
-            413 => "Payload Too Large",
-            429 => "Too Many Requests",
-            500 => "Internal Server Error",
-            503 => "Service Unavailable",
-            _ => "Unknown",
-        }
+        reason_of(self.status)
     }
 
-    /// Serialize onto the stream. Write errors are returned so the caller
-    /// can count them, but there is nothing else to do — the peer is gone.
+    /// Serialize onto the stream, closing the connection. Write errors
+    /// are returned so the caller can count them, but there is nothing
+    /// else to do — the peer is gone.
     pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        self.write_with(stream, false)
+    }
+
+    /// Serialize onto the stream, advertising whether the server will
+    /// keep the connection open (`Connection: keep-alive`) or close it.
+    /// `Content-Length` is always emitted, so a keep-alive client frames
+    /// the body exactly.
+    pub fn write_with(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+        let conn = if keep_alive { "keep-alive" } else { "close" };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {conn}\r\n",
             self.status,
             self.reason(),
             self.content_type,
@@ -276,6 +305,98 @@ impl Response {
         stream.write_all(head.as_bytes())?;
         stream.write_all(&self.body)?;
         stream.flush()
+    }
+}
+
+/// A `Transfer-Encoding: chunked` response in flight — the streaming
+/// half of the wire layer. [`ChunkedWriter::begin`] writes the head (no
+/// `Content-Length`; the connection always closes when the stream
+/// ends), then each [`ChunkedWriter::chunk`] flushes one length-framed
+/// chunk to the peer immediately — which is what lets a coordinator
+/// surface per-shard progress while the slow shards are still solving —
+/// and [`ChunkedWriter::finish`] terminates the stream (`0\r\n\r\n`).
+///
+/// Protocol note: the streamed payload is a sequence of
+/// newline-terminated JSON documents, the *last* of which is the
+/// canonical response body (byte-identical to the unstreamed response).
+/// Streaming responses carry no `X-Jinjing-Exit` header — the head goes
+/// out before the outcome is known.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Write the streaming head and return the chunk writer.
+    pub fn begin(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+        headers: &[(String, String)],
+    ) -> std::io::Result<ChunkedWriter<'a>> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n",
+            status,
+            reason_of(status),
+        );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Write one chunk and flush it to the peer. Empty data is skipped —
+    /// a zero-length chunk would terminate the stream.
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        self.stream
+            .write_all(format!("{:x}\r\n", data.len()).as_bytes())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminate the stream.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// Decode a `Transfer-Encoding: chunked` body into the concatenated
+/// payload bytes, validating the length-framing. Trailers are not
+/// supported (nothing in this codebase sends them).
+pub fn dechunk(raw: &[u8]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    let mut rest = raw;
+    loop {
+        let line_end = rest
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or_else(|| "chunked body: missing size line".to_string())?;
+        let size_line = std::str::from_utf8(&rest[..line_end])
+            .map_err(|_| "chunked body: size line is not UTF-8".to_string())?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| format!("chunked body: bad chunk size {size_line:?}"))?;
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if rest.len() < size + 2 {
+            return Err("chunked body: truncated chunk".to_string());
+        }
+        out.extend_from_slice(&rest[..size]);
+        if &rest[size..size + 2] != b"\r\n" {
+            return Err("chunked body: chunk not CRLF-terminated".to_string());
+        }
+        rest = &rest[size + 2..];
     }
 }
 
@@ -353,6 +474,73 @@ mod tests {
             .headers
             .iter()
             .any(|(n, v)| n == "X-Jinjing-Exit" && v == "1"));
+    }
+
+    #[test]
+    fn keep_alive_is_an_explicit_opt_in() {
+        let raw = b"POST /v1/check HTTP/1.1\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n";
+        assert!(parse_raw(raw, 1024).unwrap().wants_keep_alive());
+        let raw = b"POST /v1/check HTTP/1.1\r\nConnection: close\r\nContent-Length: 0\r\n\r\n";
+        assert!(!parse_raw(raw, 1024).unwrap().wants_keep_alive());
+        let raw = b"POST /v1/check HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+        assert!(!parse_raw(raw, 1024).unwrap().wants_keep_alive());
+    }
+
+    #[test]
+    fn write_with_advertises_the_connection_disposition() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        Response::json(200, "{}\n".into())
+            .write_with(&mut stream, true)
+            .unwrap();
+        drop(stream);
+        let text = reader.join().unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+        assert!(text.contains("content-length: 3\r\n"), "{text}");
+    }
+
+    #[test]
+    fn chunked_responses_round_trip_through_dechunk() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).unwrap();
+            buf
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut w = ChunkedWriter::begin(&mut stream, 200, "application/json", &[]).unwrap();
+        w.chunk(b"{\"progress\":1}\n").unwrap();
+        w.chunk(b"").unwrap(); // skipped, not a terminator
+        w.chunk(b"{\"done\":true}\n").unwrap();
+        w.finish().unwrap();
+        drop(stream);
+        let raw = reader.join().unwrap();
+        let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap();
+        let head = std::str::from_utf8(&raw[..head_end]).unwrap();
+        assert!(head.contains("transfer-encoding: chunked"), "{head}");
+        assert!(!head.contains("content-length"), "{head}");
+        let body = dechunk(&raw[head_end + 4..]).unwrap();
+        assert_eq!(body, b"{\"progress\":1}\n{\"done\":true}\n");
+    }
+
+    #[test]
+    fn dechunk_rejects_malformed_framing() {
+        assert!(dechunk(b"").unwrap_err().contains("missing size line"));
+        assert!(dechunk(b"zz\r\n").unwrap_err().contains("bad chunk size"));
+        assert!(dechunk(b"5\r\nab").unwrap_err().contains("truncated"));
+        assert!(dechunk(b"2\r\nabXX0\r\n\r\n")
+            .unwrap_err()
+            .contains("not CRLF-terminated"));
+        assert_eq!(dechunk(b"0\r\n\r\n").unwrap(), b"");
     }
 
     #[test]

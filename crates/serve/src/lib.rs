@@ -15,6 +15,7 @@
 //! POST /v1/lint                 optional intent text → lint report JSON
 //! POST /v1/lint/multi           #tenant-sectioned intents → lint report JSON
 //! POST /v1/plan                 intent [+ #target deltas] → rollout plan JSON
+//! POST /v1/shard/check          shard-scoped check → wire verdict JSON
 //! POST /v1/sessions             intent text → {"classes":…,"id":"s1"}
 //! POST /v1/sessions/{id}/delta  delta script → watch JSON for the batch
 //! DELETE /v1/sessions/{id}      drop a session
@@ -70,9 +71,30 @@
 //! `drain_on_stdin_eof` (the `jinjing serve --drain-on-stdin-eof` flag):
 //! closing the daemon's stdin triggers a self-POST of `/v1/shutdown`.
 //!
+//! **Sharding.** `POST /v1/shard/check` is the backend half of the
+//! `jinjing-shard` coordinator: the body carries an intent plus optional
+//! `#shard-base` / `#shard-apply` delta-script sections describing the
+//! exact before/after configurations, and an `X-Jinjing-Shard: i/n`
+//! header restricts the run to the equivalence classes that shard owns
+//! (consistent hashing — [`jinjing_acl::shard::ShardSpec`]). The response
+//! is a compact wire document (global violating pair, dirty-pair and
+//! query counts, mergeable obs snapshot), *not* the canonical plan JSON:
+//! the coordinator re-derives the witness and renders canonical bytes
+//! locally, which is how byte-identity at any shard count falls out.
+//! `/v1/lint` honors the same header by linting only shard-owned slots.
+//!
+//! **Keep-alive.** A request carrying `Connection: keep-alive` (the
+//! crate's own [`client::Conn`] always does) pins its worker to the
+//! connection after the response: follow-up requests on that socket skip
+//! the admission queue and are served in place until the peer closes,
+//! stays idle past [`KEEPALIVE_IDLE`], or [`KEEPALIVE_MAX_REQUESTS`] is
+//! reached. Only the queueable engine routes are served on a pinned
+//! connection — introspection GETs and `/v1/shutdown` want a dedicated
+//! (close-delimited) connection, which is how the CLI issues them.
+//!
 //! Std-only, like every inner crate: the server is `TcpListener` + the
 //! crate's own [`http`] parser; no runtime, no TLS, one request per
-//! connection.
+//! connection unless the client negotiates keep-alive.
 
 pub mod client;
 pub mod http;
@@ -83,6 +105,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use jinjing_acl::shard::ShardSpec;
 use jinjing_core::engine::{EngineConfig, ReportKind};
 use jinjing_core::incr::CheckSession;
 use jinjing_core::query::{open_intent_session, plan_query, recheck_steps, run_query, WatchOutput};
@@ -98,6 +121,16 @@ use store::{Lru, TraceStore};
 /// connection is dropped. Bounds the damage a trickling client can do to
 /// the accept thread.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long a pinned keep-alive connection may sit idle between requests
+/// before its worker hangs up and returns to the admission queue. Short
+/// on purpose: an idle pinned worker serves nobody else.
+pub const KEEPALIVE_IDLE: Duration = Duration::from_secs(2);
+
+/// Requests served per pinned connection before the server closes it and
+/// makes the client re-enter admission — bounds how long one client can
+/// monopolize a worker.
+pub const KEEPALIVE_MAX_REQUESTS: usize = 1000;
 
 /// Everything that can go wrong standing the daemon up, as a printable
 /// message.
@@ -233,6 +266,7 @@ enum Route {
     Lint,
     LintMulti,
     Plan,
+    ShardCheck,
     SessionOpen,
     SessionDelta(String),
     SessionDelete(String),
@@ -248,6 +282,7 @@ impl Route {
             Route::Lint => "lint",
             Route::LintMulti => "lint_multi",
             Route::Plan => "plan",
+            Route::ShardCheck => "shard_check",
             Route::SessionOpen => "session_open",
             Route::SessionDelta(_) => "session_delta",
             Route::SessionDelete(_) => "session_delete",
@@ -265,6 +300,7 @@ fn route_of(method: &str, path: &str) -> Result<Route, Response> {
         ("POST", "/v1/lint") => Ok(Route::Lint),
         ("POST", "/v1/lint/multi") => Ok(Route::LintMulti),
         ("POST", "/v1/plan") => Ok(Route::Plan),
+        ("POST", "/v1/shard/check") => Ok(Route::ShardCheck),
         ("POST", "/v1/sessions") => Ok(Route::SessionOpen),
         _ => {
             if let Some(rest) = path.strip_prefix("/v1/sessions/") {
@@ -330,9 +366,15 @@ impl<'a, 'n> Ctx<'a, 'n> {
 
     /// Send a response, counting the status class and write failures.
     fn respond(&self, stream: &mut TcpStream, resp: &Response) {
+        self.respond_with(stream, resp, false);
+    }
+
+    /// [`Ctx::respond`] with an explicit connection disposition: pass
+    /// `keep_alive` when the worker intends to keep serving this socket.
+    fn respond_with(&self, stream: &mut TcpStream, resp: &Response, keep_alive: bool) {
         self.obs
             .counter_add(&format!("serve.http_{}", resp.status), 1);
-        if resp.write_to(stream).is_err() {
+        if resp.write_with(stream, keep_alive).is_err() {
             self.obs.counter_add("serve.write_failures", 1);
         }
     }
@@ -604,37 +646,100 @@ fn healthz_body(ctx: Ctx<'_, '_>) -> String {
     body
 }
 
-/// A worker: pop admitted jobs until the queue closes empty.
+/// A worker: pop admitted jobs until the queue closes empty. A job whose
+/// client negotiated keep-alive pins this worker to the connection after
+/// the response (see [`pinned_loop`]).
 fn worker_loop(ctx: Ctx<'_, '_>) {
     while let Some(mut job) = ctx.queue.pop() {
         ctx.obs
             .gauge_set("serve.queue_depth", ctx.queue.depth() as i64);
+        let keep = job.req.wants_keep_alive();
         let start = Instant::now();
-        let resp = handle(ctx, &mut job);
-        let elapsed = start.elapsed();
-        ctx.obs.histogram_record(
-            &format!("serve.latency_us.{}", job.route.key()),
-            elapsed.as_micros() as u64,
-        );
-        ctx.obs.record_span("serve.request", 1, elapsed);
-        ctx.obs.event(
-            Level::Debug,
-            "serve.response",
-            &format!("r{} {} -> {}", job.id, job.route.key(), resp.status),
-        );
-        ctx.respond(&mut job.stream, &resp);
+        let resp = handle(ctx, &job.req, &job.route, job.admitted);
+        record_done(ctx, &job.route, job.id, start, &resp);
+        ctx.respond_with(&mut job.stream, &resp, keep);
+        if keep {
+            pinned_loop(ctx, job.stream);
+        }
     }
 }
 
-/// Execute one admitted job: deadline check, optional test delay, then
-/// the endpoint body.
-fn handle(ctx: Ctx<'_, '_>, job: &mut Job) -> Response {
-    let deadline_ms = job
-        .req
+/// Serve follow-up requests on a connection whose client negotiated
+/// keep-alive. Admission control applied to the connection's *first*
+/// request (it flowed through the bounded queue); follow-ups ride the
+/// already-pinned worker directly, bounded by [`KEEPALIVE_IDLE`] between
+/// requests and [`KEEPALIVE_MAX_REQUESTS`] per connection. Only the
+/// queueable engine routes are served here — anything else (including
+/// `/v1/shutdown`) is answered and the connection closed.
+fn pinned_loop(ctx: Ctx<'_, '_>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(KEEPALIVE_IDLE));
+    for _ in 1..KEEPALIVE_MAX_REQUESTS {
+        let req = match read_request(&mut stream, ctx.cfg.max_body) {
+            Ok(r) => r,
+            Err(HttpError::Malformed(m)) => {
+                ctx.obs.counter_add("serve.requests_total", 1);
+                ctx.respond(&mut stream, &Response::error(400, &m));
+                return;
+            }
+            Err(HttpError::TooLarge(m)) => {
+                ctx.obs.counter_add("serve.requests_total", 1);
+                ctx.respond(&mut stream, &Response::error(413, &m));
+                return;
+            }
+            Err(HttpError::Io(_)) => return, // idle timeout or peer hung up
+        };
+        ctx.obs.counter_add("serve.requests_total", 1);
+        ctx.obs.counter_add("serve.keepalive_requests", 1);
+        let id = ctx.next_request.fetch_add(1, Ordering::Relaxed) + 1;
+        ctx.obs.event(
+            Level::Debug,
+            "serve.request",
+            &format!("r{id} {} {} (pinned)", req.method, req.path),
+        );
+        let route = match route_of(&req.method, &req.path) {
+            Ok(r) => r,
+            Err(resp) => {
+                ctx.respond(&mut stream, &resp);
+                return;
+            }
+        };
+        let keep = req.wants_keep_alive();
+        let start = Instant::now();
+        let resp = handle(ctx, &req, &route, start);
+        record_done(ctx, &route, id, start, &resp);
+        ctx.respond_with(&mut stream, &resp, keep);
+        if !keep {
+            return;
+        }
+    }
+    // Request cap reached: drop the stream; the client re-dials and
+    // re-enters admission.
+    ctx.obs.counter_add("serve.keepalive_capped", 1);
+}
+
+/// Per-request bookkeeping once an endpoint body has produced a response.
+fn record_done(ctx: Ctx<'_, '_>, route: &Route, id: u64, start: Instant, resp: &Response) {
+    let elapsed = start.elapsed();
+    ctx.obs.histogram_record(
+        &format!("serve.latency_us.{}", route.key()),
+        elapsed.as_micros() as u64,
+    );
+    ctx.obs.record_span("serve.request", 1, elapsed);
+    ctx.obs.event(
+        Level::Debug,
+        "serve.response",
+        &format!("r{id} {} -> {}", route.key(), resp.status),
+    );
+}
+
+/// Execute one admitted request: deadline check, optional test delay,
+/// then the endpoint body.
+fn handle(ctx: Ctx<'_, '_>, req: &Request, route: &Route, admitted: Instant) -> Response {
+    let deadline_ms = req
         .header("x-jinjing-deadline-ms")
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(ctx.cfg.deadline_ms);
-    if deadline_ms > 0 && job.admitted.elapsed() >= Duration::from_millis(deadline_ms) {
+    if deadline_ms > 0 && admitted.elapsed() >= Duration::from_millis(deadline_ms) {
         ctx.obs.counter_add("serve.deadline_expired", 1);
         return Response::error(
             408,
@@ -642,23 +747,23 @@ fn handle(ctx: Ctx<'_, '_>, job: &mut Job) -> Response {
         );
     }
     if ctx.cfg.allow_test_delay {
-        if let Some(ms) = job
-            .req
+        if let Some(ms) = req
             .header("x-jinjing-test-delay-ms")
             .and_then(|v| v.parse::<u64>().ok())
         {
             std::thread::sleep(Duration::from_millis(ms.min(10_000)));
         }
     }
-    match job.route.clone() {
-        Route::Check => one_shot(ctx, &job.req, "check"),
-        Route::Fix => one_shot(ctx, &job.req, "fix"),
-        Route::Generate => one_shot(ctx, &job.req, "generate"),
-        Route::Lint => lint_endpoint(ctx, &job.req),
-        Route::LintMulti => lint_multi_endpoint(ctx, &job.req),
-        Route::Plan => plan_endpoint(ctx, &job.req),
-        Route::SessionOpen => session_open(ctx, &job.req),
-        Route::SessionDelta(id) => session_delta(ctx, &job.req, &id),
+    match route.clone() {
+        Route::Check => one_shot(ctx, req, "check"),
+        Route::Fix => one_shot(ctx, req, "fix"),
+        Route::Generate => one_shot(ctx, req, "generate"),
+        Route::Lint => lint_endpoint(ctx, req),
+        Route::LintMulti => lint_multi_endpoint(ctx, req),
+        Route::Plan => plan_endpoint(ctx, req),
+        Route::ShardCheck => shard_check_endpoint(ctx, req),
+        Route::SessionOpen => session_open(ctx, req),
+        Route::SessionDelta(id) => session_delta(ctx, req, &id),
         Route::SessionDelete(id) => session_delete(ctx, &id),
     }
 }
@@ -727,14 +832,42 @@ fn one_shot(ctx: Ctx<'_, '_>, req: &Request, endpoint: &str) -> Response {
     }
 }
 
+/// Parse an `X-Jinjing-Shard: i/n` header into a shard spec. Absent
+/// header means "the whole space" (`None`); a malformed or out-of-range
+/// value is an error the endpoint answers with 400 — [`ShardSpec::new`]
+/// panics on bad input, so validate here first.
+fn shard_spec_of(req: &Request) -> Result<Option<ShardSpec>, String> {
+    let Some(v) = req.header("x-jinjing-shard") else {
+        return Ok(None);
+    };
+    let parsed = v.split_once('/').and_then(|(i, n)| {
+        let i: usize = i.trim().parse().ok()?;
+        let n: usize = n.trim().parse().ok()?;
+        (n > 0 && i < n).then(|| ShardSpec::new(i, n))
+    });
+    match parsed {
+        Some(spec) => Ok(Some(spec)),
+        None => Err(format!(
+            "X-Jinjing-Shard wants i/n with i < n, got {v:?}"
+        )),
+    }
+}
+
 /// `POST /v1/lint`: lint the resident network + configuration, with the
 /// body (when non-empty) as the intent program. Byte-identical to
-/// `jinjing lint --format json` on the same inputs.
+/// `jinjing lint --format json` on the same inputs. An
+/// `X-Jinjing-Shard: i/n` header restricts the pass to shard-owned slots
+/// (network-wide findings come from the primary shard only), so the
+/// per-shard reports partition the unsharded one.
 fn lint_endpoint(ctx: Ctx<'_, '_>, req: &Request) -> Response {
     let text = match req.body_text() {
         Ok(t) => t,
         Err(HttpError::Malformed(m)) => return Response::error(400, &m),
         Err(_) => return Response::error(400, "unreadable body"),
+    };
+    let shard = match shard_spec_of(req) {
+        Ok(s) => s,
+        Err(e) => return Response::error(400, &e),
     };
     let program = if text.trim().is_empty() {
         None
@@ -748,12 +881,11 @@ fn lint_endpoint(ctx: Ctx<'_, '_>, req: &Request) -> Response {
             Err(e) => return Response::error(400, &e.to_string()),
         }
     };
-    let out = jinjing_core::engine::lint(
-        ctx.net,
-        ctx.config,
-        program.as_ref(),
-        &jinjing_lint::LintConfig::default(),
-    );
+    let lcfg = jinjing_lint::LintConfig {
+        shard,
+        ..jinjing_lint::LintConfig::default()
+    };
+    let out = jinjing_core::engine::lint(ctx.net, ctx.config, program.as_ref(), &lcfg);
     let ReportKind::Lint(report) = out.kind else {
         return Response::error(500, "engine returned a non-lint report for lint");
     };
@@ -878,7 +1010,10 @@ fn lint_multi_endpoint(ctx: Ctx<'_, '_>, req: &Request) -> Response {
 /// `jinjing plan --target` reads). An optional `#max-waves N` line caps
 /// the wave count. `#` already starts a comment in LAI, so the
 /// directives are invisible to the intent parser.
-fn parse_plan_body(text: &str) -> Result<(String, Option<String>, usize), String> {
+///
+/// Public so the `jinjing-shard` coordinator reuses the exact wire
+/// grammar when it proxies `/v1/plan`.
+pub fn parse_plan_body(text: &str) -> Result<(String, Option<String>, usize), String> {
     let mut intent = String::new();
     let mut target: Option<String> = None;
     let mut max_waves = 0usize;
@@ -934,6 +1069,164 @@ fn plan_endpoint(ctx: Ctx<'_, '_>, req: &Request) -> Response {
             Response::json(200, out.json).with_header("X-Jinjing-Exit", &exit.to_string())
         }
     }
+}
+
+/// Parse the `POST /v1/shard/check` wire body into the intent text and
+/// the optional `#shard-base` / `#shard-apply` delta scripts.
+///
+/// Same directive convention as the other plain-text bodies: everything
+/// up to the first marker is the intent program; `#shard-base` starts a
+/// delta script carrying the resident→before edits, `#shard-apply` the
+/// before→after edits. The coordinator always sends both markers (the
+/// sections may be empty); a hand-written probe may omit them, in which
+/// case the intent's own before/after stand.
+///
+/// Public so the coordinator and the backend agree on one grammar.
+pub fn parse_shard_body(text: &str) -> Result<(String, Option<String>, Option<String>), String> {
+    let mut intent = String::new();
+    let mut base: Option<String> = None;
+    let mut apply: Option<String> = None;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed == "#shard-base" {
+            if base.is_some() {
+                return Err("more than one #shard-base line".to_string());
+            }
+            if apply.is_some() {
+                return Err("#shard-base after #shard-apply".to_string());
+            }
+            base = Some(String::new());
+        } else if trimmed == "#shard-apply" {
+            if apply.is_some() {
+                return Err("more than one #shard-apply line".to_string());
+            }
+            apply = Some(String::new());
+        } else {
+            let sink = apply.as_mut().or(base.as_mut()).unwrap_or(&mut intent);
+            sink.push_str(line);
+            sink.push('\n');
+        }
+    }
+    Ok((intent, base, apply))
+}
+
+/// `POST /v1/shard/check`: the backend half of sharded verification.
+///
+/// Resolves the intent against the resident network, folds the
+/// `#shard-base` / `#shard-apply` delta scripts into explicit
+/// before/after configurations, and checks only the equivalence classes
+/// the `X-Jinjing-Shard` spec owns. The response is the compact wire
+/// document the coordinator merges (sorted keys, one trailing newline):
+///
+/// ```text
+/// {"dirty_pairs":…,"fec_count":…,"obs":{…},"pair":{"class":…,"path":…}|null,
+///  "queries":…,"shard":{"count":…,"index":…},"status":"ok"}
+/// ```
+///
+/// `pair` is the shard-local minimum violating `(class, path)` in
+/// **global** coordinates; the coordinator takes the lexicographic
+/// minimum across shards, re-solves that one pair locally to materialize
+/// the witness packet, and renders the canonical document itself.
+fn shard_check_endpoint(ctx: Ctx<'_, '_>, req: &Request) -> Response {
+    let text = match req.body_text() {
+        Ok(t) => t,
+        Err(HttpError::Malformed(m)) => return Response::error(400, &m),
+        Err(_) => return Response::error(400, "unreadable body"),
+    };
+    let shard = match shard_spec_of(req) {
+        Ok(s) => s,
+        Err(e) => return Response::error(400, &e),
+    };
+    let (intent, base, apply) = match parse_shard_body(text) {
+        Ok(parts) => parts,
+        Err(e) => return Response::error(400, &e),
+    };
+    let program = match jinjing_lai::parse_program(&intent) {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    // Lax validation: the configurations under test come from the delta
+    // scripts, so a modify-less intent (a rollout-planning probe) is
+    // legal here. The coordinator already applied the strict rules its
+    // own endpoint demands.
+    let program = match jinjing_lai::validate_plan_intent(program) {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let task = match jinjing_core::resolve(ctx.net, &program, ctx.config) {
+        Ok(t) => t,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+
+    // Fold the delta scripts into the exact configurations under test.
+    // An empty (or absent) script is a no-op, so a plain intent checks
+    // its own before/after.
+    let fold = |label: &str, start: &AclConfig, script: &str| -> Result<AclConfig, Response> {
+        let deltas = jinjing_core::incr::parse_delta_script(ctx.net, script)
+            .map_err(|e| Response::error(400, &format!("{label}: {e}")))?;
+        let mut config = start.clone();
+        for (_, delta) in &deltas {
+            config = delta.applied_to(&config);
+        }
+        Ok(config)
+    };
+    let before = match base {
+        Some(script) => match fold("#shard-base", &task.before, &script) {
+            Ok(c) => c,
+            Err(resp) => return resp,
+        },
+        None => task.before.clone(),
+    };
+    let after = match apply {
+        // The apply script is relative to the (possibly rebased) before.
+        Some(script) => match fold("#shard-apply", &before, &script) {
+            Ok(c) => c,
+            Err(resp) => return resp,
+        },
+        None => task.after.clone(),
+    };
+
+    let ccfg = jinjing_core::check::CheckConfig {
+        threads: ctx.cfg.threads,
+        shard: shard.clone(),
+        ..jinjing_core::check::CheckConfig::default()
+    };
+    let report = match jinjing_core::check::check_configs(
+        ctx.net,
+        &task.scope,
+        &before,
+        &after,
+        &task.controls,
+        &ccfg,
+    ) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let snapshot = ccfg.obs.snapshot();
+
+    // Hand-rolled so the mergeable obs snapshot embeds raw; keys stay
+    // sorted (the coordinator parses this with jinjing-obs's Json).
+    let (index, count) = shard.as_ref().map_or((0, 1), |s| (s.index(), s.count()));
+    let mut body = String::new();
+    body.push_str("{\"dirty_pairs\":");
+    body.push_str(&report.paths_checked.to_string());
+    body.push_str(",\"fec_count\":");
+    body.push_str(&report.fec_count.to_string());
+    body.push_str(",\"obs\":");
+    body.push_str(snapshot.to_json().trim_end());
+    body.push_str(",\"pair\":");
+    match report.violation_pair {
+        Some((class, path)) => {
+            body.push_str(&format!("{{\"class\":{class},\"path\":{path}}}"));
+        }
+        None => body.push_str("null"),
+    }
+    body.push_str(",\"queries\":");
+    body.push_str(&snapshot.counter("solver.queries").to_string());
+    body.push_str(&format!(
+        ",\"shard\":{{\"count\":{count},\"index\":{index}}},\"status\":\"ok\"}}\n"
+    ));
+    Response::json(200, body).with_header("X-Jinjing-Exit", "0")
 }
 
 /// `POST /v1/sessions`: open a resident check session over the intent's
@@ -1233,6 +1526,204 @@ check
         assert_eq!(route_of("POST", "/v1/plan").unwrap(), Route::Plan);
         assert_eq!(Route::Plan.key(), "plan");
         assert_eq!(route_of("GET", "/v1/plan").unwrap_err().status, 404);
+        assert_eq!(
+            route_of("POST", "/v1/shard/check").unwrap(),
+            Route::ShardCheck
+        );
+        assert_eq!(Route::ShardCheck.key(), "shard_check");
+        assert_eq!(route_of("GET", "/v1/shard/check").unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn shard_body_parses_sections() {
+        let body = "scope A:*\ncheck\n#shard-base\nclear C1 in\n#shard-apply\nclear C2 in\n";
+        let (intent, base, apply) = parse_shard_body(body).unwrap();
+        assert_eq!(intent, "scope A:*\ncheck\n");
+        assert_eq!(base.as_deref(), Some("clear C1 in\n"));
+        assert_eq!(apply.as_deref(), Some("clear C2 in\n"));
+
+        // Markers with empty sections: explicit "no rebase, no edits".
+        let (intent, base, apply) =
+            parse_shard_body("check\n#shard-base\n#shard-apply\n").unwrap();
+        assert_eq!(intent, "check\n");
+        assert_eq!(base.as_deref(), Some(""));
+        assert_eq!(apply.as_deref(), Some(""));
+
+        // No markers: the whole body is the intent.
+        let (intent, base, apply) = parse_shard_body("scope A:*\ncheck\n").unwrap();
+        assert_eq!(intent, "scope A:*\ncheck\n");
+        assert_eq!(base, None);
+        assert_eq!(apply, None);
+
+        assert!(parse_shard_body("check\n#shard-base\n#shard-base\n")
+            .unwrap_err()
+            .contains("more than one #shard-base"));
+        assert!(parse_shard_body("check\n#shard-apply\n#shard-apply\n")
+            .unwrap_err()
+            .contains("more than one #shard-apply"));
+        assert!(parse_shard_body("check\n#shard-apply\n#shard-base\n")
+            .unwrap_err()
+            .contains("after #shard-apply"));
+    }
+
+    #[test]
+    fn shard_header_parses_and_rejects() {
+        let req = |headers: &[(&str, &str)]| Request {
+            method: "POST".to_string(),
+            path: "/v1/shard/check".to_string(),
+            headers: headers
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect(),
+            body: Vec::new(),
+        };
+        assert_eq!(shard_spec_of(&req(&[])).unwrap(), None);
+        let spec = shard_spec_of(&req(&[("x-jinjing-shard", "1/4")]))
+            .unwrap()
+            .unwrap();
+        assert_eq!((spec.index(), spec.count()), (1, 4));
+        for bad in ["", "4", "4/4", "2/0", "a/b", "-1/4"] {
+            assert!(
+                shard_spec_of(&req(&[("x-jinjing-shard", bad)])).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    /// A semantically invisible update (D:2's denies reordered): every
+    /// dirty pair solves to "unchanged", so the scan never short-circuits
+    /// — the workload the partition arithmetic is provable on.
+    const CONSISTENT_INTENT: &str = "\
+acl D2r {
+    deny dst 2.0.0.0/8
+    deny dst 1.0.0.0/8
+    permit all
+}
+scope A:*, B:*, C:*, D:*
+allow D:*
+modify D:2 to D2r
+check
+";
+
+    #[test]
+    fn shard_check_partitions_the_figure1_workload() {
+        let f = Figure1::new();
+        let srv = Server::bind(f.net, f.config, ServeConfig::default()).unwrap();
+        let addr = srv.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || srv.run().unwrap());
+
+        let wire = |intent: &str, shard: Option<(u64, u64)>| {
+            let headers: Vec<(String, String)> = shard
+                .map(|(i, n)| vec![("X-Jinjing-Shard".to_string(), format!("{i}/{n}"))])
+                .unwrap_or_default();
+            let r = client::call(
+                &addr,
+                "POST",
+                "/v1/shard/check",
+                &headers,
+                intent.as_bytes(),
+                Duration::from_secs(20),
+            )
+            .expect("shard call");
+            assert_eq!(r.status, 200, "{}", r.body_text());
+            jinjing_obs::json::parse(r.body_text().trim()).unwrap()
+        };
+
+        // Consistent workload: the full pair space is scanned, so two
+        // shards' dirty pairs and solver queries sum *exactly* to the
+        // unsharded run — the pair space is partitioned, never duplicated.
+        let whole = wire(CONSISTENT_INTENT, None);
+        assert_eq!(whole.get("status").unwrap().as_str(), Some("ok"));
+        assert!(whole.get("pair").unwrap().as_str().is_none()); // null
+        let whole_pairs = whole.get("dirty_pairs").unwrap().as_u64().unwrap();
+        let whole_queries = whole.get("queries").unwrap().as_u64().unwrap();
+        assert!(whole_pairs > 0);
+        assert!(whole_queries > 0);
+        let mut pair_sum = 0;
+        let mut query_sum = 0;
+        for i in 0..2 {
+            let doc = wire(CONSISTENT_INTENT, Some((i, 2)));
+            let shard = doc.get("shard").unwrap();
+            assert_eq!(shard.get("index").unwrap().as_u64(), Some(i));
+            assert_eq!(shard.get("count").unwrap().as_u64(), Some(2));
+            pair_sum += doc.get("dirty_pairs").unwrap().as_u64().unwrap();
+            query_sum += doc.get("queries").unwrap().as_u64().unwrap();
+        }
+        assert_eq!(pair_sum, whole_pairs, "shards must partition the pairs");
+        assert_eq!(query_sum, whole_queries, "no duplicated solver queries");
+
+        // Inconsistent workload: the minimum pair over the shards is the
+        // global minimum the unsharded run reports. (Pair *counts* differ
+        // here by design — the unsharded scan short-circuits at the first
+        // violation, a shard that owns none scans its whole slice.)
+        let whole = wire(CHECK_INTENT, None);
+        let whole_pair = whole.get("pair").unwrap();
+        let min_pair = (
+            whole_pair.get("class").unwrap().as_u64().unwrap(),
+            whole_pair.get("path").unwrap().as_u64().unwrap(),
+        );
+        let mut best: Option<(u64, u64)> = None;
+        for i in 0..2 {
+            let doc = wire(CHECK_INTENT, Some((i, 2)));
+            let p = doc.get("pair").unwrap();
+            if let (Some(c), Some(pi)) = (
+                p.get("class").and_then(|v| v.as_u64()),
+                p.get("path").and_then(|v| v.as_u64()),
+            ) {
+                let candidate = (c, pi);
+                if best.map_or(true, |b| candidate < b) {
+                    best = Some(candidate);
+                }
+            }
+        }
+        assert_eq!(best, Some(min_pair), "min over shards is the global min");
+
+        // A malformed shard header is a clean 400.
+        let r = client::call(
+            &addr,
+            "POST",
+            "/v1/shard/check",
+            &[("X-Jinjing-Shard".to_string(), "3/2".to_string())],
+            CHECK_INTENT.as_bytes(),
+            Duration::from_secs(20),
+        )
+        .expect("call");
+        assert_eq!(r.status, 400);
+
+        let r = call(&addr, "POST", "/v1/shutdown", "");
+        assert_eq!(r.status, 200);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_connection_serves_many_requests_on_one_socket() {
+        let f = Figure1::new();
+        let srv = Server::bind(f.net, f.config, ServeConfig::default()).unwrap();
+        let addr = srv.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || srv.run().unwrap());
+
+        let mut conn = client::Conn::new(&addr, Duration::from_secs(20)).expect("conn");
+        let one = conn
+            .call("POST", "/v1/check", &[], CHECK_INTENT.as_bytes())
+            .expect("first");
+        let two = conn
+            .call("POST", "/v1/check", &[], CHECK_INTENT.as_bytes())
+            .expect("second");
+        assert_eq!(one.status, 200);
+        assert_eq!(two.status, 200);
+        assert_eq!(
+            one.body_text(),
+            two.body_text(),
+            "same query, same bytes, same connection"
+        );
+
+        let r = call(&addr, "POST", "/v1/shutdown", "");
+        assert_eq!(r.status, 200);
+        let summary = handle.join().unwrap();
+        assert!(
+            summary.snapshot.counter("serve.keepalive_requests") >= 1,
+            "the second request must ride the pinned connection"
+        );
     }
 
     #[test]

@@ -237,6 +237,124 @@ else
     echo "ci.sh: python3 not installed — skipping BENCH_serve.json probe" >&2
 fi
 
+echo "==> shard smoke (coordinator + 2 backends: byte-parity + streaming)"
+# Boot two stock jinjing-serve backends and a jinjing-shard coordinator
+# fronting them, then require (a) the coordinator's /v1/check and /v1/lint
+# bodies byte-identical to a lone daemon's (the byte-identity merge
+# contract, over real sockets), (b) the thin client's --shards lint
+# fan-out rendering the same bytes, and (c) the chunked streaming form
+# emitting per-shard progress docs before an identical final chunk.
+shard_smoke() {
+    local dir bpid1 bpid2 cpid addr1 caddr rc
+    dir="$(mktemp -d)"
+    for i in 1 2; do
+        cargo run --release -q -p jinjing-cli --bin jinjing -- serve \
+            --network examples/data/figure1-network.json \
+            --acls examples/data/figure1-acls.json \
+            --addr 127.0.0.1:0 --port-file "$dir/b$i.port" >"$dir/b$i.log" 2>&1 &
+        eval "bpid$i=\$!"
+    done
+    for _ in $(seq 1 100); do [ -s "$dir/b1.port" ] && [ -s "$dir/b2.port" ] && break; sleep 0.1; done
+    [ -s "$dir/b1.port" ] && [ -s "$dir/b2.port" ] || { cat "$dir"/b*.log >&2; return 1; }
+    addr1="$(cat "$dir/b1.port")"
+    cargo run --release -q -p jinjing-cli --bin jinjing -- shard \
+        --network examples/data/figure1-network.json \
+        --acls examples/data/figure1-acls.json \
+        --backends "$(cat "$dir/b1.port"),$(cat "$dir/b2.port")" \
+        --addr 127.0.0.1:0 --port-file "$dir/coord.port" >"$dir/coord.log" 2>&1 &
+    cpid=$!
+    for _ in $(seq 1 100); do [ -s "$dir/coord.port" ] && break; sleep 0.1; done
+    [ -s "$dir/coord.port" ] || { cat "$dir/coord.log" >&2; return 1; }
+    caddr="$(cat "$dir/coord.port")"
+    jj() { cargo run --release -q -p jinjing-cli --bin jinjing -- call "$@"; }
+
+    # Byte-parity: coordinator vs lone daemon, both gating with exit 3.
+    rc=0
+    jj --addr "$caddr" --path /v1/check \
+        --body-file examples/data/running-example.lai >"$dir/coord-check.json" || rc=$?
+    [ "$rc" -eq 3 ] || { echo "expected exit 3 from the sharded check, got $rc" >&2; return 1; }
+    rc=0
+    jj --addr "$addr1" --path /v1/check \
+        --body-file examples/data/running-example.lai >"$dir/solo-check.json" || rc=$?
+    [ "$rc" -eq 3 ] || { echo "expected exit 3 from the lone daemon, got $rc" >&2; return 1; }
+    cmp "$dir/coord-check.json" "$dir/solo-check.json" \
+        || { echo "sharded check drifted from the single-process bytes" >&2; return 1; }
+
+    jj --addr "$caddr" --path /v1/lint \
+        --body-file examples/data/running-example.lai >"$dir/coord-lint.json"
+    jj --addr "$addr1" --path /v1/lint \
+        --body-file examples/data/running-example.lai >"$dir/solo-lint.json"
+    cmp "$dir/coord-lint.json" "$dir/solo-lint.json" \
+        || { echo "sharded lint drifted from the single-process bytes" >&2; return 1; }
+
+    # The thin client's own lint fan-out renders the same bytes too.
+    jj --shards "$(cat "$dir/b1.port"),$(cat "$dir/b2.port")" --path /v1/lint \
+        --body-file examples/data/running-example.lai >"$dir/client-lint.json"
+    cmp "$dir/client-lint.json" "$dir/solo-lint.json" \
+        || { echo "call --shards lint drifted from the single-process bytes" >&2; return 1; }
+
+    # Streaming probe: chunked transfer, >=2 progress docs, final chunk
+    # byte-identical to the plain response.
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$caddr" examples/data/running-example.lai "$dir/coord-check.json" <<'EOF'
+import http.client, sys
+addr, intent_path, plain_path = sys.argv[1:4]
+body = open(intent_path, "rb").read()
+conn = http.client.HTTPConnection(addr, timeout=60)
+conn.request("POST", "/v1/check", body, {"X-Jinjing-Stream": "1"})
+resp = conn.getresponse()
+assert resp.status == 200, resp.status
+assert resp.getheader("Transfer-Encoding") == "chunked", resp.getheaders()
+assert resp.getheader("X-Jinjing-Exit") is None, "streamed responses carry no exit header"
+data = resp.read()
+conn.close()
+plain = open(plain_path, "rb").read()
+assert data.endswith(plain), "final streamed bytes != plain response"
+progress = data[: len(data) - len(plain)].decode()
+docs = [l for l in progress.splitlines() if l.strip()]
+assert len(docs) >= 2, f"want a progress doc per shard, got {docs!r}"
+assert all('"shards":2' in d for d in docs), docs
+print(f"shard streaming: {len(docs)} progress docs, final chunk identical")
+EOF
+    else
+        echo "ci.sh: python3 not installed — skipping the streaming probe" >&2
+    fi
+
+    jj --addr "$caddr" --path /v1/shutdown >/dev/null
+    wait "$cpid" || { echo "coordinator exited non-zero after drain" >&2; return 1; }
+    for i in 1 2; do
+        jj --addr "$(cat "$dir/b$i.port")" --path /v1/shutdown >/dev/null
+    done
+    wait "$bpid1" "$bpid2" || { echo "a backend exited non-zero after drain" >&2; return 1; }
+    rm -rf "$dir"
+}
+shard_smoke
+
+echo "==> shard-partition smoke (small WAN) — regenerates BENCH_shard.json"
+# The harness itself asserts the consistent-hash partition exact (dirty
+# pairs and solver queries sum to the unsharded totals at every width);
+# the smoke step verifies the artifact's shape and the zero-duplication
+# headline.
+cargo run --release -p jinjing-bench --bin figures -- shard \
+    --bench-out BENCH_shard.json >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_shard.json"))
+assert d["benchmark"] == "shard" and d["network"] == "small", d
+assert d["partition_exact"] is True, d
+base = d["baseline"]
+for w in d["widths"]:
+    assert w["dirty_pairs_sum"] == base["dirty_pairs"], w
+    assert w["queries_sum"] == base["queries"], w
+assert [w["shards"] for w in d["widths"]] == [1, 2, 4, 8], d
+print(f"BENCH_shard.json: {base['dirty_pairs']} pairs / {base['queries']} queries "
+      f"partitioned exactly at widths 1/2/4/8")
+EOF
+else
+    echo "ci.sh: python3 not installed — skipping BENCH_shard.json probe" >&2
+fi
+
 echo "==> warm-solver smoke (medium WAN) — regenerates BENCH_solve.json"
 # The microbench itself asserts warm verdicts identical to cold rebuilds
 # and the fix search's solver constructions strictly below the per-k cold

@@ -7,10 +7,10 @@
 # std-only, so on a machine without crates.io access we can still build and
 # test the heart of the system with bare rustc:
 #
-#   rlibs:  acl → obs → par → {solver, lai, net} → lint → core → serve → cli
-#           (+ the scripts/stubs/rand.rs facade → wan → bench)
+#   rlibs:  acl → obs → par → {solver, lai, net} → lint → core → serve →
+#           shard → cli (+ the scripts/stubs/rand.rs facade → wan → bench)
 #   tests:  acl unit, obs unit, par unit, solver unit, lint unit, core unit,
-#           serve unit, cli unit (offline subset), wan unit,
+#           serve unit, shard unit, cli unit (offline subset), wan unit,
 #           tests/obs_integration.rs,
 #           tests/lint_integration.rs, tests/lint_multi.rs,
 #           tests/par_determinism.rs,
@@ -18,6 +18,7 @@
 #           tests/incr_oracle.rs (+ a JINJING_THREADS=4 re-run),
 #           tests/cli_golden.rs (+ a JINJING_THREADS=4 re-run),
 #           tests/serve_integration.rs (+ a JINJING_THREADS=4 re-run),
+#           tests/shard_integration.rs (+ a JINJING_THREADS=4 re-run),
 #           tests/trace_export.rs,
 #           tests/warm_solver.rs (+ a JINJING_THREADS=4 re-run),
 #           tests/plan_oracle.rs (+ a JINJING_THREADS=4 re-run)
@@ -25,8 +26,9 @@
 #           BENCH_incr.json into $OUT and sanity-probing its shape, plus a
 #           `figures serve` loopback daemon smoke writing BENCH_serve.json,
 #           a `figures solve --small` warm-solver smoke writing
-#           BENCH_solve.json, and a `figures plan` rollout-synthesis smoke
-#           writing BENCH_plan.json
+#           BENCH_solve.json, a `figures plan` rollout-synthesis smoke
+#           writing BENCH_plan.json, and a `figures shard` partition smoke
+#           writing BENCH_shard.json
 #
 # serde-dependent code (spec JSON, CLI loaders, serde_json round-trips) is
 # compiled out under `--cfg jinjing_offline`; `rand` is satisfied by the
@@ -75,18 +77,24 @@ rlib jinjing_core crates/core/src/lib.rs $A $O \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
     --extern jinjing_lint="$OUT/libjinjing_lint.rlib"
-rlib jinjing_serve crates/serve/src/lib.rs $O \
+rlib jinjing_serve crates/serve/src/lib.rs $A $O \
     --extern jinjing_par="$OUT/libjinjing_par.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
     --extern jinjing_lint="$OUT/libjinjing_lint.rlib" \
     --extern jinjing_core="$OUT/libjinjing_core.rlib"
+rlib jinjing_shard crates/shard/src/lib.rs $A $O \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib" \
+    --extern jinjing_lint="$OUT/libjinjing_lint.rlib" \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_serve="$OUT/libjinjing_serve.rlib"
 rlib jinjing_cli crates/cli/src/lib.rs --cfg jinjing_offline $A $O \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
     --extern jinjing_lint="$OUT/libjinjing_lint.rlib" \
-    --extern jinjing_serve="$OUT/libjinjing_serve.rlib"
+    --extern jinjing_serve="$OUT/libjinjing_serve.rlib" \
+    --extern jinjing_shard="$OUT/libjinjing_shard.rlib"
 rlib rand scripts/stubs/rand.rs
 rlib jinjing_wan crates/wan/src/lib.rs $A $O \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
@@ -133,18 +141,24 @@ tbin lint_multi tests/lint_multi.rs $A $O \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
     --extern jinjing_lint="$OUT/libjinjing_lint.rlib"
-tbin serve_unit crates/serve/src/lib.rs $O \
+tbin serve_unit crates/serve/src/lib.rs $A $O \
     --extern jinjing_par="$OUT/libjinjing_par.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
     --extern jinjing_lint="$OUT/libjinjing_lint.rlib" \
     --extern jinjing_core="$OUT/libjinjing_core.rlib"
+tbin shard_unit crates/shard/src/lib.rs $A $O \
+    --extern jinjing_net="$OUT/libjinjing_net.rlib" \
+    --extern jinjing_lint="$OUT/libjinjing_lint.rlib" \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_serve="$OUT/libjinjing_serve.rlib"
 tbin cli_unit crates/cli/src/lib.rs --cfg jinjing_offline $A $O \
     --extern jinjing_net="$OUT/libjinjing_net.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
     --extern jinjing_lint="$OUT/libjinjing_lint.rlib" \
-    --extern jinjing_serve="$OUT/libjinjing_serve.rlib"
+    --extern jinjing_serve="$OUT/libjinjing_serve.rlib" \
+    --extern jinjing_shard="$OUT/libjinjing_shard.rlib"
 tbin running_example tests/running_example.rs $A \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
     --extern jinjing_lai="$OUT/libjinjing_lai.rlib" \
@@ -174,6 +188,10 @@ tbin cli_golden tests/cli_golden.rs --cfg jinjing_offline $A $O \
 tbin serve_integration tests/serve_integration.rs $O \
     --extern jinjing_core="$OUT/libjinjing_core.rlib" \
     --extern jinjing_serve="$OUT/libjinjing_serve.rlib"
+tbin shard_integration tests/shard_integration.rs $O \
+    --extern jinjing_core="$OUT/libjinjing_core.rlib" \
+    --extern jinjing_serve="$OUT/libjinjing_serve.rlib" \
+    --extern jinjing_shard="$OUT/libjinjing_shard.rlib"
 tbin trace_export tests/trace_export.rs --cfg jinjing_offline $O \
     --extern jinjing_core="$OUT/libjinjing_core.rlib"
 tbin warm_solver tests/warm_solver.rs \
@@ -183,11 +201,12 @@ tbin warm_solver tests/warm_solver.rs \
 # The determinism half of the incremental contract: the oracle suites and
 # the golden files must hold verbatim under a 4-worker default too — and
 # the daemon must render the same bytes when the engine runs 4-wide.
-echo "==> re-run incr_oracle + plan_oracle + cli_golden + serve_integration + warm_solver + lint_multi with JINJING_THREADS=4"
+echo "==> re-run incr_oracle + plan_oracle + cli_golden + serve_integration + shard_integration + warm_solver + lint_multi with JINJING_THREADS=4"
 JINJING_THREADS=4 "$OUT/incr_oracle" -q
 JINJING_THREADS=4 "$OUT/plan_oracle" -q
 JINJING_THREADS=4 "$OUT/cli_golden" -q
 JINJING_THREADS=4 "$OUT/serve_integration" -q
+JINJING_THREADS=4 "$OUT/shard_integration" -q
 JINJING_THREADS=4 "$OUT/warm_solver" -q
 # The cross-tenant gate equivalent of ci.sh's two-tenant CLI step: the
 # committed example pair runs through engine::lint_multi inside this
@@ -338,6 +357,32 @@ print(f"BENCH_plan.json: {d['steps']} steps over {len(d['scenarios'])} scenarios
 EOF
 else
     echo "offline_check.sh: python3 not installed — skipping BENCH_plan.json probe" >&2
+fi
+
+# Shard-partition smoke: `figures shard` checks the same small-WAN
+# workload unsharded and restricted to each slice of a 1/2/4/8-way
+# consistent-hash partition, asserting internally that per-shard dirty
+# pairs and solver queries sum to the unsharded totals; the probe checks
+# the artifact's shape and the zero-duplication headline.
+echo "==> figures shard (consistent-hash partition smoke, BENCH_shard.json)"
+"$OUT/figures" shard --bench-out "$OUT/BENCH_shard.json" >/dev/null
+grep -q '"benchmark":"shard"' "$OUT/BENCH_shard.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$OUT/BENCH_shard.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["benchmark"] == "shard" and d["network"] == "small", d
+assert d["partition_exact"] is True, d
+base = d["baseline"]
+for w in d["widths"]:
+    assert w["dirty_pairs_sum"] == base["dirty_pairs"], w
+    assert w["queries_sum"] == base["queries"], w
+assert [w["shards"] for w in d["widths"]] == [1, 2, 4, 8], d
+print(f"BENCH_shard.json: {base['dirty_pairs']} pairs / {base['queries']} queries "
+      f"partitioned exactly at widths 1/2/4/8")
+EOF
+else
+    echo "offline_check.sh: python3 not installed — skipping BENCH_shard.json probe" >&2
 fi
 
 echo "offline_check.sh: all offline checks passed (artifacts in $OUT)"

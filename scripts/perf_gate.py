@@ -2,8 +2,8 @@
 """Performance regression gate over the committed BENCH_*.json baselines.
 
 The CI pipeline regenerates BENCH_check.json / BENCH_incr.json /
-BENCH_serve.json / BENCH_solve.json / BENCH_plan.json in the working
-tree (scripts/ci.sh),
+BENCH_serve.json / BENCH_solve.json / BENCH_plan.json /
+BENCH_shard.json in the working tree (scripts/ci.sh),
 which means the files on disk are *this run's* numbers. The honest
 baseline is whatever the repository last committed, so this gate reads
 the old numbers out of git (`git show <ref>:BENCH_x.json`, default ref
@@ -14,6 +14,7 @@ HEAD) and compares:
     serve  -> p99_us (untraced request latency)
     solve  -> warm_wall_ms (steady-state warm re-query pass)
     plan   -> plan_wall_ms (rollout synthesis over all campaigns)
+    shard  -> shard_wall_ms (the 4-shard critical path: slowest slice)
 
 A metric regresses when it is more than 25% slower than the baseline
 (and slower by more than a small absolute epsilon, so microsecond jitter
@@ -47,6 +48,8 @@ GATES = [
      lambda d: d["warm_wall_ms"], 1.0),
     ("BENCH_plan.json", "plan plan_wall_ms",
      lambda d: d["plan_wall_ms"], 1.0),
+    ("BENCH_shard.json", "shard shard_wall_ms (4-shard critical path)",
+     lambda d: d["shard_wall_ms"], 1.0),
 ]
 
 
